@@ -1,0 +1,217 @@
+// Package adapt implements adaptive checkpointing (paper §5.3).
+//
+// After a loop executes — and before its checkpoint is materialized — Flor
+// tests the Joint Invariant (Eq. 4):
+//
+//	M_i / C_i  <  n_i / (k_i + 1) · min( 1/(1+c), ε )
+//
+// where M_i is the (estimated) time to materialize the loop's side-effects,
+// C_i its computation time, n_i its executions so far, k_i its checkpoints
+// so far, c the restore/materialize scaling factor, and ε the
+// user-specifiable overhead tolerance. The k_i+1 accounts for the checkpoint
+// about to be written. Passing the test simultaneously satisfies the Record
+// Overhead invariant (Eq. 1: total materialization ≤ ε · total compute) and
+// the Replay Latency invariant (Eq. 3: record+replay beats two vanilla
+// executions even in the worst case, for any parallelism G ≥ 2).
+//
+// Loops whose checkpoints are cheap relative to their compute (all the
+// paper's training workloads) are memoized every execution. Loops with
+// enormous state and tiny epochs (the fine-tuning workloads RTE and CoLA)
+// degrade gracefully to sparse periodic checkpointing with period ≈
+// ⌈(M_i/C_i)/ε⌉, which is exactly the behaviour behind Figure 7's overhead
+// drop.
+package adapt
+
+import (
+	"sync"
+
+	"flor.dev/flor/internal/store"
+)
+
+// DefaultEpsilon is the paper's overhead tolerance: 1/15 ≈ 6.67 %, chosen so
+// that memoized loops compute at least 15× longer than they take to
+// materialize.
+const DefaultEpsilon = 1.0 / 15.0
+
+// DefaultC is the initial restore/materialize scaling factor; the paper
+// starts at 1.0 and refines it from observed record-replay timings (their
+// measured average was 1.38).
+const DefaultC = 1.0
+
+// defaultThroughput seeds the materialization-cost model before any
+// checkpoint has been observed: bytes per nanosecond (0.5 ≈ 500 MB/s).
+const defaultThroughput = 0.5
+
+// ewmaAlpha is the smoothing factor for all running estimates.
+const ewmaAlpha = 0.3
+
+// LoopStats tracks the adaptive-checkpointing state of one loop (the
+// paper's Table 2 symbols).
+type LoopStats struct {
+	N            int     // n_i: executions so far
+	K            int     // k_i: checkpoints so far
+	EwmaComputNs float64 // running estimate of C_i
+	EwmaMaterNs  float64 // running estimate of M_i (0 until first observed)
+	LastComputNs int64
+}
+
+// Tracker drives adaptive checkpointing decisions for all loops of a run.
+// It is safe for concurrent use (the background materializer reports
+// observations while the training thread queries decisions).
+type Tracker struct {
+	mu         sync.Mutex
+	epsilon    float64
+	c          float64
+	cSamples   int
+	throughput float64 // observed serialize+write throughput, bytes/ns
+	loops      map[string]*LoopStats
+	disabled   bool // when true, every execution is materialized (Fig 7's "adaptivity disabled")
+}
+
+// New returns a tracker with tolerance epsilon (DefaultEpsilon if <= 0).
+func New(epsilon float64) *Tracker {
+	if epsilon <= 0 {
+		epsilon = DefaultEpsilon
+	}
+	return &Tracker{
+		epsilon:    epsilon,
+		c:          DefaultC,
+		throughput: defaultThroughput,
+		loops:      map[string]*LoopStats{},
+	}
+}
+
+// SetDisabled turns adaptivity off: every loop execution is checkpointed
+// regardless of cost. Used to reproduce the disabled bars of Figure 7.
+func (t *Tracker) SetDisabled(d bool) {
+	t.mu.Lock()
+	t.disabled = d
+	t.mu.Unlock()
+}
+
+// Epsilon returns the configured overhead tolerance.
+func (t *Tracker) Epsilon() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epsilon
+}
+
+// C returns the current restore/materialize scaling estimate.
+func (t *Tracker) C() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.c
+}
+
+func (t *Tracker) loop(id string) *LoopStats {
+	ls, ok := t.loops[id]
+	if !ok {
+		ls = &LoopStats{}
+		t.loops[id] = ls
+	}
+	return ls
+}
+
+// NoteExecution records that loop id completed one execution taking
+// computNs; call it before ShouldMaterialize.
+func (t *Tracker) NoteExecution(id string, computNs int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls := t.loop(id)
+	ls.N++
+	ls.LastComputNs = computNs
+	if ls.EwmaComputNs == 0 {
+		ls.EwmaComputNs = float64(computNs)
+	} else {
+		ls.EwmaComputNs = (1-ewmaAlpha)*ls.EwmaComputNs + ewmaAlpha*float64(computNs)
+	}
+}
+
+// EstimateMaterNs predicts the materialization cost for a checkpoint of
+// sizeBytes for loop id: the loop's own observed history when available,
+// otherwise a throughput-based model fed by all observed checkpoints.
+func (t *Tracker) EstimateMaterNs(id string, sizeBytes int) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.estimateLocked(id, sizeBytes)
+}
+
+func (t *Tracker) estimateLocked(id string, sizeBytes int) float64 {
+	ls := t.loop(id)
+	if ls.EwmaMaterNs > 0 {
+		return ls.EwmaMaterNs
+	}
+	return float64(sizeBytes) / t.throughput
+}
+
+// ShouldMaterialize evaluates the Joint Invariant for loop id given the
+// estimated checkpoint size. It must be called after NoteExecution for the
+// execution being considered.
+func (t *Tracker) ShouldMaterialize(id string, sizeBytes int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.disabled {
+		return true
+	}
+	ls := t.loop(id)
+	ci := ls.EwmaComputNs
+	if ci <= 0 {
+		// No compute observation: materialize and let observations accrue.
+		return true
+	}
+	mi := t.estimateLocked(id, sizeBytes)
+	ratio := mi / ci
+	bound := 1 / (1 + t.c)
+	if t.epsilon < bound {
+		bound = t.epsilon
+	}
+	threshold := float64(ls.N) / float64(ls.K+1) * bound
+	return ratio < threshold
+}
+
+// NoteMaterialized records a committed checkpoint's observed cost,
+// incrementing k_i and refining M_i and the global throughput model. Wire it
+// to the materializer's observer.
+func (t *Tracker) NoteMaterialized(meta *store.Meta) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls := t.loop(meta.Key.LoopID)
+	ls.K++
+	if meta.MaterNs > 0 {
+		if ls.EwmaMaterNs == 0 {
+			ls.EwmaMaterNs = float64(meta.MaterNs)
+		} else {
+			ls.EwmaMaterNs = (1-ewmaAlpha)*ls.EwmaMaterNs + ewmaAlpha*float64(meta.MaterNs)
+		}
+		if meta.Size > 0 {
+			obs := float64(meta.Size) / float64(meta.MaterNs)
+			t.throughput = (1-ewmaAlpha)*t.throughput + ewmaAlpha*obs
+		}
+	}
+}
+
+// NoteRestore refines the restore/materialize scaling factor c from an
+// observed (restoreNs, materNs) pair; replay reports these (paper §5.3.2:
+// "Flor gradually refines the scaling factor after observing materialization
+// and restoration times from record-replay").
+func (t *Tracker) NoteRestore(restoreNs, materNs int64) {
+	if restoreNs <= 0 || materNs <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	obs := float64(restoreNs) / float64(materNs)
+	t.cSamples++
+	if t.cSamples == 1 {
+		t.c = obs
+		return
+	}
+	t.c = (1-ewmaAlpha)*t.c + ewmaAlpha*obs
+}
+
+// Stats returns a copy of the stats for loop id.
+func (t *Tracker) Stats(id string) LoopStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return *t.loop(id)
+}

@@ -1,0 +1,212 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"flor.dev/flor/internal/store"
+)
+
+// simulate runs n executions of one loop through the tracker, with fixed
+// compute and materialization costs, and returns how many were checkpointed.
+func simulate(t *Tracker, loopID string, n int, computNs, materNs int64, size int) int {
+	materialized := 0
+	for i := 0; i < n; i++ {
+		t.NoteExecution(loopID, computNs)
+		if t.ShouldMaterialize(loopID, size) {
+			materialized++
+			t.NoteMaterialized(&store.Meta{
+				Key:      store.Key{LoopID: loopID, Exec: i},
+				Size:     int64(size),
+				MaterNs:  materNs,
+				ComputNs: computNs,
+			})
+		}
+	}
+	return materialized
+}
+
+func TestCheapCheckpointsMaterializeEveryTime(t *testing.T) {
+	// Training workloads: materialization is negligible next to compute
+	// (paper: "The loops in model training workloads are memoized every time").
+	tr := New(DefaultEpsilon)
+	n := 100
+	// Mi/Ci = 0.001, far below every threshold.
+	got := simulate(tr, "train", n, 1_000_000, 1_000, 1000)
+	if got != n {
+		t.Fatalf("materialized %d of %d cheap checkpoints", got, n)
+	}
+}
+
+func TestExpensiveCheckpointsGoPeriodic(t *testing.T) {
+	// Fine-tuning workloads: Mi ≈ Ci. With ε = 1/15 and c = 1 the invariant
+	// passes only when n/(k+1) > 15, i.e. roughly every 15th execution.
+	tr := New(DefaultEpsilon)
+	n := 200
+	got := simulate(tr, "finetune", n, 1_000_000, 1_000_000, 1<<20)
+	if got == 0 {
+		t.Fatal("periodic checkpointing never materialized")
+	}
+	// Expected k ≈ n·ε ≈ 13; allow slack for estimate warm-up.
+	if got > n/10 {
+		t.Fatalf("materialized %d of %d; expected sparse (~%d)", got, n, int(float64(n)*DefaultEpsilon))
+	}
+}
+
+func TestOverheadInvariantHolds(t *testing.T) {
+	// Property (Eq. 1): total materialization time ≤ ε · total compute time,
+	// with slack for the one checkpoint the test admits before refining
+	// estimates.
+	for _, ratio := range []float64{0.01, 0.1, 0.5, 1.0, 5.0} {
+		tr := New(DefaultEpsilon)
+		computNs := int64(1_000_000)
+		materNs := int64(float64(computNs) * ratio)
+		n := 300
+		k := simulate(tr, "w", n, computNs, materNs, 1000)
+		totalMater := float64(k) * float64(materNs)
+		totalComput := float64(n) * float64(computNs)
+		budget := DefaultEpsilon*totalComput + float64(materNs) // one-checkpoint slack
+		if totalMater > budget {
+			t.Fatalf("ratio %.2f: materialization %.0f exceeds budget %.0f (k=%d)",
+				ratio, totalMater, budget, k)
+		}
+	}
+}
+
+func TestDisabledMaterializesAlways(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	tr.SetDisabled(true)
+	n := 50
+	got := simulate(tr, "finetune", n, 1000, 1_000_000, 1<<20)
+	if got != n {
+		t.Fatalf("disabled tracker materialized %d of %d", got, n)
+	}
+}
+
+func TestColdStartHugeStateUsesThroughputModel(t *testing.T) {
+	// Before any observation, a checkpoint whose size-based estimate dwarfs
+	// compute must be skipped on the very first test.
+	tr := New(DefaultEpsilon)
+	tr.NoteExecution("ft", 1_000) // 1µs epochs
+	// 1 GB at the default 0.5 bytes/ns ≈ 2s estimated materialization.
+	if tr.ShouldMaterialize("ft", 1<<30) {
+		t.Fatal("cold-start invariant admitted a pathological checkpoint")
+	}
+}
+
+func TestColdStartNoComputeObservationMaterializes(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	// ShouldMaterialize without NoteExecution: no C_i estimate; default to
+	// materializing so observations can accrue.
+	if !tr.ShouldMaterialize("fresh", 10) {
+		t.Fatal("tracker with no compute estimate refused to bootstrap")
+	}
+}
+
+func TestEstimateUsesObservedHistoryOverModel(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	tr.NoteExecution("l", 1000)
+	tr.NoteMaterialized(&store.Meta{Key: store.Key{LoopID: "l"}, Size: 100, MaterNs: 12345})
+	est := tr.EstimateMaterNs("l", 1<<30) // size should be ignored now
+	if est != 12345 {
+		t.Fatalf("estimate = %g, want observed 12345", est)
+	}
+}
+
+func TestThroughputModelLearnsFromObservations(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	before := tr.EstimateMaterNs("unseen", 1000)
+	// Feed fast observations through a different loop: 10 bytes/ns.
+	for i := 0; i < 50; i++ {
+		tr.NoteMaterialized(&store.Meta{Key: store.Key{LoopID: "other"}, Size: 1_000_000, MaterNs: 100_000})
+	}
+	after := tr.EstimateMaterNs("unseen", 1000)
+	if after >= before {
+		t.Fatalf("throughput model did not learn: %g -> %g", before, after)
+	}
+}
+
+func TestCEstimationConverges(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	if tr.C() != DefaultC {
+		t.Fatalf("initial c = %g", tr.C())
+	}
+	// Observe restores at 1.38× materialization cost — the paper's measured
+	// average.
+	for i := 0; i < 100; i++ {
+		tr.NoteRestore(1380, 1000)
+	}
+	if math.Abs(tr.C()-1.38) > 0.01 {
+		t.Fatalf("c = %g, want ~1.38", tr.C())
+	}
+}
+
+func TestCIgnoresInvalidSamples(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	tr.NoteRestore(0, 100)
+	tr.NoteRestore(100, 0)
+	tr.NoteRestore(-5, 100)
+	if tr.C() != DefaultC {
+		t.Fatalf("c changed on invalid samples: %g", tr.C())
+	}
+}
+
+func TestLargerCMakesInvariantStricter(t *testing.T) {
+	// 1/(1+c) shrinks as c grows; when it dips below ε it becomes the
+	// binding constraint (Eq. 4 takes the min).
+	mk := func(c float64) *Tracker {
+		tr := New(0.9) // huge ε so the c term binds
+		for i := 0; i < 200; i++ {
+			tr.NoteRestore(int64(c*1000), 1000)
+		}
+		return tr
+	}
+	// Mi/Ci = 0.4: passes with c=1 (bound 0.5) and fails with c=3 (bound 0.25).
+	loose := mk(1.0)
+	loose.NoteExecution("l", 1000)
+	strict := mk(3.0)
+	strict.NoteExecution("l", 1000)
+	// Estimated Mi = 400ns for a 200-byte checkpoint at 0.5 bytes/ns.
+	if !loose.ShouldMaterialize("l", 200) {
+		t.Fatal("c=1.0 should admit Mi/Ci=0.4 on first execution")
+	}
+	if strict.ShouldMaterialize("l", 200) {
+		t.Fatal("c=3.0 should reject Mi/Ci=0.4 on first execution")
+	}
+}
+
+func TestEpsilonDefaulting(t *testing.T) {
+	if got := New(0).Epsilon(); got != DefaultEpsilon {
+		t.Fatalf("Epsilon = %g", got)
+	}
+	if got := New(0.1).Epsilon(); got != 0.1 {
+		t.Fatalf("Epsilon = %g", got)
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	simulate(tr, "w", 10, 1_000_000, 100, 10)
+	st := tr.Stats("w")
+	if st.N != 10 {
+		t.Fatalf("N = %d", st.N)
+	}
+	if st.K != 10 {
+		t.Fatalf("K = %d (cheap checkpoints should all materialize)", st.K)
+	}
+	if st.EwmaComputNs <= 0 || st.EwmaMaterNs <= 0 {
+		t.Fatalf("estimates missing: %+v", st)
+	}
+}
+
+func TestIndependentLoops(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	simulate(tr, "cheap", 50, 1_000_000, 100, 10)
+	simulate(tr, "dear", 50, 1_000, 1_000_000, 1<<20)
+	if tr.Stats("cheap").K != 50 {
+		t.Fatal("cheap loop should checkpoint every time")
+	}
+	if tr.Stats("dear").K >= 50/2 {
+		t.Fatalf("expensive loop checkpointed %d/50 times", tr.Stats("dear").K)
+	}
+}

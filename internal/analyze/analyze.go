@@ -1,0 +1,251 @@
+// Package analyze implements Flor's static side-effect analysis for lean
+// checkpointing (paper §5.2.1).
+//
+// For each loop it computes a changeset — the set of variables whose state a
+// Loop End Checkpoint must capture — by interpreting every statement in the
+// loop's subtree against the six rule templates of Table 1:
+//
+//	rule 0:  v1..vn = u1..um  with some vi already in the changeset → refuse
+//	rule 1:  v1..vn = obj.method(args)                              → {obj, v1..vn}
+//	rule 2:  v1..vn = func(args)                                    → {v1..vn}
+//	rule 3:  v1..vn = u1..um                                        → {v1..vn}
+//	rule 4:  obj.method(args)                                       → {obj}
+//	rule 5:  func(args)                                             → refuse
+//
+// Rules are sorted in descending precedence; at most one rule activates per
+// statement; statements activating no rule are ignored. A refusal (rules 0
+// or 5) means the loop's side-effects cannot be bounded statically, so Flor
+// leaves it uninstrumented — it will be fully re-executed on replay.
+//
+// Two later passes refine the raw changeset: filtering removes loop-scoped
+// variables (defined inside the loop body, assumed dead after it), and
+// runtime augmentation adds side-effects that only library knowledge
+// reveals — a PyTorch-style optimizer mutates its model, and a scheduler
+// mutates its optimizer.
+package analyze
+
+import (
+	"fmt"
+
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/value"
+)
+
+// Rule identifies which Table 1 template a statement activated.
+type Rule int
+
+// The rules of Table 1, plus RuleNone for ignored statements.
+const (
+	RuleNone Rule = iota - 1
+	Rule0
+	Rule1
+	Rule2
+	Rule3
+	Rule4
+	Rule5
+)
+
+// String renders the rule number.
+func (r Rule) String() string {
+	if r == RuleNone {
+		return "none"
+	}
+	return fmt.Sprintf("rule %d", int(r))
+}
+
+// LoopAnalysis is the outcome of analyzing one loop.
+type LoopAnalysis struct {
+	LoopID string
+	// Memoizable reports whether the loop may be enclosed in a SkipBlock.
+	Memoizable bool
+	// Refusal explains a non-memoizable outcome (which statement activated
+	// rule 0 or rule 5).
+	Refusal string
+	// Raw is the changeset before filtering, in first-add order.
+	Raw []string
+	// Changeset is the final static changeset after loop-scoped filtering.
+	Changeset []string
+	// Filtered lists the loop-scoped variables removed by the filter.
+	Filtered []string
+}
+
+// Classify returns the Table 1 rule a statement pattern activates, given the
+// current changeset (rule 0 depends on it).
+func Classify(pat script.Pattern, inChangeset func(string) bool) Rule {
+	isAssign := len(pat.Targets) > 0
+	if isAssign {
+		for _, t := range pat.Targets {
+			if inChangeset(t) {
+				return Rule0
+			}
+		}
+		switch {
+		case pat.IsCall && pat.Receiver != "":
+			return Rule1
+		case pat.IsCall:
+			return Rule2
+		default:
+			return Rule3
+		}
+	}
+	if pat.IsCall {
+		if pat.Receiver != "" {
+			return Rule4
+		}
+		return Rule5
+	}
+	return RuleNone
+}
+
+// Delta returns the changeset delta contributed by a statement under the
+// given rule.
+func Delta(pat script.Pattern, r Rule) []string {
+	switch r {
+	case Rule1:
+		return append([]string{pat.Receiver}, pat.Targets...)
+	case Rule2, Rule3:
+		return pat.Targets
+	case Rule4:
+		return []string{pat.Receiver}
+	default:
+		return nil
+	}
+}
+
+// AnalyzeLoop computes the changeset for loop l of program p. The whole loop
+// subtree is scanned in program order; nested loops contribute their body
+// statements and their iteration variables.
+func AnalyzeLoop(p *script.Program, l *script.Loop) *LoopAnalysis {
+	a := &LoopAnalysis{LoopID: l.ID, Memoizable: true}
+	set := map[string]bool{}
+	add := func(names []string) {
+		for _, n := range names {
+			if !set[n] {
+				set[n] = true
+				a.Raw = append(a.Raw, n)
+			}
+		}
+	}
+	var scan func(stmts []script.Stmt) bool
+	scan = func(stmts []script.Stmt) bool {
+		for i := range stmts {
+			s := &stmts[i]
+			switch {
+			case s.IsLog:
+				// Log statements are side-effect-free by contract.
+				continue
+			case s.Loop != nil:
+				// The nested loop's iteration variable is an implicit
+				// assignment; its body joins the enclosing scan.
+				add([]string{s.Loop.IterVar})
+				if !scan(s.Loop.Body) {
+					return false
+				}
+			default:
+				r := Classify(s.Pat, func(n string) bool { return set[n] })
+				switch r {
+				case Rule0:
+					a.Memoizable = false
+					a.Refusal = fmt.Sprintf("%s: reassignment to changed variable (%s)", s.Render(), r)
+					return false
+				case Rule5:
+					a.Memoizable = false
+					a.Refusal = fmt.Sprintf("%s: side-effecting function call (%s)", s.Render(), r)
+					return false
+				default:
+					add(Delta(s.Pat, r))
+				}
+			}
+		}
+		return true
+	}
+	// The loop's own iteration variable is also implicitly assigned.
+	add([]string{l.IterVar})
+	if !scan(l.Body) {
+		a.Raw = nil
+		return a
+	}
+
+	// Filtering: remove loop-scoped variables (those not defined before the
+	// loop). The paper assumes such variables are local to the body and not
+	// read after the loop; deferred checks (§5.2.2) backstop the assumption.
+	before := p.DefinedBefore(l)
+	for _, n := range a.Raw {
+		if before[n] {
+			a.Changeset = append(a.Changeset, n)
+		} else {
+			a.Filtered = append(a.Filtered, n)
+		}
+	}
+	return a
+}
+
+// AnalyzeProgram analyzes every loop of the program, returning results
+// keyed by loop ID.
+func AnalyzeProgram(p *script.Program) map[string]*LoopAnalysis {
+	out := map[string]*LoopAnalysis{}
+	for _, l := range p.Loops() {
+		out[l.ID] = AnalyzeLoop(p, l)
+	}
+	return out
+}
+
+// Augment applies runtime changeset augmentation (paper §5.2.1, final step):
+// if the changeset contains an optimizer, the model it mutates is added; if
+// it contains an LR scheduler, the optimizer it mutates is added. The
+// process iterates to a fixpoint so scheduler → optimizer → model chains
+// resolve. Names absent from the environment are left untouched (the
+// variable may be assigned for the first time inside the loop).
+func Augment(changeset []string, env *script.Env) []string {
+	out := append([]string(nil), changeset...)
+	in := map[string]bool{}
+	for _, n := range out {
+		in[n] = true
+	}
+	for {
+		added := false
+		for _, n := range out {
+			v, ok := env.Get(n)
+			if !ok {
+				continue
+			}
+			switch b := v.(type) {
+			case *value.Optimizer:
+				if mn, ok := findModelVar(env, b); ok && !in[mn] {
+					out = append(out, mn)
+					in[mn] = true
+					added = true
+				}
+			case *value.Scheduler:
+				if on, ok := findOptimizerVar(env, b); ok && !in[on] {
+					out = append(out, on)
+					in[on] = true
+					added = true
+				}
+			}
+		}
+		if !added {
+			return out
+		}
+	}
+}
+
+func findModelVar(env *script.Env, o *value.Optimizer) (string, bool) {
+	target := o.O.Model()
+	for _, n := range env.Names() {
+		if mv, ok := env.MustGet(n).(*value.Model); ok && mv.M == target {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+func findOptimizerVar(env *script.Env, s *value.Scheduler) (string, bool) {
+	target := s.S.Optimizer()
+	for _, n := range env.Names() {
+		if ov, ok := env.MustGet(n).(*value.Optimizer); ok && ov.O == target {
+			return n, true
+		}
+	}
+	return "", false
+}

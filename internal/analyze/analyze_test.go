@@ -1,0 +1,334 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"flor.dev/flor/internal/nn"
+	"flor.dev/flor/internal/opt"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/value"
+	"flor.dev/flor/internal/xrand"
+)
+
+func noop(*script.Env) error { return nil }
+
+// figure6Program reproduces the paper's Figure 6 training script:
+//
+//	net = Resnet101()
+//	optimizer = SGD(net.parameters())
+//	lr_sched = LR_Scheduler(optimizer)
+//	for epoch in range(E):              # main loop (vanilla Python)
+//	    for batch in loader:            # nested training loop (PyTorch)
+//	        preds = net(batch)          # rule 2 -> {preds}
+//	        avg_loss = loss_fn(preds)   # rule 2 -> {avg_loss}
+//	        avg_loss.backward()         # rule 4 -> {avg_loss}
+//	        optimizer.step()            # rule 4 -> {optimizer}
+//	    test(net, test_loader)          # rule 5 -> refuse main loop
+//	    print(accuracy)                 # rule 5
+//	    lr_sched.step()                 # rule 4
+func figure6Program() *script.Program {
+	train := &script.Loop{
+		ID:      "train",
+		IterVar: "batch",
+		Iters:   10,
+		Body: []script.Stmt{
+			script.AssignFunc([]string{"preds"}, "net", []string{"batch"}, noop),
+			script.AssignFunc([]string{"avg_loss"}, "loss_fn", []string{"preds", "target"}, noop),
+			script.ExprMethod("avg_loss", "backward", nil, noop),
+			script.ExprMethod("optimizer", "step", nil, noop),
+		},
+	}
+	return &script.Program{
+		Name: "figure6",
+		Setup: []script.Stmt{
+			script.AssignFunc([]string{"net"}, "Resnet101", nil, noop),
+			script.AssignFunc([]string{"optimizer"}, "SGD", []string{"net"}, noop),
+			script.AssignFunc([]string{"lr_sched"}, "LR_Scheduler", []string{"optimizer"}, noop),
+		},
+		Main: &script.Loop{
+			ID:      "main",
+			IterVar: "epoch",
+			Iters:   5,
+			Body: []script.Stmt{
+				script.LoopStmt(train),
+				script.ExprFunc("test", []string{"net", "test_loader"}, noop),
+				script.ExprFunc("print", []string{"accuracy"}, noop),
+				script.ExprMethod("lr_sched", "step", nil, noop),
+			},
+		},
+	}
+}
+
+func TestClassifyRules(t *testing.T) {
+	inSet := func(s string) bool { return s == "hot" }
+	cases := []struct {
+		name string
+		pat  script.Pattern
+		want Rule
+	}{
+		{"rule1 method assign", script.Pattern{Targets: []string{"v"}, Receiver: "obj", Func: "m", IsCall: true}, Rule1},
+		{"rule2 func assign", script.Pattern{Targets: []string{"v"}, Func: "f", IsCall: true}, Rule2},
+		{"rule3 plain assign", script.Pattern{Targets: []string{"v"}}, Rule3},
+		{"rule4 method expr", script.Pattern{Receiver: "obj", Func: "m", IsCall: true}, Rule4},
+		{"rule5 func expr", script.Pattern{Func: "f", IsCall: true}, Rule5},
+		{"rule0 overrides rule1", script.Pattern{Targets: []string{"hot"}, Receiver: "obj", Func: "m", IsCall: true}, Rule0},
+		{"rule0 overrides rule3", script.Pattern{Targets: []string{"x", "hot"}}, Rule0},
+		{"no rule", script.Pattern{}, RuleNone},
+	}
+	for _, c := range cases {
+		if got := Classify(c.pat, inSet); got != c.want {
+			t.Fatalf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	pat := script.Pattern{Targets: []string{"a", "b"}, Receiver: "obj", Func: "m", IsCall: true}
+	d := Delta(pat, Rule1)
+	if len(d) != 3 || d[0] != "obj" || d[1] != "a" || d[2] != "b" {
+		t.Fatalf("rule 1 delta = %v", d)
+	}
+	if d := Delta(script.Pattern{Receiver: "obj", IsCall: true}, Rule4); len(d) != 1 || d[0] != "obj" {
+		t.Fatalf("rule 4 delta = %v", d)
+	}
+	if d := Delta(pat, Rule5); d != nil {
+		t.Fatalf("rule 5 delta = %v, want nil", d)
+	}
+}
+
+func TestFigure6TrainLoopChangeset(t *testing.T) {
+	p := figure6Program()
+	train, _ := p.FindLoop("train")
+	a := AnalyzeLoop(p, train)
+	if !a.Memoizable {
+		t.Fatalf("train loop refused: %s", a.Refusal)
+	}
+	// Raw changeset per the paper: batch, preds, avg_loss, optimizer.
+	wantRaw := []string{"batch", "preds", "avg_loss", "optimizer"}
+	if len(a.Raw) != len(wantRaw) {
+		t.Fatalf("raw changeset = %v, want %v", a.Raw, wantRaw)
+	}
+	for i := range wantRaw {
+		if a.Raw[i] != wantRaw[i] {
+			t.Fatalf("raw changeset = %v, want %v", a.Raw, wantRaw)
+		}
+	}
+	// After loop-scoped filtering only optimizer remains.
+	if len(a.Changeset) != 1 || a.Changeset[0] != "optimizer" {
+		t.Fatalf("filtered changeset = %v, want [optimizer]", a.Changeset)
+	}
+	wantFiltered := map[string]bool{"batch": true, "preds": true, "avg_loss": true}
+	for _, f := range a.Filtered {
+		if !wantFiltered[f] {
+			t.Fatalf("unexpected filtered variable %q", f)
+		}
+	}
+	if len(a.Filtered) != 3 {
+		t.Fatalf("filtered = %v", a.Filtered)
+	}
+}
+
+func TestFigure6MainLoopRefused(t *testing.T) {
+	p := figure6Program()
+	a := AnalyzeLoop(p, p.Main)
+	if a.Memoizable {
+		t.Fatal("main loop with rule-5 statements should be refused")
+	}
+	if !strings.Contains(a.Refusal, "test(net,test_loader)") {
+		t.Fatalf("refusal should name the rule-5 statement: %q", a.Refusal)
+	}
+}
+
+func TestFigure6Augmentation(t *testing.T) {
+	// Build a live environment matching the Figure 6 setup, then augment.
+	env := script.NewEnv()
+	model := nn.NewLinear("fc", xrand.New(1), 4, 2)
+	optimizer := opt.NewSGD(model, 0.1, 0.9, 0)
+	sched := opt.NewStepLR(optimizer, 1, 0.5)
+	env.Set("net", &value.Model{M: model})
+	env.Set("optimizer", &value.Optimizer{O: optimizer})
+	env.Set("lr_sched", &value.Scheduler{S: sched})
+
+	got := Augment([]string{"optimizer"}, env)
+	if len(got) != 2 || got[0] != "optimizer" || got[1] != "net" {
+		t.Fatalf("Augment = %v, want [optimizer net]", got)
+	}
+}
+
+func TestAugmentSchedulerChain(t *testing.T) {
+	env := script.NewEnv()
+	model := nn.NewLinear("fc", xrand.New(1), 4, 2)
+	optimizer := opt.NewAdamW(model, 0.1, 0)
+	sched := opt.NewCosineLR(optimizer, 10)
+	env.Set("net", &value.Model{M: model})
+	env.Set("optimizer", &value.Optimizer{O: optimizer})
+	env.Set("lr_sched", &value.Scheduler{S: sched})
+
+	// scheduler -> optimizer -> model resolves transitively.
+	got := Augment([]string{"lr_sched"}, env)
+	want := map[string]bool{"lr_sched": true, "optimizer": true, "net": true}
+	if len(got) != 3 {
+		t.Fatalf("Augment = %v", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("Augment added unexpected %q", n)
+		}
+	}
+}
+
+func TestAugmentIdempotent(t *testing.T) {
+	env := script.NewEnv()
+	model := nn.NewLinear("fc", xrand.New(1), 4, 2)
+	optimizer := opt.NewSGD(model, 0.1, 0, 0)
+	env.Set("net", &value.Model{M: model})
+	env.Set("optimizer", &value.Optimizer{O: optimizer})
+	once := Augment([]string{"optimizer"}, env)
+	twice := Augment(once, env)
+	if len(once) != len(twice) {
+		t.Fatalf("Augment not idempotent: %v -> %v", once, twice)
+	}
+}
+
+func TestAugmentIgnoresUnknownNames(t *testing.T) {
+	env := script.NewEnv()
+	got := Augment([]string{"ghost"}, env)
+	if len(got) != 1 || got[0] != "ghost" {
+		t.Fatalf("Augment = %v", got)
+	}
+}
+
+func TestAugmentDistinguishesMultipleOptimizers(t *testing.T) {
+	// Two optimizers over two models: each pulls in only its own model.
+	env := script.NewEnv()
+	m1 := nn.NewLinear("a", xrand.New(1), 2, 2)
+	m2 := nn.NewLinear("b", xrand.New(2), 2, 2)
+	env.Set("net1", &value.Model{M: m1})
+	env.Set("net2", &value.Model{M: m2})
+	env.Set("opt1", &value.Optimizer{O: opt.NewSGD(m1, 0.1, 0, 0)})
+	env.Set("opt2", &value.Optimizer{O: opt.NewSGD(m2, 0.1, 0, 0)})
+	got := Augment([]string{"opt2"}, env)
+	if len(got) != 2 || got[1] != "net2" {
+		t.Fatalf("Augment = %v, want [opt2 net2]", got)
+	}
+}
+
+func TestRule0RefusesLoop(t *testing.T) {
+	l := &script.Loop{
+		ID: "bad", IterVar: "i", Iters: 3,
+		Body: []script.Stmt{
+			script.AssignFunc([]string{"x"}, "f", nil, noop),
+			script.AssignExpr([]string{"x"}, []string{"y"}, noop), // reassigns changed x
+		},
+	}
+	p := &script.Program{Name: "p", Main: &script.Loop{ID: "main", IterVar: "e", Iters: 1,
+		Body: []script.Stmt{script.LoopStmt(l)}}}
+	a := AnalyzeLoop(p, l)
+	if a.Memoizable {
+		t.Fatal("rule 0 violation not refused")
+	}
+	if !strings.Contains(a.Refusal, "reassignment") {
+		t.Fatalf("refusal = %q", a.Refusal)
+	}
+}
+
+func TestRefusalIsMonotone(t *testing.T) {
+	// Property: adding a refused statement to any memoizable loop makes it
+	// refused (no ordering can rescue it).
+	base := []script.Stmt{
+		script.AssignFunc([]string{"v"}, "f", nil, noop),
+		script.ExprMethod("obj", "m", nil, noop),
+	}
+	poison := script.ExprFunc("sideeffect", nil, noop)
+	for pos := 0; pos <= len(base); pos++ {
+		body := make([]script.Stmt, 0, len(base)+1)
+		body = append(body, base[:pos]...)
+		body = append(body, poison)
+		body = append(body, base[pos:]...)
+		l := &script.Loop{ID: "l", IterVar: "i", Iters: 1, Body: body}
+		p := &script.Program{Name: "p", Main: &script.Loop{ID: "main", IterVar: "e", Iters: 1,
+			Body: []script.Stmt{script.LoopStmt(l)}}}
+		if AnalyzeLoop(p, l).Memoizable {
+			t.Fatalf("loop with rule-5 statement at position %d not refused", pos)
+		}
+	}
+}
+
+func TestNestedLoopSideEffectsJoinOuterChangeset(t *testing.T) {
+	inner := &script.Loop{
+		ID: "inner", IterVar: "j", Iters: 2,
+		Body: []script.Stmt{script.ExprMethod("acc", "update", nil, noop)},
+	}
+	outer := &script.Loop{
+		ID: "outer", IterVar: "i", Iters: 2,
+		Body: []script.Stmt{script.LoopStmt(inner)},
+	}
+	p := &script.Program{
+		Name: "p",
+		Setup: []script.Stmt{
+			script.AssignFunc([]string{"acc"}, "Accumulator", nil, noop),
+		},
+		Main: &script.Loop{ID: "main", IterVar: "e", Iters: 1, Body: []script.Stmt{script.LoopStmt(outer)}},
+	}
+	a := AnalyzeLoop(p, outer)
+	if !a.Memoizable {
+		t.Fatalf("refused: %s", a.Refusal)
+	}
+	if len(a.Changeset) != 1 || a.Changeset[0] != "acc" {
+		t.Fatalf("changeset = %v, want [acc]", a.Changeset)
+	}
+	// The inner loop's iter var j must have been filtered as loop-scoped.
+	found := false
+	for _, f := range a.Filtered {
+		if f == "j" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inner iter var not filtered: %v", a.Filtered)
+	}
+}
+
+func TestAnalyzeProgramCoversAllLoops(t *testing.T) {
+	p := figure6Program()
+	results := AnalyzeProgram(p)
+	if len(results) != 2 {
+		t.Fatalf("analyzed %d loops, want 2", len(results))
+	}
+	if results["main"].Memoizable || !results["train"].Memoizable {
+		t.Fatal("main should refuse, train should memoize")
+	}
+}
+
+func TestDeterministicAnalysis(t *testing.T) {
+	p := figure6Program()
+	train, _ := p.FindLoop("train")
+	a := AnalyzeLoop(p, train)
+	b := AnalyzeLoop(p, train)
+	if strings.Join(a.Changeset, ",") != strings.Join(b.Changeset, ",") {
+		t.Fatal("analysis not deterministic")
+	}
+	if strings.Join(a.Raw, ",") != strings.Join(b.Raw, ",") {
+		t.Fatal("raw changeset not deterministic")
+	}
+}
+
+func TestLogStatementsIgnoredByAnalysis(t *testing.T) {
+	l := &script.Loop{
+		ID: "l", IterVar: "i", Iters: 1,
+		Body: []script.Stmt{
+			script.LogStmt("loss", func(e *script.Env) (string, error) { return "", nil }),
+			script.ExprMethod("optimizer", "step", nil, noop),
+		},
+	}
+	p := &script.Program{
+		Name:  "p",
+		Setup: []script.Stmt{script.AssignFunc([]string{"optimizer"}, "SGD", nil, noop)},
+		Main:  &script.Loop{ID: "main", IterVar: "e", Iters: 1, Body: []script.Stmt{script.LoopStmt(l)}},
+	}
+	a := AnalyzeLoop(p, l)
+	if !a.Memoizable || len(a.Changeset) != 1 || a.Changeset[0] != "optimizer" {
+		t.Fatalf("analysis with log stmt: memoizable=%v changeset=%v", a.Memoizable, a.Changeset)
+	}
+}

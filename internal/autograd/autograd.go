@@ -1,0 +1,608 @@
+// Package autograd implements reverse-mode automatic differentiation over
+// tensor values.
+//
+// A Tape records operations in execution order; Backward replays the tape in
+// reverse, accumulating gradients into every Var with RequiresGrad set. The
+// design mirrors the define-by-run style of PyTorch's autograd, which is the
+// training substrate the Flor paper assumes (§5.2.1): model parameters are
+// leaf Vars, optimizers mutate them in place between tape runs, and each
+// batch builds a fresh tape.
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/xrand"
+)
+
+// Var is a node in the computation graph: a value, an optional gradient, and
+// a backward closure that propagates the node's gradient to its inputs.
+type Var struct {
+	Value        *tensor.Tensor
+	Grad         *tensor.Tensor
+	requiresGrad bool
+	backward     func()
+}
+
+// NewParam returns a leaf Var that participates in gradients (a trainable
+// model parameter).
+func NewParam(v *tensor.Tensor) *Var {
+	return &Var{Value: v, requiresGrad: true}
+}
+
+// NewConst returns a leaf Var that is excluded from gradient computation
+// (inputs, labels, frozen parameters).
+func NewConst(v *tensor.Tensor) *Var {
+	return &Var{Value: v}
+}
+
+// RequiresGrad reports whether gradients flow into this Var.
+func (v *Var) RequiresGrad() bool { return v.requiresGrad }
+
+// SetRequiresGrad toggles gradient participation; used to freeze and unfreeze
+// parameters for fine-tuning workloads.
+func (v *Var) SetRequiresGrad(b bool) { v.requiresGrad = b }
+
+// ZeroGrad clears the accumulated gradient.
+func (v *Var) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+func (v *Var) ensureGrad() *tensor.Tensor {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Value.Shape()...)
+	}
+	return v.Grad
+}
+
+// accumulate adds g into v's gradient if v participates in gradients.
+func (v *Var) accumulate(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	tensor.AddInPlace(v.ensureGrad(), g)
+}
+
+// Tape records operations for reverse-mode differentiation. A Tape is not
+// safe for concurrent use; parallel replay workers each build their own.
+type Tape struct {
+	nodes []*Var
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards recorded operations so the tape can be reused for the next
+// batch without reallocating.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len returns the number of recorded operations.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+func (t *Tape) emit(value *tensor.Tensor, requires bool, backward func()) *Var {
+	v := &Var{Value: value, requiresGrad: requires}
+	if requires {
+		v.backward = backward
+		t.nodes = append(t.nodes, v)
+	}
+	return v
+}
+
+// Backward seeds root's gradient with 1 and propagates gradients through the
+// tape in reverse execution order. Root must be a single-element Var produced
+// by this tape.
+func (t *Tape) Backward(root *Var) {
+	if root.Value.Len() != 1 {
+		panic(fmt.Sprintf("autograd: Backward root must be scalar, has %d elements", root.Value.Len()))
+	}
+	root.ensureGrad().Fill(1)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// Add returns a + b.
+func (t *Tape) Add(a, b *Var) *Var {
+	out := t.emit(tensor.Add(a.Value, b.Value), a.requiresGrad || b.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accumulate(out.Grad)
+			b.accumulate(out.Grad)
+		}
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (t *Tape) Sub(a, b *Var) *Var {
+	out := t.emit(tensor.Sub(a.Value, b.Value), a.requiresGrad || b.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accumulate(out.Grad)
+			b.accumulate(tensor.Scale(out.Grad, -1))
+		}
+	}
+	return out
+}
+
+// Mul returns the element-wise product a * b.
+func (t *Tape) Mul(a, b *Var) *Var {
+	out := t.emit(tensor.Mul(a.Value, b.Value), a.requiresGrad || b.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accumulate(tensor.Mul(out.Grad, b.Value))
+			b.accumulate(tensor.Mul(out.Grad, a.Value))
+		}
+	}
+	return out
+}
+
+// Scale returns a * s for a constant scalar s.
+func (t *Tape) Scale(a *Var, s float64) *Var {
+	out := t.emit(tensor.Scale(a.Value, s), a.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accumulate(tensor.Scale(out.Grad, s))
+		}
+	}
+	return out
+}
+
+// MatMul returns a (m×k) times b (k×n).
+func (t *Tape) MatMul(a, b *Var) *Var {
+	out := t.emit(tensor.MatMul(a.Value, b.Value), a.requiresGrad || b.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.accumulate(tensor.MatMulTransB(out.Grad, b.Value))
+			}
+			if b.requiresGrad {
+				b.accumulate(tensor.MatMulTransA(a.Value, out.Grad))
+			}
+		}
+	}
+	return out
+}
+
+// AddBias adds a length-n bias row vector to every row of a (m×n) input.
+func (t *Tape) AddBias(x, bias *Var) *Var {
+	m, n := x.Value.Dim(0), x.Value.Dim(1)
+	if bias.Value.Len() != n {
+		panic(fmt.Sprintf("autograd: AddBias bias length %d != row width %d", bias.Value.Len(), n))
+	}
+	val := tensor.New(m, n)
+	xd, bd, vd := x.Value.Data(), bias.Value.Data(), val.Data()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			vd[i*n+j] = xd[i*n+j] + bd[j]
+		}
+	}
+	out := t.emit(val, x.requiresGrad || bias.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			if x.requiresGrad {
+				x.accumulate(out.Grad)
+			}
+			if bias.requiresGrad {
+				g := tensor.New(n)
+				gd, od := g.Data(), out.Grad.Data()
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						gd[j] += od[i*n+j]
+					}
+				}
+				bias.accumulate(g.Reshape(bias.Value.Shape()...))
+			}
+		}
+	}
+	return out
+}
+
+// Relu returns max(0, x).
+func (t *Tape) Relu(x *Var) *Var {
+	out := t.emit(tensor.Relu(x.Value), x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(x.Value.Shape()...)
+			gd, od, xd := g.Data(), out.Grad.Data(), x.Value.Data()
+			for i := range gd {
+				if xd[i] > 0 {
+					gd[i] = od[i]
+				}
+			}
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(x).
+func (t *Tape) Tanh(x *Var) *Var {
+	val := tensor.Tanh(x.Value)
+	out := t.emit(val, x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(x.Value.Shape()...)
+			gd, od, vd := g.Data(), out.Grad.Data(), val.Data()
+			for i := range gd {
+				g2 := vd[i]
+				gd[i] = od[i] * (1 - g2*g2)
+			}
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^-x).
+func (t *Tape) Sigmoid(x *Var) *Var {
+	val := tensor.Sigmoid(x.Value)
+	out := t.emit(val, x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(x.Value.Shape()...)
+			gd, od, vd := g.Data(), out.Grad.Data(), val.Data()
+			for i := range gd {
+				gd[i] = od[i] * vd[i] * (1 - vd[i])
+			}
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// Gelu returns the tanh-approximated GELU.
+func (t *Tape) Gelu(x *Var) *Var {
+	out := t.emit(tensor.Gelu(x.Value), x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			const c = 0.7978845608028654
+			g := tensor.New(x.Value.Shape()...)
+			gd, od, xd := g.Data(), out.Grad.Data(), x.Value.Data()
+			for i := range gd {
+				v := xd[i]
+				inner := c * (v + 0.044715*v*v*v)
+				th := math.Tanh(inner)
+				dInner := c * (1 + 3*0.044715*v*v)
+				gd[i] = od[i] * (0.5*(1+th) + 0.5*v*(1-th*th)*dInner)
+			}
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// Dropout zeroes each element with probability p, scaling survivors by
+// 1/(1-p). Randomness is drawn from rng so that record and replay consume
+// identical masks.
+func (t *Tape) Dropout(x *Var, p float64, rng *xrand.RNG) *Var {
+	if p <= 0 {
+		return x
+	}
+	if p >= 1 {
+		panic(fmt.Sprintf("autograd: Dropout probability %g >= 1", p))
+	}
+	mask := tensor.New(x.Value.Shape()...)
+	md := mask.Data()
+	keep := 1 / (1 - p)
+	for i := range md {
+		if rng.Float64() >= p {
+			md[i] = keep
+		}
+	}
+	out := t.emit(tensor.Mul(x.Value, mask), x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			x.accumulate(tensor.Mul(out.Grad, mask))
+		}
+	}
+	return out
+}
+
+// Lookup gathers rows of an embedding table: table is (V×d), ids selects m
+// rows, producing (m×d). Backward scatters gradients back into the table.
+func (t *Tape) Lookup(table *Var, ids []int) *Var {
+	v, d := table.Value.Dim(0), table.Value.Dim(1)
+	val := tensor.New(len(ids), d)
+	td, vd := table.Value.Data(), val.Data()
+	for i, id := range ids {
+		if id < 0 || id >= v {
+			panic(fmt.Sprintf("autograd: Lookup id %d out of vocabulary %d", id, v))
+		}
+		copy(vd[i*d:(i+1)*d], td[id*d:(id+1)*d])
+	}
+	out := t.emit(val, table.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(v, d)
+			gd, od := g.Data(), out.Grad.Data()
+			for i, id := range ids {
+				for j := 0; j < d; j++ {
+					gd[id*d+j] += od[i*d+j]
+				}
+			}
+			table.accumulate(g)
+		}
+	}
+	return out
+}
+
+// MeanAll returns the scalar mean of all elements.
+func (t *Tape) MeanAll(x *Var) *Var {
+	out := t.emit(tensor.Scalar(x.Value.Mean()), x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			scale := out.Grad.Item() / float64(x.Value.Len())
+			g := tensor.Full(scale, x.Value.Shape()...)
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// SumAll returns the scalar sum of all elements.
+func (t *Tape) SumAll(x *Var) *Var {
+	out := t.emit(tensor.Scalar(x.Value.Sum()), x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.Full(out.Grad.Item(), x.Value.Shape()...)
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy between row-wise softmax
+// of logits (m×k) and integer labels. The softmax and loss are fused so the
+// backward pass is the numerically stable (softmax - onehot)/m.
+func (t *Tape) SoftmaxCrossEntropy(logits *Var, labels []int) *Var {
+	m, k := logits.Value.Dim(0), logits.Value.Dim(1)
+	if len(labels) != m {
+		panic(fmt.Sprintf("autograd: SoftmaxCrossEntropy %d labels for %d rows", len(labels), m))
+	}
+	probs := tensor.SoftmaxRows(logits.Value)
+	loss := 0.0
+	pd := probs.Data()
+	for i, lab := range labels {
+		if lab < 0 || lab >= k {
+			panic(fmt.Sprintf("autograd: label %d out of range %d", lab, k))
+		}
+		p := pd[i*k+lab]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss -= math.Log(p)
+	}
+	loss /= float64(m)
+	out := t.emit(tensor.Scalar(loss), logits.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			scale := out.Grad.Item() / float64(m)
+			g := tensor.New(m, k)
+			gd := g.Data()
+			for i := 0; i < m; i++ {
+				for j := 0; j < k; j++ {
+					gd[i*k+j] = pd[i*k+j] * scale
+				}
+				gd[i*k+labels[i]] -= scale
+			}
+			logits.accumulate(g)
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes each row of x (m×n) to zero mean and unit variance,
+// then applies a learned per-column gain and bias.
+func (t *Tape) LayerNorm(x, gain, bias *Var, eps float64) *Var {
+	m, n := x.Value.Dim(0), x.Value.Dim(1)
+	val := tensor.New(m, n)
+	norm := tensor.New(m, n) // normalized pre-gain values, kept for backward
+	invStd := make([]float64, m)
+	xd, vd, nd := x.Value.Data(), val.Data(), norm.Data()
+	gd, bd := gain.Value.Data(), bias.Value.Data()
+	for i := 0; i < m; i++ {
+		row := xd[i*n : (i+1)*n]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(n)
+		is := 1 / math.Sqrt(variance+eps)
+		invStd[i] = is
+		for j, v := range row {
+			h := (v - mean) * is
+			nd[i*n+j] = h
+			vd[i*n+j] = h*gd[j] + bd[j]
+		}
+	}
+	out := t.emit(val, x.requiresGrad || gain.requiresGrad || bias.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			od := out.Grad.Data()
+			if gain.requiresGrad {
+				gg := tensor.New(n)
+				ggd := gg.Data()
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						ggd[j] += od[i*n+j] * nd[i*n+j]
+					}
+				}
+				gain.accumulate(gg.Reshape(gain.Value.Shape()...))
+			}
+			if bias.requiresGrad {
+				bg := tensor.New(n)
+				bgd := bg.Data()
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						bgd[j] += od[i*n+j]
+					}
+				}
+				bias.accumulate(bg.Reshape(bias.Value.Shape()...))
+			}
+			if x.requiresGrad {
+				xg := tensor.New(m, n)
+				xgd := xg.Data()
+				for i := 0; i < m; i++ {
+					// dh = upstream * gain for this row
+					var sumDh, sumDhH float64
+					dh := make([]float64, n)
+					for j := 0; j < n; j++ {
+						dh[j] = od[i*n+j] * gd[j]
+						sumDh += dh[j]
+						sumDhH += dh[j] * nd[i*n+j]
+					}
+					is := invStd[i]
+					for j := 0; j < n; j++ {
+						h := nd[i*n+j]
+						xgd[i*n+j] = is * (dh[j] - sumDh/float64(n) - h*sumDhH/float64(n))
+					}
+				}
+				x.accumulate(xg)
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a row-wise softmax with full Jacobian backward; used by
+// attention layers.
+func (t *Tape) SoftmaxRows(x *Var) *Var {
+	val := tensor.SoftmaxRows(x.Value)
+	out := t.emit(val, x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			m, n := val.Dim(0), val.Dim(1)
+			g := tensor.New(m, n)
+			gd, od, sd := g.Data(), out.Grad.Data(), val.Data()
+			for i := 0; i < m; i++ {
+				dot := 0.0
+				for j := 0; j < n; j++ {
+					dot += od[i*n+j] * sd[i*n+j]
+				}
+				for j := 0; j < n; j++ {
+					gd[i*n+j] = sd[i*n+j] * (od[i*n+j] - dot)
+				}
+			}
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// Conv1D convolves each input row with each kernel row (valid mode); see
+// tensor.Conv1D for the output layout.
+func (t *Tape) Conv1D(input, kernels *Var) *Var {
+	val := tensor.Conv1D(input.Value, kernels.Value)
+	out := t.emit(val, input.requiresGrad || kernels.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			batch, inLen := input.Value.Dim(0), input.Value.Dim(1)
+			nk, klen := kernels.Value.Dim(0), kernels.Value.Dim(1)
+			outLen := inLen - klen + 1
+			od := out.Grad.Data()
+			if kernels.requiresGrad {
+				kg := tensor.New(nk, klen)
+				kgd, ind := kg.Data(), input.Value.Data()
+				for b := 0; b < batch; b++ {
+					in := ind[b*inLen : (b+1)*inLen]
+					for kidx := 0; kidx < nk; kidx++ {
+						orow := od[(b*nk+kidx)*outLen : (b*nk+kidx+1)*outLen]
+						for j := 0; j < klen; j++ {
+							sum := 0.0
+							for o := 0; o < outLen; o++ {
+								sum += orow[o] * in[o+j]
+							}
+							kgd[kidx*klen+j] += sum
+						}
+					}
+				}
+				kernels.accumulate(kg)
+			}
+			if input.requiresGrad {
+				ig := tensor.New(batch, inLen)
+				igd, kd := ig.Data(), kernels.Value.Data()
+				for b := 0; b < batch; b++ {
+					irow := igd[b*inLen : (b+1)*inLen]
+					for kidx := 0; kidx < nk; kidx++ {
+						ker := kd[kidx*klen : (kidx+1)*klen]
+						orow := od[(b*nk+kidx)*outLen : (b*nk+kidx+1)*outLen]
+						for o := 0; o < outLen; o++ {
+							g := orow[o]
+							if g == 0 {
+								continue
+							}
+							for j := 0; j < klen; j++ {
+								irow[o+j] += g * ker[j]
+							}
+						}
+					}
+				}
+				input.accumulate(ig)
+			}
+		}
+	}
+	return out
+}
+
+// TransposeVar returns the transpose of a 2-D Var.
+func (t *Tape) TransposeVar(x *Var) *Var {
+	out := t.emit(tensor.Transpose(x.Value), x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			x.accumulate(tensor.Transpose(out.Grad))
+		}
+	}
+	return out
+}
+
+// ConcatRows concatenates 2-D Vars along columns: (m×n1), (m×n2) → (m×(n1+n2)).
+func (t *Tape) ConcatRows(a, b *Var) *Var {
+	m := a.Value.Dim(0)
+	if b.Value.Dim(0) != m {
+		panic(fmt.Sprintf("autograd: ConcatRows row mismatch %v vs %v", a.Value.Shape(), b.Value.Shape()))
+	}
+	n1, n2 := a.Value.Dim(1), b.Value.Dim(1)
+	val := tensor.New(m, n1+n2)
+	vd, ad, bd := val.Data(), a.Value.Data(), b.Value.Data()
+	for i := 0; i < m; i++ {
+		copy(vd[i*(n1+n2):i*(n1+n2)+n1], ad[i*n1:(i+1)*n1])
+		copy(vd[i*(n1+n2)+n1:(i+1)*(n1+n2)], bd[i*n2:(i+1)*n2])
+	}
+	out := t.emit(val, a.requiresGrad || b.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			od := out.Grad.Data()
+			if a.requiresGrad {
+				g := tensor.New(m, n1)
+				gd := g.Data()
+				for i := 0; i < m; i++ {
+					copy(gd[i*n1:(i+1)*n1], od[i*(n1+n2):i*(n1+n2)+n1])
+				}
+				a.accumulate(g)
+			}
+			if b.requiresGrad {
+				g := tensor.New(m, n2)
+				gd := g.Data()
+				for i := 0; i < m; i++ {
+					copy(gd[i*n2:(i+1)*n2], od[i*(n1+n2)+n1:(i+1)*(n1+n2)])
+				}
+				b.accumulate(g)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/xrand"
+)
+
+// numericGrad estimates d loss / d param via central differences, where
+// forward rebuilds the computation from scratch each call.
+func numericGrad(param *tensor.Tensor, forward func() float64) *tensor.Tensor {
+	const h = 1e-6
+	g := tensor.New(param.Shape()...)
+	pd, gd := param.Data(), g.Data()
+	for i := range pd {
+		orig := pd[i]
+		pd[i] = orig + h
+		up := forward()
+		pd[i] = orig - h
+		down := forward()
+		pd[i] = orig
+		gd[i] = (up - down) / (2 * h)
+	}
+	return g
+}
+
+func checkGrad(t *testing.T, name string, param *Var, forward func() *Var) {
+	t.Helper()
+	tape := NewTape()
+	param.ZeroGrad()
+	// Run analytic backward once.
+	build := func(tp *Tape) *Var { return forwardWith(tp, forward) }
+	_ = build
+	loss := runForward(forward)
+	lossTape.Backward(loss)
+	analytic := param.Grad.Clone()
+	numeric := numericGrad(param.Value, func() float64 {
+		return runForward(forward).Value.Item()
+	})
+	if !tensor.AllClose(analytic, numeric, 1e-4) {
+		t.Fatalf("%s: analytic gradient disagrees with numeric.\nanalytic: %v\nnumeric:  %v",
+			name, analytic.Data(), numeric.Data())
+	}
+	_ = tape
+}
+
+// lossTape is the tape used by runForward; tests rebuild it per forward call.
+var lossTape *Tape
+
+func runForward(forward func() *Var) *Var {
+	lossTape = NewTape()
+	return forward()
+}
+
+func forwardWith(tp *Tape, forward func() *Var) *Var {
+	lossTape = tp
+	return forward()
+}
+
+func TestMatMulGradient(t *testing.T) {
+	rng := xrand.New(1)
+	w := NewParam(tensor.Randn(rng, 0.5, 3, 4))
+	x := NewConst(tensor.Randn(rng, 1, 2, 3))
+	checkGrad(t, "matmul", w, func() *Var {
+		return lossTape.MeanAll(lossTape.MatMul(x, w))
+	})
+}
+
+func TestAddBiasGradient(t *testing.T) {
+	rng := xrand.New(2)
+	b := NewParam(tensor.Randn(rng, 0.5, 4))
+	x := NewConst(tensor.Randn(rng, 1, 3, 4))
+	checkGrad(t, "addbias", b, func() *Var {
+		return lossTape.MeanAll(lossTape.AddBias(x, b))
+	})
+}
+
+func TestReluGradient(t *testing.T) {
+	rng := xrand.New(3)
+	w := NewParam(tensor.Randn(rng, 1, 2, 5))
+	checkGrad(t, "relu", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Relu(w))
+	})
+}
+
+func TestTanhGradient(t *testing.T) {
+	rng := xrand.New(4)
+	w := NewParam(tensor.Randn(rng, 1, 2, 3))
+	checkGrad(t, "tanh", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Tanh(w))
+	})
+}
+
+func TestSigmoidGradient(t *testing.T) {
+	rng := xrand.New(5)
+	w := NewParam(tensor.Randn(rng, 1, 2, 3))
+	checkGrad(t, "sigmoid", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Sigmoid(w))
+	})
+}
+
+func TestGeluGradient(t *testing.T) {
+	rng := xrand.New(6)
+	w := NewParam(tensor.Randn(rng, 1, 2, 3))
+	checkGrad(t, "gelu", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Gelu(w))
+	})
+}
+
+func TestMulGradient(t *testing.T) {
+	rng := xrand.New(7)
+	w := NewParam(tensor.Randn(rng, 1, 3, 3))
+	x := NewConst(tensor.Randn(rng, 1, 3, 3))
+	checkGrad(t, "mul", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Mul(w, x))
+	})
+}
+
+func TestSubScaleGradient(t *testing.T) {
+	rng := xrand.New(8)
+	w := NewParam(tensor.Randn(rng, 1, 2, 2))
+	x := NewConst(tensor.Randn(rng, 1, 2, 2))
+	checkGrad(t, "sub-scale", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Scale(lossTape.Sub(w, x), 3))
+	})
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	rng := xrand.New(9)
+	w := NewParam(tensor.Randn(rng, 1, 4, 5))
+	labels := []int{1, 3, 0, 2}
+	checkGrad(t, "xent", w, func() *Var {
+		return lossTape.SoftmaxCrossEntropy(w, labels)
+	})
+}
+
+func TestLookupGradient(t *testing.T) {
+	rng := xrand.New(10)
+	table := NewParam(tensor.Randn(rng, 1, 6, 3))
+	ids := []int{0, 2, 2, 5}
+	checkGrad(t, "lookup", table, func() *Var {
+		return lossTape.MeanAll(lossTape.Lookup(table, ids))
+	})
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := xrand.New(11)
+	x := NewParam(tensor.Randn(rng, 1, 3, 4))
+	gain := NewParam(tensor.Full(1.2, 4))
+	bias := NewParam(tensor.Full(0.1, 4))
+	for _, tc := range []struct {
+		name  string
+		param *Var
+	}{{"x", x}, {"gain", gain}, {"bias", bias}} {
+		checkGrad(t, "layernorm-"+tc.name, tc.param, func() *Var {
+			// Square the output so the x-gradient is non-trivial (mean of a
+			// normalized row has near-zero gradient by construction).
+			ln := lossTape.LayerNorm(x, gain, bias, 1e-5)
+			return lossTape.MeanAll(lossTape.Mul(ln, ln))
+		})
+	}
+}
+
+func TestSoftmaxRowsGradient(t *testing.T) {
+	rng := xrand.New(12)
+	w := NewParam(tensor.Randn(rng, 1, 2, 4))
+	mask := NewConst(tensor.Randn(rng, 1, 2, 4))
+	checkGrad(t, "softmaxrows", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Mul(lossTape.SoftmaxRows(w), mask))
+	})
+}
+
+func TestConv1DGradients(t *testing.T) {
+	rng := xrand.New(13)
+	input := NewParam(tensor.Randn(rng, 1, 2, 7))
+	kernels := NewParam(tensor.Randn(rng, 1, 3, 3))
+	checkGrad(t, "conv1d-kernels", kernels, func() *Var {
+		return lossTape.MeanAll(lossTape.Conv1D(input, kernels))
+	})
+	checkGrad(t, "conv1d-input", input, func() *Var {
+		return lossTape.MeanAll(lossTape.Conv1D(input, kernels))
+	})
+}
+
+func TestConcatRowsGradient(t *testing.T) {
+	rng := xrand.New(14)
+	a := NewParam(tensor.Randn(rng, 1, 2, 3))
+	b := NewParam(tensor.Randn(rng, 1, 2, 2))
+	mask := NewConst(tensor.Randn(rng, 1, 2, 5))
+	for _, tc := range []struct {
+		name  string
+		param *Var
+	}{{"a", a}, {"b", b}} {
+		checkGrad(t, "concat-"+tc.name, tc.param, func() *Var {
+			return lossTape.MeanAll(lossTape.Mul(lossTape.ConcatRows(a, b), mask))
+		})
+	}
+}
+
+func TestSumAllGradient(t *testing.T) {
+	rng := xrand.New(15)
+	w := NewParam(tensor.Randn(rng, 1, 2, 3))
+	checkGrad(t, "sumall", w, func() *Var {
+		return lossTape.Scale(lossTape.SumAll(w), 0.5)
+	})
+}
+
+func TestDropoutDeterministicMask(t *testing.T) {
+	x := NewConst(tensor.Full(1, 10, 10))
+	a := NewTape().Dropout(x, 0.5, xrand.New(42))
+	b := NewTape().Dropout(x, 0.5, xrand.New(42))
+	if !tensor.Equal(a.Value, b.Value) {
+		t.Fatal("dropout with identical RNG state produced different masks")
+	}
+}
+
+func TestDropoutZeroProbIsIdentity(t *testing.T) {
+	x := NewConst(tensor.Full(3, 2, 2))
+	out := NewTape().Dropout(x, 0, xrand.New(1))
+	if out != x {
+		t.Fatal("Dropout(p=0) should return input unchanged")
+	}
+}
+
+func TestDropoutScalesSurvivors(t *testing.T) {
+	x := NewConst(tensor.Full(1, 100, 100))
+	out := NewTape().Dropout(x, 0.25, xrand.New(7))
+	for _, v := range out.Value.Data() {
+		if v != 0 && math.Abs(v-1/0.75) > 1e-12 {
+			t.Fatalf("survivor scaled to %g, want %g", v, 1/0.75)
+		}
+	}
+	mean := out.Value.Mean()
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("dropout mean %g, want ~1 (inverted scaling)", mean)
+	}
+}
+
+func TestConstDoesNotAccumulate(t *testing.T) {
+	x := NewConst(tensor.Full(2, 2, 2))
+	tape := NewTape()
+	lossTape = tape
+	loss := tape.MeanAll(tape.Mul(x, x))
+	tape.Backward(loss)
+	if x.Grad != nil {
+		t.Fatal("const Var accumulated a gradient")
+	}
+	if loss.requiresGrad {
+		t.Fatal("loss over constants should not require grad")
+	}
+}
+
+func TestGradAccumulatesAcrossBackward(t *testing.T) {
+	w := NewParam(tensor.Full(1, 2))
+	for i := 0; i < 3; i++ {
+		tape := NewTape()
+		loss := tape.SumAll(w)
+		tape.Backward(loss)
+	}
+	for _, v := range w.Grad.Data() {
+		if v != 3 {
+			t.Fatalf("gradient after 3 backwards = %g, want 3 (accumulation)", v)
+		}
+	}
+	w.ZeroGrad()
+	for _, v := range w.Grad.Data() {
+		if v != 0 {
+			t.Fatal("ZeroGrad did not clear gradient")
+		}
+	}
+}
+
+func TestBackwardPanicsOnNonScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on non-scalar did not panic")
+		}
+	}()
+	w := NewParam(tensor.Full(1, 2, 2))
+	tape := NewTape()
+	out := tape.Relu(w)
+	tape.Backward(out)
+}
+
+func TestTapeReset(t *testing.T) {
+	w := NewParam(tensor.Full(1, 2))
+	tape := NewTape()
+	tape.SumAll(w)
+	if tape.Len() == 0 {
+		t.Fatal("tape recorded nothing")
+	}
+	tape.Reset()
+	if tape.Len() != 0 {
+		t.Fatal("Reset did not clear tape")
+	}
+}
+
+func TestFreezeExcludesFromGraph(t *testing.T) {
+	w := NewParam(tensor.Full(1, 2, 2))
+	w.SetRequiresGrad(false)
+	tape := NewTape()
+	out := tape.MatMul(w, w)
+	if out.RequiresGrad() {
+		t.Fatal("output of frozen-only graph should not require grad")
+	}
+	if tape.Len() != 0 {
+		t.Fatal("frozen ops should not be recorded on tape")
+	}
+}
+
+func TestTwoLayerNetworkGradient(t *testing.T) {
+	// End-to-end: a 2-layer MLP with every layer type chained.
+	rng := xrand.New(20)
+	w1 := NewParam(tensor.Randn(rng, 0.5, 3, 4))
+	b1 := NewParam(tensor.Randn(rng, 0.5, 4))
+	w2 := NewParam(tensor.Randn(rng, 0.5, 4, 2))
+	b2 := NewParam(tensor.Randn(rng, 0.5, 2))
+	x := NewConst(tensor.Randn(rng, 1, 5, 3))
+	labels := []int{0, 1, 1, 0, 1}
+	forward := func() *Var {
+		h := lossTape.Relu(lossTape.AddBias(lossTape.MatMul(x, w1), b1))
+		logits := lossTape.AddBias(lossTape.MatMul(h, w2), b2)
+		return lossTape.SoftmaxCrossEntropy(logits, labels)
+	}
+	for _, tc := range []struct {
+		name  string
+		param *Var
+	}{{"w1", w1}, {"b1", b1}, {"w2", w2}, {"b2", b2}} {
+		checkGrad(t, "mlp-"+tc.name, tc.param, forward)
+	}
+}

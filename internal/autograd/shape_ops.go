@@ -1,0 +1,141 @@
+package autograd
+
+import (
+	"fmt"
+
+	"flor.dev/flor/internal/tensor"
+)
+
+// ReshapeVar returns x viewed with a new shape (same element count). The
+// value is copied so downstream in-place mutation cannot alias the input.
+func (t *Tape) ReshapeVar(x *Var, shape ...int) *Var {
+	out := t.emit(x.Value.Clone().Reshape(shape...), x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			x.accumulate(out.Grad.Clone().Reshape(x.Value.Shape()...))
+		}
+	}
+	return out
+}
+
+// MeanRows reduces a (m×n) Var to its (1×n) column mean.
+func (t *Tape) MeanRows(x *Var) *Var {
+	m, n := x.Value.Dim(0), x.Value.Dim(1)
+	val := tensor.New(1, n)
+	vd, xd := val.Data(), x.Value.Data()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			vd[j] += xd[i*n+j]
+		}
+	}
+	inv := 1 / float64(m)
+	for j := range vd {
+		vd[j] *= inv
+	}
+	out := t.emit(val, x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(m, n)
+			gd, od := g.Data(), out.Grad.Data()
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					gd[i*n+j] = od[j] * inv
+				}
+			}
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// MeanGroups reduces a (batch*group × n) Var to (batch × n) by averaging
+// each consecutive block of group rows.
+func (t *Tape) MeanGroups(x *Var, batch, group int) *Var {
+	rows, n := x.Value.Dim(0), x.Value.Dim(1)
+	if rows != batch*group {
+		panic(fmt.Sprintf("autograd: MeanGroups rows %d != batch %d * group %d", rows, batch, group))
+	}
+	val := tensor.New(batch, n)
+	vd, xd := val.Data(), x.Value.Data()
+	inv := 1 / float64(group)
+	for b := 0; b < batch; b++ {
+		for g := 0; g < group; g++ {
+			row := xd[(b*group+g)*n : (b*group+g+1)*n]
+			for j := 0; j < n; j++ {
+				vd[b*n+j] += row[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			vd[b*n+j] *= inv
+		}
+	}
+	out := t.emit(val, x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(rows, n)
+			gd, od := g.Data(), out.Grad.Data()
+			for b := 0; b < batch; b++ {
+				for gi := 0; gi < group; gi++ {
+					for j := 0; j < n; j++ {
+						gd[(b*group+gi)*n+j] = od[b*n+j] * inv
+					}
+				}
+			}
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// RowVar extracts row i of a (m×n) Var as a (1×n) Var.
+func (t *Tape) RowVar(x *Var, i int) *Var {
+	m, n := x.Value.Dim(0), x.Value.Dim(1)
+	if i < 0 || i >= m {
+		panic(fmt.Sprintf("autograd: RowVar index %d out of %d rows", i, m))
+	}
+	val := tensor.New(1, n)
+	copy(val.Data(), x.Value.Data()[i*n:(i+1)*n])
+	out := t.emit(val, x.requiresGrad, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(m, n)
+			copy(g.Data()[i*n:(i+1)*n], out.Grad.Data())
+			x.accumulate(g)
+		}
+	}
+	return out
+}
+
+// StackRows stacks k (1×n) Vars into a (k×n) Var.
+func (t *Tape) StackRows(rows []*Var) *Var {
+	if len(rows) == 0 {
+		panic("autograd: StackRows on empty slice")
+	}
+	n := rows[0].Value.Dim(1)
+	requires := false
+	for _, r := range rows {
+		if r.Value.Dim(0) != 1 || r.Value.Dim(1) != n {
+			panic(fmt.Sprintf("autograd: StackRows row shape %v, want [1 %d]", r.Value.Shape(), n))
+		}
+		requires = requires || r.requiresGrad
+	}
+	val := tensor.New(len(rows), n)
+	for i, r := range rows {
+		copy(val.Data()[i*n:(i+1)*n], r.Value.Data())
+	}
+	out := t.emit(val, requires, nil)
+	if out.requiresGrad {
+		out.backward = func() {
+			od := out.Grad.Data()
+			for i, r := range rows {
+				if !r.requiresGrad {
+					continue
+				}
+				g := tensor.New(1, n)
+				copy(g.Data(), od[i*n:(i+1)*n])
+				r.accumulate(g)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package autograd
+
+import (
+	"testing"
+
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/xrand"
+)
+
+func TestReshapeVarGradient(t *testing.T) {
+	rng := xrand.New(30)
+	w := NewParam(tensor.Randn(rng, 1, 2, 6))
+	mask := NewConst(tensor.Randn(rng, 1, 3, 4))
+	checkGrad(t, "reshape", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Mul(lossTape.ReshapeVar(w, 3, 4), mask))
+	})
+}
+
+func TestMeanRowsGradient(t *testing.T) {
+	rng := xrand.New(31)
+	w := NewParam(tensor.Randn(rng, 1, 4, 3))
+	mask := NewConst(tensor.Randn(rng, 1, 1, 3))
+	checkGrad(t, "meanrows", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Mul(lossTape.MeanRows(w), mask))
+	})
+}
+
+func TestMeanGroupsGradient(t *testing.T) {
+	rng := xrand.New(32)
+	w := NewParam(tensor.Randn(rng, 1, 6, 2))
+	mask := NewConst(tensor.Randn(rng, 1, 3, 2))
+	checkGrad(t, "meangroups", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Mul(lossTape.MeanGroups(w, 3, 2), mask))
+	})
+}
+
+func TestMeanGroupsValues(t *testing.T) {
+	x := NewConst(tensor.FromSlice([]float64{1, 2, 3, 4, 10, 20, 30, 40}, 4, 2))
+	out := NewTape().MeanGroups(x, 2, 2)
+	want := []float64{2, 3, 20, 30}
+	for i, w := range want {
+		if out.Value.Data()[i] != w {
+			t.Fatalf("MeanGroups[%d] = %g, want %g", i, out.Value.Data()[i], w)
+		}
+	}
+}
+
+func TestRowVarGradient(t *testing.T) {
+	rng := xrand.New(33)
+	w := NewParam(tensor.Randn(rng, 1, 4, 3))
+	checkGrad(t, "rowvar", w, func() *Var {
+		return lossTape.MeanAll(lossTape.RowVar(w, 2))
+	})
+}
+
+func TestStackRowsGradient(t *testing.T) {
+	rng := xrand.New(34)
+	w := NewParam(tensor.Randn(rng, 1, 3, 4))
+	mask := NewConst(tensor.Randn(rng, 1, 3, 4))
+	checkGrad(t, "stackrows", w, func() *Var {
+		rows := []*Var{
+			lossTape.RowVar(w, 2),
+			lossTape.RowVar(w, 0),
+			lossTape.RowVar(w, 1),
+		}
+		return lossTape.MeanAll(lossTape.Mul(lossTape.StackRows(rows), mask))
+	})
+}
+
+func TestTransposeVarGradient(t *testing.T) {
+	rng := xrand.New(35)
+	w := NewParam(tensor.Randn(rng, 1, 2, 5))
+	mask := NewConst(tensor.Randn(rng, 1, 5, 2))
+	checkGrad(t, "transpose", w, func() *Var {
+		return lossTape.MeanAll(lossTape.Mul(lossTape.TransposeVar(w), mask))
+	})
+}
+
+func TestStackRowsRejectsBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StackRows with mismatched widths did not panic")
+		}
+	}()
+	tape := NewTape()
+	tape.StackRows([]*Var{
+		NewConst(tensor.New(1, 3)),
+		NewConst(tensor.New(1, 4)),
+	})
+}

@@ -1,0 +1,249 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/xrand"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Uvarint(0)
+	w.Uvarint(1 << 40)
+	w.Int(-12345)
+	w.Int(0)
+	w.Float64(math.Pi)
+	w.Float64(math.Inf(-1))
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello, flor")
+	w.String("")
+	w.RawBytes([]byte{1, 2, 3})
+	w.IntSlice([]int{-1, 0, 7})
+
+	r := NewReader(w.Bytes())
+	if v, _ := r.Uvarint(); v != 0 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v, _ := r.Uvarint(); v != 1<<40 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v, _ := r.Int(); v != -12345 {
+		t.Fatalf("int = %d", v)
+	}
+	if v, _ := r.Int(); v != 0 {
+		t.Fatalf("int = %d", v)
+	}
+	if v, _ := r.Float64(); v != math.Pi {
+		t.Fatalf("float = %g", v)
+	}
+	if v, _ := r.Float64(); !math.IsInf(v, -1) {
+		t.Fatalf("float = %g", v)
+	}
+	if v, _ := r.Bool(); !v {
+		t.Fatal("bool = false")
+	}
+	if v, _ := r.Bool(); v {
+		t.Fatal("bool = true")
+	}
+	if v, _ := r.String(); v != "hello, flor" {
+		t.Fatalf("string = %q", v)
+	}
+	if v, _ := r.String(); v != "" {
+		t.Fatalf("string = %q", v)
+	}
+	if v, _ := r.RawBytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", v)
+	}
+	s, _ := r.IntSlice()
+	if len(s) != 3 || s[0] != -1 || s[2] != 7 {
+		t.Fatalf("int slice = %v", s)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestTensorRoundTrip(t *testing.T) {
+	orig := tensor.Randn(xrand.New(1), 1, 3, 4, 5)
+	w := NewWriter()
+	w.Tensor(orig)
+	got, err := NewReader(w.Bytes()).Tensor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(orig, got) {
+		t.Fatal("tensor round trip not identical")
+	}
+}
+
+func TestScalarTensorRoundTrip(t *testing.T) {
+	orig := tensor.Scalar(42.5)
+	w := NewWriter()
+	w.Tensor(orig)
+	got, err := NewReader(w.Bytes()).Tensor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Item() != 42.5 {
+		t.Fatalf("scalar round trip = %g", got.Item())
+	}
+}
+
+func TestTruncatedReadsFail(t *testing.T) {
+	w := NewWriter()
+	w.Tensor(tensor.Full(1, 10, 10))
+	full := w.Bytes()
+	for _, cut := range []int{0, 1, 5, len(full) / 2, len(full) - 1} {
+		if _, err := NewReader(full[:cut]).Tensor(); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestReaderErrorsOnEmpty(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.Float64(); err == nil {
+		t.Fatal("empty float read succeeded")
+	}
+	if _, err := r.Bool(); err == nil {
+		t.Fatal("empty bool read succeeded")
+	}
+	if _, err := r.String(); err == nil {
+		t.Fatal("empty string read succeeded")
+	}
+}
+
+func TestBoolRejectsJunk(t *testing.T) {
+	if _, err := NewReader([]byte{7}).Bool(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("junk bool error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("checkpoint payload")
+	framed := Frame(payload)
+	got, consumed, err := Unframe(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	if consumed != len(framed) {
+		t.Fatalf("consumed %d of %d", consumed, len(framed))
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	framed := Frame([]byte("checkpoint payload"))
+	for i := 1; i < len(framed); i += 3 {
+		bad := append([]byte(nil), framed...)
+		bad[i] ^= 0xff
+		if _, _, err := Unframe(bad); err == nil {
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestFrameDetectsTruncation(t *testing.T) {
+	framed := Frame([]byte("checkpoint payload"))
+	if _, _, err := Unframe(framed[:len(framed)-2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated frame error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFramesConcatenate(t *testing.T) {
+	stream := append(Frame([]byte("one")), Frame([]byte("two"))...)
+	p1, n1, err := Unframe(stream)
+	if err != nil || string(p1) != "one" {
+		t.Fatalf("first frame: %q, %v", p1, err)
+	}
+	p2, _, err := Unframe(stream[n1:])
+	if err != nil || string(p2) != "two" {
+		t.Fatalf("second frame: %q, %v", p2, err)
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 1000)
+	c, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(data) {
+		t.Fatalf("compressible data did not shrink: %d -> %d", len(data), len(c))
+	}
+	d, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatal("compression round trip mismatch")
+	}
+}
+
+func TestCompressedSize(t *testing.T) {
+	data := bytes.Repeat([]byte{0}, 10000)
+	n, err := CompressedSize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= len(data)/10 {
+		t.Fatalf("compressed size %d implausible for 10000 zero bytes", n)
+	}
+}
+
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		w := NewWriter()
+		w.Int(int(v))
+		got, err := NewReader(w.Bytes()).Int()
+		return err == nil && got == int(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		w := NewWriter()
+		w.String(s)
+		got, err := NewReader(w.Bytes()).String()
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		got, _, err := Unframe(Frame(payload))
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTensorRoundTrip(t *testing.T) {
+	f := func(seed uint64, rows, cols uint8) bool {
+		r := int(rows%8) + 1
+		c := int(cols%8) + 1
+		orig := tensor.Randn(xrand.New(seed), 1, r, c)
+		w := NewWriter()
+		w.Tensor(orig)
+		got, err := NewReader(w.Bytes()).Tensor()
+		return err == nil && tensor.Equal(orig, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package core orchestrates Flor record and replay sessions end-to-end
+// (paper §3): instrumentation, the record phase with background
+// materialization and adaptive checkpointing, persistence of the program
+// structure and record log, and the entry point replay consumes.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"flor.dev/flor/internal/adapt"
+	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/replay"
+	"flor.dev/flor/internal/runlog"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/skipblock"
+	"flor.dev/flor/internal/store"
+)
+
+// Program structure and record log file names inside a run directory.
+const (
+	programFile   = "PROGRAM"
+	recordLogFile = "record.log"
+)
+
+// RecordOptions configures a record run.
+type RecordOptions struct {
+	// Epsilon is the record overhead tolerance ε (adapt.DefaultEpsilon when
+	// zero).
+	Epsilon float64
+	// Strategy selects the background materialization implementation
+	// (backmat.Fork is the paper's default).
+	Strategy backmat.Strategy
+	// DisableAdaptive materializes every loop execution regardless of cost,
+	// reproducing the "adaptivity disabled" configuration of Figure 7.
+	DisableAdaptive bool
+	// DisableBackground forces the Baseline strategy (serialization and
+	// write on the training thread), reproducing §5.1's comparison.
+	DisableBackground bool
+}
+
+// RecordResult is the outcome of a record run.
+type RecordResult struct {
+	Recording *replay.Recording
+	// WallNs is the end-to-end duration of the instrumented training run,
+	// including waiting for background materialization to drain.
+	WallNs int64
+	// MatStats aggregates materialization cost accounting.
+	MatStats backmat.Stats
+	// C is the refined restore/materialize scaling factor after the run.
+	C float64
+	// LoopStats maps instrumented loop IDs to adaptive checkpointing state.
+	LoopStats map[string]adapt.LoopStats
+	// Logs is the record-phase run log.
+	Logs []string
+}
+
+// Record executes the program with Flor instrumentation, materializing
+// checkpoints into dir. The returned Recording is everything replay needs.
+func Record(dir string, factory func() *script.Program, opts RecordOptions) (*RecordResult, error) {
+	p := factory()
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	strategy := opts.Strategy
+	if opts.DisableBackground {
+		strategy = backmat.Baseline
+	}
+	tracker := adapt.New(opts.Epsilon)
+	tracker.SetDisabled(opts.DisableAdaptive)
+	mat := backmat.New(st, strategy)
+	mat.SetObserver(tracker.NoteMaterialized)
+	rt := skipblock.NewRuntime(p, tracker, mat, st)
+
+	lg := runlog.New()
+	ctx := &script.Ctx{Env: script.NewEnv(), Log: lg.Append, LoopHook: rt.Hook}
+
+	t0 := time.Now()
+	if err := script.Run(ctx, p); err != nil {
+		mat.Close()
+		return nil, fmt.Errorf("core: record: %w", err)
+	}
+	if err := mat.Close(); err != nil {
+		return nil, fmt.Errorf("core: record materialization: %w", err)
+	}
+	wall := time.Since(t0).Nanoseconds()
+
+	// Persist the code copy (program structure) and the record log.
+	shape := script.StructureOf(p)
+	if err := os.WriteFile(filepath.Join(dir, programFile), shape.Encode(), 0o644); err != nil {
+		return nil, fmt.Errorf("core: save program structure: %w", err)
+	}
+	if err := lg.WriteFile(filepath.Join(dir, recordLogFile)); err != nil {
+		return nil, err
+	}
+
+	loopStats := map[string]adapt.LoopStats{}
+	for _, id := range rt.Blocks() {
+		loopStats[id] = tracker.Stats(id)
+	}
+	return &RecordResult{
+		Recording: &replay.Recording{Store: st, Shape: shape, RecordLog: lg.Lines()},
+		WallNs:    wall,
+		MatStats:  mat.Stats(),
+		C:         tracker.C(),
+		LoopStats: loopStats,
+		Logs:      lg.Lines(),
+	}, nil
+}
+
+// Vanilla executes the program without any Flor instrumentation, returning
+// its logs and wall time. The paper's baselines ("vanilla execution") log
+// the same data but do no checkpointing.
+func Vanilla(factory func() *script.Program) ([]string, int64, error) {
+	p := factory()
+	lg := runlog.New()
+	ctx := &script.Ctx{Env: script.NewEnv(), Log: lg.Append}
+	t0 := time.Now()
+	if err := script.Run(ctx, p); err != nil {
+		return nil, 0, fmt.Errorf("core: vanilla: %w", err)
+	}
+	return lg.Lines(), time.Since(t0).Nanoseconds(), nil
+}
+
+// LoadRecording opens a run directory produced by Record.
+func LoadRecording(dir string) (*replay.Recording, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, programFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: load program structure: %w", err)
+	}
+	shape, err := script.DecodeProgramShape(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode program structure: %w", err)
+	}
+	logs, err := runlog.ReadFile(filepath.Join(dir, recordLogFile))
+	if err != nil {
+		return nil, err
+	}
+	return &replay.Recording{Store: st, Shape: shape, RecordLog: logs}, nil
+}

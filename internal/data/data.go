@@ -1,0 +1,248 @@
+// Package data provides seeded synthetic datasets standing in for the
+// paper's benchmarks (CIFAR-100, ImageNet, GLUE RTE/CoLA, WikiText,
+// LibriSpeech, WMT16).
+//
+// Every dataset is a pure function of (seed, epoch, step): batches are
+// generated on demand and no mutable iterator state exists, so replaying any
+// epoch from any point reproduces exactly the batches of the recorded run.
+// This mirrors how the paper's workloads reload data deterministically during
+// worker initialization (§5.4.2: "importing packages, loading training data")
+// rather than checkpointing the dataset itself.
+package data
+
+import (
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/xrand"
+)
+
+// batchRNG derives an independent random stream for one (epoch, step) cell.
+func batchRNG(seed uint64, epoch, step int) *xrand.RNG {
+	// SplitMix-style avalanche over the cell coordinates keeps streams
+	// decorrelated even for adjacent epochs/steps.
+	z := seed + 0x9e3779b97f4a7c15*uint64(epoch+1) + 0xbf58476d1ce4e5b9*uint64(step+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return xrand.NewStream(seed, z|1)
+}
+
+// VectorDataset is a class-conditional Gaussian classification task standing
+// in for image classification (Cifr, RsNt, ImgN): each class has a fixed
+// centroid in feature space and samples are centroid + noise.
+type VectorDataset struct {
+	seed      uint64
+	Features  int
+	Classes   int
+	BatchSize int
+	Steps     int // steps per epoch
+	Noise     float64
+
+	centroids *tensor.Tensor // (Classes, Features)
+}
+
+// NewVectorDataset constructs the dataset; centroids are derived from seed.
+func NewVectorDataset(seed uint64, features, classes, batchSize, steps int, noise float64) *VectorDataset {
+	rng := xrand.NewStream(seed, 0xda7a)
+	return &VectorDataset{
+		seed:      seed,
+		Features:  features,
+		Classes:   classes,
+		BatchSize: batchSize,
+		Steps:     steps,
+		Noise:     noise,
+		centroids: tensor.Randn(rng, 2.0, classes, features),
+	}
+}
+
+// Batch returns the deterministic batch for (epoch, step).
+func (d *VectorDataset) Batch(epoch, step int) (*tensor.Tensor, []int) {
+	rng := batchRNG(d.seed, epoch, step)
+	x := tensor.New(d.BatchSize, d.Features)
+	labels := make([]int, d.BatchSize)
+	xd, cd := x.Data(), d.centroids.Data()
+	for i := 0; i < d.BatchSize; i++ {
+		cls := rng.Intn(d.Classes)
+		labels[i] = cls
+		for j := 0; j < d.Features; j++ {
+			xd[i*d.Features+j] = cd[cls*d.Features+j] + rng.NormFloat64()*d.Noise
+		}
+	}
+	return x, labels
+}
+
+// TokenDataset generates class-conditional token sequences standing in for
+// sentence classification (RTE, CoLA): each class draws tokens from a
+// class-specific region of the vocabulary plus shared noise tokens.
+type TokenDataset struct {
+	seed      uint64
+	Vocab     int
+	SeqLen    int
+	Classes   int
+	BatchSize int
+	Steps     int
+}
+
+// NewTokenDataset constructs the dataset.
+func NewTokenDataset(seed uint64, vocab, seqLen, classes, batchSize, steps int) *TokenDataset {
+	return &TokenDataset{seed: seed, Vocab: vocab, SeqLen: seqLen, Classes: classes, BatchSize: batchSize, Steps: steps}
+}
+
+// Batch returns sequences and their labels for (epoch, step).
+func (d *TokenDataset) Batch(epoch, step int) ([][]int, []int) {
+	rng := batchRNG(d.seed, epoch, step)
+	seqs := make([][]int, d.BatchSize)
+	labels := make([]int, d.BatchSize)
+	region := d.Vocab / (d.Classes + 1) // last region is shared noise
+	for i := range seqs {
+		cls := rng.Intn(d.Classes)
+		labels[i] = cls
+		seq := make([]int, d.SeqLen)
+		for j := range seq {
+			if rng.Float64() < 0.6 {
+				seq[j] = cls*region + rng.Intn(region)
+			} else {
+				seq[j] = d.Classes*region + rng.Intn(d.Vocab-d.Classes*region)
+			}
+		}
+		seqs[i] = seq
+	}
+	return seqs, labels
+}
+
+// LMDataset generates token streams with short-range structure standing in
+// for language modeling (Wiki): the next token depends on the current one
+// through a seeded transition table, so a model can reduce perplexity.
+type LMDataset struct {
+	seed      uint64
+	Vocab     int
+	SeqLen    int
+	BatchSize int
+	Steps     int
+
+	next []int // transition table: preferred successor per token
+}
+
+// NewLMDataset constructs the dataset with a seed-derived transition table.
+func NewLMDataset(seed uint64, vocab, seqLen, batchSize, steps int) *LMDataset {
+	rng := xrand.NewStream(seed, 0x11117)
+	next := make([]int, vocab)
+	for i := range next {
+		next[i] = rng.Intn(vocab)
+	}
+	return &LMDataset{seed: seed, Vocab: vocab, SeqLen: seqLen, BatchSize: batchSize, Steps: steps, next: next}
+}
+
+// Batch returns input sequences and their next-token targets.
+func (d *LMDataset) Batch(epoch, step int) (seqs [][]int, targets [][]int) {
+	rng := batchRNG(d.seed, epoch, step)
+	seqs = make([][]int, d.BatchSize)
+	targets = make([][]int, d.BatchSize)
+	for i := 0; i < d.BatchSize; i++ {
+		seq := make([]int, d.SeqLen)
+		tgt := make([]int, d.SeqLen)
+		tok := rng.Intn(d.Vocab)
+		for j := 0; j < d.SeqLen; j++ {
+			seq[j] = tok
+			if rng.Float64() < 0.8 {
+				tok = d.next[tok]
+			} else {
+				tok = rng.Intn(d.Vocab)
+			}
+			tgt[j] = tok
+		}
+		seqs[i] = seq
+		targets[i] = tgt
+	}
+	return seqs, targets
+}
+
+// FrameDataset generates audio-like frame batches standing in for speech
+// recognition (Jasp): each class is a mixture of sinusoid-like patterns over
+// the frame plus noise.
+type FrameDataset struct {
+	seed      uint64
+	FrameLen  int
+	Classes   int
+	BatchSize int
+	Steps     int
+
+	patterns *tensor.Tensor // (Classes, FrameLen)
+}
+
+// NewFrameDataset constructs the dataset with seed-derived class patterns.
+func NewFrameDataset(seed uint64, frameLen, classes, batchSize, steps int) *FrameDataset {
+	rng := xrand.NewStream(seed, 0xf4a3)
+	return &FrameDataset{
+		seed: seed, FrameLen: frameLen, Classes: classes,
+		BatchSize: batchSize, Steps: steps,
+		patterns: tensor.Randn(rng, 1.0, classes, frameLen),
+	}
+}
+
+// Batch returns frames (batch, FrameLen) and per-frame class labels.
+func (d *FrameDataset) Batch(epoch, step int) (*tensor.Tensor, []int) {
+	rng := batchRNG(d.seed, epoch, step)
+	x := tensor.New(d.BatchSize, d.FrameLen)
+	labels := make([]int, d.BatchSize)
+	xd, pd := x.Data(), d.patterns.Data()
+	for i := 0; i < d.BatchSize; i++ {
+		cls := rng.Intn(d.Classes)
+		labels[i] = cls
+		for j := 0; j < d.FrameLen; j++ {
+			xd[i*d.FrameLen+j] = pd[cls*d.FrameLen+j] + rng.NormFloat64()*0.3
+		}
+	}
+	return x, labels
+}
+
+// Seq2SeqDataset generates translation-like pairs standing in for WMT16
+// (RnnT): the target is a deterministic token-wise mapping of the source,
+// so attention-based models can learn the correspondence.
+type Seq2SeqDataset struct {
+	seed      uint64
+	Vocab     int
+	SrcLen    int
+	TgtLen    int
+	BatchSize int
+	Steps     int
+
+	mapping []int // source token -> target token
+}
+
+// NewSeq2SeqDataset constructs the dataset with a seed-derived vocabulary
+// mapping.
+func NewSeq2SeqDataset(seed uint64, vocab, srcLen, tgtLen, batchSize, steps int) *Seq2SeqDataset {
+	rng := xrand.NewStream(seed, 0x5e95)
+	mapping := rng.Perm(vocab)
+	return &Seq2SeqDataset{
+		seed: seed, Vocab: vocab, SrcLen: srcLen, TgtLen: tgtLen,
+		BatchSize: batchSize, Steps: steps, mapping: mapping,
+	}
+}
+
+// Batch returns aligned (src, tgt) sentence pairs.
+func (d *Seq2SeqDataset) Batch(epoch, step int) (srcs, tgts [][]int) {
+	rng := batchRNG(d.seed, epoch, step)
+	srcs = make([][]int, d.BatchSize)
+	tgts = make([][]int, d.BatchSize)
+	for i := 0; i < d.BatchSize; i++ {
+		src := make([]int, d.SrcLen)
+		for j := range src {
+			src[j] = rng.Intn(d.Vocab)
+		}
+		tgt := make([]int, d.TgtLen)
+		for j := range tgt {
+			// Target tokens are mapped source tokens (clipped to TgtLen).
+			if j < len(src) {
+				tgt[j] = d.mapping[src[j]]
+			} else {
+				tgt[j] = d.mapping[src[len(src)-1]]
+			}
+		}
+		srcs[i] = src
+		tgts[i] = tgt
+	}
+	return srcs, tgts
+}

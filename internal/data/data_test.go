@@ -1,0 +1,197 @@
+package data
+
+import (
+	"testing"
+
+	"flor.dev/flor/internal/tensor"
+)
+
+func TestVectorDatasetDeterministic(t *testing.T) {
+	a := NewVectorDataset(1, 8, 4, 16, 10, 0.5)
+	b := NewVectorDataset(1, 8, 4, 16, 10, 0.5)
+	for epoch := 0; epoch < 3; epoch++ {
+		for step := 0; step < 3; step++ {
+			xa, la := a.Batch(epoch, step)
+			xb, lb := b.Batch(epoch, step)
+			if !tensor.Equal(xa, xb) {
+				t.Fatalf("batches differ at (%d,%d)", epoch, step)
+			}
+			for i := range la {
+				if la[i] != lb[i] {
+					t.Fatalf("labels differ at (%d,%d)", epoch, step)
+				}
+			}
+		}
+	}
+}
+
+func TestVectorDatasetBatchesVaryAcrossSteps(t *testing.T) {
+	d := NewVectorDataset(1, 8, 4, 16, 10, 0.5)
+	x0, _ := d.Batch(0, 0)
+	x1, _ := d.Batch(0, 1)
+	x2, _ := d.Batch(1, 0)
+	if tensor.Equal(x0, x1) {
+		t.Fatal("adjacent steps produced identical batches")
+	}
+	if tensor.Equal(x0, x2) {
+		t.Fatal("adjacent epochs produced identical batches")
+	}
+}
+
+func TestVectorDatasetSeedSensitivity(t *testing.T) {
+	a := NewVectorDataset(1, 8, 4, 16, 10, 0.5)
+	b := NewVectorDataset(2, 8, 4, 16, 10, 0.5)
+	xa, _ := a.Batch(0, 0)
+	xb, _ := b.Batch(0, 0)
+	if tensor.Equal(xa, xb) {
+		t.Fatal("different seeds produced identical batches")
+	}
+}
+
+func TestVectorDatasetShapesAndLabels(t *testing.T) {
+	d := NewVectorDataset(1, 8, 4, 16, 10, 0.5)
+	x, labels := d.Batch(0, 0)
+	if x.Dim(0) != 16 || x.Dim(1) != 8 {
+		t.Fatalf("batch shape %v, want [16 8]", x.Shape())
+	}
+	if len(labels) != 16 {
+		t.Fatalf("labels length %d, want 16", len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestVectorDatasetSeparable(t *testing.T) {
+	// Nearest-centroid classification should beat random guessing by a wide
+	// margin (classes are Gaussian blobs).
+	d := NewVectorDataset(1, 8, 4, 64, 10, 0.5)
+	x, labels := d.Batch(0, 0)
+	correct := 0
+	for i := 0; i < 64; i++ {
+		best, bestCls := -1.0, -1
+		for c := 0; c < 4; c++ {
+			dist := 0.0
+			for j := 0; j < 8; j++ {
+				diff := x.At(i, j) - d.centroids.At(c, j)
+				dist += diff * diff
+			}
+			if bestCls == -1 || dist < best {
+				best, bestCls = dist, c
+			}
+		}
+		if bestCls == labels[i] {
+			correct++
+		}
+	}
+	if correct < 55 {
+		t.Fatalf("nearest-centroid accuracy %d/64; dataset not separable", correct)
+	}
+}
+
+func TestTokenDatasetShapes(t *testing.T) {
+	d := NewTokenDataset(3, 100, 12, 2, 8, 5)
+	seqs, labels := d.Batch(0, 0)
+	if len(seqs) != 8 || len(labels) != 8 {
+		t.Fatalf("batch sizes: %d seqs, %d labels", len(seqs), len(labels))
+	}
+	for _, s := range seqs {
+		if len(s) != 12 {
+			t.Fatalf("sequence length %d, want 12", len(s))
+		}
+		for _, tok := range s {
+			if tok < 0 || tok >= 100 {
+				t.Fatalf("token %d out of vocab", tok)
+			}
+		}
+	}
+}
+
+func TestTokenDatasetClassSignal(t *testing.T) {
+	// Tokens of class 0 should skew toward the low vocabulary region.
+	d := NewTokenDataset(3, 90, 20, 2, 64, 5)
+	seqs, labels := d.Batch(0, 0)
+	region := 90 / 3
+	for i, s := range seqs {
+		inRegion := 0
+		for _, tok := range s {
+			if tok >= labels[i]*region && tok < (labels[i]+1)*region {
+				inRegion++
+			}
+		}
+		if inRegion < len(s)/4 {
+			t.Fatalf("sequence %d (class %d) has only %d/%d tokens in class region",
+				i, labels[i], inRegion, len(s))
+		}
+	}
+}
+
+func TestLMDatasetDeterministicAndStructured(t *testing.T) {
+	a := NewLMDataset(5, 50, 16, 8, 5)
+	b := NewLMDataset(5, 50, 16, 8, 5)
+	sa, ta := a.Batch(1, 2)
+	sb, tb := b.Batch(1, 2)
+	for i := range sa {
+		for j := range sa[i] {
+			if sa[i][j] != sb[i][j] || ta[i][j] != tb[i][j] {
+				t.Fatal("LM batches not deterministic")
+			}
+		}
+	}
+	// Structure: targets frequently equal the transition-table successor.
+	hits, total := 0, 0
+	for i := range sa {
+		for j := range sa[i] {
+			total++
+			if ta[i][j] == a.next[sa[i][j]] {
+				hits++
+			}
+		}
+	}
+	if float64(hits)/float64(total) < 0.5 {
+		t.Fatalf("only %d/%d targets follow the transition table; expected ~0.8", hits, total)
+	}
+}
+
+func TestFrameDatasetShapes(t *testing.T) {
+	d := NewFrameDataset(7, 40, 8, 4, 5)
+	x, labels := d.Batch(0, 0)
+	if x.Dim(0) != 4 || x.Dim(1) != 40 {
+		t.Fatalf("frame batch shape %v", x.Shape())
+	}
+	if len(labels) != 4 {
+		t.Fatalf("labels length %d", len(labels))
+	}
+}
+
+func TestSeq2SeqMappingConsistent(t *testing.T) {
+	d := NewSeq2SeqDataset(9, 30, 6, 6, 8, 5)
+	srcs, tgts := d.Batch(0, 0)
+	for i := range srcs {
+		for j := range srcs[i] {
+			if tgts[i][j] != d.mapping[srcs[i][j]] {
+				t.Fatalf("target[%d][%d] = %d, want mapping %d", i, j, tgts[i][j], d.mapping[srcs[i][j]])
+			}
+		}
+	}
+}
+
+func TestSeq2SeqTargetPadding(t *testing.T) {
+	d := NewSeq2SeqDataset(9, 30, 4, 6, 2, 5)
+	srcs, tgts := d.Batch(0, 0)
+	for i := range srcs {
+		if len(tgts[i]) != 6 {
+			t.Fatalf("target length %d, want 6", len(tgts[i]))
+		}
+		// Positions beyond src length repeat the mapping of the last source
+		// token.
+		last := d.mapping[srcs[i][3]]
+		for j := 4; j < 6; j++ {
+			if tgts[i][j] != last {
+				t.Fatalf("padding target %d, want %d", tgts[i][j], last)
+			}
+		}
+	}
+}

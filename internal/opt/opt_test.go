@@ -1,0 +1,282 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"flor.dev/flor/internal/autograd"
+	"flor.dev/flor/internal/nn"
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/xrand"
+)
+
+// trainStep runs one forward/backward/step on a toy problem and returns the
+// loss.
+func trainStep(m *nn.Linear, o Optimizer) float64 {
+	tape := autograd.NewTape()
+	nn.ZeroGrads(m)
+	x := autograd.NewConst(tensor.FromSlice([]float64{1, 0, 0, 1, 1, 1}, 3, 2))
+	loss := tape.SoftmaxCrossEntropy(m.Forward(tape, x), []int{0, 1, 1})
+	tape.Backward(loss)
+	o.Step()
+	return loss.Value.Item()
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewSGD(m, 0.5, 0, 0)
+	first := trainStep(m, o)
+	var last float64
+	for i := 0; i < 50; i++ {
+		last = trainStep(m, o)
+	}
+	if last >= first {
+		t.Fatalf("SGD did not reduce loss: %g -> %g", first, last)
+	}
+}
+
+func TestSGDMomentumAcceleratesOnQuadratic(t *testing.T) {
+	run := func(momentum float64) float64 {
+		m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+		o := NewSGD(m, 0.1, momentum, 0)
+		var last float64
+		for i := 0; i < 30; i++ {
+			last = trainStep(m, o)
+		}
+		return last
+	}
+	if run(0.9) >= run(0) {
+		t.Fatal("momentum 0.9 did not converge faster than plain SGD on this problem")
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewSGD(m, 0.1, 0, 0.5)
+	before := nn.WeightNorm(m)
+	// Zero gradients by hand: only decay acts.
+	for _, p := range m.Params() {
+		p.Var.ZeroGrad()
+	}
+	tape := autograd.NewTape()
+	x := autograd.NewConst(tensor.New(1, 2))
+	loss := tape.MeanAll(m.Forward(tape, x))
+	tape.Backward(loss)
+	nn.ZeroGrads(m)
+	o.Step()
+	after := nn.WeightNorm(m)
+	// With zeroed grads Step skips params (Grad non-nil but zero): decay
+	// applies since Grad != nil.
+	if after >= before {
+		t.Fatalf("weight decay did not shrink weights: %g -> %g", before, after)
+	}
+}
+
+func TestAdamWReducesLoss(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewAdamW(m, 0.05, 0)
+	first := trainStep(m, o)
+	var last float64
+	for i := 0; i < 50; i++ {
+		last = trainStep(m, o)
+	}
+	if last >= first {
+		t.Fatalf("AdamW did not reduce loss: %g -> %g", first, last)
+	}
+}
+
+func TestOptimizerSkipsFrozenParams(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	nn.Freeze(m, "fc.w")
+	var frozen *tensor.Tensor
+	for _, p := range m.Params() {
+		if p.Name == "fc.w" {
+			frozen = p.Var.Value.Clone()
+		}
+	}
+	o := NewSGD(m, 0.5, 0.9, 0.1)
+	for i := 0; i < 5; i++ {
+		trainStep(m, o)
+	}
+	for _, p := range m.Params() {
+		if p.Name == "fc.w" && !tensor.Equal(p.Var.Value, frozen) {
+			t.Fatal("optimizer updated a frozen parameter")
+		}
+	}
+}
+
+func TestSGDSnapshotRestoreRoundTrip(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewSGD(m, 0.5, 0.9, 0.01)
+	for i := 0; i < 3; i++ {
+		trainStep(m, o)
+	}
+	snap := o.Snapshot()
+	weights := nn.CloneState(m)
+
+	// Diverge, then restore both optimizer and weights.
+	for i := 0; i < 5; i++ {
+		trainStep(m, o)
+	}
+	if err := o.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.LoadState(m, weights); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh run from the same point must produce identical trajectories.
+	m2 := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o2 := NewSGD(m2, 0.5, 0.9, 0.01)
+	for i := 0; i < 3; i++ {
+		trainStep(m2, o2)
+	}
+	for i := 0; i < 4; i++ {
+		l1 := trainStep(m, o)
+		l2 := trainStep(m2, o2)
+		if l1 != l2 {
+			t.Fatalf("restored trajectory diverged at step %d: %g vs %g", i, l1, l2)
+		}
+	}
+}
+
+func TestAdamWSnapshotRestoreRoundTrip(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewAdamW(m, 0.05, 0.01)
+	for i := 0; i < 3; i++ {
+		trainStep(m, o)
+	}
+	snap := o.Snapshot()
+	weights := nn.CloneState(m)
+	for i := 0; i < 5; i++ {
+		trainStep(m, o)
+	}
+	if err := o.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.LoadState(m, weights); err != nil {
+		t.Fatal(err)
+	}
+	m2 := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o2 := NewAdamW(m2, 0.05, 0.01)
+	for i := 0; i < 3; i++ {
+		trainStep(m2, o2)
+	}
+	for i := 0; i < 4; i++ {
+		if l1, l2 := trainStep(m, o), trainStep(m2, o2); l1 != l2 {
+			t.Fatalf("restored AdamW trajectory diverged at step %d: %g vs %g", i, l1, l2)
+		}
+	}
+}
+
+func TestRestoreRejectsMalformedState(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	if err := NewSGD(m, 0.1, 0, 0).Restore(NewState()); err == nil {
+		t.Fatal("SGD.Restore accepted state without lr")
+	}
+	if err := NewAdamW(m, 0.1, 0).Restore(NewState()); err == nil {
+		t.Fatal("AdamW.Restore accepted state without lr/step")
+	}
+	bad := NewState()
+	bad.Scalars["lr"] = 0.1
+	bad.Tensors["junk"] = tensor.New(1)
+	if err := NewSGD(m, 0.1, 0, 0).Restore(bad); err == nil {
+		t.Fatal("SGD.Restore accepted unknown tensor key")
+	}
+}
+
+func TestStepLRDecaysAtBoundaries(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewSGD(m, 1.0, 0, 0)
+	s := NewStepLR(o, 2, 0.1)
+	lrs := []float64{}
+	for i := 0; i < 5; i++ {
+		s.Step()
+		lrs = append(lrs, o.LR())
+	}
+	want := []float64{1, 0.1, 0.1, 0.01, 0.01}
+	for i := range want {
+		if math.Abs(lrs[i]-want[i]) > 1e-12 {
+			t.Fatalf("StepLR epoch %d lr = %g, want %g", i+1, lrs[i], want[i])
+		}
+	}
+}
+
+func TestCosineLRAnneals(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewSGD(m, 1.0, 0, 0)
+	s := NewCosineLR(o, 10)
+	prev := o.LR()
+	for i := 0; i < 10; i++ {
+		s.Step()
+		if o.LR() > prev+1e-12 {
+			t.Fatalf("cosine LR increased at epoch %d: %g -> %g", i+1, prev, o.LR())
+		}
+		prev = o.LR()
+	}
+	if o.LR() > 1e-9 {
+		t.Fatalf("cosine LR at tMax should be ~0, got %g", o.LR())
+	}
+	// Past tMax the LR stays pinned at 0.
+	s.Step()
+	if o.LR() > 1e-9 {
+		t.Fatalf("cosine LR past tMax should stay 0, got %g", o.LR())
+	}
+}
+
+func TestSchedulerSnapshotRestore(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewSGD(m, 1.0, 0, 0)
+	s := NewCosineLR(o, 10)
+	for i := 0; i < 4; i++ {
+		s.Step()
+	}
+	snap := s.Snapshot()
+	lrAt4 := o.LR()
+	for i := 0; i < 4; i++ {
+		s.Step()
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	o.SetLR(lrAt4)
+	s.Step()
+	// Compare against a clean run advanced 5 steps.
+	o2 := NewSGD(nn.NewLinear("fc", xrand.New(1), 2, 2), 1.0, 0, 0)
+	s2 := NewCosineLR(o2, 10)
+	for i := 0; i < 5; i++ {
+		s2.Step()
+	}
+	if math.Abs(o.LR()-o2.LR()) > 1e-12 {
+		t.Fatalf("restored scheduler diverged: %g vs %g", o.LR(), o2.LR())
+	}
+}
+
+func TestStateCloneAndEqual(t *testing.T) {
+	s := NewState()
+	s.Scalars["x"] = 1.5
+	s.Tensors["w"] = tensor.FromSlice([]float64{1, 2}, 2)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Tensors["w"].Set(9, 0)
+	if s.Equal(c) {
+		t.Fatal("clone shares tensor storage")
+	}
+	if s.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes should be positive")
+	}
+}
+
+func TestReferenceGraphExposed(t *testing.T) {
+	m := nn.NewLinear("fc", xrand.New(1), 2, 2)
+	o := NewAdamW(m, 0.1, 0)
+	s := NewStepLR(o, 1, 0.5)
+	if o.Model() != nn.Module(m) {
+		t.Fatal("optimizer does not expose its model")
+	}
+	if s.Optimizer() != Optimizer(o) {
+		t.Fatal("scheduler does not expose its optimizer")
+	}
+}

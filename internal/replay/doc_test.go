@@ -1,0 +1,112 @@
+package replay_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flor.dev/flor/internal/replay"
+	"flor.dev/flor/internal/script"
+)
+
+// TestGeneratorAnyGEqualsSequential is the generator-level property of
+// DESIGN.md §6: for any worker count G ≥ 1, the merged replay log is
+// identical to the G=1 log, probed or unprobed, strong or weak init.
+func TestGeneratorAnyGEqualsSequential(t *testing.T) {
+	factory := trainFactory(12, 2)
+	rec := record(t, factory)
+	variants := map[string]func() *script.Program{
+		"unprobed": factory,
+		"outer":    addOuterProbe(factory),
+		"inner":    addInnerProbe(factory),
+	}
+	for vname, vf := range variants {
+		seq, err := replay.Replay(rec.Recording, vf, replay.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s seq: %v", vname, err)
+		}
+		base := strings.Join(seq.Logs, "\n")
+		for _, g := range []int{2, 5, 12} {
+			for _, init := range []replay.InitMode{replay.Strong, replay.Weak} {
+				par, err := replay.Replay(rec.Recording, vf, replay.Options{Workers: g, Init: init})
+				if err != nil {
+					t.Fatalf("%s G=%d %v: %v", vname, g, init, err)
+				}
+				if strings.Join(par.Logs, "\n") != base {
+					t.Fatalf("%s G=%d init=%v: merged logs differ from sequential", vname, g, init)
+				}
+				if len(par.Anomalies) != 0 {
+					t.Fatalf("%s G=%d init=%v anomalies: %v", vname, g, init, par.Anomalies)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerSegmentsAccountable verifies the reported worker segments are a
+// disjoint ordered cover of the epoch range and that each worker's log
+// volume corresponds to its segment.
+func TestWorkerSegmentsAccountable(t *testing.T) {
+	factory := trainFactory(9, 2)
+	rec := record(t, factory)
+	res, err := replay.Replay(rec.Recording, addOuterProbe(factory), replay.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for _, w := range res.Workers {
+		if w.Segment[0] != next {
+			t.Fatalf("worker %d starts at %d, want %d", w.PID, w.Segment[0], next)
+		}
+		next = w.Segment[1]
+		epochs := w.Segment[1] - w.Segment[0]
+		// Two log lines per epoch (probe + loss); the last worker adds the
+		// tail line.
+		want := 2 * epochs
+		if w.PID == len(res.Workers)-1 {
+			want++
+		}
+		if len(w.Logs) != want {
+			t.Fatalf("worker %d: %d log lines for %d epochs (want %d):\n%s",
+				w.PID, len(w.Logs), epochs, want, strings.Join(w.Logs, "\n"))
+		}
+	}
+	if next != 9 {
+		t.Fatalf("segments cover up to %d, want 9", next)
+	}
+}
+
+// TestReplayEmptyMainLoop exercises the degenerate zero-iteration program.
+func TestReplayEmptyMainLoop(t *testing.T) {
+	factory := trainFactory(1, 1)
+	rec := record(t, factory)
+	res, err := replay.Replay(rec.Recording, factory, replay.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workers) != 1 {
+		t.Fatalf("one-epoch program used %d workers", len(res.Workers))
+	}
+	if len(res.Anomalies) != 0 {
+		t.Fatalf("anomalies: %v", res.Anomalies)
+	}
+}
+
+// TestRestoreStatsReported checks the plumbing the bench harness relies on:
+// unprobed replays report restore counts and times.
+func TestRestoreStatsReported(t *testing.T) {
+	factory := trainFactory(6, 2)
+	rec := record(t, factory)
+	res, err := replay.Replay(rec.Recording, factory, replay.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Workers[0]
+	if w.Restored != 6 || w.RestoreNs <= 0 {
+		t.Fatalf("restore stats: %+v", w)
+	}
+	if w.SetupNs <= 0 {
+		t.Fatalf("setup time missing: %+v", w)
+	}
+	_ = fmt.Sprintf("%+v", w)
+}

@@ -1,0 +1,306 @@
+// Package replay implements Flor's replay phase: probe discovery by source
+// diff, partial replay through SkipBlocks, and hindsight parallelism via the
+// Flor generator (paper §3.2, §5.4).
+//
+// A replay partitions the main loop's iterator into contiguous segments, one
+// per worker. Every worker executes the same instrumented program from the
+// beginning: setup runs logically (imports, data loading, model
+// construction), then the generator drives the main loop through two
+// phases —
+//
+//	init_sgmnt: iterations replayed in SkipBlock initialization mode, which
+//	            skips nested loops by restoring their Loop End Checkpoints.
+//	            Strong initialization covers every iteration before the
+//	            worker's segment; weak initialization jumps to the nearest
+//	            materialized checkpoint at or before segment start.
+//	work_sgmnt: the worker's own iterations in replay-execution mode, where
+//	            probed loops re-execute (producing the hindsight logs) and
+//	            unprobed loops restore.
+//
+// Workers share nothing and never communicate; their logs are concatenated
+// in segment order, and the merged log is diffed against the record log
+// (deferred correctness check, §5.2.2).
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flor.dev/flor/internal/adapt"
+	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/runlog"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/skipblock"
+	"flor.dev/flor/internal/store"
+)
+
+// InitMode selects the worker initialization strategy (paper §5.4.2).
+type InitMode int
+
+// Strong initialization replays every iteration preceding the work segment
+// in init mode (the default: its correctness follows from the correctness of
+// loop memoization). Weak initialization jumps to the checkpoint nearest the
+// segment start.
+const (
+	Strong InitMode = iota
+	Weak
+)
+
+// String renders the init mode.
+func (m InitMode) String() string {
+	if m == Weak {
+		return "weak"
+	}
+	return "strong"
+}
+
+// Options configures a replay.
+type Options struct {
+	// Workers is the degree of hindsight parallelism G (default 1).
+	Workers int
+	// Init selects strong or weak worker initialization.
+	Init InitMode
+	// SkipDeferredCheck disables the record/replay log diff (used by
+	// benchmarks that measure pure replay latency).
+	SkipDeferredCheck bool
+}
+
+// Recording is the artifact a record run leaves behind: the checkpoint
+// store, the saved program structure, and the record log.
+type Recording struct {
+	Store     *store.Store
+	Shape     *script.ProgramShape
+	RecordLog []string
+}
+
+// WorkerReport describes one parallel worker's replay.
+type WorkerReport struct {
+	PID       int
+	Segment   [2]int // [start, end) main-loop iterations
+	InitFrom  int    // first iteration replayed in init mode
+	Logs      []string
+	SetupNs   int64
+	InitNs    int64
+	WorkNs    int64
+	RestoreNs int64
+	Restored  int
+	Executed  int
+}
+
+// Result is the outcome of a replay.
+type Result struct {
+	Probes    map[string]bool
+	NewLabels map[string]bool
+	Logs      []string // merged logs in iteration order
+	Anomalies []runlog.Anomaly
+	Workers   []WorkerReport
+	WallNs    int64
+}
+
+// Partition splits n iterations into at most g contiguous segments whose
+// sizes differ by at most one (the Flor generator's iterator partitioning,
+// §5.4.1). Segments are returned in order; fewer than g segments are
+// returned when n < g.
+func Partition(n, g int) [][2]int {
+	if n <= 0 || g <= 0 {
+		return nil
+	}
+	if g > n {
+		g = n
+	}
+	segs := make([][2]int, 0, g)
+	base := n / g
+	rem := n % g
+	start := 0
+	for i := 0; i < g; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		segs = append(segs, [2]int{start, start + size})
+		start += size
+	}
+	return segs
+}
+
+// MaxSpeedup returns the best achievable parallel speedup for n iterations
+// over g workers: n / ⌈n/g⌉ (paper §6.3: 200 epochs on 16 GPUs → 15.38×).
+func MaxSpeedup(n, g int) float64 {
+	if n <= 0 || g <= 0 {
+		return 0
+	}
+	per := (n + g - 1) / g
+	return float64(n) / float64(per)
+}
+
+// Replay performs a hindsight-logging replay of a recorded run. factory must
+// build a fresh instance of the (possibly probed) program on every call;
+// each worker gets its own instance, environment, and SkipBlock runtime.
+func Replay(rec *Recording, factory func() *script.Program, opts Options) (*Result, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	probeProgram := factory()
+	diff, err := script.DiffHindsight(rec.Shape, probeProgram)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if probeProgram.Main == nil {
+		return nil, fmt.Errorf("replay: program has no main loop")
+	}
+	n := probeProgram.Main.Iters
+	segs := Partition(n, opts.Workers)
+
+	res := &Result{Probes: diff.Probes, NewLabels: diff.NewLabels}
+	res.Workers = make([]WorkerReport, len(segs))
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(segs))
+	for pid := range segs {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			report, err := runWorker(rec, factory, diff, segs[pid], pid, opts, pid == len(segs)-1)
+			if err != nil {
+				errs[pid] = err
+				return
+			}
+			res.Workers[pid] = *report
+		}(pid)
+	}
+	wg.Wait()
+	res.WallNs = time.Since(t0).Nanoseconds()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range res.Workers {
+		res.Logs = append(res.Logs, w.Logs...)
+	}
+	if !opts.SkipDeferredCheck {
+		res.Anomalies = runlog.DeferredCheck(rec.RecordLog, res.Logs, diff.NewLabels)
+	}
+	return res, nil
+}
+
+// runWorker executes one parallel worker: setup, initialization, work
+// segment, and (for the last worker) the program tail.
+func runWorker(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
+	seg [2]int, pid int, opts Options, last bool) (*WorkerReport, error) {
+
+	p := factory()
+	report := &WorkerReport{PID: pid, Segment: seg}
+
+	// Each worker is its own process in the paper; here, its own program
+	// instance, environment, tracker and SkipBlock runtime over the shared
+	// (read-only) checkpoint store.
+	tracker := adapt.New(adapt.DefaultEpsilon)
+	mat := backmat.New(rec.Store, backmat.Fork)
+	defer mat.Close()
+	rt := skipblock.NewRuntime(p, tracker, mat, rec.Store)
+	rt.SetProbes(diff.Probes)
+
+	ctx := &script.Ctx{Env: script.NewEnv(), LoopHook: rt.Hook}
+
+	// Phase 1: run every statement before the main loop (imports, data
+	// loading, model construction — §5.4.2 "the first part").
+	s0 := time.Now()
+	if err := script.ExecStmts(ctx, p.Setup); err != nil {
+		return nil, fmt.Errorf("replay: worker %d setup: %w", pid, err)
+	}
+	report.SetupNs = time.Since(s0).Nanoseconds()
+
+	// Phase 2: initialization — restore the program state at iteration
+	// seg[0] by replaying init_sgmnt in SkipBlock init mode. Log output is
+	// suppressed: init iterations belong to other workers' segments.
+	initFrom := 0
+	if opts.Init == Weak && seg[0] > 0 {
+		initFrom = weakAnchor(rec.Store, p, rt, seg[0]-1)
+	}
+	report.InitFrom = initFrom
+	i0 := time.Now()
+	if seg[0] > 0 {
+		rt.SetMode(skipblock.ModeReplayInit)
+		positionBlocks(p, rt, initFrom)
+		ctx.Log = nil
+		for e := initFrom; e < seg[0]; e++ {
+			ctx.Env.SetInt(p.Main.IterVar, e)
+			if err := script.ExecStmts(ctx, p.Main.Body); err != nil {
+				return nil, fmt.Errorf("replay: worker %d init iteration %d: %w", pid, e, err)
+			}
+		}
+	}
+	report.InitNs = time.Since(i0).Nanoseconds()
+
+	// Phase 3: the work segment, in replay-execution mode with log capture.
+	w0 := time.Now()
+	rt.SetMode(skipblock.ModeReplayExec)
+	lg := runlog.New()
+	ctx.Log = lg.Append
+	for e := seg[0]; e < seg[1]; e++ {
+		ctx.Env.SetInt(p.Main.IterVar, e)
+		if err := script.ExecStmts(ctx, p.Main.Body); err != nil {
+			return nil, fmt.Errorf("replay: worker %d iteration %d: %w", pid, e, err)
+		}
+	}
+	// The final worker also runs the tail (post-loop statements).
+	if last {
+		if err := script.ExecStmts(ctx, p.Tail); err != nil {
+			return nil, fmt.Errorf("replay: worker %d tail: %w", pid, err)
+		}
+	}
+	report.WorkNs = time.Since(w0).Nanoseconds()
+	report.Logs = lg.Lines()
+
+	for _, id := range rt.Blocks() {
+		b, _ := rt.Block(id)
+		st := b.Stats()
+		report.RestoreNs += st.RestoreNs
+		report.Restored += st.Restored
+		report.Executed += st.Executed
+	}
+	return report, nil
+}
+
+// positionBlocks sets every SkipBlock's execution counter to its position at
+// the start of main-loop iteration `epoch`.
+func positionBlocks(p *script.Program, rt *skipblock.Runtime, epoch int) {
+	for _, id := range rt.Blocks() {
+		b, _ := rt.Block(id)
+		mult := skipblock.ExecsPerMainIteration(p, id)
+		b.SetExecIndex(epoch * mult)
+	}
+}
+
+// weakAnchor returns the largest main-loop iteration e ≤ target such that
+// every instrumented loop has checkpoints for all its executions during
+// iteration e, so the whole iteration can be replayed by restoration alone.
+// Falls back to 0 (strong initialization) when no such iteration exists.
+func weakAnchor(st *store.Store, p *script.Program, rt *skipblock.Runtime, target int) int {
+	ids := rt.Blocks()
+	if len(ids) == 0 {
+		return 0
+	}
+	for e := target; e >= 0; e-- {
+		ok := true
+		for _, id := range ids {
+			mult := skipblock.ExecsPerMainIteration(p, id)
+			for x := e * mult; x < (e+1)*mult; x++ {
+				if !st.Has(store.Key{LoopID: id, Exec: x}) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return e
+		}
+	}
+	return 0
+}

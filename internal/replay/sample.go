@@ -1,0 +1,108 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flor.dev/flor/internal/adapt"
+	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/runlog"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/skipblock"
+)
+
+// SampleResult is the outcome of a sampling replay.
+type SampleResult struct {
+	Iterations []int // the iterations replayed, sorted
+	Logs       []string
+	Probes     map[string]bool
+	WallNs     int64
+}
+
+// ReplaySample replays only the given main-loop iterations (paper §8,
+// "Partial Replay: Search and Approximation"): the worker-initialization
+// mechanism gives random access to any iteration, so a replay need not scan
+// the whole past. For each requested iteration the state is reconstructed
+// from the nearest checkpoint (weak initialization) and the iteration is
+// re-executed in replay-execution mode, producing its hindsight logs.
+//
+// Iterations are deduplicated and visited in ascending order; out-of-range
+// iterations are an error. The deferred log check is skipped: a sample's
+// log stream is a subsequence of the record log by construction, which
+// callers can verify with runlog.PartialDeferredCheck.
+func ReplaySample(rec *Recording, factory func() *script.Program, iterations []int) (*SampleResult, error) {
+	p := factory()
+	diff, err := script.DiffHindsight(rec.Shape, p)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if p.Main == nil {
+		return nil, fmt.Errorf("replay: program has no main loop")
+	}
+	n := p.Main.Iters
+	seen := map[int]bool{}
+	var sample []int
+	for _, it := range iterations {
+		if it < 0 || it >= n {
+			return nil, fmt.Errorf("replay: sampled iteration %d out of range [0,%d)", it, n)
+		}
+		if !seen[it] {
+			seen[it] = true
+			sample = append(sample, it)
+		}
+	}
+	sort.Ints(sample)
+
+	tracker := adapt.New(adapt.DefaultEpsilon)
+	mat := backmat.New(rec.Store, backmat.Fork)
+	defer mat.Close()
+	rt := skipblock.NewRuntime(p, tracker, mat, rec.Store)
+	rt.SetProbes(diff.Probes)
+
+	ctx := &script.Ctx{Env: script.NewEnv(), LoopHook: rt.Hook}
+	t0 := time.Now()
+	if err := script.ExecStmts(ctx, p.Setup); err != nil {
+		return nil, fmt.Errorf("replay: sample setup: %w", err)
+	}
+
+	lg := runlog.New()
+	cursor := -1 // last initialized iteration
+	for _, it := range sample {
+		// Reconstruct the state at the start of iteration `it`: jump to the
+		// nearest fully checkpointed iteration at or before it-1, then
+		// init-replay forward.
+		if it > 0 && cursor < it-1 {
+			from := weakAnchor(rec.Store, p, rt, it-1)
+			if from <= cursor {
+				from = cursor + 1
+			}
+			rt.SetMode(skipblock.ModeReplayInit)
+			positionBlocks(p, rt, from)
+			ctx.Log = nil
+			for e := from; e < it; e++ {
+				ctx.Env.SetInt(p.Main.IterVar, e)
+				if err := script.ExecStmts(ctx, p.Main.Body); err != nil {
+					return nil, fmt.Errorf("replay: sample init iteration %d: %w", e, err)
+				}
+			}
+		} else if it == 0 {
+			positionBlocks(p, rt, 0)
+		}
+		// Replay the sampled iteration with log capture.
+		rt.SetMode(skipblock.ModeReplayExec)
+		positionBlocks(p, rt, it)
+		ctx.Log = lg.Append
+		ctx.Env.SetInt(p.Main.IterVar, it)
+		if err := script.ExecStmts(ctx, p.Main.Body); err != nil {
+			return nil, fmt.Errorf("replay: sample iteration %d: %w", it, err)
+		}
+		cursor = it
+	}
+	return &SampleResult{
+		Iterations: sample,
+		Logs:       lg.Lines(),
+		Probes:     diff.Probes,
+		WallNs:     time.Since(t0).Nanoseconds(),
+	}, nil
+}

@@ -1,0 +1,117 @@
+package replay_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flor.dev/flor/internal/replay"
+	"flor.dev/flor/internal/runlog"
+)
+
+func TestReplaySampleSubsetMatchesRecord(t *testing.T) {
+	factory := trainFactory(10, 3)
+	rec := record(t, factory)
+	res, err := replay.ReplaySample(rec.Recording, factory, []int{2, 7, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterations are deduplicated and sorted.
+	if fmt.Sprint(res.Iterations) != "[2 5 7]" {
+		t.Fatalf("iterations = %v", res.Iterations)
+	}
+	// One "loss" line per sampled iteration, matching the record exactly.
+	if len(res.Logs) != 3 {
+		t.Fatalf("logs = %v", res.Logs)
+	}
+	for i, epoch := range []int{2, 5, 7} {
+		if res.Logs[i] != rec.Logs[epoch] {
+			t.Fatalf("sampled epoch %d log %q != record %q", epoch, res.Logs[i], rec.Logs[epoch])
+		}
+	}
+	// The sample log stream passes the partial deferred check.
+	for _, epoch := range []int{0, 1, 2} {
+		if got := runlog.PartialDeferredCheck(rec.Logs, res.Logs[epoch:epoch+1], nil); got != nil {
+			t.Fatalf("partial check failed: %v", got)
+		}
+	}
+}
+
+func TestReplaySampleWithInnerProbe(t *testing.T) {
+	factory := trainFactory(8, 2)
+	rec := record(t, factory)
+	res, err := replay.ReplaySample(rec.Recording, addInnerProbe(factory), []int{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Probes["train"] {
+		t.Fatalf("probes = %v", res.Probes)
+	}
+	probeLines := 0
+	for _, l := range res.Logs {
+		if strings.HasPrefix(l, "stepsum: ") {
+			probeLines++
+		}
+	}
+	// 2 sampled epochs x 2 steps of hindsight output.
+	if probeLines != 4 {
+		t.Fatalf("probe lines = %d, want 4", probeLines)
+	}
+	// The loss lines embedded in the sample must match the record.
+	var lossLines []string
+	for _, l := range res.Logs {
+		if strings.HasPrefix(l, "loss: ") {
+			lossLines = append(lossLines, l)
+		}
+	}
+	if len(lossLines) != 2 || lossLines[0] != rec.Logs[3] || lossLines[1] != rec.Logs[6] {
+		t.Fatalf("sampled loss lines %v do not match record", lossLines)
+	}
+}
+
+func TestReplaySampleFirstIteration(t *testing.T) {
+	factory := trainFactory(5, 2)
+	rec := record(t, factory)
+	res, err := replay.ReplaySample(rec.Recording, factory, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logs) != 1 || res.Logs[0] != rec.Logs[0] {
+		t.Fatalf("first-iteration sample = %v", res.Logs)
+	}
+}
+
+func TestReplaySampleOutOfRange(t *testing.T) {
+	factory := trainFactory(4, 2)
+	rec := record(t, factory)
+	if _, err := replay.ReplaySample(rec.Recording, factory, []int{4}); err == nil {
+		t.Fatal("out-of-range iteration accepted")
+	}
+	if _, err := replay.ReplaySample(rec.Recording, factory, []int{-1}); err == nil {
+		t.Fatal("negative iteration accepted")
+	}
+}
+
+func TestReplaySampleBinarySearchPattern(t *testing.T) {
+	// The paper's motivating use (§8): binary search for the iteration
+	// where a metric converges, without scanning the whole past.
+	factory := trainFactory(16, 2)
+	rec := record(t, factory)
+	lossAt := func(epoch int) string {
+		res, err := replay.ReplaySample(rec.Recording, factory, []int{epoch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Logs[0]
+	}
+	lo, hi := 0, 15
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lossAt(mid) == rec.Logs[mid] {
+			// Random access reproduced the recorded state at mid.
+			lo = mid + 1
+		} else {
+			t.Fatalf("sample at %d diverged from record", mid)
+		}
+	}
+}

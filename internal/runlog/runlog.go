@@ -1,0 +1,182 @@
+// Package runlog implements the run logs produced by record and replay, and
+// the deferred correctness check of paper §5.2.2.
+//
+// Flor's side-effect analysis is efficient but unsafe: it may miss state and
+// replay divergently. The mitigation is observational: the metrics a
+// training script already logs (loss, accuracy) form "a fairly unique
+// fingerprint of a model's training characteristics", so at the end of
+// replay Flor diffs the replay log against the record log and warns about
+// any difference that is not explained by the hindsight log statements the
+// user added.
+package runlog
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Log is an append-only sequence of log lines. It is safe for concurrent
+// append so parallel replay workers can share one (each worker's lines are
+// merged in worker order by the replay engine instead; this lock is a
+// belt-and-braces guarantee).
+type Log struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Append adds one line.
+func (l *Log) Append(line string) {
+	l.mu.Lock()
+	l.lines = append(l.lines, line)
+	l.mu.Unlock()
+}
+
+// Lines returns a copy of all lines in append order.
+func (l *Log) Lines() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.lines))
+	copy(out, l.lines)
+	return out
+}
+
+// Len returns the number of lines.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lines)
+}
+
+// WriteFile persists the log, one line per row.
+func (l *Log) WriteFile(path string) error {
+	content := strings.Join(l.Lines(), "\n")
+	if content != "" {
+		content += "\n"
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return fmt.Errorf("runlog: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile loads a log previously written with WriteFile.
+func ReadFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: read %s: %w", path, err)
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	s := strings.TrimSuffix(string(raw), "\n")
+	if s == "" {
+		return nil, nil
+	}
+	return strings.Split(s, "\n"), nil
+}
+
+// Label extracts the "label" prefix of a log line ("label: message"); lines
+// without a separator yield the empty label.
+func Label(line string) string {
+	if i := strings.Index(line, ": "); i >= 0 {
+		return line[:i]
+	}
+	return ""
+}
+
+// FilterLabels returns the lines whose label is NOT in exclude, preserving
+// order. The deferred check uses it to drop hindsight-probe output before
+// comparing replay to record.
+func FilterLabels(lines []string, exclude map[string]bool) []string {
+	if len(exclude) == 0 {
+		return lines
+	}
+	out := make([]string, 0, len(lines))
+	for _, line := range lines {
+		if !exclude[Label(line)] {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// Anomaly is one record/replay divergence found by the deferred check.
+type Anomaly struct {
+	Index  int    // line position in the record log
+	Record string // "" if the replay has extra lines
+	Replay string // "" if the replay is missing lines
+}
+
+// String renders the anomaly for the user warning.
+func (a Anomaly) String() string {
+	switch {
+	case a.Record == "":
+		return fmt.Sprintf("line %d: replay emitted extra line %q", a.Index, a.Replay)
+	case a.Replay == "":
+		return fmt.Sprintf("line %d: replay missing line %q", a.Index, a.Record)
+	default:
+		return fmt.Sprintf("line %d: record %q != replay %q", a.Index, a.Record, a.Replay)
+	}
+}
+
+// DeferredCheck compares the record log to a replay log after removing the
+// replay lines produced by the given new probe labels. A nil result means
+// the replay reproduced the record exactly (paper §5.2.2: "we run diff, and
+// warn the user if the replay logs differ ... in any way other than the
+// statements added for hindsight logging").
+func DeferredCheck(record, replay []string, probeLabels map[string]bool) []Anomaly {
+	filtered := FilterLabels(replay, probeLabels)
+	var anomalies []Anomaly
+	n := len(record)
+	if len(filtered) > n {
+		n = len(filtered)
+	}
+	for i := 0; i < n; i++ {
+		var r, p string
+		if i < len(record) {
+			r = record[i]
+		}
+		if i < len(filtered) {
+			p = filtered[i]
+		}
+		if r != p {
+			anomalies = append(anomalies, Anomaly{Index: i, Record: r, Replay: p})
+		}
+	}
+	return anomalies
+}
+
+// PartialDeferredCheck compares a replay log that covers only a contiguous
+// subrange of the record log (a parallel worker's segment): it verifies that
+// the filtered replay lines appear as a contiguous subsequence of the record
+// log. Used when workers check their own output before the merged check.
+func PartialDeferredCheck(record, replay []string, probeLabels map[string]bool) []Anomaly {
+	filtered := FilterLabels(replay, probeLabels)
+	if len(filtered) == 0 {
+		return nil
+	}
+	// Find the first record line equal to the first filtered line, then
+	// require the rest to follow contiguously.
+	for start := 0; start+len(filtered) <= len(record); start++ {
+		if record[start] != filtered[0] {
+			continue
+		}
+		ok := true
+		for i := 1; i < len(filtered); i++ {
+			if record[start+i] != filtered[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+	}
+	return []Anomaly{{Index: -1, Replay: filtered[0],
+		Record: "replay segment is not a contiguous subsequence of the record log"}}
+}

@@ -1,0 +1,196 @@
+package runlog
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestAppendAndLines(t *testing.T) {
+	l := New()
+	l.Append("loss: 0.5")
+	l.Append("acc: 0.9")
+	lines := l.Lines()
+	if len(lines) != 2 || lines[0] != "loss: 0.5" || lines[1] != "acc: 0.9" {
+		t.Fatalf("lines = %v", lines)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestLinesReturnsCopy(t *testing.T) {
+	l := New()
+	l.Append("a: 1")
+	lines := l.Lines()
+	lines[0] = "tampered"
+	if l.Lines()[0] != "a: 1" {
+		t.Fatal("Lines exposed internal storage")
+	}
+}
+
+func TestConcurrentAppendSafe(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Append("x: y")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", l.Len())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	l := New()
+	l.Append("loss: 0.5")
+	l.Append("acc: 0.9")
+	path := filepath.Join(t.TempDir(), "record.log")
+	if err := l.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "loss: 0.5" || got[1] != "acc: 0.9" {
+		t.Fatalf("read lines = %v", got)
+	}
+}
+
+func TestWriteReadEmptyLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.log")
+	if err := New().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty log read back %v", got)
+	}
+}
+
+func TestReadMissingFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.log")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+func TestLabelExtraction(t *testing.T) {
+	if got := Label("loss: 0.5"); got != "loss" {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("no separator"); got != "" {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("a: b: c"); got != "a" {
+		t.Fatalf("Label = %q", got)
+	}
+}
+
+func TestFilterLabels(t *testing.T) {
+	lines := []string{"loss: 0.5", "grad: 1.2", "loss: 0.4", "weights: 3.3"}
+	got := FilterLabels(lines, map[string]bool{"grad": true, "weights": true})
+	if len(got) != 2 || got[0] != "loss: 0.5" || got[1] != "loss: 0.4" {
+		t.Fatalf("filtered = %v", got)
+	}
+	// Empty exclusion set returns input unchanged.
+	if len(FilterLabels(lines, nil)) != 4 {
+		t.Fatal("nil exclusion filtered lines")
+	}
+}
+
+func TestDeferredCheckCleanReplay(t *testing.T) {
+	record := []string{"loss: 0.5", "loss: 0.4"}
+	replay := []string{"grad: 9.1", "loss: 0.5", "grad: 5.5", "loss: 0.4"}
+	anomalies := DeferredCheck(record, replay, map[string]bool{"grad": true})
+	if anomalies != nil {
+		t.Fatalf("clean replay flagged: %v", anomalies)
+	}
+}
+
+func TestDeferredCheckDetectsDivergence(t *testing.T) {
+	record := []string{"loss: 0.5", "loss: 0.4"}
+	replay := []string{"loss: 0.5", "loss: 0.9"} // diverged second epoch
+	anomalies := DeferredCheck(record, replay, nil)
+	if len(anomalies) != 1 {
+		t.Fatalf("anomalies = %v", anomalies)
+	}
+	if anomalies[0].Index != 1 || anomalies[0].Record != "loss: 0.4" || anomalies[0].Replay != "loss: 0.9" {
+		t.Fatalf("anomaly = %+v", anomalies[0])
+	}
+}
+
+func TestDeferredCheckDetectsMissingLines(t *testing.T) {
+	record := []string{"loss: 0.5", "loss: 0.4"}
+	replay := []string{"loss: 0.5"}
+	anomalies := DeferredCheck(record, replay, nil)
+	if len(anomalies) != 1 || anomalies[0].Replay != "" {
+		t.Fatalf("anomalies = %v", anomalies)
+	}
+}
+
+func TestDeferredCheckDetectsExtraLines(t *testing.T) {
+	record := []string{"loss: 0.5"}
+	replay := []string{"loss: 0.5", "loss: 0.4"}
+	anomalies := DeferredCheck(record, replay, nil)
+	if len(anomalies) != 1 || anomalies[0].Record != "" {
+		t.Fatalf("anomalies = %v", anomalies)
+	}
+}
+
+func TestDeferredCheckUnfilteredProbeCausesAnomaly(t *testing.T) {
+	// Probe output that is NOT excluded must surface as a difference — the
+	// exclusion set is what distinguishes probes from divergence.
+	record := []string{"loss: 0.5"}
+	replay := []string{"grad: 9.1", "loss: 0.5"}
+	if got := DeferredCheck(record, replay, nil); len(got) == 0 {
+		t.Fatal("unfiltered probe lines not flagged")
+	}
+	if got := DeferredCheck(record, replay, map[string]bool{"grad": true}); got != nil {
+		t.Fatalf("filtered probe flagged: %v", got)
+	}
+}
+
+func TestAnomalyString(t *testing.T) {
+	for _, a := range []Anomaly{
+		{Index: 3, Record: "a", Replay: "b"},
+		{Index: 0, Record: "", Replay: "extra"},
+		{Index: 9, Record: "gone", Replay: ""},
+	} {
+		if a.String() == "" {
+			t.Fatal("empty anomaly rendering")
+		}
+	}
+}
+
+func TestPartialDeferredCheckSubsequence(t *testing.T) {
+	record := []string{"loss: 5", "loss: 4", "loss: 3", "loss: 2"}
+	// Worker covering epochs 1-2 with a probe.
+	replay := []string{"grad: 1", "loss: 4", "grad: 2", "loss: 3"}
+	if got := PartialDeferredCheck(record, replay, map[string]bool{"grad": true}); got != nil {
+		t.Fatalf("valid segment flagged: %v", got)
+	}
+}
+
+func TestPartialDeferredCheckDetectsDivergence(t *testing.T) {
+	record := []string{"loss: 5", "loss: 4", "loss: 3"}
+	replay := []string{"loss: 4", "loss: 99"}
+	if got := PartialDeferredCheck(record, replay, nil); len(got) == 0 {
+		t.Fatal("divergent segment not flagged")
+	}
+}
+
+func TestPartialDeferredCheckEmptySegment(t *testing.T) {
+	if got := PartialDeferredCheck([]string{"a: 1"}, nil, nil); got != nil {
+		t.Fatalf("empty segment flagged: %v", got)
+	}
+}

@@ -1,0 +1,288 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+
+	"flor.dev/flor/internal/codec"
+)
+
+// Shape is the serializable structure of one statement: its canonical
+// rendering plus, for loops, the nested body. Shapes are what record stores
+// as "a copy of the code", and what replay diffs against the edited program
+// to find probes.
+type Shape struct {
+	Line   string
+	LoopID string // non-empty iff the statement is a loop
+	Body   []Shape
+}
+
+// ProgramShape is the serializable structure of a whole program.
+type ProgramShape struct {
+	Name  string
+	Setup []Shape
+	Main  *Shape
+	Tail  []Shape
+}
+
+// StructureOf extracts the static structure of a program.
+func StructureOf(p *Program) *ProgramShape {
+	ps := &ProgramShape{Name: p.Name, Setup: shapesOf(p.Setup), Tail: shapesOf(p.Tail)}
+	if p.Main != nil {
+		s := loopShape(p.Main)
+		ps.Main = &s
+	}
+	return ps
+}
+
+func shapesOf(stmts []Stmt) []Shape {
+	out := make([]Shape, 0, len(stmts))
+	for i := range stmts {
+		s := &stmts[i]
+		if s.Loop != nil {
+			out = append(out, loopShape(s.Loop))
+			continue
+		}
+		out = append(out, Shape{Line: s.Render()})
+	}
+	return out
+}
+
+func loopShape(l *Loop) Shape {
+	return Shape{
+		Line:   fmt.Sprintf("loop %s %s:%d", l.ID, l.IterVar, l.Iters),
+		LoopID: l.ID,
+		Body:   shapesOf(l.Body),
+	}
+}
+
+// Encode serializes the program shape.
+func (ps *ProgramShape) Encode() []byte {
+	w := codec.NewWriter()
+	w.String(ps.Name)
+	encodeShapes(w, ps.Setup)
+	if ps.Main != nil {
+		w.Bool(true)
+		encodeShape(w, *ps.Main)
+	} else {
+		w.Bool(false)
+	}
+	encodeShapes(w, ps.Tail)
+	return w.Bytes()
+}
+
+func encodeShapes(w *codec.Writer, shapes []Shape) {
+	w.Uvarint(uint64(len(shapes)))
+	for _, s := range shapes {
+		encodeShape(w, s)
+	}
+}
+
+func encodeShape(w *codec.Writer, s Shape) {
+	w.String(s.Line)
+	w.String(s.LoopID)
+	encodeShapes(w, s.Body)
+}
+
+// DecodeProgramShape parses an encoded program shape.
+func DecodeProgramShape(b []byte) (*ProgramShape, error) {
+	r := codec.NewReader(b)
+	ps := &ProgramShape{}
+	var err error
+	if ps.Name, err = r.String(); err != nil {
+		return nil, err
+	}
+	if ps.Setup, err = decodeShapes(r); err != nil {
+		return nil, err
+	}
+	hasMain, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasMain {
+		s, err := decodeShape(r)
+		if err != nil {
+			return nil, err
+		}
+		ps.Main = &s
+	}
+	if ps.Tail, err = decodeShapes(r); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+func decodeShapes(r *codec.Reader) ([]Shape, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Shape, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := decodeShape(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func decodeShape(r *codec.Reader) (Shape, error) {
+	var s Shape
+	var err error
+	if s.Line, err = r.String(); err != nil {
+		return s, err
+	}
+	if s.LoopID, err = r.String(); err != nil {
+		return s, err
+	}
+	if s.Body, err = decodeShapes(r); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// DiffError reports a structural difference that cannot be explained by
+// hindsight logging statements: the user changed the code, so the recorded
+// checkpoints are not trustworthy for replaying it.
+type DiffError struct {
+	Where  string
+	Reason string
+}
+
+// Error implements error.
+func (e *DiffError) Error() string {
+	return fmt.Sprintf("script: program differs beyond hindsight logging at %s: %s", e.Where, e.Reason)
+}
+
+// DiffResult is the outcome of a hindsight source diff.
+type DiffResult struct {
+	// Probes contains the IDs of every loop whose subtree gained a log
+	// statement: those loops cannot be skipped on replay.
+	Probes map[string]bool
+	// NewLabels contains the labels of the added log statements; the
+	// deferred correctness check excludes their output lines when comparing
+	// record and replay logs.
+	NewLabels map[string]bool
+}
+
+// DiffProbes compares the recorded program structure against the current
+// program (paper Figure 1). Every difference must be an *added* log
+// statement; each one marks its enclosing loops as probed. Probes in
+// setup/tail do not probe any loop (those sections always re-execute).
+func DiffProbes(recorded *ProgramShape, current *Program) (map[string]bool, error) {
+	res, err := DiffHindsight(recorded, current)
+	if err != nil {
+		return nil, err
+	}
+	return res.Probes, nil
+}
+
+// DiffHindsight performs the full hindsight source diff, returning both the
+// probed loops and the labels of the newly added log statements.
+func DiffHindsight(recorded *ProgramShape, current *Program) (*DiffResult, error) {
+	res := &DiffResult{Probes: map[string]bool{}, NewLabels: map[string]bool{}}
+	if err := diffBlock("setup", recorded.Setup, current.Setup, nil, res); err != nil {
+		return nil, err
+	}
+	switch {
+	case recorded.Main == nil && current.Main == nil:
+	case recorded.Main == nil || current.Main == nil:
+		return nil, &DiffError{Where: "main", Reason: "main loop added or removed"}
+	default:
+		cur := loopShape(current.Main)
+		if recorded.Main.Line != cur.Line {
+			return nil, &DiffError{Where: "main", Reason: fmt.Sprintf("loop header changed: %q vs %q", recorded.Main.Line, cur.Line)}
+		}
+		if err := diffBlock("main", recorded.Main.Body, current.Main.Body, []string{current.Main.ID}, res); err != nil {
+			return nil, err
+		}
+	}
+	if err := diffBlock("tail", recorded.Tail, current.Tail, nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func diffBlock(where string, rec []Shape, cur []Stmt, enclosing []string, res *DiffResult) error {
+	i := 0
+	for j := range cur {
+		s := &cur[j]
+		if s.IsLog {
+			line := s.Render()
+			if i < len(rec) && rec[i].Line == line && rec[i].LoopID == "" {
+				i++ // pre-existing log statement
+				continue
+			}
+			// A log statement absent from the recorded code: a probe.
+			for _, id := range enclosing {
+				res.Probes[id] = true
+			}
+			res.NewLabels[s.Label] = true
+			continue
+		}
+		if i >= len(rec) {
+			return &DiffError{Where: where, Reason: fmt.Sprintf("statement added: %q", s.Render())}
+		}
+		if s.Loop != nil {
+			curLine := fmt.Sprintf("loop %s %s:%d", s.Loop.ID, s.Loop.IterVar, s.Loop.Iters)
+			if rec[i].LoopID != s.Loop.ID || rec[i].Line != curLine {
+				return &DiffError{Where: where, Reason: fmt.Sprintf("loop changed: %q vs %q", rec[i].Line, curLine)}
+			}
+			if err := diffBlock(where+"/"+s.Loop.ID, rec[i].Body, s.Loop.Body, append(enclosing, s.Loop.ID), res); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		if rec[i].Line != s.Render() || rec[i].LoopID != "" {
+			return &DiffError{Where: where, Reason: fmt.Sprintf("statement changed: %q vs %q", rec[i].Line, s.Render())}
+		}
+		i++
+	}
+	if i != len(rec) {
+		return &DiffError{Where: where, Reason: fmt.Sprintf("%d recorded statement(s) removed", len(rec)-i)}
+	}
+	return nil
+}
+
+// AddLog returns a copy of the statement list with a log statement inserted
+// at index idx; used to build probed program versions.
+func AddLog(stmts []Stmt, idx int, log Stmt) []Stmt {
+	if !log.IsLog {
+		panic("script: AddLog requires a log statement")
+	}
+	out := make([]Stmt, 0, len(stmts)+1)
+	out = append(out, stmts[:idx]...)
+	out = append(out, log)
+	out = append(out, stmts[idx:]...)
+	return out
+}
+
+// RenderProgram renders the whole program as indented pseudo-source; useful
+// for debugging and documentation output.
+func RenderProgram(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	renderStmts(&b, p.Setup, 1)
+	if p.Main != nil {
+		fmt.Fprintf(&b, "  loop %s %s:%d:\n", p.Main.ID, p.Main.IterVar, p.Main.Iters)
+		renderStmts(&b, p.Main.Body, 2)
+	}
+	renderStmts(&b, p.Tail, 1)
+	return b.String()
+}
+
+func renderStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for i := range stmts {
+		s := &stmts[i]
+		if s.Loop != nil {
+			fmt.Fprintf(b, "%sloop %s %s:%d:\n", indent, s.Loop.ID, s.Loop.IterVar, s.Loop.Iters)
+			renderStmts(b, s.Loop.Body, depth+1)
+			continue
+		}
+		fmt.Fprintf(b, "%s%s\n", indent, s.Render())
+	}
+}

@@ -1,0 +1,348 @@
+// Package store implements the on-disk checkpoint store backing Flor record
+// and replay.
+//
+// Layout of a run directory:
+//
+//	<dir>/MANIFEST            append-only log of committed checkpoints
+//	<dir>/ckpt-<seq>.bin      one segment file per checkpoint (CRC-framed)
+//	<dir>/ckpt-<seq>.bin.gz   optional spooled (gzip) copy, the "S3 object"
+//
+// The design follows write-ahead-log discipline adapted to a redo-only
+// workload (paper §7, "Recovery and Replay Systems"): segment files are
+// written and fsynced first, then a manifest record commits them. Opening a
+// store replays the manifest, verifying each record's CRC and ignoring any
+// torn tail, so a crash mid-materialization never yields a checkpoint that
+// replay could half-trust.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"flor.dev/flor/internal/codec"
+)
+
+// Key identifies a checkpoint: the side-effects of execution number Exec of
+// the loop statically identified by LoopID. Exec counts every execution of
+// the loop at runtime (paper §4.2: "A loop may generate zero or many Loop
+// End Checkpoints").
+type Key struct {
+	LoopID string
+	Exec   int
+}
+
+// String renders the key for logs and file names.
+func (k Key) String() string { return fmt.Sprintf("%s@%d", k.LoopID, k.Exec) }
+
+// Meta describes a committed checkpoint.
+type Meta struct {
+	Key      Key
+	Seq      int   // segment sequence number
+	Size     int64 // uncompressed payload size in bytes
+	GzSize   int64 // compressed (spooled) size; 0 until spooled
+	MaterNs  int64 // observed materialization time (serialize+write), ns
+	SnapNs   int64 // observed snapshot (training-thread) time, ns
+	ComputNs int64 // observed loop computation time, ns
+}
+
+// Store is a checkpoint store rooted at a run directory. It is safe for
+// concurrent use: record's background materializer writes while the training
+// thread queries stats.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	nextSeq int
+	index   map[Key]*Meta // latest committed checkpoint per key
+	metas   []*Meta       // commit order
+}
+
+// ErrNotFound is returned when no checkpoint exists for a key.
+var ErrNotFound = errors.New("store: checkpoint not found")
+
+// Open opens (or creates) a store at dir, replaying the manifest to rebuild
+// the index. Torn or corrupt manifest tails are truncated away; segments
+// whose files are missing or corrupt are dropped from the index.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	s := &Store{dir: dir, index: map[Key]*Meta{}}
+	if err := s.replayManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
+
+func (s *Store) segmentPath(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%08d.bin", seq))
+}
+
+func (s *Store) replayManifest() error {
+	raw, err := os.ReadFile(s.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read manifest: %w", err)
+	}
+	off := 0
+	validated := 0
+	for off < len(raw) {
+		payload, consumed, err := codec.Unframe(raw[off:])
+		if err != nil {
+			// Torn tail: truncate the manifest back to the last good record.
+			break
+		}
+		m, err := decodeMeta(payload)
+		if err != nil {
+			break
+		}
+		// A manifest record only counts if its segment survived intact.
+		if _, statErr := os.Stat(s.segmentPath(m.Seq)); statErr == nil {
+			s.index[m.Key] = m
+			s.metas = append(s.metas, m)
+			if m.Seq >= s.nextSeq {
+				s.nextSeq = m.Seq + 1
+			}
+		}
+		off += consumed
+		validated = off
+	}
+	if validated < len(raw) {
+		if err := os.Truncate(s.manifestPath(), int64(validated)); err != nil {
+			return fmt.Errorf("store: truncate torn manifest: %w", err)
+		}
+	}
+	return nil
+}
+
+func encodeMeta(m *Meta) []byte {
+	w := codec.NewWriter()
+	w.String(m.Key.LoopID)
+	w.Int(m.Key.Exec)
+	w.Int(m.Seq)
+	w.Int(int(m.Size))
+	w.Int(int(m.GzSize))
+	w.Int(int(m.MaterNs))
+	w.Int(int(m.SnapNs))
+	w.Int(int(m.ComputNs))
+	return w.Bytes()
+}
+
+func decodeMeta(b []byte) (*Meta, error) {
+	r := codec.NewReader(b)
+	m := &Meta{}
+	var err error
+	if m.Key.LoopID, err = r.String(); err != nil {
+		return nil, err
+	}
+	fields := []*int64{nil, &m.Size, &m.GzSize, &m.MaterNs, &m.SnapNs, &m.ComputNs}
+	if m.Key.Exec, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if m.Seq, err = r.Int(); err != nil {
+		return nil, err
+	}
+	for _, f := range fields[1:] {
+		v, err := r.Int()
+		if err != nil {
+			return nil, err
+		}
+		*f = int64(v)
+	}
+	return m, nil
+}
+
+// Put durably stores payload for key and commits it to the manifest.
+// snapNs and serNs are the observed snapshot and serialization times for
+// this checkpoint; Put measures its own write time and records
+// MaterNs = snapNs + serNs + writeNs, the full materialization cost used by
+// adaptive checkpointing (paper Table 2's M_i). computNs is the loop
+// execution time being memoized (C_i).
+func (s *Store) Put(key Key, payload []byte, snapNs, serNs, computNs int64) (*Meta, error) {
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	s.mu.Unlock()
+
+	w0 := time.Now()
+	framed := codec.Frame(payload)
+	path := s.segmentPath(seq)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
+		return nil, fmt.Errorf("store: write segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("store: commit segment: %w", err)
+	}
+	writeNs := time.Since(w0).Nanoseconds()
+
+	m := &Meta{
+		Key: key, Seq: seq, Size: int64(len(payload)),
+		MaterNs: snapNs + serNs + writeNs, SnapNs: snapNs, ComputNs: computNs,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open manifest: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(codec.Frame(encodeMeta(m))); err != nil {
+		return nil, fmt.Errorf("store: append manifest: %w", err)
+	}
+	s.index[key] = m
+	s.metas = append(s.metas, m)
+	return m, nil
+}
+
+// Get returns the payload of the latest committed checkpoint for key.
+func (s *Store) Get(key Key) ([]byte, error) {
+	s.mu.Lock()
+	m, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	raw, err := os.ReadFile(s.segmentPath(m.Seq))
+	if err != nil {
+		return nil, fmt.Errorf("store: read segment %d: %w", m.Seq, err)
+	}
+	payload, _, err := codec.Unframe(raw)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %d: %w", m.Seq, err)
+	}
+	return payload, nil
+}
+
+// Has reports whether a committed checkpoint exists for key.
+func (s *Store) Has(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Lookup returns the metadata for key if committed.
+func (s *Store) Lookup(key Key) (*Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.index[key]
+	return m, ok
+}
+
+// Metas returns metadata for all committed checkpoints in commit order.
+func (s *Store) Metas() []*Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Meta, len(s.metas))
+	copy(out, s.metas)
+	return out
+}
+
+// ExecsFor returns the sorted execution indices with committed checkpoints
+// for the loop; replay's partitioner aligns weak-initialization segment
+// boundaries to these.
+func (s *Store) ExecsFor(loopID string) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for k := range s.index {
+		if k.LoopID == loopID {
+			out = append(out, k.Exec)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Spool compresses every committed segment to a .gz sibling (the simulated
+// S3 spooling of paper §6; checkpoints were "compressed by a background
+// process, before being spooled to an S3 bucket"). It returns the total
+// compressed size in bytes and updates per-checkpoint GzSize metadata.
+func (s *Store) Spool() (int64, error) {
+	var total int64
+	for _, m := range s.Metas() {
+		raw, err := os.ReadFile(s.segmentPath(m.Seq))
+		if err != nil {
+			return 0, fmt.Errorf("store: spool read: %w", err)
+		}
+		gz, err := codec.Compress(raw)
+		if err != nil {
+			return 0, fmt.Errorf("store: spool compress: %w", err)
+		}
+		if err := os.WriteFile(s.segmentPath(m.Seq)+".gz", gz, 0o644); err != nil {
+			return 0, fmt.Errorf("store: spool write: %w", err)
+		}
+		s.mu.Lock()
+		m.GzSize = int64(len(gz))
+		s.mu.Unlock()
+		total += int64(len(gz))
+	}
+	return total, nil
+}
+
+// TotalSize returns the uncompressed byte total of all committed
+// checkpoints.
+func (s *Store) TotalSize() int64 {
+	var total int64
+	for _, m := range s.Metas() {
+		total += m.Size
+	}
+	return total
+}
+
+// GC deletes segments that are no longer the latest checkpoint for their
+// key, reclaiming space from superseded materializations. It returns the
+// number of segments removed.
+func (s *Store) GC() (int, error) {
+	s.mu.Lock()
+	live := map[int]bool{}
+	for _, m := range s.index {
+		live[m.Seq] = true
+	}
+	var kept []*Meta
+	for _, m := range s.metas {
+		if live[m.Seq] {
+			kept = append(kept, m)
+		}
+	}
+	s.metas = kept
+	s.mu.Unlock()
+
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: gc: %w", err)
+	}
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(name, "ckpt-%d.bin", &seq); err != nil {
+			continue
+		}
+		if !live[seq] {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return removed, fmt.Errorf("store: gc remove: %w", err)
+			}
+			os.Remove(filepath.Join(s.dir, name+".gz"))
+			removed++
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flor.dev/flor/internal/nn"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/value"
+)
+
+func weightNorm(m nn.Module) float64 { return nn.WeightNorm(m) }
+func gradNorm(m nn.Module) float64   { return nn.GradNorm(m) }
+
+// trainPattern selects the statically visible statement shape of the
+// training step, exercising the two paths through the side-effect analysis.
+type trainPattern int
+
+const (
+	// ruleOnePattern writes "avg_loss = net.train_batch(step)": the model is
+	// the receiver, so rule 1 places it in the changeset directly.
+	ruleOnePattern trainPattern = iota
+	// ruleTwoPattern writes "avg_loss = train_batch(net, step)": rule 2 adds
+	// only the target, and the model enters the changeset solely through
+	// runtime augmentation from the optimizer — the Figure 6 situation.
+	ruleTwoPattern
+)
+
+// parts bundles everything assemble needs to build one workload's program.
+type parts struct {
+	name    string
+	epochs  int
+	steps   int
+	pattern trainPattern
+	// hasSched adds an "lr_sched.step()" statement to the training loop.
+	hasSched bool
+	// setup populates the environment: it must define "net"
+	// (*value.Model), "optimizer" (*value.Optimizer), and, when hasSched,
+	// "lr_sched" (*value.Scheduler).
+	setup func(e *script.Env) error
+	// trainBatch runs one forward/backward pass for (epoch, step),
+	// returning the batch loss. It must not step the optimizer.
+	trainBatch func(e *script.Env, epoch, step int) (float64, error)
+	// evaluate computes the per-epoch validation metric from the model.
+	evaluate func(e *script.Env) (float64, error)
+}
+
+// assemble builds the canonical Flor training program of the paper's
+// Figure 2/Figure 6:
+//
+//	setup:
+//	    net, optimizer[, lr_sched] = ...   ; avg_loss = 0 ; acc = 0
+//	main loop (epochs):
+//	    train loop (steps):
+//	        avg_loss = <train-batch pattern>
+//	        optimizer.step()
+//	        [lr_sched.step()]
+//	    acc = evaluate(net)
+//	    log "metrics"
+//	tail:
+//	    log "final"
+func assemble(p parts) func() *script.Program {
+	return func() *script.Program {
+		trainStmt := func() script.Stmt {
+			do := func(e *script.Env) error {
+				loss, err := p.trainBatch(e, e.Int("epoch"), e.Int("step"))
+				if err != nil {
+					return err
+				}
+				e.SetFloat("avg_loss", loss)
+				return nil
+			}
+			if p.pattern == ruleOnePattern {
+				return script.AssignMethod([]string{"avg_loss"}, "net", "train_batch", []string{"step"}, do)
+			}
+			return script.AssignFunc([]string{"avg_loss"}, "train_batch", []string{"net", "step"}, do)
+		}()
+
+		trainBody := []script.Stmt{
+			trainStmt,
+			script.ExprMethod("optimizer", "step", nil, func(e *script.Env) error {
+				e.MustGet("optimizer").(*value.Optimizer).O.Step()
+				return nil
+			}),
+		}
+		if p.hasSched {
+			trainBody = append(trainBody, script.ExprMethod("lr_sched", "step", nil, func(e *script.Env) error {
+				e.MustGet("lr_sched").(*value.Scheduler).S.Step()
+				return nil
+			}))
+		}
+
+		train := &script.Loop{ID: "train", IterVar: "step", Iters: p.steps, Body: trainBody}
+
+		setupTargets := []string{"net", "optimizer"}
+		if p.hasSched {
+			setupTargets = append(setupTargets, "lr_sched")
+		}
+		return &script.Program{
+			Name: p.name,
+			Setup: []script.Stmt{
+				script.AssignFunc(setupTargets, "build_model", nil, p.setup),
+				script.AssignExpr([]string{"avg_loss"}, nil, func(e *script.Env) error {
+					e.SetFloat("avg_loss", 0)
+					return nil
+				}),
+				script.AssignExpr([]string{"acc"}, nil, func(e *script.Env) error {
+					e.SetFloat("acc", 0)
+					return nil
+				}),
+			},
+			Main: &script.Loop{
+				ID:      "main",
+				IterVar: "epoch",
+				Iters:   p.epochs,
+				Body: []script.Stmt{
+					script.LoopStmt(train),
+					script.AssignFunc([]string{"acc"}, "evaluate", []string{"net"}, func(e *script.Env) error {
+						acc, err := p.evaluate(e)
+						if err != nil {
+							return err
+						}
+						e.SetFloat("acc", acc)
+						return nil
+					}),
+					script.LogStmt("metrics", func(e *script.Env) (string, error) {
+						return fmt.Sprintf("epoch=%d loss=%.12g acc=%.12g",
+							e.Int("epoch"), e.Float("avg_loss"), e.Float("acc")), nil
+					}),
+				},
+			},
+			Tail: []script.Stmt{
+				script.LogStmt("final", func(e *script.Env) (string, error) {
+					return fmt.Sprintf("acc=%.12g", e.Float("acc")), nil
+				}),
+			},
+		}
+	}
+}

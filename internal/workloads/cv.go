@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"flor.dev/flor/internal/autograd"
+	"flor.dev/flor/internal/data"
+	"flor.dev/flor/internal/nn"
+	"flor.dev/flor/internal/opt"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/value"
+	"flor.dev/flor/internal/xrand"
+)
+
+// evalEpoch is the reserved epoch index for held-out evaluation batches:
+// datasets are pure functions of (epoch, step), so a huge epoch index acts
+// as a disjoint validation split.
+const evalEpoch = 1 << 20
+
+// vectorTrainer bundles a classification model over a vector dataset.
+type vectorTrainer struct {
+	ds    *data.VectorDataset
+	model nn.Classifier
+}
+
+func (vt *vectorTrainer) trainBatch(e *script.Env, epoch, step int) (float64, error) {
+	x, labels := vt.ds.Batch(epoch, step)
+	tape := autograd.NewTape()
+	nn.ZeroGrads(vt.model)
+	logits := vt.model.Forward(tape, autograd.NewConst(x))
+	loss := tape.SoftmaxCrossEntropy(logits, labels)
+	tape.Backward(loss)
+	return loss.Value.Item(), nil
+}
+
+func (vt *vectorTrainer) evaluate(e *script.Env) (float64, error) {
+	x, labels := vt.ds.Batch(evalEpoch, 0)
+	tape := autograd.NewTape()
+	logits := vt.model.Forward(tape, autograd.NewConst(x))
+	return nn.Accuracy(logits.Value, labels), nil
+}
+
+// cifrSpec is the Cifr workload: "Squeezenet" on a CIFAR-100-like synthetic
+// task, trained from scratch for 200 epochs. Its checkpoints are small next
+// to its compute, so every epoch memoizes.
+func cifrSpec() *Spec {
+	return &Spec{
+		Name: "Cifr", Benchmark: "Classic CV", Task: "Image Classification",
+		Model: "Squeezenet", Dataset: "Cifar100", Mode: "Train", PaperEpochs: 200, SmokeEpochs: 6,
+		Build: func(sc Scale) func() *script.Program {
+			epochs, steps, batch := 200, 36, 8
+			if sc == Smoke {
+				epochs, steps, batch = 6, 3, 4
+			}
+			return assemble(parts{
+				name: "Cifr", epochs: epochs, steps: steps,
+				pattern: ruleTwoPattern, hasSched: true,
+				setup: func(e *script.Env) error {
+					vt := &vectorTrainer{
+						ds:    data.NewVectorDataset(0xC1F4, 48, 10, batch, steps, 0.6),
+						model: nn.NewConvNet(xrand.New(0xC1F4), 48, 4, 5, 4, 3, 10),
+					}
+					o := opt.NewSGD(vt.model, 0.05, 0.9, 1e-4)
+					sched := opt.NewStepLR(o, 60*steps, 0.5)
+					e.Set("net", &value.Model{M: vt.model})
+					e.Set("optimizer", &value.Optimizer{O: o})
+					e.Set("lr_sched", &value.Scheduler{S: sched})
+					e.Set("trainer", newTrainerHandle(vt.trainBatch, vt.evaluate))
+					return nil
+				},
+				trainBatch: dispatchTrain,
+				evaluate:   dispatchEval,
+			})
+		},
+	}
+}
+
+// rsntSpec is the RsNt workload: a deep "ResNet-152" analogue on the same
+// synthetic task, 200 epochs. It has the paper's largest total checkpoint
+// footprint: many epochs of a large model.
+func rsntSpec() *Spec {
+	return &Spec{
+		Name: "RsNt", Benchmark: "Classic CV", Task: "Image Classification",
+		Model: "ResNet-152", Dataset: "Cifar100", Mode: "Train", PaperEpochs: 200, SmokeEpochs: 6,
+		Build: func(sc Scale) func() *script.Program {
+			epochs, steps, batch, depth := 200, 48, 8, 8
+			if sc == Smoke {
+				epochs, steps, batch, depth = 6, 2, 4, 3
+			}
+			return assemble(parts{
+				name: "RsNt", epochs: epochs, steps: steps,
+				pattern: ruleTwoPattern, hasSched: false,
+				setup: func(e *script.Env) error {
+					vt := &vectorTrainer{
+						ds:    data.NewVectorDataset(0x4E57, 64, 20, batch, steps, 0.7),
+						model: nn.NewResidualMLP(xrand.New(0x4E57), 64, 32, 32, depth, 20),
+					}
+					o := opt.NewSGD(vt.model, 0.02, 0.9, 1e-4)
+					e.Set("net", &value.Model{M: vt.model})
+					e.Set("optimizer", &value.Optimizer{O: o})
+					e.Set("trainer", newTrainerHandle(vt.trainBatch, vt.evaluate))
+					return nil
+				},
+				trainBatch: dispatchTrain,
+				evaluate:   dispatchEval,
+			})
+		},
+	}
+}
+
+// imgnSpec is the ImgN workload: "Squeezenet" on an ImageNet-like synthetic
+// task — a tiny model swamped by heavy per-epoch data (8 long epochs), so it
+// has the smallest checkpoint footprint of Table 4.
+func imgnSpec() *Spec {
+	return &Spec{
+		Name: "ImgN", Benchmark: "Classic CV", Task: "Image Classification",
+		Model: "Squeezenet", Dataset: "ImageNet", Mode: "Train", PaperEpochs: 8, SmokeEpochs: 4,
+		Build: func(sc Scale) func() *script.Program {
+			epochs, steps, batch := 8, 140, 16
+			if sc == Smoke {
+				epochs, steps, batch = 4, 4, 4
+			}
+			return assemble(parts{
+				name: "ImgN", epochs: epochs, steps: steps,
+				pattern: ruleTwoPattern, hasSched: false,
+				setup: func(e *script.Env) error {
+					vt := &vectorTrainer{
+						ds:    data.NewVectorDataset(0x1346, 64, 8, batch, steps, 0.8),
+						model: nn.NewConvNet(xrand.New(0x1346), 64, 2, 5, 2, 3, 8),
+					}
+					o := opt.NewSGD(vt.model, 0.05, 0.9, 1e-4)
+					e.Set("net", &value.Model{M: vt.model})
+					e.Set("optimizer", &value.Optimizer{O: o})
+					e.Set("trainer", newTrainerHandle(vt.trainBatch, vt.evaluate))
+					return nil
+				},
+				trainBatch: dispatchTrain,
+				evaluate:   dispatchEval,
+			})
+		},
+	}
+}

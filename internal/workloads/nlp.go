@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"flor.dev/flor/internal/autograd"
+	"flor.dev/flor/internal/data"
+	"flor.dev/flor/internal/nn"
+	"flor.dev/flor/internal/opt"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/value"
+	"flor.dev/flor/internal/xrand"
+)
+
+// seqClassTrainer fine-tunes a transformer on sentence classification.
+type seqClassTrainer struct {
+	ds    *data.TokenDataset
+	model *nn.Transformer
+}
+
+func (st *seqClassTrainer) trainBatch(e *script.Env, epoch, step int) (float64, error) {
+	seqs, labels := st.ds.Batch(epoch, step)
+	nn.ZeroGrads(st.model)
+	total := 0.0
+	for i, seq := range seqs {
+		tape := autograd.NewTape()
+		logits := st.model.ClassifyLogits(tape, seq)
+		loss := tape.SoftmaxCrossEntropy(logits, labels[i:i+1])
+		tape.Backward(loss)
+		total += loss.Value.Item()
+	}
+	return total / float64(len(seqs)), nil
+}
+
+func (st *seqClassTrainer) evaluate(e *script.Env) (float64, error) {
+	seqs, labels := st.ds.Batch(evalEpoch, 0)
+	correct := 0
+	for i, seq := range seqs {
+		tape := autograd.NewTape()
+		logits := st.model.ClassifyLogits(tape, seq)
+		if nn.Accuracy(logits.Value, labels[i:i+1]) == 1 {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(seqs)), nil
+}
+
+// fineTuneSpec builds the two GLUE fine-tuning workloads. The transformer
+// backbone is frozen: epochs update only the head, so checkpoints (the full
+// model) are enormous relative to per-epoch compute. computeRatio controls
+// steps-per-epoch, which sets the M_i/C_i profile: RTE ≈ 0.9 (the 91%
+// adaptivity-disabled overhead of Figure 7), CoLA ≈ 0.28.
+func fineTuneSpec(name, task, dataset string, paperEpochs, fullSteps, fullBatch, dim, depth int, seed uint64) *Spec {
+	return &Spec{
+		Name: name, Benchmark: "GLUE", Task: task,
+		Model: "RoBERTa", Dataset: dataset, Mode: "Fine-Tune", PaperEpochs: paperEpochs, SmokeEpochs: 6,
+		Build: func(sc Scale) func() *script.Program {
+			epochs, steps, batch := paperEpochs, fullSteps, fullBatch
+			vocab, seqLen, hidden, d, dp := 3000, 12, dim*2, dim, depth
+			if sc == Smoke {
+				epochs, steps, batch = 6, 1, 2
+				vocab, seqLen, hidden, d, dp = 200, 8, 32, 16, 2
+			}
+			return assemble(parts{
+				name: name, epochs: epochs, steps: steps,
+				pattern: ruleOnePattern, hasSched: true,
+				setup: func(e *script.Env) error {
+					model := nn.NewTransformer(xrand.New(seed), vocab, seqLen, d, hidden, dp, 2)
+					model.FreezeBackbone()
+					st := &seqClassTrainer{
+						ds:    data.NewTokenDataset(seed, vocab, seqLen, 2, batch, steps),
+						model: model,
+					}
+					o := opt.NewAdamW(model, 2e-3, 0.01)
+					sched := opt.NewCosineLR(o, epochs*steps)
+					e.Set("net", &value.Model{M: model})
+					e.Set("optimizer", &value.Optimizer{O: o})
+					e.Set("lr_sched", &value.Scheduler{S: sched})
+					e.Set("trainer", newTrainerHandle(st.trainBatch, st.evaluate))
+					return nil
+				},
+				trainBatch: dispatchTrain,
+				evaluate:   dispatchEval,
+			})
+		},
+	}
+}
+
+func rteSpec() *Spec {
+	return fineTuneSpec("RTE", "Recognizing Textual Entailment", "RTE", 200, 1, 7, 48, 3, 0x47E1)
+}
+
+func colaSpec() *Spec {
+	return fineTuneSpec("CoLA", "Language Acceptability", "CoLA", 80, 20, 2, 52, 3, 0xC01A)
+}
+
+// lmTrainer trains a transformer language model (the Wiki workload).
+type lmTrainer struct {
+	ds    *data.LMDataset
+	model *nn.Transformer
+}
+
+func (lt *lmTrainer) trainBatch(e *script.Env, epoch, step int) (float64, error) {
+	seqs, targets := lt.ds.Batch(epoch, step)
+	nn.ZeroGrads(lt.model)
+	total := 0.0
+	for i, seq := range seqs {
+		tape := autograd.NewTape()
+		logits := lt.model.LMLogits(tape, seq)
+		loss := tape.SoftmaxCrossEntropy(logits, targets[i])
+		tape.Backward(loss)
+		total += loss.Value.Item()
+	}
+	return total / float64(len(seqs)), nil
+}
+
+func (lt *lmTrainer) evaluate(e *script.Env) (float64, error) {
+	seqs, targets := lt.ds.Batch(evalEpoch, 0)
+	// Next-token accuracy over the eval batch.
+	correct, total := 0, 0
+	for i, seq := range seqs {
+		tape := autograd.NewTape()
+		logits := lt.model.LMLogits(tape, seq)
+		pred := logits.Value
+		for pos, want := range targets[i] {
+			total++
+			best, bestJ := pred.At(pos, 0), 0
+			for j := 1; j < pred.Dim(1); j++ {
+				if v := pred.At(pos, j); v > best {
+					best, bestJ = v, j
+				}
+			}
+			if bestJ == want {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// wikiSpec is the Wiki workload: training a transformer LM from scratch, 12
+// long epochs.
+func wikiSpec() *Spec {
+	return &Spec{
+		Name: "Wiki", Benchmark: "GLUE", Task: "Language Modeling",
+		Model: "RoBERTa", Dataset: "Wiki", Mode: "Train", PaperEpochs: 12, SmokeEpochs: 4,
+		Build: func(sc Scale) func() *script.Program {
+			epochs, steps, batch := 12, 20, 4
+			vocab, seqLen, dim, hidden, depth := 800, 16, 32, 64, 3
+			if sc == Smoke {
+				epochs, steps, batch = 4, 2, 2
+				vocab, seqLen, dim, hidden, depth = 120, 8, 16, 32, 2
+			}
+			return assemble(parts{
+				name: "Wiki", epochs: epochs, steps: steps,
+				pattern: ruleOnePattern, hasSched: false,
+				setup: func(e *script.Env) error {
+					model := nn.NewTransformer(xrand.New(0x3141), vocab, seqLen, dim, hidden, depth, vocab)
+					lt := &lmTrainer{
+						ds:    data.NewLMDataset(0x3141, vocab, seqLen, batch, steps),
+						model: model,
+					}
+					o := opt.NewAdamW(model, 1e-3, 0.01)
+					e.Set("net", &value.Model{M: model})
+					e.Set("optimizer", &value.Optimizer{O: o})
+					e.Set("trainer", newTrainerHandle(lt.trainBatch, lt.evaluate))
+					return nil
+				},
+				trainBatch: dispatchTrain,
+				evaluate:   dispatchEval,
+			})
+		},
+	}
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"flor.dev/flor/internal/autograd"
+	"flor.dev/flor/internal/data"
+	"flor.dev/flor/internal/nn"
+	"flor.dev/flor/internal/opt"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/value"
+	"flor.dev/flor/internal/xrand"
+)
+
+// speechTrainer trains the "Jasper" conv stack on audio-like frames.
+type speechTrainer struct {
+	ds    *data.FrameDataset
+	model *nn.ConvSpeech
+}
+
+func (st *speechTrainer) trainBatch(e *script.Env, epoch, step int) (float64, error) {
+	x, labels := st.ds.Batch(epoch, step)
+	tape := autograd.NewTape()
+	nn.ZeroGrads(st.model)
+	logits := st.model.Forward(tape, autograd.NewConst(x))
+	loss := tape.SoftmaxCrossEntropy(logits, labels)
+	tape.Backward(loss)
+	return loss.Value.Item(), nil
+}
+
+func (st *speechTrainer) evaluate(e *script.Env) (float64, error) {
+	x, labels := st.ds.Batch(evalEpoch, 0)
+	tape := autograd.NewTape()
+	logits := st.model.Forward(tape, autograd.NewConst(x))
+	return nn.Accuracy(logits.Value, labels), nil
+}
+
+// jaspSpec is the Jasp workload: speech recognition, 4 very long epochs.
+func jaspSpec() *Spec {
+	return &Spec{
+		Name: "Jasp", Benchmark: "MLPerf", Task: "Speech Recognition",
+		Model: "Jasper", Dataset: "LibriSpeech", Mode: "Train", PaperEpochs: 4, SmokeEpochs: 3,
+		Build: func(sc Scale) func() *script.Program {
+			epochs, steps, batch := 4, 80, 8
+			frameLen, kernels, klen, depth, hidden, classes := 96, 3, 7, 3, 96, 12
+			if sc == Smoke {
+				epochs, steps, batch = 3, 2, 2
+				frameLen, kernels, klen, depth, hidden, classes = 32, 2, 5, 2, 16, 4
+			}
+			return assemble(parts{
+				name: "Jasp", epochs: epochs, steps: steps,
+				pattern: ruleTwoPattern, hasSched: false,
+				setup: func(e *script.Env) error {
+					st := &speechTrainer{
+						ds:    data.NewFrameDataset(0x1A59, frameLen, classes, batch, steps),
+						model: nn.NewConvSpeech(xrand.New(0x1A59), frameLen, kernels, klen, depth, hidden, classes),
+					}
+					o := opt.NewSGD(st.model, 0.02, 0.9, 1e-4)
+					e.Set("net", &value.Model{M: st.model})
+					e.Set("optimizer", &value.Optimizer{O: o})
+					e.Set("trainer", newTrainerHandle(st.trainBatch, st.evaluate))
+					return nil
+				},
+				trainBatch: dispatchTrain,
+				evaluate:   dispatchEval,
+			})
+		},
+	}
+}
+
+// seq2seqTrainer trains the RNN-with-attention translation model.
+type seq2seqTrainer struct {
+	ds    *data.Seq2SeqDataset
+	model *nn.RNNAttention
+}
+
+func (st *seq2seqTrainer) trainBatch(e *script.Env, epoch, step int) (float64, error) {
+	srcs, tgts := st.ds.Batch(epoch, step)
+	nn.ZeroGrads(st.model)
+	total := 0.0
+	for i := range srcs {
+		tape := autograd.NewTape()
+		// Teacher forcing: position j's output predicts tgt[j+1].
+		logits := st.model.Logits(tape, srcs[i], tgts[i][:len(tgts[i])-1])
+		loss := tape.SoftmaxCrossEntropy(logits, tgts[i][1:])
+		tape.Backward(loss)
+		total += loss.Value.Item()
+	}
+	return total / float64(len(srcs)), nil
+}
+
+func (st *seq2seqTrainer) evaluate(e *script.Env) (float64, error) {
+	srcs, tgts := st.ds.Batch(evalEpoch, 0)
+	correct, total := 0, 0
+	for i := range srcs {
+		tape := autograd.NewTape()
+		logits := st.model.Logits(tape, srcs[i], tgts[i][:len(tgts[i])-1])
+		pred := logits.Value
+		for pos := 0; pos < pred.Dim(0); pos++ {
+			total++
+			best, bestJ := pred.At(pos, 0), 0
+			for j := 1; j < pred.Dim(1); j++ {
+				if v := pred.At(pos, j); v > best {
+					best, bestJ = v, j
+				}
+			}
+			if bestJ == tgts[i][pos+1] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// rnntSpec is the RnnT workload: language translation with an RNN and
+// attention, 8 heavy epochs and a large model.
+func rnntSpec() *Spec {
+	return &Spec{
+		Name: "RnnT", Benchmark: "MLPerf", Task: "Language Translation",
+		Model: "RNN w/ Attention", Dataset: "WMT16", Mode: "Train", PaperEpochs: 8, SmokeEpochs: 4,
+		Build: func(sc Scale) func() *script.Program {
+			epochs, steps, batch := 8, 24, 4
+			vocab, dim, hidden, srcLen, tgtLen := 1000, 32, 48, 10, 10
+			if sc == Smoke {
+				epochs, steps, batch = 4, 8, 4
+				vocab, dim, hidden, srcLen, tgtLen = 12, 16, 24, 5, 5
+			}
+			return assemble(parts{
+				name: "RnnT", epochs: epochs, steps: steps,
+				pattern: ruleOnePattern, hasSched: false,
+				setup: func(e *script.Env) error {
+					st := &seq2seqTrainer{
+						ds:    data.NewSeq2SeqDataset(0x7447, vocab, srcLen, tgtLen, batch, steps),
+						model: nn.NewRNNAttention(xrand.New(0x7447), vocab, dim, hidden),
+					}
+					o := opt.NewAdamW(st.model, 5e-3, 0)
+					e.Set("net", &value.Model{M: st.model})
+					e.Set("optimizer", &value.Optimizer{O: o})
+					e.Set("trainer", newTrainerHandle(st.trainBatch, st.evaluate))
+					return nil
+				},
+				trainBatch: dispatchTrain,
+				evaluate:   dispatchEval,
+			})
+		},
+	}
+}
+
+func init() {
+	// Table 3 order.
+	register(rteSpec())
+	register(colaSpec())
+	register(cifrSpec())
+	register(rsntSpec())
+	register(wikiSpec())
+	register(jaspSpec())
+	register(imgnSpec())
+	register(rnntSpec())
+}

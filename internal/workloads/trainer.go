@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/value"
+)
+
+// trainerHandle carries a workload's train/eval closures through the
+// environment, so that every program run (and every parallel replay worker)
+// binds to the model and dataset instances its own setup constructed.
+type trainerHandle struct {
+	train func(e *script.Env, epoch, step int) (float64, error)
+	eval  func(e *script.Env) (float64, error)
+}
+
+func newTrainerHandle(
+	train func(e *script.Env, epoch, step int) (float64, error),
+	eval func(e *script.Env) (float64, error),
+) *value.Opaque {
+	return &value.Opaque{V: &trainerHandle{train: train, eval: eval}}
+}
+
+func handleOf(e *script.Env) (*trainerHandle, error) {
+	v, ok := e.Get("trainer")
+	if !ok {
+		return nil, fmt.Errorf("workloads: no trainer in environment (setup not executed?)")
+	}
+	h, ok := v.(*value.Opaque).V.(*trainerHandle)
+	if !ok {
+		return nil, fmt.Errorf("workloads: trainer has unexpected type")
+	}
+	return h, nil
+}
+
+// dispatchTrain forwards the assembled train statement to the run's trainer.
+func dispatchTrain(e *script.Env, epoch, step int) (float64, error) {
+	h, err := handleOf(e)
+	if err != nil {
+		return 0, err
+	}
+	return h.train(e, epoch, step)
+}
+
+// dispatchEval forwards the assembled evaluate statement to the run's
+// trainer.
+func dispatchEval(e *script.Env) (float64, error) {
+	h, err := handleOf(e)
+	if err != nil {
+		return 0, err
+	}
+	return h.eval(e)
+}
