@@ -192,6 +192,23 @@ func BenchmarkFig14CostOfParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkCkptThroughput compares checkpoint materialize/restore
+// throughput under segment format v1 (single monolithic blob) and v2
+// (parallel frames with content-addressed dedup), reporting the v2 speedups
+// and the frozen-layer dedup ratio.
+func BenchmarkCkptThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSession(b)
+		rep, err := s.CkptThroughput(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.MatSpeedupFrozen, "mat-speedup-frozen")
+		b.ReportMetric(rep.ResSpeedupFrozen, "res-speedup-frozen")
+		b.ReportMetric(rep.DedupRatioFrozen, "dedup-ratio-frozen")
+	}
+}
+
 // BenchmarkSerializationVsIO reproduces §5.1's measurements: the
 // serialization/write ratio and the benefit of background materialization
 // (paper: overhead 4.76% on-thread vs 1.74% in background).

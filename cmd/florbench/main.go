@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	florbench [-exp all|table3|fig5|fig7|fig10|fig11|fig12|fig13|fig14|table4|ser-vs-io|cfactor]
+//	florbench [-exp all|table3|fig5|fig7|fig10|fig11|fig12|fig13|fig14|table4|ser-vs-io|cfactor|ckpt-throughput]
 //	          [-scale full|smoke] [-dir DIR]
 package main
 
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table3, fig5, fig7, fig10, fig11, fig12, fig13, fig14, table4, ser-vs-io, cfactor")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table3, fig5, fig7, fig10, fig11, fig12, fig13, fig14, table4, ser-vs-io, cfactor, ckpt-throughput")
 	scale := flag.String("scale", "full", "workload scale: full (paper epoch counts) or smoke")
 	dir := flag.String("dir", "", "run directory (default: a temp directory)")
 	flag.Parse()
@@ -67,6 +67,7 @@ func main() {
 		return err
 	})
 	run("cfactor", func() error { _, err := s.CFactor(); return err })
+	run("ckpt-throughput", func() error { _, err := s.CkptThroughput(12); return err })
 
 	fmt.Fprintln(os.Stderr, "florbench: done")
 }

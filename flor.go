@@ -316,6 +316,28 @@ func Validate(p *Program) error {
 			return fmt.Errorf("flor: loop %q has negative iteration count", l.ID)
 		}
 	}
+	return checkIterVars(p.Main, map[string]string{})
+}
+
+// checkIterVars rejects iteration-variable collisions: a loop whose IterVar
+// matches any enclosing loop's would clobber the outer counter mid-flight,
+// corrupting checkpoint keys and replay positioning. Sibling loops may share
+// an IterVar — each run to completion before the variable is read again.
+// enclosing maps each live IterVar to the loop that owns it.
+func checkIterVars(l *script.Loop, enclosing map[string]string) error {
+	if owner, clash := enclosing[l.IterVar]; clash {
+		return fmt.Errorf("flor: loop %q reuses iteration variable %q of enclosing loop %q",
+			l.ID, l.IterVar, owner)
+	}
+	enclosing[l.IterVar] = l.ID
+	defer delete(enclosing, l.IterVar)
+	for i := range l.Body {
+		if nested := l.Body[i].Loop; nested != nil {
+			if err := checkIterVars(nested, enclosing); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

@@ -150,6 +150,33 @@ func TestPublicAPIValidate(t *testing.T) {
 	}
 }
 
+func TestValidateIterVarCollisions(t *testing.T) {
+	// A nested loop reusing its ancestor's iteration variable clobbers the
+	// outer counter; Validate must reject it at any nesting depth.
+	clash := counterFactory(2, 2)()
+	clash.Main.Body[0].Loop.IterVar = clash.Main.IterVar
+	if err := flor.Validate(clash); err == nil {
+		t.Fatal("nested loop sharing the main loop's IterVar validated")
+	}
+
+	deep := counterFactory(2, 2)()
+	inner := &flor.Loop{ID: "inner", IterVar: deep.Main.IterVar, Iters: 2}
+	train := deep.Main.Body[0].Loop
+	train.Body = append(train.Body, flor.LoopStmt(inner))
+	if err := flor.Validate(deep); err == nil {
+		t.Fatal("grandchild loop sharing the main loop's IterVar validated")
+	}
+
+	// Sibling loops may share an IterVar: each runs to completion before
+	// the variable is read again.
+	siblings := counterFactory(2, 2)()
+	extra := &flor.Loop{ID: "extra", IterVar: siblings.Main.Body[0].Loop.IterVar, Iters: 2}
+	siblings.Main.Body = append(siblings.Main.Body, flor.LoopStmt(extra))
+	if err := flor.Validate(siblings); err != nil {
+		t.Fatalf("sibling loops sharing an IterVar rejected: %v", err)
+	}
+}
+
 func TestPublicAPIRejectsCodeChange(t *testing.T) {
 	dir := t.TempDir()
 	factory := counterFactory(3, 2)

@@ -1,0 +1,3 @@
+module flor.dev/flor
+
+go 1.24

@@ -20,6 +20,13 @@
 // Fork and Plasma block the caller for nearly the same time; Fork's batching
 // (one handoff per checkpoint instead of one per object) gives it the small
 // edge the paper reports.
+//
+// Since checkpoint format v2, serialization itself is also parallel:
+// bundles encode as one section per environment entry across the ckptfmt
+// worker pool (EncodeSections), and format-v2 stores chunk, frame, and
+// deduplicate those sections (store.PutSections). Every strategy gets the
+// parallel encode — the strategies only decide *where* it runs relative to
+// the training thread.
 package backmat
 
 import (
@@ -28,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"flor.dev/flor/internal/ckptfmt"
 	"flor.dev/flor/internal/codec"
 	"flor.dev/flor/internal/store"
 	"flor.dev/flor/internal/value"
@@ -86,6 +94,177 @@ func EncodeBundle(items []NamedPayload) []byte {
 	return w.Bytes()
 }
 
+// EncodeSections serializes a checkpoint bundle as one section per entry,
+// encoding entries in parallel across the ckptfmt worker pool. Sections are
+// the unit the format-v2 store chunks, frames, and deduplicates; wherever a
+// strategy runs serialization — inline for Baseline and Queue, behind the
+// training thread for Plasma and Fork — it now also runs wide.
+func EncodeSections(items []NamedPayload) []store.Section {
+	secs := make([]store.Section, len(items))
+	ckptfmt.ParallelDo(len(items), func(i int) {
+		w := codec.NewWriter()
+		value.EncodePayload(w, items[i].Payload)
+		secs[i] = store.Section{Name: items[i].Name, Data: w.Bytes()}
+	})
+	return secs
+}
+
+// DecodeSections parses sections back into bundle items, decoding entries in
+// parallel; the replay-side counterpart of EncodeSections.
+func DecodeSections(secs []store.Section) ([]NamedPayload, error) {
+	items := make([]NamedPayload, len(secs))
+	errs := make([]error, len(secs))
+	ckptfmt.ParallelDo(len(secs), func(i int) {
+		p, err := value.DecodeTaggedPayload(codec.NewReader(secs[i].Data))
+		if err != nil {
+			errs[i] = fmt.Errorf("backmat: decode %q: %w", secs[i].Name, err)
+			return
+		}
+		items[i] = NamedPayload{Name: secs[i].Name, Payload: p}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return items, nil
+}
+
+// DefaultPayloadCacheBytes bounds a PayloadCache: generous for the frozen
+// backbones it exists to hold, small next to the training state itself.
+const DefaultPayloadCacheBytes = 256 << 20
+
+// PayloadCache memoizes decoded section payloads by content identity.
+// Replay restores largely identical state epoch after epoch (frozen layers,
+// datasets, configuration); since payloads are immutable by contract and
+// every Value.Restore copies, one decode per distinct content serves the
+// whole run. The cache never evicts — once the byte budget is reached, new
+// content simply stops being cached. That keeps Contains answers stable,
+// which GetSections relies on when it skips loading content the cache has
+// promised to serve (an evicting cache could break that promise between the
+// skip decision and the decode).
+type PayloadCache struct {
+	mu   sync.Mutex
+	cap  int64
+	size int64
+	m    map[ckptfmt.Hash]cachedPayload
+	// seen implements two-touch admission: content is cached only on its
+	// second appearance, so a stream of never-repeating checkpoints (a
+	// fully mutating model) doesn't pin one-shot payloads in memory.
+	seen map[ckptfmt.Hash]struct{}
+}
+
+type cachedPayload struct {
+	p     value.Payload
+	bytes int64
+}
+
+// seenLimit caps the admission-tracking set; when exceeded it resets, which
+// merely delays admission of genuinely repeating content by one touch.
+const seenLimit = 1 << 20
+
+// NewPayloadCache returns a cache bounded to capBytes
+// (DefaultPayloadCacheBytes when <= 0).
+func NewPayloadCache(capBytes int64) *PayloadCache {
+	if capBytes <= 0 {
+		capBytes = DefaultPayloadCacheBytes
+	}
+	return &PayloadCache{cap: capBytes, m: map[ckptfmt.Hash]cachedPayload{}, seen: map[ckptfmt.Hash]struct{}{}}
+}
+
+// Contains reports whether the cache holds a payload for the identity; it
+// is the `have` callback for store.GetSections, letting the store skip
+// loading content the cache will serve anyway.
+func (c *PayloadCache) Contains(h ckptfmt.Hash) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[h]
+	return ok
+}
+
+func (c *PayloadCache) get(h ckptfmt.Hash) (value.Payload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[h]
+	return e.p, ok
+}
+
+func (c *PayloadCache) put(h ckptfmt.Hash, p value.Payload, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[h]; ok {
+		return
+	}
+	if _, ok := c.seen[h]; !ok {
+		if len(c.seen) >= seenLimit {
+			c.seen = map[ckptfmt.Hash]struct{}{}
+		}
+		c.seen[h] = struct{}{}
+		return
+	}
+	if c.size+bytes > c.cap {
+		return
+	}
+	c.m[h] = cachedPayload{p: p, bytes: bytes}
+	c.size += bytes
+}
+
+// DecodeSectionsCached parses sections into bundle items, serving sections
+// the cache already holds without decoding (their Data may be nil when the
+// store skipped loading them) and caching fresh decodes by content
+// identity. A nil cache degrades to DecodeSections.
+func DecodeSectionsCached(c *PayloadCache, secs []store.Section) ([]NamedPayload, error) {
+	if c == nil {
+		return DecodeSections(secs)
+	}
+	items := make([]NamedPayload, len(secs))
+	errs := make([]error, len(secs))
+	ckptfmt.ParallelDo(len(secs), func(i int) {
+		var zero ckptfmt.Hash
+		if secs[i].Hash != zero {
+			if p, ok := c.get(secs[i].Hash); ok {
+				items[i] = NamedPayload{Name: secs[i].Name, Payload: p}
+				return
+			}
+		}
+		if secs[i].Data == nil && secs[i].RawLen > 0 {
+			errs[i] = fmt.Errorf("backmat: section %q skipped by store but absent from cache", secs[i].Name)
+			return
+		}
+		p, err := value.DecodeTaggedPayload(codec.NewReader(secs[i].Data))
+		if err != nil {
+			errs[i] = fmt.Errorf("backmat: decode %q: %w", secs[i].Name, err)
+			return
+		}
+		items[i] = NamedPayload{Name: secs[i].Name, Payload: p}
+		if secs[i].Hash != zero {
+			c.put(secs[i].Hash, p, int64(len(secs[i].Data)))
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return items, nil
+}
+
+// BundleBytes reassembles sections into the monolithic bundle encoding —
+// byte-identical to EncodeBundle of the same items. It is the bridge from
+// the section-based encode path onto a legacy format-v1 store.
+func BundleBytes(secs []store.Section) []byte {
+	w := codec.NewWriter()
+	w.Uvarint(uint64(len(secs)))
+	for _, sec := range secs {
+		w.String(sec.Name)
+		w.RawAppend(sec.Data)
+	}
+	return w.Bytes()
+}
+
 // DecodeBundle parses a checkpoint bundle.
 func DecodeBundle(b []byte) ([]NamedPayload, error) {
 	r := codec.NewReader(b)
@@ -116,14 +295,15 @@ type Stats struct {
 	SerializeNs    int64 // encode time, wherever it ran
 	WriteNs        int64 // store write time, wherever it ran
 	BackgroundNs   int64 // work performed off the training thread
-	BytesWritten   int64
-	MaxLiveWorkers int // high-water mark of concurrent background tasks
+	BytesWritten   int64 // logical checkpoint payload bytes committed
+	StoredBytes    int64 // bytes physically added to the store (post-dedup)
+	MaxLiveWorkers int   // high-water mark of concurrent background tasks
 }
 
 type task struct {
 	key      store.Key
 	items    []NamedPayload
-	preEnc   []byte // non-nil when serialization already happened (Queue)
+	preSecs  []store.Section // non-nil when serialization already happened (Queue)
 	snapNs   int64
 	computNs int64
 }
@@ -209,15 +389,15 @@ func (m *Materializer) worker() {
 
 // finish serializes (if needed) and writes one checkpoint.
 func (m *Materializer) finish(t task) {
-	enc := t.preEnc
+	secs := t.preSecs
 	var serNs int64
-	if enc == nil {
+	if secs == nil {
 		s0 := time.Now()
-		enc = EncodeBundle(t.items)
+		secs = EncodeSections(t.items)
 		serNs = time.Since(s0).Nanoseconds()
 	}
 	w0 := time.Now()
-	meta, err := m.st.Put(t.key, enc, t.snapNs, serNs, t.computNs)
+	meta, err := m.put(t.key, secs, t.snapNs, serNs, t.computNs)
 	writeNs := time.Since(w0).Nanoseconds()
 
 	m.mu.Lock()
@@ -226,12 +406,25 @@ func (m *Materializer) finish(t task) {
 	}
 	m.stats.SerializeNs += serNs
 	m.stats.WriteNs += writeNs
-	m.stats.BytesWritten += int64(len(enc))
+	if err == nil {
+		m.stats.BytesWritten += meta.Size
+		m.stats.StoredBytes += meta.StoredBytes
+	}
 	obs := m.observer
 	m.mu.Unlock()
 	if err == nil && obs != nil {
 		obs(meta)
 	}
+}
+
+// put commits sections through the store's native write path: chunked,
+// deduplicated frames on a format-v2 store, a reassembled monolithic bundle
+// on a legacy v1 store.
+func (m *Materializer) put(key store.Key, secs []store.Section, snapNs, serNs, computNs int64) (*store.Meta, error) {
+	if m.st.Format() == store.FormatV2 {
+		return m.st.PutSections(key, secs, snapNs, serNs, computNs)
+	}
+	return m.st.Put(key, BundleBytes(secs), snapNs, serNs, computNs)
 }
 
 // Materialize checkpoints the given values under key. computNs is the
@@ -256,10 +449,10 @@ func (m *Materializer) Materialize(key store.Key, vals []NamedValue, computNs in
 	case Baseline:
 		// Serialize and write inline.
 		e0 := time.Now()
-		enc := EncodeBundle(items)
+		secs := EncodeSections(items)
 		serNs := time.Since(e0).Nanoseconds()
 		w0 := time.Now()
-		meta, err := m.st.Put(key, enc, snapNs, serNs, computNs)
+		meta, err := m.put(key, secs, snapNs, serNs, computNs)
 		writeNs := time.Since(w0).Nanoseconds()
 		m.mu.Lock()
 		if err != nil && m.firstEr == nil {
@@ -267,7 +460,10 @@ func (m *Materializer) Materialize(key store.Key, vals []NamedValue, computNs in
 		}
 		m.stats.SerializeNs += serNs
 		m.stats.WriteNs += writeNs
-		m.stats.BytesWritten += int64(len(enc))
+		if err == nil {
+			m.stats.BytesWritten += meta.Size
+			m.stats.StoredBytes += meta.StoredBytes
+		}
 		obs := m.observer
 		m.mu.Unlock()
 		if err == nil && obs != nil {
@@ -278,12 +474,12 @@ func (m *Materializer) Materialize(key store.Key, vals []NamedValue, computNs in
 		// Serialize inline (the queue pickles on the sending process), write
 		// in the background.
 		e0 := time.Now()
-		enc := EncodeBundle(items)
+		secs := EncodeSections(items)
 		serNs := time.Since(e0).Nanoseconds()
 		m.mu.Lock()
 		m.stats.SerializeNs += serNs
 		m.mu.Unlock()
-		m.tasks <- task{key: key, preEnc: enc, snapNs: snapNs, computNs: computNs}
+		m.tasks <- task{key: key, preSecs: secs, snapNs: snapNs, computNs: computNs}
 
 	case Plasma:
 		// Hand off object by object: each put into the "object store" is a

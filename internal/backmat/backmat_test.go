@@ -1,6 +1,7 @@
 package backmat
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -53,6 +54,64 @@ func TestBundleRoundTrip(t *testing.T) {
 		if !tensor.Equal(orig, dec) {
 			t.Fatalf("item %d tensor mismatch", i)
 		}
+	}
+}
+
+func TestSectionsRoundTripAndBundleEquivalence(t *testing.T) {
+	vals := sampleValues(5, 64)
+	items := make([]NamedPayload, len(vals))
+	for i, nv := range vals {
+		items[i] = NamedPayload{Name: nv.Name, Payload: nv.V.Snapshot()}
+	}
+	secs := EncodeSections(items)
+	// The section path must be byte-equivalent to the monolithic encoder.
+	if got, want := BundleBytes(secs), EncodeBundle(items); !bytes.Equal(got, want) {
+		t.Fatal("BundleBytes(EncodeSections(items)) != EncodeBundle(items)")
+	}
+	dec, err := DecodeSections(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range dec {
+		if it.Name != items[i].Name {
+			t.Fatalf("item %d name %q", i, it.Name)
+		}
+		if !tensor.Equal(it.Payload.(value.TensorPayload).T, items[i].Payload.(value.TensorPayload).T) {
+			t.Fatalf("item %d tensor mismatch", i)
+		}
+	}
+}
+
+func TestDecodeSectionsRejectsGarbage(t *testing.T) {
+	secs := []store.Section{{Name: "w", Data: []byte{0xff, 0xff, 0xff}}}
+	if _, err := DecodeSections(secs); err == nil {
+		t.Fatal("garbage section decoded")
+	}
+}
+
+func TestFrozenStateDedupsAcrossMaterializations(t *testing.T) {
+	// A frozen model checkpointed every epoch must hit the store's chunk
+	// dedup: only the first materialization pays for its bytes.
+	st := newStore(t)
+	m := New(st, Fork)
+	frozen := &value.Tensor{T: tensor.Randn(xrand.New(99), 1, 1<<16)}
+	for e := 0; e < 4; e++ {
+		m.Materialize(store.Key{LoopID: "train", Exec: e},
+			[]NamedValue{{Name: "net", V: frozen}}, 0)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := m.Stats()
+	if stats.BytesWritten < 4*(1<<19) { // 4 epochs × 64Ki floats × 8 bytes
+		t.Fatalf("BytesWritten = %d, want full logical volume", stats.BytesWritten)
+	}
+	if stats.StoredBytes > stats.BytesWritten/2 {
+		t.Fatalf("StoredBytes = %d of %d logical; frozen state not deduped",
+			stats.StoredBytes, stats.BytesWritten)
+	}
+	if r := st.Dedup().Ratio(); r < 3 {
+		t.Fatalf("dedup ratio = %.2f, want ~4 for 4 identical checkpoints", r)
 	}
 }
 

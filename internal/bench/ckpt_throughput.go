@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/nn"
+	"flor.dev/flor/internal/store"
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/value"
+	"flor.dev/flor/internal/workloads"
+	"flor.dev/flor/internal/xrand"
+)
+
+// CkptThroughputRow is one (scenario, format) measurement of the checkpoint
+// storage engine: serialize+write and read+decode throughput over the
+// logical payload volume, plus the chunk-dedup ratio the run achieved.
+type CkptThroughputRow struct {
+	Scenario    string  `json:"scenario"` // "frozen" or "mutating"
+	Format      string  `json:"format"`   // "v1-blob" or "v2-frames"
+	LogicalMB   float64 `json:"logical_mb"`
+	MatMBps     float64 `json:"materialize_mbps"`
+	ResMBps     float64 `json:"restore_mbps"`
+	DedupRatio  float64 `json:"dedup_ratio"`
+	Checkpoints int     `json:"checkpoints"`
+}
+
+// CkptThroughputReport compares format v1 (one monolithic blob per
+// checkpoint, single-goroutine codec) against format v2 (parallel frames
+// with content-addressed dedup) on the same workload.
+type CkptThroughputReport struct {
+	Rows []CkptThroughputRow `json:"rows"`
+	// MatSpeedupFrozen / ResSpeedupFrozen are v2-over-v1 throughput ratios
+	// on the frozen-layer scenario (the paper's RTE/CoLA shape: a large
+	// frozen backbone checkpointed every epoch).
+	MatSpeedupFrozen   float64 `json:"materialize_speedup_frozen"`
+	ResSpeedupFrozen   float64 `json:"restore_speedup_frozen"`
+	MatSpeedupMutating float64 `json:"materialize_speedup_mutating"`
+	ResSpeedupMutating float64 `json:"restore_speedup_mutating"`
+	DedupRatioFrozen   float64 `json:"dedup_ratio_frozen"`
+}
+
+// ckptScenario builds the environment values for one scenario and a mutator
+// applied (untimed) before each checkpoint.
+type ckptScenario struct {
+	name   string
+	vals   []backmat.NamedValue
+	mutate func(epoch int)
+}
+
+// ckptScenarios returns the two workloads: "frozen" — a multi-MB frozen
+// transformer plus a small step tensor (dedup's best case, the fine-tuning
+// workloads' shape) — and "mutating" — a multi-MB tensor fully rewritten
+// every epoch (dedup's worst case, isolating pure parallel-codec speedup).
+func ckptScenarios(scale workloads.Scale) []ckptScenario {
+	vocab, seqLen, dim, hidden, depth := 4096, 24, 96, 192, 3
+	mutLen := 1 << 19 // 4 MB of float64s
+	if scale == workloads.Smoke {
+		vocab, seqLen, dim, hidden, depth = 512, 12, 32, 64, 2
+		mutLen = 1 << 15
+	}
+	frozenModel := nn.NewTransformer(xrand.New(0xC4A7), vocab, seqLen, dim, hidden, depth, 2)
+	step := &value.Tensor{T: tensor.New(8)}
+	frozen := ckptScenario{
+		name: "frozen",
+		vals: []backmat.NamedValue{
+			{Name: "net", V: &value.Model{M: frozenModel}},
+			{Name: "step", V: step},
+		},
+		mutate: func(epoch int) { step.T.Data()[0] = float64(epoch) },
+	}
+
+	mutRng := xrand.New(0xD1CE)
+	mut := &value.Tensor{T: tensor.Randn(mutRng, 1, mutLen)}
+	mutating := ckptScenario{
+		name: "mutating",
+		vals: []backmat.NamedValue{{Name: "w", V: mut}},
+		mutate: func(epoch int) {
+			d := mut.T.Data()
+			for i := range d {
+				d[i] = mutRng.Float64()
+			}
+		},
+	}
+	return []ckptScenario{frozen, mutating}
+}
+
+// snapshotAll snapshots every value (the training-thread cost, identical
+// under both formats and excluded from the timed region).
+func snapshotAll(vals []backmat.NamedValue) []backmat.NamedPayload {
+	items := make([]backmat.NamedPayload, len(vals))
+	for i, nv := range vals {
+		items[i] = backmat.NamedPayload{Name: nv.Name, Payload: nv.V.Snapshot()}
+	}
+	return items
+}
+
+// runCkptFormat materializes and restores `epochs` checkpoints of sc under
+// the given segment format, timing only serialize+write and read+decode.
+func (s *Session) runCkptFormat(sc ckptScenario, format int, epochs int) (CkptThroughputRow, error) {
+	row := CkptThroughputRow{Scenario: sc.name, Checkpoints: epochs}
+	st, err := store.OpenFormat(s.tempDir(fmt.Sprintf("ckpt-tp-%s-v%d", sc.name, format)), format)
+	if err != nil {
+		return row, err
+	}
+	if format == store.FormatV2 {
+		row.Format = "v2-frames"
+	} else {
+		row.Format = "v1-blob"
+	}
+
+	var logical int64
+	var matNs int64
+	for e := 0; e < epochs; e++ {
+		sc.mutate(e)
+		items := snapshotAll(sc.vals)
+		key := store.Key{LoopID: "train", Exec: e}
+		t0 := time.Now()
+		if format == store.FormatV2 {
+			secs := backmat.EncodeSections(items)
+			if _, err := st.PutSections(key, secs, 0, 0, 0); err != nil {
+				return row, err
+			}
+		} else {
+			// The seed's write path: one monolithic blob from a single
+			// goroutine.
+			if _, err := st.Put(key, backmat.EncodeBundle(items), 0, 0, 0); err != nil {
+				return row, err
+			}
+		}
+		matNs += time.Since(t0).Nanoseconds()
+	}
+	for _, m := range st.Metas() {
+		logical += m.Size
+	}
+
+	// Restore with the same machinery replay uses: a content-addressed
+	// payload cache over parallel section decode. Format v1 has no content
+	// identity, so it always pays the full read+decode.
+	cache := backmat.NewPayloadCache(0)
+	var resNs int64
+	for e := 0; e < epochs; e++ {
+		key := store.Key{LoopID: "train", Exec: e}
+		t0 := time.Now()
+		var items []backmat.NamedPayload
+		secs, ok, err := st.GetSections(key, cache.Contains)
+		if err != nil {
+			return row, err
+		}
+		if ok {
+			items, err = backmat.DecodeSectionsCached(cache, secs)
+		} else {
+			raw, gerr := st.Get(key)
+			if gerr != nil {
+				return row, gerr
+			}
+			items, err = backmat.DecodeBundle(raw)
+		}
+		if err != nil {
+			return row, err
+		}
+		resNs += time.Since(t0).Nanoseconds()
+		if len(items) != len(sc.vals) {
+			return row, fmt.Errorf("bench: ckpt-throughput: epoch %d decoded %d items, want %d", e, len(items), len(sc.vals))
+		}
+	}
+
+	mb := float64(logical) / (1 << 20)
+	row.LogicalMB = mb
+	row.MatMBps = mb / (float64(matNs) / 1e9)
+	row.ResMBps = mb / (float64(resNs) / 1e9)
+	row.DedupRatio = st.Dedup().Ratio()
+	return row, nil
+}
+
+// CkptThroughput measures checkpoint materialize/restore throughput for both
+// segment formats over both scenarios and prints the comparison plus a
+// machine-readable BENCH JSON line.
+func (s *Session) CkptThroughput(epochs int) (*CkptThroughputReport, error) {
+	rep := &CkptThroughputReport{}
+	byKey := map[string]CkptThroughputRow{}
+	for _, sc := range ckptScenarios(s.Scale) {
+		for _, format := range []int{store.FormatV1, store.FormatV2} {
+			row, err := s.runCkptFormat(sc, format, epochs)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, row)
+			byKey[row.Scenario+"/"+row.Format] = row
+		}
+	}
+	speedup := func(scenario string, f func(CkptThroughputRow) float64) float64 {
+		v1 := f(byKey[scenario+"/v1-blob"])
+		if v1 == 0 {
+			return 0
+		}
+		return f(byKey[scenario+"/v2-frames"]) / v1
+	}
+	mat := func(r CkptThroughputRow) float64 { return r.MatMBps }
+	res := func(r CkptThroughputRow) float64 { return r.ResMBps }
+	rep.MatSpeedupFrozen = speedup("frozen", mat)
+	rep.ResSpeedupFrozen = speedup("frozen", res)
+	rep.MatSpeedupMutating = speedup("mutating", mat)
+	rep.ResSpeedupMutating = speedup("mutating", res)
+	rep.DedupRatioFrozen = byKey["frozen/v2-frames"].DedupRatio
+
+	s.printf("\nCheckpoint throughput: format v1 (single blob) vs v2 (parallel frames + dedup),\n")
+	s.printf("%d checkpoints per cell; MB/s over the logical payload volume.\n", epochs)
+	s.printf("%-9s %-10s %10s %14s %12s %8s\n", "scenario", "format", "logical", "materialize", "restore", "dedup")
+	for _, r := range rep.Rows {
+		s.printf("%-9s %-10s %8.1fMB %11.1fMB/s %9.1fMB/s %7.2fx\n",
+			r.Scenario, r.Format, r.LogicalMB, r.MatMBps, r.ResMBps, r.DedupRatio)
+	}
+	s.printf("v2 speedup: frozen %0.2fx materialize / %0.2fx restore; mutating %0.2fx / %0.2fx\n",
+		rep.MatSpeedupFrozen, rep.ResSpeedupFrozen, rep.MatSpeedupMutating, rep.ResSpeedupMutating)
+
+	js, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	s.printf("BENCH JSON %s\n", js)
+	return rep, nil
+}

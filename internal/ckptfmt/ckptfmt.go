@@ -1,0 +1,443 @@
+// Package ckptfmt implements checkpoint payload format v2: a frame-based,
+// parallel, content-addressed encoding of checkpoint state.
+//
+// Format v1 encodes a whole checkpoint as one blob produced and consumed on
+// a single goroutine, so both materialization and restore run at
+// single-core serialization speed — the dominant cost the paper's
+// background-materialization machinery exists to hide (§5.1). Format v2
+// removes the single-stream bottleneck instead of merely hiding it:
+//
+//   - A checkpoint payload is split into frames: one section per environment
+//     entry, with large tensor payloads chunked further (codec.SplitChunks).
+//   - Each frame is independently encodable and decodable. It carries its
+//     own style byte (StyleRaw or StyleDeflate, chosen by a size/entropy
+//     heuristic), its own CRC-32C over the encoded bytes, and a 128-bit
+//     FNV-1a content hash of the raw bytes.
+//   - Because frames are independent, encode and decode fan out across a
+//     worker pool (ParallelDo); results are bit-identical regardless of how
+//     work is distributed over goroutines.
+//   - The content hash makes chunks addressable: the store keeps one copy of
+//     each distinct chunk per run, so checkpoints that repeat state across
+//     executions (frozen layers, datasets, configuration) store it once and
+//     reference it by hash thereafter (cross-checkpoint dedup).
+//
+// The package defines the frame wire format and the segment directory that
+// maps named sections to chunk references; internal/store owns where frame
+// bytes live on disk (the chunk pack) and the run-level dedup index.
+package ckptfmt
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"flor.dev/flor/internal/codec"
+)
+
+// Frame styles: how raw chunk bytes are encoded on disk.
+const (
+	// StyleRaw stores chunk bytes verbatim.
+	StyleRaw byte = 0
+	// StyleDeflate stores chunk bytes DEFLATE-compressed (BestSpeed).
+	StyleDeflate byte = 1
+)
+
+// Style-selection heuristic: chunks smaller than minDeflateSize never pay
+// for a deflate stream's overhead, and chunks whose sampled byte entropy
+// exceeds maxDeflateEntropy bits/byte (trained float tensors, already
+// compressed data) are stored raw rather than burning CPU for ~0 gain.
+const (
+	minDeflateSize    = 128
+	maxDeflateEntropy = 6.5
+)
+
+// Hash is a 128-bit content hash; chunks are deduplicated by it.
+type Hash [16]byte
+
+// String renders the hash in hex for logs and errors.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:]) }
+
+// Word-wise hash constants: the xxh64 primes plus the murmur3 finalizer
+// multipliers, combined into a two-lane absorb/finalize construction. The
+// classic byte-at-a-time FNV runs well under serialization bandwidth, which
+// would put hashing — not encoding — on the materialization critical path;
+// absorbing 8 bytes per multiply keeps content addressing in the noise.
+const (
+	hashP1 = 0x9E3779B185EBCA87
+	hashP2 = 0xC2B2AE3D27D4EB4F
+	hashP3 = 0x165667B19E3779F9
+	fmixM1 = 0xff51afd7ed558ccd
+	fmixM2 = 0xc4ceb9fe1a85ec53
+)
+
+// fmix64 is the murmur3 64-bit finalizer: full avalanche over one word.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= fmixM1
+	x ^= x >> 33
+	x *= fmixM2
+	x ^= x >> 33
+	return x
+}
+
+func rotl64(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+// HashChunk returns the 128-bit content hash of raw chunk bytes: two lanes
+// absorb the input a word at a time and are cross-mixed through fmix64, so
+// the hash runs at memory bandwidth while keeping enough avalanche for
+// content addressing. (FNV-style simplicity, wide like the BLAKE family's
+// digests; not cryptographic — dedup trusts the training process, not an
+// adversary.)
+func HashChunk(b []byte) Hash {
+	n := uint64(len(b))
+	h1 := hashP3 ^ n
+	h2 := hashP1 + n*hashP2
+	i := 0
+	for ; i+16 <= len(b); i += 16 {
+		w1 := binary.LittleEndian.Uint64(b[i:])
+		w2 := binary.LittleEndian.Uint64(b[i+8:])
+		h1 = rotl64(h1^(w1*hashP2), 27) * hashP1
+		h2 = rotl64(h2^(w2*hashP1), 31) * hashP2
+	}
+	if i+8 <= len(b) {
+		w := binary.LittleEndian.Uint64(b[i:])
+		h1 = rotl64(h1^(w*hashP2), 27) * hashP1
+		i += 8
+	}
+	if i < len(b) {
+		var tail [8]byte
+		copy(tail[:], b[i:])
+		w := binary.LittleEndian.Uint64(tail[:]) | uint64(len(b)-i)<<56
+		h2 = rotl64(h2^(w*hashP1), 31) * hashP2
+	}
+	a := fmix64(h1 ^ rotl64(h2, 17))
+	c := fmix64(h2 ^ rotl64(h1, 43) ^ n*hashP3)
+	var h Hash
+	binary.LittleEndian.PutUint64(h[:8], a)
+	binary.LittleEndian.PutUint64(h[8:], c)
+	return h
+}
+
+// HashOfHashes derives a composite identity from an ordered hash list; a
+// section's identity is the hash of its chunks' hashes, letting restore
+// caches recognize repeated content before any chunk bytes are read.
+func HashOfHashes(hs []Hash) Hash {
+	buf := make([]byte, 0, 16*len(hs))
+	for _, h := range hs {
+		buf = append(buf, h[:]...)
+	}
+	return HashChunk(buf)
+}
+
+// Frame is one independently encoded chunk of checkpoint payload.
+type Frame struct {
+	Style  byte
+	RawLen int    // decoded length
+	Hash   Hash   // content hash of the raw bytes
+	Enc    []byte // encoded bytes (verbatim or deflate, per Style)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Build encodes one raw chunk into a frame, choosing the style by the
+// size/entropy heuristic and keeping the raw encoding whenever deflate fails
+// to actually shrink the chunk.
+func Build(raw []byte) Frame {
+	f := Frame{Style: StyleRaw, RawLen: len(raw), Hash: HashChunk(raw), Enc: raw}
+	if len(raw) < minDeflateSize || codec.SampleEntropy(raw) > maxDeflateEntropy {
+		return f
+	}
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return f
+	}
+	if _, err := zw.Write(raw); err != nil {
+		return f
+	}
+	if err := zw.Close(); err != nil {
+		return f
+	}
+	if buf.Len() < len(raw) {
+		f.Style = StyleDeflate
+		f.Enc = buf.Bytes()
+	}
+	return f
+}
+
+// EncodeChunks builds a frame per raw chunk, in parallel across the worker
+// pool. Output order matches input order.
+func EncodeChunks(chunks [][]byte) []Frame {
+	frames := make([]Frame, len(chunks))
+	ParallelDo(len(chunks), func(i int) {
+		frames[i] = Build(chunks[i])
+	})
+	return frames
+}
+
+// Frame wire format:
+//
+//	style(1) | uvarint rawLen | uvarint encLen | hash(16) | enc | crc32c(4)
+//
+// The CRC covers every preceding byte of the frame, so a flip anywhere —
+// header, hash, or body — is detected before decompression is attempted.
+
+// Append serializes the frame onto dst and returns the extended slice.
+func (f *Frame) Append(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, f.Style)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(f.RawLen))
+	dst = append(dst, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(f.Enc)))
+	dst = append(dst, tmp[:n]...)
+	dst = append(dst, f.Hash[:]...)
+	dst = append(dst, f.Enc...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(dst[start:], castagnoli))
+	return append(dst, crc[:]...)
+}
+
+// Marshal serializes the frame into a fresh buffer.
+func (f *Frame) Marshal() []byte {
+	return f.Append(make([]byte, 0, len(f.Enc)+32))
+}
+
+// Parse reads one frame from the front of b, verifying its CRC, and returns
+// the number of bytes consumed. The returned frame's Enc aliases b.
+func Parse(b []byte) (Frame, int, error) {
+	var f Frame
+	if len(b) < 1 {
+		return f, 0, fmt.Errorf("%w: empty frame", codec.ErrCorrupt)
+	}
+	f.Style = b[0]
+	off := 1
+	rawLen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return f, 0, fmt.Errorf("%w: bad frame rawLen", codec.ErrCorrupt)
+	}
+	off += n
+	encLen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return f, 0, fmt.Errorf("%w: bad frame encLen", codec.ErrCorrupt)
+	}
+	off += n
+	if uint64(len(b)-off) < 16+encLen+4 {
+		return f, 0, fmt.Errorf("%w: truncated frame (need %d bytes, have %d)",
+			codec.ErrCorrupt, off+16+int(encLen)+4, len(b))
+	}
+	copy(f.Hash[:], b[off:])
+	off += 16
+	f.RawLen = int(rawLen)
+	f.Enc = b[off : off+int(encLen)]
+	off += int(encLen)
+	want := binary.LittleEndian.Uint32(b[off:])
+	if got := crc32.Checksum(b[:off], castagnoli); got != want {
+		return f, 0, fmt.Errorf("%w: frame CRC mismatch (got %08x want %08x)", codec.ErrCorrupt, got, want)
+	}
+	return f, off + 4, nil
+}
+
+// Decode recovers the frame's raw chunk bytes, verifying length and content
+// hash; any mismatch surfaces codec.ErrCorrupt. Raw-style frames return a
+// slice aliasing Enc (zero copy).
+func (f *Frame) Decode() ([]byte, error) { return f.DecodeInto(nil) }
+
+// DecodeInto decodes into dst, which must be exactly RawLen bytes (or nil
+// to let the frame choose: alias for raw style, fresh buffer for deflate).
+// Assembling a multi-chunk section decodes every frame straight into its
+// slice of one preallocated buffer, with no intermediate copies.
+func (f *Frame) DecodeInto(dst []byte) ([]byte, error) {
+	if dst != nil && len(dst) != f.RawLen {
+		return nil, fmt.Errorf("ckptfmt: DecodeInto buffer is %d bytes, frame holds %d", len(dst), f.RawLen)
+	}
+	var raw []byte
+	switch f.Style {
+	case StyleRaw:
+		if len(f.Enc) != f.RawLen {
+			return nil, fmt.Errorf("%w: raw frame is %d bytes, header says %d", codec.ErrCorrupt, len(f.Enc), f.RawLen)
+		}
+		if dst == nil {
+			raw = f.Enc
+		} else {
+			copy(dst, f.Enc)
+			raw = dst
+		}
+	case StyleDeflate:
+		zr := flate.NewReader(bytes.NewReader(f.Enc))
+		if dst != nil {
+			if _, err := io.ReadFull(zr, dst); err != nil {
+				zr.Close()
+				return nil, fmt.Errorf("%w: frame inflate: %v", codec.ErrCorrupt, err)
+			}
+			// The stream must end exactly at RawLen.
+			var one [1]byte
+			if n, _ := zr.Read(one[:]); n != 0 {
+				zr.Close()
+				return nil, fmt.Errorf("%w: frame inflates past %d bytes", codec.ErrCorrupt, f.RawLen)
+			}
+			zr.Close()
+			raw = dst
+		} else {
+			var err error
+			raw, err = io.ReadAll(zr)
+			zr.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%w: frame inflate: %v", codec.ErrCorrupt, err)
+			}
+			if len(raw) != f.RawLen {
+				return nil, fmt.Errorf("%w: frame decoded to %d bytes, header says %d", codec.ErrCorrupt, len(raw), f.RawLen)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown frame style 0x%02x", codec.ErrCorrupt, f.Style)
+	}
+	if HashChunk(raw) != f.Hash {
+		return nil, fmt.Errorf("%w: frame content hash mismatch", codec.ErrCorrupt)
+	}
+	return raw, nil
+}
+
+// DecodeAll decodes every frame in parallel across the worker pool,
+// returning raw chunks in frame order, or the first error encountered.
+func DecodeAll(frames []Frame) ([][]byte, error) {
+	chunks := make([][]byte, len(frames))
+	errs := make([]error, len(frames))
+	ParallelDo(len(frames), func(i int) {
+		chunks[i], errs[i] = frames[i].Decode()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return chunks, nil
+}
+
+// ---------- segment directory ----------
+
+// DefaultChunkSize is the chunking granularity for large sections: big
+// enough to amortize per-frame overhead, small enough that a multi-MB model
+// fans out across the whole worker pool.
+const DefaultChunkSize = 256 << 10
+
+// ChunkRef names one chunk of a section by content hash and raw length.
+type ChunkRef struct {
+	Hash   Hash
+	RawLen int
+}
+
+// SectionRef describes one named section (environment entry) of a
+// checkpoint as an ordered list of chunk references.
+type SectionRef struct {
+	Name   string
+	Chunks []ChunkRef
+}
+
+// RawLen returns the section's total decoded length.
+func (s *SectionRef) RawLen() int {
+	n := 0
+	for _, c := range s.Chunks {
+		n += c.RawLen
+	}
+	return n
+}
+
+// Directory is the content of a format-v2 segment file: it maps a
+// checkpoint's named sections to the content-addressed chunks holding their
+// bytes. Opaque marks payloads stored through the blob API (no section
+// structure) so reads can reassemble them verbatim.
+type Directory struct {
+	Opaque   bool
+	Sections []SectionRef
+}
+
+// RawLen returns the total decoded payload length across all sections.
+func (d *Directory) RawLen() int64 {
+	var n int64
+	for i := range d.Sections {
+		n += int64(d.Sections[i].RawLen())
+	}
+	return n
+}
+
+// dirMagic heads every encoded directory, versioning the segment format.
+const dirMagic = "FLV2"
+
+// EncodeDirectory serializes a directory.
+func EncodeDirectory(d *Directory) []byte {
+	w := codec.NewWriter()
+	w.String(dirMagic)
+	w.Bool(d.Opaque)
+	w.Uvarint(uint64(len(d.Sections)))
+	for i := range d.Sections {
+		s := &d.Sections[i]
+		w.String(s.Name)
+		w.Uvarint(uint64(len(s.Chunks)))
+		for _, c := range s.Chunks {
+			w.RawBytes(c.Hash[:])
+			w.Uvarint(uint64(c.RawLen))
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeDirectory parses an encoded directory.
+func DecodeDirectory(b []byte) (*Directory, error) {
+	r := codec.NewReader(b)
+	magic, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	if magic != dirMagic {
+		return nil, fmt.Errorf("%w: segment directory magic %q", codec.ErrCorrupt, magic)
+	}
+	d := &Directory{}
+	if d.Opaque, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	ns, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ns > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: implausible section count %d", codec.ErrCorrupt, ns)
+	}
+	d.Sections = make([]SectionRef, 0, ns)
+	for i := uint64(0); i < ns; i++ {
+		var s SectionRef
+		if s.Name, err = r.String(); err != nil {
+			return nil, err
+		}
+		nc, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nc > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("%w: implausible chunk count %d", codec.ErrCorrupt, nc)
+		}
+		s.Chunks = make([]ChunkRef, 0, nc)
+		for j := uint64(0); j < nc; j++ {
+			var c ChunkRef
+			hb, err := r.RawBytes()
+			if err != nil {
+				return nil, err
+			}
+			if len(hb) != 16 {
+				return nil, fmt.Errorf("%w: chunk hash length %d, want 16", codec.ErrCorrupt, len(hb))
+			}
+			copy(c.Hash[:], hb)
+			rl, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			c.RawLen = int(rl)
+			s.Chunks = append(s.Chunks, c)
+		}
+		d.Sections = append(d.Sections, s)
+	}
+	return d, nil
+}

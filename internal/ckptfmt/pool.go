@@ -1,0 +1,44 @@
+package ckptfmt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the size of the package's encode/decode worker pool. It defaults
+// to GOMAXPROCS and is a variable so benchmarks can pin it.
+var Workers = runtime.GOMAXPROCS(0)
+
+// ParallelDo runs f(i) for every i in [0, n), spread across at most Workers
+// goroutines. Frames are independent (each carries its own style, CRC, and
+// content hash), so both encode and decode distribute over this helper;
+// callers must make f safe for concurrent invocation on distinct indices.
+func ParallelDo(n int, f func(int)) {
+	w := Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

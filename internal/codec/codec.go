@@ -17,9 +17,19 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"unsafe"
 
 	"flor.dev/flor/internal/tensor"
 )
+
+// hostLittleEndian reports whether float64 slices already have the wire
+// byte order in memory, enabling the memcpy fast paths below. The wire
+// format is little-endian regardless; big-endian hosts take the per-element
+// loop.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
 
 // ErrCorrupt is returned when an integrity check fails during decoding.
 var ErrCorrupt = errors.New("codec: corrupt data")
@@ -82,6 +92,12 @@ func (w *Writer) RawBytes(b []byte) {
 	w.buf.Write(b)
 }
 
+// RawAppend appends bytes verbatim, with no length prefix; used to splice
+// pre-encoded payloads into a stream whose framing is managed by the caller.
+func (w *Writer) RawAppend(b []byte) {
+	w.buf.Write(b)
+}
+
 // Tensor appends a shape-prefixed dense tensor.
 func (w *Writer) Tensor(t *tensor.Tensor) {
 	shape := t.Shape()
@@ -90,9 +106,18 @@ func (w *Writer) Tensor(t *tensor.Tensor) {
 		w.Uvarint(uint64(d))
 	}
 	data := t.Data()
-	// Bulk-encode the float payload into one contiguous block: a single
-	// buffer write keeps serialization at memory bandwidth rather than
-	// call-overhead bandwidth (this is the record phase's hottest path).
+	if len(data) == 0 {
+		return
+	}
+	// Bulk-encode the float payload in one contiguous write: serialization
+	// is the record phase's hottest path (the paper's dominant
+	// materialization cost), so on little-endian hosts the float block is
+	// written straight from memory — IEEE-754 little-endian is both the
+	// in-memory and the wire representation.
+	if hostLittleEndian {
+		w.buf.Write(unsafe.Slice((*byte)(unsafe.Pointer(&data[0])), 8*len(data)))
+		return
+	}
 	block := make([]byte, 8*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(block[8*i:], math.Float64bits(v))
@@ -216,8 +241,14 @@ func (r *Reader) Tensor() (*tensor.Tensor, error) {
 	}
 	out := tensor.New(shape...)
 	od := out.Data()
-	for i := 0; i < n; i++ {
-		od[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off+8*i:]))
+	if n > 0 {
+		if hostLittleEndian {
+			copy(unsafe.Slice((*byte)(unsafe.Pointer(&od[0])), 8*n), r.buf[r.off:r.off+8*n])
+		} else {
+			for i := 0; i < n; i++ {
+				od[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off+8*i:]))
+			}
+		}
 	}
 	r.off += 8 * n
 	return out, nil
@@ -273,6 +304,57 @@ func Unframe(b []byte) (payload []byte, consumed int, err error) {
 		return nil, 0, fmt.Errorf("%w: frame CRC mismatch (got %08x want %08x)", ErrCorrupt, got, want)
 	}
 	return payload, total, nil
+}
+
+// SplitChunks cuts b into consecutive chunks of at most chunkSize bytes.
+// The returned slices alias b. A nil or empty input yields no chunks; format
+// v2 uses this to cut large tensor payloads into independently encodable
+// frames.
+func SplitChunks(b []byte, chunkSize int) [][]byte {
+	if chunkSize <= 0 || len(b) == 0 {
+		if len(b) == 0 {
+			return nil
+		}
+		return [][]byte{b}
+	}
+	out := make([][]byte, 0, (len(b)+chunkSize-1)/chunkSize)
+	for len(b) > chunkSize {
+		out = append(out, b[:chunkSize])
+		b = b[chunkSize:]
+	}
+	return append(out, b)
+}
+
+// entropySampleLimit bounds how many bytes SampleEntropy inspects; a 64 KiB
+// prefix is representative enough to classify a chunk as compressible.
+const entropySampleLimit = 64 << 10
+
+// SampleEntropy estimates the Shannon entropy of b in bits per byte from a
+// bounded prefix sample. Already-compressed or high-precision numeric data
+// scores near 8.0; zero-filled or textual data scores far lower. Format v2's
+// style heuristic uses this to skip deflate where it cannot pay for itself.
+func SampleEntropy(b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	sample := b
+	if len(sample) > entropySampleLimit {
+		sample = sample[:entropySampleLimit]
+	}
+	var hist [256]int
+	for _, c := range sample {
+		hist[c]++
+	}
+	n := float64(len(sample))
+	h := 0.0
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
 }
 
 // Compress gzips b at the default compression level.

@@ -247,3 +247,47 @@ func TestQuickTensorRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitChunks(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	chunks := SplitChunks(data, 256)
+	if len(chunks) != 4 {
+		t.Fatalf("chunk count = %d, want 4", len(chunks))
+	}
+	var reassembled []byte
+	for i, c := range chunks {
+		if i < 3 && len(c) != 256 {
+			t.Fatalf("chunk %d length %d, want 256", i, len(c))
+		}
+		reassembled = append(reassembled, c...)
+	}
+	if !bytes.Equal(reassembled, data) {
+		t.Fatal("chunks do not reassemble to the input")
+	}
+	if got := SplitChunks(nil, 256); got != nil {
+		t.Fatalf("SplitChunks(nil) = %v", got)
+	}
+	if got := SplitChunks(data[:10], 256); len(got) != 1 || len(got[0]) != 10 {
+		t.Fatalf("short input chunks = %v", got)
+	}
+	if got := SplitChunks(data, 0); len(got) != 1 {
+		t.Fatalf("non-positive chunk size: %d chunks, want 1 undivided", len(got))
+	}
+}
+
+func TestQuickSplitChunksReassemble(t *testing.T) {
+	f := func(data []byte, size uint16) bool {
+		chunks := SplitChunks(data, int(size%1024)+1)
+		var re []byte
+		for _, c := range chunks {
+			re = append(re, c...)
+		}
+		return bytes.Equal(re, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,16 +76,17 @@ type Recording struct {
 
 // WorkerReport describes one parallel worker's replay.
 type WorkerReport struct {
-	PID       int
-	Segment   [2]int // [start, end) main-loop iterations
-	InitFrom  int    // first iteration replayed in init mode
-	Logs      []string
-	SetupNs   int64
-	InitNs    int64
-	WorkNs    int64
-	RestoreNs int64
-	Restored  int
-	Executed  int
+	PID           int
+	Segment       [2]int // [start, end) main-loop iterations
+	InitFrom      int    // first iteration replayed in init mode
+	Logs          []string
+	SetupNs       int64
+	InitNs        int64
+	WorkNs        int64
+	RestoreNs     int64
+	Restored      int
+	RestoredBytes int64 // logical checkpoint bytes loaded by this worker
+	Executed      int
 }
 
 // Result is the outcome of a replay.
@@ -260,6 +261,7 @@ func runWorker(rec *Recording, factory func() *script.Program, diff *script.Diff
 		st := b.Stats()
 		report.RestoreNs += st.RestoreNs
 		report.Restored += st.Restored
+		report.RestoredBytes += st.RestoredBytes
 		report.Executed += st.Executed
 	}
 	return report, nil

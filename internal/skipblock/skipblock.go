@@ -54,11 +54,12 @@ func (m Mode) String() string {
 
 // Stats counts what a SkipBlock did over a run.
 type Stats struct {
-	Executed     int // loop ran logically
-	Restored     int // loop skipped, side-effects loaded from checkpoint
-	Materialized int // checkpoints handed to the materializer
-	ComputNs     int64
-	RestoreNs    int64
+	Executed      int // loop ran logically
+	Restored      int // loop skipped, side-effects loaded from checkpoint
+	Materialized  int // checkpoints handed to the materializer
+	ComputNs      int64
+	RestoreNs     int64
+	RestoredBytes int64 // logical payload bytes loaded by restores
 }
 
 // Block is the runtime state of one SkipBlock-enclosed loop.
@@ -91,6 +92,10 @@ type Runtime struct {
 	tracker *adapt.Tracker
 	mat     *backmat.Materializer
 	st      *store.Store
+	// cache memoizes decoded section payloads across restores: replay loads
+	// largely identical state every epoch, so repeated content (frozen
+	// layers, datasets) decodes once per run instead of once per restore.
+	cache *backmat.PayloadCache
 }
 
 // NewRuntime instruments a program's nested loops: every loop (other than
@@ -103,6 +108,7 @@ func NewRuntime(p *script.Program, tracker *adapt.Tracker, mat *backmat.Material
 		tracker: tracker,
 		mat:     mat,
 		st:      st,
+		cache:   backmat.NewPayloadCache(0),
 	}
 	for _, l := range p.Loops() {
 		if p.Main != nil && l.ID == p.Main.ID {
@@ -244,15 +250,34 @@ func (b *Block) execute(ctx *script.Ctx) error {
 }
 
 // restore loads the Loop End Checkpoint and applies its side-effects.
+// Format-v2 checkpoints restore through the parallel path: chunk frames are
+// read and decoded across the worker pool (store.GetSections), then bundle
+// entries decode in parallel too (backmat.DecodeSections). Format-v1 and
+// opaque checkpoints fall back to the monolithic decode.
 func (b *Block) restore(ctx *script.Ctx, key store.Key) error {
 	t0 := time.Now()
-	raw, err := b.rt.st.Get(key)
+	var items []backmat.NamedPayload
+	var restoredBytes int64
+	secs, ok, err := b.rt.st.GetSections(key, b.rt.cache.Contains)
 	if err != nil {
 		return fmt.Errorf("skipblock: %s: %w", key, err)
 	}
-	items, err := backmat.DecodeBundle(raw)
-	if err != nil {
-		return fmt.Errorf("skipblock: %s: %w", key, err)
+	if ok {
+		for _, sec := range secs {
+			restoredBytes += int64(sec.RawLen)
+		}
+		if items, err = backmat.DecodeSectionsCached(b.rt.cache, secs); err != nil {
+			return fmt.Errorf("skipblock: %s: %w", key, err)
+		}
+	} else {
+		raw, err := b.rt.st.Get(key)
+		if err != nil {
+			return fmt.Errorf("skipblock: %s: %w", key, err)
+		}
+		restoredBytes = int64(len(raw))
+		if items, err = backmat.DecodeBundle(raw); err != nil {
+			return fmt.Errorf("skipblock: %s: %w", key, err)
+		}
 	}
 	for _, it := range items {
 		v, ok := ctx.Env.Get(it.Name)
@@ -266,6 +291,7 @@ func (b *Block) restore(ctx *script.Ctx, key store.Key) error {
 	restoreNs := time.Since(t0).Nanoseconds()
 	b.stats.Restored++
 	b.stats.RestoreNs += restoreNs
+	b.stats.RestoredBytes += restoredBytes
 	if meta, ok := b.rt.st.Lookup(key); ok {
 		b.rt.tracker.NoteRestore(restoreNs, meta.MaterNs)
 	}

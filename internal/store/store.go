@@ -1,23 +1,52 @@
 // Package store implements the on-disk checkpoint store backing Flor record
 // and replay.
 //
-// Layout of a run directory:
+// Layout of a run directory (segment format v2, the default for new runs):
 //
-//	<dir>/MANIFEST            append-only log of committed checkpoints
-//	<dir>/ckpt-<seq>.bin      one segment file per checkpoint (CRC-framed)
+//	<dir>/FORMAT              format marker ("2"); absent in legacy v1 runs
+//	<dir>/MANIFEST            append-only log of committed checkpoints and
+//	                          dedup chunk-index records
+//	<dir>/CHUNKS              append-only pack of content-addressed frames
+//	<dir>/ckpt-<seq>.bin      one segment file per checkpoint
 //	<dir>/ckpt-<seq>.bin.gz   optional spooled (gzip) copy, the "S3 object"
 //
+// In format v2 a segment file holds only a CRC-framed *directory* (package
+// ckptfmt): the checkpoint's named sections and, per section, the ordered
+// content hashes of the chunks holding its bytes. The chunk bytes themselves
+// live in the CHUNKS pack as independent frames — style byte (raw or
+// deflate), CRC-32C, 128-bit content hash — written once per distinct hash
+// and shared by every checkpoint of the run that references them
+// (cross-checkpoint dedup: frozen layers, datasets, and configuration are
+// stored once). Frames encode and decode in parallel across a worker pool.
+//
+// The MANIFEST interleaves two record kinds, each individually CRC-framed:
+//
+//	'C' chunk record  hash, pack offset, encoded length, raw length, style —
+//	                  an entry of the run's dedup chunk index
+//	'M' meta record   a committed checkpoint (key, segment seq, sizes,
+//	                  timings, format)
+//
+// Chunk records precede the meta record of the checkpoint that introduced
+// them, and pack bytes are written before either, so a crash at any point
+// leaves a prefix-consistent run: opening a store replays the manifest,
+// verifying each record's CRC and ignoring any torn tail.
+//
+// Legacy format v1 (one monolithic CRC-framed blob per segment, untyped
+// manifest records) is detected from the absence of the FORMAT marker; v1
+// runs remain fully readable and writable in v1.
+//
 // The design follows write-ahead-log discipline adapted to a redo-only
-// workload (paper §7, "Recovery and Replay Systems"): segment files are
-// written and fsynced first, then a manifest record commits them. Opening a
-// store replays the manifest, verifying each record's CRC and ignoring any
-// torn tail, so a crash mid-materialization never yields a checkpoint that
-// replay could half-trust.
+// workload (paper §7, "Recovery and Replay Systems"): segment files and pack
+// bytes are written first, then a manifest record commits them, so a crash
+// mid-materialization never yields a checkpoint that replay could
+// half-trust.
 package store
 
 import (
+	"compress/gzip"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -25,7 +54,22 @@ import (
 	"sync"
 	"time"
 
+	"flor.dev/flor/internal/ckptfmt"
 	"flor.dev/flor/internal/codec"
+)
+
+// Format identifies a segment encoding.
+const (
+	// FormatV1 is the legacy single-blob-per-segment encoding.
+	FormatV1 = 1
+	// FormatV2 is the frame-based, deduplicated encoding (package ckptfmt).
+	FormatV2 = 2
+)
+
+// Manifest record tags (format v2 manifests only).
+const (
+	recMeta  = 'M'
+	recChunk = 'C'
 )
 
 // Key identifies a checkpoint: the side-effects of execution number Exec of
@@ -49,41 +93,154 @@ type Meta struct {
 	MaterNs  int64 // observed materialization time (serialize+write), ns
 	SnapNs   int64 // observed snapshot (training-thread) time, ns
 	ComputNs int64 // observed loop computation time, ns
+	Format   int   // segment format (FormatV1 or FormatV2)
+	// StoredBytes is the number of pack bytes this checkpoint added (encoded
+	// size of its previously unseen chunks). Dedup hits make it smaller than
+	// Size; always equal to Size's framed encoding in format v1.
+	StoredBytes int64
+}
+
+// Section is one named slice of a checkpoint payload — the encoded bytes of
+// one environment entry. Materialization hands sections to PutSections so
+// the store can chunk, dedup, and frame them independently. On reads the
+// store also reports each section's content identity (the hash of its chunk
+// hashes) and logical length, so restore caches can recognize repeated
+// content — and ask the store not to load it at all.
+type Section struct {
+	Name string
+	Data []byte
+	// Hash is the section's content identity on read paths (zero on writes
+	// and for format-v1 fallbacks).
+	Hash ckptfmt.Hash
+	// RawLen is the section's logical byte length, valid even when Data was
+	// skipped at the caller's request.
+	RawLen int
+}
+
+// DedupStats aggregates the run's chunk-level storage accounting.
+type DedupStats struct {
+	LogicalBytes   int64 // raw bytes referenced by all committed checkpoints
+	StoredRawBytes int64 // raw bytes of distinct chunks actually stored
+	StoredEncBytes int64 // encoded (post-style) bytes appended to the pack
+	ChunkRefs      int64 // chunk references across all checkpoints
+	ChunksStored   int64 // distinct chunks written to the pack
+}
+
+// Ratio returns the dedup ratio: logical bytes per stored raw byte. A run
+// with no repeated state scores 1.0; frozen-layer workloads score higher.
+func (d DedupStats) Ratio() float64 {
+	if d.StoredRawBytes == 0 {
+		return 1
+	}
+	return float64(d.LogicalBytes) / float64(d.StoredRawBytes)
+}
+
+// chunkLoc locates one content-addressed frame inside the CHUNKS pack.
+type chunkLoc struct {
+	Off    int64
+	EncLen int
+	RawLen int
+	Style  byte
 }
 
 // Store is a checkpoint store rooted at a run directory. It is safe for
 // concurrent use: record's background materializer writes while the training
-// thread queries stats.
+// thread queries stats, and replay workers read in parallel.
 type Store struct {
-	dir string
+	dir    string
+	format int
 
 	mu      sync.Mutex
 	nextSeq int
 	index   map[Key]*Meta // latest committed checkpoint per key
 	metas   []*Meta       // commit order
+	chunks  map[ckptfmt.Hash]chunkLoc
+	dedup   DedupStats
+	packLen int64 // current CHUNKS pack length
 }
 
 // ErrNotFound is returned when no checkpoint exists for a key.
 var ErrNotFound = errors.New("store: checkpoint not found")
 
 // Open opens (or creates) a store at dir, replaying the manifest to rebuild
-// the index. Torn or corrupt manifest tails are truncated away; segments
-// whose files are missing or corrupt are dropped from the index.
+// the checkpoint index and the dedup chunk index. Torn or corrupt manifest
+// tails are truncated away; segments whose files are missing or corrupt are
+// dropped from the index. New stores are created at format v2; directories
+// recorded before the FORMAT marker existed open as v1.
 func Open(dir string) (*Store, error) {
+	return OpenFormat(dir, 0)
+}
+
+// OpenFormat opens a store forcing the given segment format for writes
+// (FormatV1 or FormatV2); format 0 auto-detects: the FORMAT marker if
+// present, v1 for pre-existing unmarked runs, v2 for new directories.
+// Benchmarks use the explicit form to compare the two write paths.
+func OpenFormat(dir string, format int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
-	s := &Store{dir: dir, index: map[Key]*Meta{}}
+	s := &Store{dir: dir, index: map[Key]*Meta{}, chunks: map[ckptfmt.Hash]chunkLoc{}}
+	if err := s.detectFormat(format); err != nil {
+		return nil, err
+	}
 	if err := s.replayManifest(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
+func (s *Store) detectFormat(force int) error {
+	detected := 0
+	raw, err := os.ReadFile(s.formatPath())
+	switch {
+	case err == nil:
+		marker := strings.TrimSpace(string(raw))
+		if marker != "2" {
+			// An unknown marker means a newer (or corrupted) layout whose
+			// manifest records this build would misparse as a torn tail and
+			// truncate away — refuse rather than destroy.
+			return fmt.Errorf("store: unsupported format marker %q in %s", marker, s.dir)
+		}
+		detected = FormatV2
+	case errors.Is(err, os.ErrNotExist):
+		if _, merr := os.Stat(s.manifestPath()); merr == nil {
+			detected = FormatV1 // recorded before FORMAT markers existed
+		} else {
+			detected = FormatV2 // fresh directory
+		}
+	default:
+		return fmt.Errorf("store: read format marker: %w", err)
+	}
+	// A forced format may only disagree with a directory that has no
+	// committed state: opening a v2 manifest as v1 (or vice versa) would
+	// misparse every record as a torn tail and truncate the whole run away.
+	if force != 0 && force != detected {
+		if _, merr := os.Stat(s.manifestPath()); merr == nil {
+			return fmt.Errorf("store: cannot force format v%d on %s (recorded as v%d)", force, s.dir, detected)
+		}
+		detected = force
+	}
+	s.format = detected
+	if s.format == FormatV2 {
+		if err := os.WriteFile(s.formatPath(), []byte("2\n"), 0o644); err != nil {
+			return fmt.Errorf("store: write format marker: %w", err)
+		}
+	}
+	if st, err := os.Stat(s.packPath()); err == nil {
+		s.packLen = st.Size()
+	}
+	return nil
+}
+
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Format returns the segment format used for writes.
+func (s *Store) Format() int { return s.format }
+
+func (s *Store) formatPath() string   { return filepath.Join(s.dir, "FORMAT") }
 func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
+func (s *Store) packPath() string     { return filepath.Join(s.dir, "CHUNKS") }
 
 func (s *Store) segmentPath(seq int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%08d.bin", seq))
@@ -105,17 +262,8 @@ func (s *Store) replayManifest() error {
 			// Torn tail: truncate the manifest back to the last good record.
 			break
 		}
-		m, err := decodeMeta(payload)
-		if err != nil {
+		if !s.applyRecord(payload) {
 			break
-		}
-		// A manifest record only counts if its segment survived intact.
-		if _, statErr := os.Stat(s.segmentPath(m.Seq)); statErr == nil {
-			s.index[m.Key] = m
-			s.metas = append(s.metas, m)
-			if m.Seq >= s.nextSeq {
-				s.nextSeq = m.Seq + 1
-			}
 		}
 		off += consumed
 		validated = off
@@ -128,6 +276,63 @@ func (s *Store) replayManifest() error {
 	return nil
 }
 
+// applyRecord replays one manifest record payload into the in-memory state,
+// returning false when the record is undecodable (treated as a torn tail).
+func (s *Store) applyRecord(payload []byte) bool {
+	body := payload
+	tag := byte(recMeta)
+	if s.format == FormatV2 {
+		if len(payload) == 0 {
+			return false
+		}
+		tag = payload[0]
+		body = payload[1:]
+	}
+	switch tag {
+	case recChunk:
+		hash, loc, err := decodeChunkRecord(body)
+		if err != nil {
+			return false
+		}
+		// Defensive: a chunk record pointing past the pack's end would make
+		// every referencing checkpoint unreadable; drop it (and let reads of
+		// those checkpoints surface ErrCorrupt) rather than trust it.
+		if loc.Off+int64(loc.EncLen) > s.packLen {
+			return true
+		}
+		if _, dup := s.chunks[hash]; !dup {
+			s.chunks[hash] = loc
+			s.dedup.ChunksStored++
+			s.dedup.StoredRawBytes += int64(loc.RawLen)
+			s.dedup.StoredEncBytes += int64(loc.EncLen)
+		}
+	case recMeta:
+		m, err := decodeMeta(body)
+		if err != nil {
+			return false
+		}
+		// A manifest record only counts if its segment survived intact.
+		if _, statErr := os.Stat(s.segmentPath(m.Seq)); statErr == nil {
+			s.commitLocked(m)
+		}
+		if m.Seq >= s.nextSeq {
+			s.nextSeq = m.Seq + 1
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// commitLocked installs a meta into the index and accumulates dedup stats.
+func (s *Store) commitLocked(m *Meta) {
+	s.index[m.Key] = m
+	s.metas = append(s.metas, m)
+	if m.Format == FormatV2 {
+		s.dedup.LogicalBytes += m.Size
+	}
+}
+
 func encodeMeta(m *Meta) []byte {
 	w := codec.NewWriter()
 	w.String(m.Key.LoopID)
@@ -138,6 +343,9 @@ func encodeMeta(m *Meta) []byte {
 	w.Int(int(m.MaterNs))
 	w.Int(int(m.SnapNs))
 	w.Int(int(m.ComputNs))
+	// Trailing fields added with format v2; v1 decoders never read this far.
+	w.Int(m.Format)
+	w.Int(int(m.StoredBytes))
 	return w.Bytes()
 }
 
@@ -162,7 +370,71 @@ func decodeMeta(b []byte) (*Meta, error) {
 		}
 		*f = int64(v)
 	}
+	// Records written before format v2 end here.
+	m.Format = FormatV1
+	m.StoredBytes = m.Size
+	if r.Remaining() > 0 {
+		if m.Format, err = r.Int(); err != nil {
+			return nil, err
+		}
+		sb, err := r.Int()
+		if err != nil {
+			return nil, err
+		}
+		m.StoredBytes = int64(sb)
+	}
 	return m, nil
+}
+
+func encodeChunkRecord(hash ckptfmt.Hash, loc chunkLoc) []byte {
+	w := codec.NewWriter()
+	w.RawBytes(hash[:])
+	w.Int(int(loc.Off))
+	w.Int(loc.EncLen)
+	w.Int(loc.RawLen)
+	w.Uvarint(uint64(loc.Style))
+	return w.Bytes()
+}
+
+func decodeChunkRecord(b []byte) (hash ckptfmt.Hash, loc chunkLoc, err error) {
+	r := codec.NewReader(b)
+	hb, err := r.RawBytes()
+	if err != nil {
+		return hash, loc, err
+	}
+	if len(hb) != 16 {
+		return hash, loc, fmt.Errorf("%w: chunk record hash length %d", codec.ErrCorrupt, len(hb))
+	}
+	copy(hash[:], hb)
+	off, err := r.Int()
+	if err != nil {
+		return hash, loc, err
+	}
+	if loc.EncLen, err = r.Int(); err != nil {
+		return hash, loc, err
+	}
+	if loc.RawLen, err = r.Int(); err != nil {
+		return hash, loc, err
+	}
+	style, err := r.Uvarint()
+	if err != nil {
+		return hash, loc, err
+	}
+	loc.Off = int64(off)
+	loc.Style = byte(style)
+	return hash, loc, nil
+}
+
+// frameRecord wraps a manifest record payload with its type tag (v2) and CRC
+// frame.
+func (s *Store) frameRecord(tag byte, body []byte) []byte {
+	if s.format != FormatV2 {
+		return codec.Frame(body)
+	}
+	payload := make([]byte, 0, len(body)+1)
+	payload = append(payload, tag)
+	payload = append(payload, body...)
+	return codec.Frame(payload)
 }
 
 // Put durably stores payload for key and commits it to the manifest.
@@ -171,7 +443,16 @@ func decodeMeta(b []byte) (*Meta, error) {
 // MaterNs = snapNs + serNs + writeNs, the full materialization cost used by
 // adaptive checkpointing (paper Table 2's M_i). computNs is the loop
 // execution time being memoized (C_i).
+//
+// In format v2 the payload is stored as a single opaque section — chunked,
+// content-addressed, and deduplicated like any other checkpoint, but with no
+// per-entry structure. PutSections is the structured (and more parallel)
+// write path.
 func (s *Store) Put(key Key, payload []byte, snapNs, serNs, computNs int64) (*Meta, error) {
+	if s.format == FormatV2 {
+		return s.putV2(key, []Section{{Data: payload}}, true, snapNs, serNs, computNs)
+	}
+
 	s.mu.Lock()
 	seq := s.nextSeq
 	s.nextSeq++
@@ -179,52 +460,389 @@ func (s *Store) Put(key Key, payload []byte, snapNs, serNs, computNs int64) (*Me
 
 	w0 := time.Now()
 	framed := codec.Frame(payload)
-	path := s.segmentPath(seq)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
-		return nil, fmt.Errorf("store: write segment: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return nil, fmt.Errorf("store: commit segment: %w", err)
+	if err := s.writeSegment(seq, framed); err != nil {
+		return nil, err
 	}
 	writeNs := time.Since(w0).Nanoseconds()
 
 	m := &Meta{
 		Key: key, Seq: seq, Size: int64(len(payload)),
 		MaterNs: snapNs + serNs + writeNs, SnapNs: snapNs, ComputNs: computNs,
+		Format: FormatV1, StoredBytes: int64(len(framed)),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open manifest: %w", err)
+	if err := s.appendManifestLocked(s.frameRecord(recMeta, encodeMeta(m))); err != nil {
+		return nil, err
 	}
-	defer f.Close()
-	if _, err := f.Write(codec.Frame(encodeMeta(m))); err != nil {
-		return nil, fmt.Errorf("store: append manifest: %w", err)
-	}
-	s.index[key] = m
-	s.metas = append(s.metas, m)
+	s.commitLocked(m)
 	return m, nil
 }
 
-// Get returns the payload of the latest committed checkpoint for key.
+// PutSections durably stores a checkpoint as named sections (format v2
+// stores only). Sections are chunked, frames for previously unseen chunks
+// are encoded in parallel and appended to the pack, and the segment
+// directory plus manifest records commit the checkpoint. See Put for the
+// timing parameters.
+func (s *Store) PutSections(key Key, secs []Section, snapNs, serNs, computNs int64) (*Meta, error) {
+	if s.format != FormatV2 {
+		return nil, fmt.Errorf("store: PutSections requires format v2 (store is v%d)", s.format)
+	}
+	return s.putV2(key, secs, false, snapNs, serNs, computNs)
+}
+
+func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, computNs int64) (*Meta, error) {
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	s.mu.Unlock()
+
+	w0 := time.Now()
+
+	// Chunk every section and hash every chunk in parallel; the directory is
+	// fully determined by content before any byte hits disk.
+	dir := ckptfmt.Directory{Opaque: opaque, Sections: make([]ckptfmt.SectionRef, len(secs))}
+	var flat [][]byte
+	var refs []*ckptfmt.ChunkRef
+	var logical int64
+	for i, sec := range secs {
+		chunks := codec.SplitChunks(sec.Data, ckptfmt.DefaultChunkSize)
+		dir.Sections[i] = ckptfmt.SectionRef{Name: sec.Name, Chunks: make([]ckptfmt.ChunkRef, len(chunks))}
+		for j, c := range chunks {
+			dir.Sections[i].Chunks[j] = ckptfmt.ChunkRef{RawLen: len(c)}
+			flat = append(flat, c)
+			refs = append(refs, &dir.Sections[i].Chunks[j])
+		}
+		logical += int64(len(sec.Data))
+	}
+	hashes := make([]ckptfmt.Hash, len(flat))
+	ckptfmt.ParallelDo(len(flat), func(i int) { hashes[i] = ckptfmt.HashChunk(flat[i]) })
+	for i, h := range hashes {
+		refs[i].Hash = h
+	}
+
+	// Select chunks the run has not stored yet (deduplicating within this
+	// checkpoint too) and encode their frames in parallel. A concurrent put
+	// racing on the same fresh chunk would store it twice — benign pack
+	// bloat, last index entry wins — but materialization is single-writer in
+	// practice.
+	s.mu.Lock()
+	var newIdx []int
+	fresh := map[ckptfmt.Hash]bool{}
+	for i, h := range hashes {
+		if _, ok := s.chunks[h]; !ok && !fresh[h] {
+			fresh[h] = true
+			newIdx = append(newIdx, i)
+		}
+	}
+	s.mu.Unlock()
+	newChunks := make([][]byte, len(newIdx))
+	for i, idx := range newIdx {
+		newChunks[i] = flat[idx]
+	}
+	frames := ckptfmt.EncodeChunks(newChunks)
+	var packBuf []byte
+	wireLens := make([]int, len(frames))
+	for i := range frames {
+		before := len(packBuf)
+		packBuf = frames[i].Append(packBuf)
+		wireLens[i] = len(packBuf) - before
+	}
+
+	// Segment file: the CRC-framed directory. Written before the manifest
+	// record so a crash never commits a directory-less checkpoint.
+	if err := s.writeSegment(seq, codec.Frame(ckptfmt.EncodeDirectory(&dir))); err != nil {
+		return nil, err
+	}
+
+	// Commit order under the lock: pack bytes, then chunk records, then the
+	// meta record — the manifest never references bytes that aren't on disk.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	packBase := s.packLen
+	if len(packBuf) > 0 {
+		pf, err := os.OpenFile(s.packPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: open pack: %w", err)
+		}
+		if _, err := pf.Write(packBuf); err != nil {
+			pf.Close()
+			return nil, fmt.Errorf("store: append pack: %w", err)
+		}
+		if err := pf.Close(); err != nil {
+			return nil, fmt.Errorf("store: close pack: %w", err)
+		}
+		s.packLen = packBase + int64(len(packBuf))
+	}
+	var record []byte
+	var stored int64
+	off := packBase
+	for i := range frames {
+		loc := chunkLoc{Off: off, EncLen: wireLens[i], RawLen: frames[i].RawLen, Style: frames[i].Style}
+		off += int64(wireLens[i])
+		stored += int64(wireLens[i])
+		s.chunks[frames[i].Hash] = loc
+		s.dedup.ChunksStored++
+		s.dedup.StoredRawBytes += int64(loc.RawLen)
+		s.dedup.StoredEncBytes += int64(loc.EncLen)
+		record = append(record, s.frameRecord(recChunk, encodeChunkRecord(frames[i].Hash, loc))...)
+	}
+	s.dedup.ChunkRefs += int64(len(flat))
+	writeNs := time.Since(w0).Nanoseconds()
+	m := &Meta{
+		Key: key, Seq: seq, Size: logical,
+		MaterNs: snapNs + serNs + writeNs, SnapNs: snapNs, ComputNs: computNs,
+		Format: FormatV2, StoredBytes: stored,
+	}
+	record = append(record, s.frameRecord(recMeta, encodeMeta(m))...)
+	if err := s.appendManifestLocked(record); err != nil {
+		return nil, err
+	}
+	s.commitLocked(m)
+	return m, nil
+}
+
+// writeSegment commits framed bytes to segment seq via write-then-rename.
+func (s *Store) writeSegment(seq int, framed []byte) error {
+	path := s.segmentPath(seq)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
+		return fmt.Errorf("store: write segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: commit segment: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) appendManifestLocked(record []byte) error {
+	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open manifest: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(record); err != nil {
+		return fmt.Errorf("store: append manifest: %w", err)
+	}
+	return nil
+}
+
+// Get returns the payload of the latest committed checkpoint for key. For
+// format v2 checkpoints the payload is reassembled from its frames (decoded
+// in parallel) into the exact byte stream Put or the bundle encoder
+// originally produced, so callers are format-agnostic.
 func (s *Store) Get(key Key) ([]byte, error) {
+	m, dir, err := s.segmentDir(key)
+	if err != nil {
+		return nil, err
+	}
+	if m.Format != FormatV2 {
+		raw, err := os.ReadFile(s.segmentPath(m.Seq))
+		if err != nil {
+			return nil, fmt.Errorf("store: read segment %d: %w", m.Seq, err)
+		}
+		payload, _, err := codec.Unframe(raw)
+		if err != nil {
+			return nil, fmt.Errorf("store: segment %d: %w", m.Seq, err)
+		}
+		return payload, nil
+	}
+	secs, err := s.readSections(m, dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	if dir.Opaque {
+		if len(secs) == 1 {
+			return secs[0].Data, nil
+		}
+		var out []byte
+		for _, sec := range secs {
+			out = append(out, sec.Data...)
+		}
+		return out, nil
+	}
+	// Reassemble the v1 bundle encoding: count, then (name, payload) pairs —
+	// byte-identical to what the bundle encoder originally produced.
+	w := codec.NewWriter()
+	w.Uvarint(uint64(len(secs)))
+	for _, sec := range secs {
+		w.String(sec.Name)
+		w.RawAppend(sec.Data)
+	}
+	return w.Bytes(), nil
+}
+
+// GetSections returns the named sections of a format-v2 checkpoint, decoded
+// in parallel. ok is false when the checkpoint is stored in format v1 or as
+// an opaque blob; callers fall back to Get + whole-payload decoding.
+//
+// When have is non-nil, sections whose content identity it reports as
+// already held are returned with nil Data (Hash and RawLen still set) and
+// their chunks are never read — the disk, CRC, and reassembly cost of
+// repeated content (frozen layers restored epoch after epoch) drops to a
+// directory read.
+func (s *Store) GetSections(key Key, have func(ckptfmt.Hash) bool) (secs []Section, ok bool, err error) {
+	m, dir, err := s.segmentDir(key)
+	if err != nil {
+		return nil, false, err
+	}
+	if m.Format != FormatV2 || dir.Opaque {
+		return nil, false, nil
+	}
+	secs, err = s.readSections(m, dir, have)
+	if err != nil {
+		return nil, false, err
+	}
+	return secs, true, nil
+}
+
+// segmentDir resolves key to its meta and, for v2 checkpoints, its decoded
+// segment directory.
+func (s *Store) segmentDir(key Key) (*Meta, *ckptfmt.Directory, error) {
 	s.mu.Lock()
 	m, ok := s.index[key]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if m.Format != FormatV2 {
+		return m, nil, nil
 	}
 	raw, err := os.ReadFile(s.segmentPath(m.Seq))
 	if err != nil {
-		return nil, fmt.Errorf("store: read segment %d: %w", m.Seq, err)
+		return nil, nil, fmt.Errorf("store: read segment %d: %w", m.Seq, err)
 	}
 	payload, _, err := codec.Unframe(raw)
 	if err != nil {
-		return nil, fmt.Errorf("store: segment %d: %w", m.Seq, err)
+		return nil, nil, fmt.Errorf("store: segment %d: %w", m.Seq, err)
 	}
-	return payload, nil
+	dir, err := ckptfmt.DecodeDirectory(payload)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: segment %d directory: %w", m.Seq, err)
+	}
+	return m, dir, nil
+}
+
+// readSections materializes sections of a v2 directory: chunk frames are
+// read from the pack and decoded in parallel across the worker pool.
+// Sections whose identity the optional have callback claims are skipped
+// (returned with nil Data). Reads of chunks that sit contiguously in the
+// pack — the common case, since a checkpoint's fresh chunks are appended
+// together — coalesce into a single pread.
+func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.Hash) bool) ([]Section, error) {
+	secs := make([]Section, len(dir.Sections))
+	type chunkJob struct {
+		sec int
+		dst []byte // decode destination (nil → alias raw frames, zero copy)
+		loc chunkLoc
+		ref ckptfmt.ChunkRef
+	}
+	var jobs []chunkJob
+	s.mu.Lock()
+	for i := range dir.Sections {
+		ds := &dir.Sections[i]
+		hs := make([]ckptfmt.Hash, len(ds.Chunks))
+		for j, ref := range ds.Chunks {
+			hs[j] = ref.Hash
+		}
+		secs[i] = Section{Name: ds.Name, Hash: ckptfmt.HashOfHashes(hs), RawLen: ds.RawLen()}
+		if have != nil && have(secs[i].Hash) {
+			continue
+		}
+		// Multi-chunk sections decode straight into one preallocated buffer;
+		// single-chunk sections let the frame alias its pack bytes.
+		var buf []byte
+		if len(ds.Chunks) > 1 {
+			buf = make([]byte, secs[i].RawLen)
+			secs[i].Data = buf
+		} else {
+			secs[i].Data = []byte{}
+		}
+		off := 0
+		for _, ref := range ds.Chunks {
+			loc, ok := s.chunks[ref.Hash]
+			if !ok {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("%w: segment %d references unknown chunk %s", codec.ErrCorrupt, m.Seq, ref.Hash)
+			}
+			j := chunkJob{sec: i, loc: loc, ref: ref}
+			if buf != nil {
+				j.dst = buf[off : off+ref.RawLen]
+				off += ref.RawLen
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	if len(jobs) == 0 {
+		return secs, nil
+	}
+
+	pf, err := os.Open(s.packPath())
+	if err != nil {
+		return nil, fmt.Errorf("store: open pack: %w", err)
+	}
+	defer pf.Close()
+
+	// Coalesce when the chunks occupy a mostly dense span of the pack.
+	minOff, maxEnd, total := jobs[0].loc.Off, int64(0), int64(0)
+	for _, j := range jobs {
+		if j.loc.Off < minOff {
+			minOff = j.loc.Off
+		}
+		if end := j.loc.Off + int64(j.loc.EncLen); end > maxEnd {
+			maxEnd = end
+		}
+		total += int64(j.loc.EncLen)
+	}
+	var span []byte
+	if maxEnd-minOff <= 2*total {
+		span = make([]byte, maxEnd-minOff)
+		if _, err := pf.ReadAt(span, minOff); err != nil {
+			return nil, fmt.Errorf("%w: pack read span [%d,%d): %v", codec.ErrCorrupt, minOff, maxEnd, err)
+		}
+	}
+
+	out := make([][]byte, len(jobs))
+	errs := make([]error, len(jobs))
+	ckptfmt.ParallelDo(len(jobs), func(i int) {
+		j := jobs[i]
+		var buf []byte
+		if span != nil {
+			buf = span[j.loc.Off-minOff : j.loc.Off-minOff+int64(j.loc.EncLen)]
+		} else {
+			buf = make([]byte, j.loc.EncLen)
+			if _, err := pf.ReadAt(buf, j.loc.Off); err != nil {
+				errs[i] = fmt.Errorf("%w: pack read at %d: %v", codec.ErrCorrupt, j.loc.Off, err)
+				return
+			}
+		}
+		frame, _, err := ckptfmt.Parse(buf)
+		if err != nil {
+			errs[i] = fmt.Errorf("store: pack frame at %d: %w", j.loc.Off, err)
+			return
+		}
+		if frame.Hash != j.ref.Hash {
+			errs[i] = fmt.Errorf("%w: pack frame at %d holds %s, directory wants %s",
+				codec.ErrCorrupt, j.loc.Off, frame.Hash, j.ref.Hash)
+			return
+		}
+		out[i], err = frame.DecodeInto(j.dst)
+		errs[i] = err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Multi-chunk sections were decoded in place; single-chunk sections
+	// adopt their (possibly pack-aliasing) decode result.
+	for i, j := range jobs {
+		if j.dst == nil {
+			secs[j.sec].Data = out[i]
+		}
+	}
+	return secs, nil
 }
 
 // Has reports whether a committed checkpoint exists for key.
@@ -252,6 +870,14 @@ func (s *Store) Metas() []*Meta {
 	return out
 }
 
+// Dedup returns a copy of the run's chunk-dedup accounting. Only format v2
+// checkpoints contribute.
+func (s *Store) Dedup() DedupStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dedup
+}
+
 // ExecsFor returns the sorted execution indices with committed checkpoints
 // for the loop; replay's partitioner aligns weak-initialization segment
 // boundaries to these.
@@ -270,8 +896,10 @@ func (s *Store) ExecsFor(loopID string) []int {
 
 // Spool compresses every committed segment to a .gz sibling (the simulated
 // S3 spooling of paper §6; checkpoints were "compressed by a background
-// process, before being spooled to an S3 bucket"). It returns the total
-// compressed size in bytes and updates per-checkpoint GzSize metadata.
+// process, before being spooled to an S3 bucket"). For format v2 the shared
+// CHUNKS pack is spooled too, since segment files hold only directories. It
+// returns the total compressed size in bytes and updates per-checkpoint
+// GzSize metadata.
 func (s *Store) Spool() (int64, error) {
 	var total int64
 	for _, m := range s.Metas() {
@@ -291,6 +919,34 @@ func (s *Store) Spool() (int64, error) {
 		s.mu.Unlock()
 		total += int64(len(gz))
 	}
+	// The pack holds every distinct chunk of the run, so unlike segments it
+	// can be far larger than any one checkpoint — stream it through gzip
+	// instead of buffering it in memory.
+	if pf, err := os.Open(s.packPath()); err == nil {
+		defer pf.Close()
+		gzPath := s.packPath() + ".gz"
+		out, err := os.Create(gzPath)
+		if err != nil {
+			return 0, fmt.Errorf("store: spool pack create: %w", err)
+		}
+		zw := gzip.NewWriter(out)
+		if _, err := io.Copy(zw, pf); err != nil {
+			out.Close()
+			return 0, fmt.Errorf("store: spool pack: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			out.Close()
+			return 0, fmt.Errorf("store: spool pack: %w", err)
+		}
+		if err := out.Close(); err != nil {
+			return 0, fmt.Errorf("store: spool pack write: %w", err)
+		}
+		st, err := os.Stat(gzPath)
+		if err != nil {
+			return 0, fmt.Errorf("store: spool pack stat: %w", err)
+		}
+		total += st.Size()
+	}
 	return total, nil
 }
 
@@ -306,7 +962,10 @@ func (s *Store) TotalSize() int64 {
 
 // GC deletes segments that are no longer the latest checkpoint for their
 // key, reclaiming space from superseded materializations. It returns the
-// number of segments removed.
+// number of segments removed. The CHUNKS pack is append-only and shared
+// between checkpoints, so GC never rewrites it; superseded v2 segments
+// release only their (small) directory files, and their chunks remain
+// available to later checkpoints that reference the same content.
 func (s *Store) GC() (int, error) {
 	s.mu.Lock()
 	live := map[int]bool{}

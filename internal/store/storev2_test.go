@@ -1,0 +1,348 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flor.dev/flor/internal/ckptfmt"
+	"flor.dev/flor/internal/codec"
+	"flor.dev/flor/internal/xrand"
+)
+
+// noise returns n bytes of incompressible data.
+func noise(n int, seed uint64) []byte {
+	rng := xrand.New(seed)
+	b := make([]byte, n)
+	for i := range b {
+		if i%8 == 0 {
+			v := rng.Uint64()
+			for j := 0; j < 8 && i+j < n; j++ {
+				b[i+j] = byte(v >> (8 * j))
+			}
+		}
+	}
+	return b
+}
+
+func TestPutSectionsGetSectionsRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	big := noise(3*ckptfmt.DefaultChunkSize+123, 1) // forces multi-chunk sections
+	secs := []Section{
+		{Name: "net", Data: big},
+		{Name: "rng", Data: []byte("tiny rng state!!!")},
+		{Name: "empty", Data: nil},
+	}
+	key := Key{LoopID: "train", Exec: 0}
+	m, err := s.PutSections(key, secs, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != FormatV2 {
+		t.Fatalf("meta format = %d", m.Format)
+	}
+	if m.Size != int64(len(big)+17) {
+		t.Fatalf("meta size = %d", m.Size)
+	}
+	got, ok, err := s.GetSections(key, nil)
+	if err != nil || !ok {
+		t.Fatalf("GetSections: ok=%v err=%v", ok, err)
+	}
+	if len(got) != 3 || got[0].Name != "net" || got[1].Name != "rng" || got[2].Name != "empty" {
+		t.Fatalf("sections = %+v", got)
+	}
+	if !bytes.Equal(got[0].Data, big) || string(got[1].Data) != "tiny rng state!!!" || len(got[2].Data) != 0 {
+		t.Fatal("section data mismatch")
+	}
+}
+
+func TestGetSectionsFallsBackForOpaqueAndV1(t *testing.T) {
+	s := openTemp(t)
+	s.Put(Key{LoopID: "L", Exec: 0}, []byte("opaque blob"), 0, 0, 0)
+	if _, ok, err := s.GetSections(Key{LoopID: "L", Exec: 0}, nil); ok || err != nil {
+		t.Fatalf("opaque checkpoint: ok=%v err=%v, want fallback", ok, err)
+	}
+
+	v1dir := t.TempDir()
+	v1, err := OpenFormat(v1dir, FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1.Put(Key{LoopID: "L", Exec: 0}, []byte("v1 blob"), 0, 0, 0)
+	if _, ok, err := v1.GetSections(Key{LoopID: "L", Exec: 0}, nil); ok || err != nil {
+		t.Fatalf("v1 checkpoint: ok=%v err=%v, want fallback", ok, err)
+	}
+}
+
+func TestDedupAcrossCheckpoints(t *testing.T) {
+	// The frozen-layer scenario: a large unchanged section plus a small
+	// mutating one. The frozen bytes must hit the pack exactly once.
+	s := openTemp(t)
+	frozen := noise(2*ckptfmt.DefaultChunkSize, 7)
+	const epochs = 5
+	var firstStored, laterStored int64
+	for e := 0; e < epochs; e++ {
+		m, err := s.PutSections(Key{LoopID: "train", Exec: e}, []Section{
+			{Name: "net", Data: frozen},
+			{Name: "step", Data: []byte(fmt.Sprintf("epoch-%d", e))},
+		}, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			firstStored = m.StoredBytes
+		} else {
+			laterStored += m.StoredBytes
+		}
+	}
+	if firstStored < int64(len(frozen)) {
+		t.Fatalf("first checkpoint stored %d bytes, want >= %d", firstStored, len(frozen))
+	}
+	if laterStored >= int64(len(frozen)) {
+		t.Fatalf("later checkpoints stored %d bytes; frozen section not deduped", laterStored)
+	}
+	d := s.Dedup()
+	if d.Ratio() < 2 {
+		t.Fatalf("dedup ratio = %.2f, want > 2 for %d epochs of frozen state", d.Ratio(), epochs)
+	}
+	// Every checkpoint still reads back correctly.
+	for e := 0; e < epochs; e++ {
+		secs, ok, err := s.GetSections(Key{LoopID: "train", Exec: e}, nil)
+		if err != nil || !ok {
+			t.Fatalf("epoch %d: ok=%v err=%v", e, ok, err)
+		}
+		if !bytes.Equal(secs[0].Data, frozen) || string(secs[1].Data) != fmt.Sprintf("epoch-%d", e) {
+			t.Fatalf("epoch %d data mismatch", e)
+		}
+	}
+}
+
+func TestDedupIndexSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := noise(ckptfmt.DefaultChunkSize, 3)
+	s.PutSections(Key{LoopID: "L", Exec: 0}, []Section{{Name: "net", Data: frozen}}, 0, 0, 0)
+	s.PutSections(Key{LoopID: "L", Exec: 1}, []Section{{Name: "net", Data: frozen}}, 0, 0, 0)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		secs, ok, err := s2.GetSections(Key{LoopID: "L", Exec: e}, nil)
+		if err != nil || !ok || !bytes.Equal(secs[0].Data, frozen) {
+			t.Fatalf("epoch %d after reopen: ok=%v err=%v", e, ok, err)
+		}
+	}
+	if r := s2.Dedup().Ratio(); r < 1.9 {
+		t.Fatalf("reopened dedup ratio = %.2f, want ~2", r)
+	}
+	// New writes dedup against the reopened index too.
+	m, err := s2.PutSections(Key{LoopID: "L", Exec: 2}, []Section{{Name: "net", Data: frozen}}, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StoredBytes > int64(len(frozen))/2 {
+		t.Fatalf("post-reopen put stored %d bytes; index not rebuilt", m.StoredBytes)
+	}
+}
+
+// TestTornManifestTailWithV2Records cuts the manifest mid-way through the
+// typed chunk/meta record stream at every offset: the store must open
+// cleanly and serve exactly the fully committed checkpoints.
+func TestTornManifestTailWithV2Records(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	shared := noise(1024, 5)
+	for i := 0; i < 3; i++ {
+		s.PutSections(Key{LoopID: "L", Exec: i}, []Section{
+			{Name: "net", Data: shared},
+			{Name: "w", Data: noise(2048, uint64(i)+10)},
+		}, 0, 0, 0)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(manifest); cut += 5 {
+		cutDir := t.TempDir()
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			if e.Name() == "MANIFEST" {
+				continue
+			}
+			data, _ := os.ReadFile(filepath.Join(dir, e.Name()))
+			os.WriteFile(filepath.Join(cutDir, e.Name()), data, 0o644)
+		}
+		os.WriteFile(filepath.Join(cutDir, "MANIFEST"), manifest[:cut], 0o644)
+		sc, err := Open(cutDir)
+		if err != nil {
+			t.Fatalf("cut %d: open failed: %v", cut, err)
+		}
+		for _, m := range sc.Metas() {
+			secs, ok, err := sc.GetSections(m.Key, nil)
+			if err != nil || !ok {
+				t.Fatalf("cut %d: committed checkpoint %s unreadable: %v", cut, m.Key, err)
+			}
+			if !bytes.Equal(secs[0].Data, shared) {
+				t.Fatalf("cut %d: %s shared section corrupt", cut, m.Key)
+			}
+		}
+		// The truncated store must stay writable.
+		if _, err := sc.PutSections(Key{LoopID: "L", Exec: 99}, []Section{{Name: "net", Data: shared}}, 0, 0, 0); err != nil {
+			t.Fatalf("cut %d: post-truncation write failed: %v", cut, err)
+		}
+	}
+}
+
+// TestFlippedPackByteSurfacesErrCorrupt flips every byte of the chunk pack
+// in turn; reads of the affected checkpoint must fail with codec.ErrCorrupt
+// rather than return garbage state.
+func TestFlippedPackByteSurfacesErrCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	key := Key{LoopID: "L", Exec: 0}
+	s.PutSections(key, []Section{{Name: "w", Data: noise(512, 2)}}, 0, 0, 0)
+	packPath := filepath.Join(dir, "CHUNKS")
+	pack, err := os.ReadFile(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pack {
+		mut := bytes.Clone(pack)
+		mut[i] ^= 0xff
+		os.WriteFile(packPath, mut, 0o644)
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("byte %d: open failed: %v", i, err)
+		}
+		if _, _, err := s2.GetSections(key, nil); !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("byte %d: error %v is not codec.ErrCorrupt", i, err)
+		}
+	}
+	os.WriteFile(packPath, pack, 0o644)
+}
+
+func TestFlippedSegmentDirectoryByteDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	key := Key{LoopID: "L", Exec: 0}
+	m, _ := s.PutSections(key, []Section{{Name: "w", Data: noise(256, 4)}}, 0, 0, 0)
+	segPath := filepath.Join(dir, fmt.Sprintf("ckpt-%08d.bin", m.Seq))
+	seg, _ := os.ReadFile(segPath)
+	for i := range seg {
+		mut := bytes.Clone(seg)
+		mut[i] ^= 0xff
+		os.WriteFile(segPath, mut, 0o644)
+		if _, _, err := s.GetSections(key, nil); !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("byte %d: error %v is not codec.ErrCorrupt", i, err)
+		}
+	}
+	os.WriteFile(segPath, seg, 0o644)
+}
+
+// TestV1StoreRemainsReadableAndWritable pins backward compatibility: a run
+// directory recorded in format v1 (no FORMAT marker) opens as v1, serves its
+// checkpoints, and keeps writing v1 segments.
+func TestV1StoreRemainsReadableAndWritable(t *testing.T) {
+	dir := t.TempDir()
+	v1, err := OpenFormat(dir, FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := noise(4096, 8)
+	v1.Put(Key{LoopID: "train", Exec: 0}, payload, 0, 0, 0)
+	if _, err := os.Stat(filepath.Join(dir, "FORMAT")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("v1 store grew a FORMAT marker")
+	}
+
+	s, err := Open(dir) // auto-detect must pick v1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Format() != FormatV1 {
+		t.Fatalf("auto-detected format %d, want v1", s.Format())
+	}
+	got, err := s.Get(Key{LoopID: "train", Exec: 0})
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("v1 read failed: %v", err)
+	}
+	if _, err := s.Put(Key{LoopID: "train", Exec: 1}, []byte("more"), 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "CHUNKS")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("v1 store grew a CHUNKS pack")
+	}
+	if _, err := s.PutSections(Key{LoopID: "train", Exec: 2}, []Section{{Name: "w", Data: payload}}, 0, 0, 0); err == nil {
+		t.Fatal("PutSections on a v1 store must refuse")
+	}
+}
+
+// TestFormatMismatchRefusedWithoutDataLoss pins the open guard: forcing the
+// wrong format onto a recorded directory must error out, never misparse the
+// manifest as a torn tail and truncate the run away.
+func TestFormatMismatchRefusedWithoutDataLoss(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir) // v2
+	key := Key{LoopID: "L", Exec: 0}
+	s.Put(key, []byte("precious"), 0, 0, 0)
+	if _, err := OpenFormat(dir, FormatV1); err == nil {
+		t.Fatal("forcing v1 onto a v2 directory succeeded")
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Get(key); err != nil || string(got) != "precious" {
+		t.Fatalf("data lost after refused mismatched open: %q, %v", got, err)
+	}
+
+	v1dir := t.TempDir()
+	v1, _ := OpenFormat(v1dir, FormatV1)
+	v1.Put(key, []byte("legacy"), 0, 0, 0)
+	if _, err := OpenFormat(v1dir, FormatV2); err == nil {
+		t.Fatal("forcing v2 onto a v1 directory succeeded")
+	}
+
+	// An unknown FORMAT marker (a future layout) must refuse, not truncate.
+	os.WriteFile(filepath.Join(dir, "FORMAT"), []byte("3\n"), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Fatal("unknown format marker opened")
+	}
+}
+
+func TestNewStoresDefaultToV2(t *testing.T) {
+	s := openTemp(t)
+	if s.Format() != FormatV2 {
+		t.Fatalf("new store format = %d, want v2", s.Format())
+	}
+	m, _ := s.Put(Key{LoopID: "L", Exec: 0}, []byte("x"), 0, 0, 0)
+	if m.Format != FormatV2 {
+		t.Fatalf("meta format = %d, want v2", m.Format)
+	}
+}
+
+func TestGCKeepsSharedChunksReadable(t *testing.T) {
+	s := openTemp(t)
+	key := Key{LoopID: "train", Exec: 0}
+	shared := noise(2048, 12)
+	s.PutSections(key, []Section{{Name: "net", Data: shared}}, 0, 0, 0)
+	s.PutSections(key, []Section{{Name: "net", Data: shared}}, 0, 0, 0) // supersedes; same content
+	removed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("GC removed %d segments, want 1", removed)
+	}
+	secs, ok, err := s.GetSections(key, nil)
+	if err != nil || !ok || !bytes.Equal(secs[0].Data, shared) {
+		t.Fatalf("latest checkpoint unreadable after GC: %v", err)
+	}
+}
