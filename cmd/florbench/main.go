@@ -3,25 +3,42 @@
 //
 // Usage:
 //
-//	florbench [-exp all|table3|fig5|fig7|fig10|fig11|fig12|fig13|fig14|table4|ser-vs-io|cfactor|ckpt-throughput]
-//	          [-scale full|smoke] [-dir DIR]
+//	florbench [-exp all|table3|fig5|fig7|fig10|fig11|fig12|fig13|fig14|table4|ser-vs-io|cfactor|ckpt-throughput|replay-scaleout]
+//	          [-scale full|smoke] [-dir DIR] [-benchdir DIR]
+//
+// The ckpt-throughput and replay-scaleout experiments additionally persist
+// their reports as BENCH_ckpt.json and BENCH_replay.json in -benchdir
+// (default: the working directory), forming the repository's benchmark
+// trajectory; README.md documents the schemas.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"flor.dev/flor/internal/bench"
 	"flor.dev/flor/internal/workloads"
 )
 
+// writeBenchJSON persists an experiment report for the benchmark trajectory.
+func writeBenchJSON(dir, name string, report any) error {
+	js, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), append(js, '\n'), 0o644)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table3, fig5, fig7, fig10, fig11, fig12, fig13, fig14, table4, ser-vs-io, cfactor, ckpt-throughput")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table3, fig5, fig7, fig10, fig11, fig12, fig13, fig14, table4, ser-vs-io, cfactor, ckpt-throughput, replay-scaleout")
 	scale := flag.String("scale", "full", "workload scale: full (paper epoch counts) or smoke")
 	dir := flag.String("dir", "", "run directory (default: a temp directory)")
+	benchdir := flag.String("benchdir", ".", "directory for BENCH_*.json trajectory files")
 	flag.Parse()
 
 	sc := workloads.Full
@@ -67,7 +84,20 @@ func main() {
 		return err
 	})
 	run("cfactor", func() error { _, err := s.CFactor(); return err })
-	run("ckpt-throughput", func() error { _, err := s.CkptThroughput(12); return err })
+	run("ckpt-throughput", func() error {
+		rep, err := s.CkptThroughput(12)
+		if err != nil {
+			return err
+		}
+		return writeBenchJSON(*benchdir, "BENCH_ckpt.json", rep)
+	})
+	run("replay-scaleout", func() error {
+		rep, err := s.ReplayScaleout()
+		if err != nil {
+			return err
+		}
+		return writeBenchJSON(*benchdir, "BENCH_replay.json", rep)
+	})
 
 	fmt.Fprintln(os.Stderr, "florbench: done")
 }

@@ -209,3 +209,39 @@ func TestEpsilonOptionControlsCheckpointDensity(t *testing.T) {
 			tight.Checkpoints, loose.Checkpoints)
 	}
 }
+
+func TestPublicAPISchedulerOption(t *testing.T) {
+	dir := t.TempDir()
+	factory := counterFactory(12, 2)
+	if _, err := flor.Record(dir, factory, flor.DisableAdaptiveCheckpointing()); err != nil {
+		t.Fatal(err)
+	}
+	probed := func() *flor.Program {
+		p := factory()
+		train := p.Main.Body[0].Loop
+		train.Body = flor.AddLog(train.Body, 1, flor.LogStmt("hindsight", func(e *flor.Env) (string, error) {
+			return fmt.Sprintf("%.6g", e.MustGet("w").(*flor.TensorVal).T.Norm()), nil
+		}))
+		return p
+	}
+	baseline, err := flor.Replay(dir, probed, flor.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []flor.Scheduler{flor.SchedulerBalanced, flor.SchedulerStealing} {
+		res, err := flor.Replay(dir, probed, flor.Workers(4),
+			flor.Init(flor.WeakInit), flor.WithScheduler(sched))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Anomalies) != 0 {
+			t.Fatalf("%v: anomalies: %v", sched, res.Anomalies)
+		}
+		if res.Scheduler != sched {
+			t.Fatalf("result reports scheduler %v, want %v", res.Scheduler, sched)
+		}
+		if strings.Join(res.Logs, "\n") != strings.Join(baseline.Logs, "\n") {
+			t.Fatalf("%v: merged logs differ from single-worker baseline", sched)
+		}
+	}
+}

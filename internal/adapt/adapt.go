@@ -209,6 +209,31 @@ func (t *Tracker) NoteRestore(restoreNs, materNs int64) {
 	t.c = (1-ewmaAlpha)*t.c + ewmaAlpha*obs
 }
 
+// SeedC initializes the restore/materialize scaling estimate from a
+// previously measured value (e.g. one persisted with a recording's
+// timings), replacing the DefaultC prior. Non-positive values are ignored.
+func (t *Tracker) SeedC(c float64) {
+	if c <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.c = c
+	t.mu.Unlock()
+}
+
+// PredictRestoreNs estimates how long restoring a checkpoint will take from
+// how long it took to materialize, through the current restore/materialize
+// scaling estimate c (paper §5.3.2). The replay scheduler prices weak-init
+// catch-ups and steal profitability with it.
+func (t *Tracker) PredictRestoreNs(materNs int64) int64 {
+	if materNs <= 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(t.c * float64(materNs))
+}
+
 // Stats returns a copy of the stats for loop id.
 func (t *Tracker) Stats(id string) LoopStats {
 	t.mu.Lock()

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+
+	"flor.dev/flor/internal/cluster"
+	"flor.dev/flor/internal/replay"
+	"flor.dev/flor/internal/sched"
+)
+
+// Synthetic replay-scaleout scenario parameters: iteration counts and costs
+// are virtual (the simulator charges modeled nanoseconds), so the experiment
+// is deterministic and runs in microseconds regardless of -scale.
+const (
+	scaleoutIters     = 256
+	scaleoutComputNs  = 10_000_000 // uniform per-iteration compute, 10ms
+	scaleoutRestoreNs = 200_000    // per-iteration checkpoint restore, 0.2ms
+	scaleoutSetupNs   = 5_000_000
+	// zipfS is the skew exponent: cost[e] ∝ 1/(e+1)^s, the head-heavy shape
+	// of warmup-dominated training loops and heavy probes on early epochs.
+	zipfS = 1.1
+)
+
+// scaleoutScenario is one synthetic cost vector.
+type scaleoutScenario struct {
+	name  string
+	costs *cluster.IterationCosts
+}
+
+// scaleoutScenarios builds the uniform and Zipf-skewed cost vectors.
+func scaleoutScenarios() []scaleoutScenario {
+	uniform := &cluster.IterationCosts{SetupNs: scaleoutSetupNs}
+	zipf := &cluster.IterationCosts{SetupNs: scaleoutSetupNs}
+	norm := zipfNorm()
+	for e := 0; e < scaleoutIters; e++ {
+		uniform.ComputNs = append(uniform.ComputNs, scaleoutComputNs)
+		uniform.RestoreNs = append(uniform.RestoreNs, scaleoutRestoreNs)
+		// The Zipf vector holds the same total compute as the uniform one,
+		// redistributed head-heavily.
+		w := 1 / math.Pow(float64(e+1), zipfS)
+		zipf.ComputNs = append(zipf.ComputNs, int64(w*float64(scaleoutComputNs*scaleoutIters)/norm))
+		zipf.RestoreNs = append(zipf.RestoreNs, scaleoutRestoreNs)
+	}
+	return []scaleoutScenario{{"uniform", uniform}, {"zipf", zipf}}
+}
+
+// zipfNorm returns the normalization constant Σ 1/k^s over the scenario.
+func zipfNorm() float64 {
+	var sum float64
+	for e := 1; e <= scaleoutIters; e++ {
+		sum += 1 / math.Pow(float64(e), zipfS)
+	}
+	return sum
+}
+
+// ReplayScaleoutRow is one (scenario, scheduler, G) virtual makespan.
+type ReplayScaleoutRow struct {
+	Scenario   string  `json:"scenario"`  // "uniform" or "zipf"
+	Scheduler  string  `json:"scheduler"` // "static", "balanced", "stealing"
+	G          int     `json:"g"`
+	MakespanNs int64   `json:"makespan_ns"`
+	Speedup    float64 `json:"speedup"`   // sequential / makespan
+	Steals     int     `json:"steals"`    // stealing scheduler only
+	VsStatic   float64 `json:"vs_static"` // static makespan / this makespan
+}
+
+// ReplayScaleoutReport compares the three replay schedulers under uniform
+// and Zipf-skewed per-iteration costs (weak init, probed inner loop).
+type ReplayScaleoutReport struct {
+	Iterations int                 `json:"iterations"`
+	Rows       []ReplayScaleoutRow `json:"rows"`
+	// BalancedGainZipfG8 / StealingGainZipfG8 are the headline ratios:
+	// static makespan over balanced/stealing makespan on the skewed
+	// scenario at G=8 (the acceptance bar is ≥ 1.5).
+	BalancedGainZipfG8 float64 `json:"balanced_gain_zipf_g8"`
+	StealingGainZipfG8 float64 `json:"stealing_gain_zipf_g8"`
+	// UniformWorstVsStatic is the smallest static/policy makespan ratio
+	// observed on the uniform scenario — < 1 would mean a regression where
+	// the seed scheduler was already optimal.
+	UniformWorstVsStatic float64 `json:"uniform_worst_vs_static"`
+}
+
+// ReplayScaleout compares Static, Balanced and Stealing replay scheduling in
+// virtual time over synthetic uniform and Zipf-skewed cost vectors, printing
+// a table and a machine-readable BENCH JSON line. The simulation runs the
+// same internal/sched partitioners and stealing policy as real replay.
+func (s *Session) ReplayScaleout() (*ReplayScaleoutReport, error) {
+	rep := &ReplayScaleoutReport{Iterations: scaleoutIters, UniformWorstVsStatic: math.Inf(1)}
+	policies := []sched.Policy{sched.Static, sched.Balanced, sched.Stealing}
+	for _, sc := range scaleoutScenarios() {
+		for _, g := range []int{4, 8, 16} {
+			staticNs := int64(0)
+			for _, policy := range policies {
+				vr := cluster.SimulateSched(sc.costs, g, replay.Weak, true, policy)
+				row := ReplayScaleoutRow{
+					Scenario:   sc.name,
+					Scheduler:  policy.String(),
+					G:          g,
+					MakespanNs: vr.MakespanNs,
+					Speedup:    vr.SpeedupFactor,
+					Steals:     vr.Steals,
+				}
+				if policy == sched.Static {
+					staticNs = vr.MakespanNs
+				}
+				if staticNs > 0 && vr.MakespanNs > 0 {
+					row.VsStatic = float64(staticNs) / float64(vr.MakespanNs)
+				}
+				if sc.name == "zipf" && g == 8 {
+					switch policy {
+					case sched.Balanced:
+						rep.BalancedGainZipfG8 = row.VsStatic
+					case sched.Stealing:
+						rep.StealingGainZipfG8 = row.VsStatic
+					}
+				}
+				if sc.name == "uniform" && policy != sched.Static && row.VsStatic < rep.UniformWorstVsStatic {
+					rep.UniformWorstVsStatic = row.VsStatic
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+
+	s.printf("\nReplay scale-out: scheduler comparison (virtual time, weak init, inner probe,\n")
+	s.printf("%d iterations; zipf skew s=%.1f redistributes the uniform compute head-heavily).\n",
+		scaleoutIters, zipfS)
+	s.printf("%-8s %-9s %4s %14s %10s %10s %7s\n", "scenario", "sched", "G", "makespan", "speedup", "vs static", "steals")
+	for _, r := range rep.Rows {
+		s.printf("%-8s %-9s %4d %13.3fs %9.2fx %9.2fx %7d\n",
+			r.Scenario, r.Scheduler, r.G, sec(r.MakespanNs), r.Speedup, r.VsStatic, r.Steals)
+	}
+	s.printf("zipf G=8 gains: balanced %.2fx, stealing %.2fx over static (target ≥ 1.5x);\n",
+		rep.BalancedGainZipfG8, rep.StealingGainZipfG8)
+	s.printf("uniform worst-case vs static: %.3fx (1.0 = no regression)\n", rep.UniformWorstVsStatic)
+
+	js, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	s.printf("BENCH JSON %s\n", js)
+	return rep, nil
+}

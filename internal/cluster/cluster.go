@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"flor.dev/flor/internal/replay"
+	"flor.dev/flor/internal/sched"
 )
 
 // EC2 instance pricing (2020 us-west-2 on-demand, $/hour) and S3 storage
@@ -99,25 +100,55 @@ func (c *IterationCosts) restoreAt(e int) int64 {
 	return c.meanRestore()
 }
 
+// schedCosts converts the measured iteration costs into the scheduler's
+// model: work costs are compute when the inner loop is probed (it
+// re-executes) and restores otherwise; catch-up costs are restores. The
+// simulator keeps its idealized anchor model (every iteration restorable,
+// expressed as nil anchors), matching its pre-existing weak-init accounting.
+func (c *IterationCosts) schedCosts(probedInner bool) *sched.Costs {
+	sc := &sched.Costs{SetupNs: c.SetupNs}
+	for e := range c.ComputNs {
+		r := c.restoreAt(e)
+		sc.CatchupNs = append(sc.CatchupNs, r)
+		if probedInner {
+			sc.WorkNs = append(sc.WorkNs, c.ComputNs[e])
+		} else {
+			sc.WorkNs = append(sc.WorkNs, r)
+		}
+	}
+	return sc
+}
+
 // VirtualReplay describes one simulated parallel replay.
 type VirtualReplay struct {
 	Workers       int
 	Init          replay.InitMode
+	Scheduler     sched.Policy
 	ProbedInner   bool // inner probe: work iterations execute; else they restore
 	WorkerNs      []int64
 	MakespanNs    int64
 	SequentialNs  int64 // one worker doing everything (vanilla re-execution)
 	SpeedupFactor float64
+	Steals        int // leases created by stealing (SchedStealing only)
 }
 
 // Simulate computes the virtual makespan of replaying n iterations over G
-// workers given measured iteration costs. Initialization iterations cost
-// restore time (strong) or a single restore (weak); work iterations cost
-// compute time when the inner loop is probed, restore time otherwise.
+// workers given measured iteration costs, under the static scheduler.
+// Initialization iterations cost restore time (strong) or a single restore
+// (weak); work iterations cost compute time when the inner loop is probed,
+// restore time otherwise.
 func Simulate(costs *IterationCosts, g int, init replay.InitMode, probedInner bool) *VirtualReplay {
-	n := len(costs.ComputNs)
-	segs := replay.Partition(n, g)
-	vr := &VirtualReplay{Workers: g, Init: init, ProbedInner: probedInner}
+	return SimulateSched(costs, g, init, probedInner, sched.Static)
+}
+
+// SimulateSched computes the virtual makespan under a chosen scheduling
+// policy. It runs the same partitioners and stealing policy the real replay
+// engine uses (internal/sched), so the virtual scale-out behind Figures
+// 10/13 — and the replay-scaleout benchmark comparing schedulers under
+// skewed costs — reflects what a replay would actually do.
+func SimulateSched(costs *IterationCosts, g int, init replay.InitMode, probedInner bool, policy sched.Policy) *VirtualReplay {
+	sc := costs.schedCosts(probedInner)
+	vr := &VirtualReplay{Workers: g, Init: init, ProbedInner: probedInner, Scheduler: policy}
 
 	var seq int64 = costs.SetupNs
 	for _, c := range costs.ComputNs {
@@ -125,30 +156,25 @@ func Simulate(costs *IterationCosts, g int, init replay.InitMode, probedInner bo
 	}
 	vr.SequentialNs = seq
 
-	for _, seg := range segs {
-		w := costs.SetupNs
-		// Initialization phase.
-		if seg[0] > 0 {
-			switch init {
-			case replay.Strong:
-				for e := 0; e < seg[0]; e++ {
-					w += costs.restoreAt(e)
-				}
-			case replay.Weak:
-				w += costs.restoreAt(seg[0] - 1)
-			}
+	switch policy {
+	case sched.Stealing:
+		sim := sched.SimulateStealing(sc, g, init, nil)
+		vr.WorkerNs = sim.WorkerNs
+		vr.MakespanNs = sim.MakespanNs
+		vr.Steals = sim.Steals
+	default:
+		var segs [][2]int
+		if policy == sched.Balanced {
+			segs = sched.PartitionBalanced(sc, g)
+		} else {
+			segs = sched.PartitionStatic(sc.N(), g)
 		}
-		// Work phase.
-		for e := seg[0]; e < seg[1]; e++ {
-			if probedInner {
-				w += costs.ComputNs[e]
-			} else {
-				w += costs.restoreAt(e)
+		for _, seg := range segs {
+			w := sc.SetupNs + sc.InitCostNs(seg[0], init, nil) + sc.WorkCostNs(seg[0], seg[1])
+			vr.WorkerNs = append(vr.WorkerNs, w)
+			if w > vr.MakespanNs {
+				vr.MakespanNs = w
 			}
-		}
-		vr.WorkerNs = append(vr.WorkerNs, w)
-		if w > vr.MakespanNs {
-			vr.MakespanNs = w
 		}
 	}
 	if vr.MakespanNs > 0 {

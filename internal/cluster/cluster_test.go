@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"flor.dev/flor/internal/replay"
+	"flor.dev/flor/internal/sched"
 )
 
 // uniformCosts builds n iterations of fixed compute and restore cost.
@@ -172,5 +173,70 @@ func TestQuickSimulateWorkerCountAndMakespan(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// skewedCosts builds a head-heavy cost vector: the first `heavy` iterations
+// cost `factor` times the rest.
+func skewedCosts(n, heavy int, factor int64) *IterationCosts {
+	c := &IterationCosts{}
+	for i := 0; i < n; i++ {
+		comput := int64(1_000_000)
+		if i < heavy {
+			comput *= factor
+		}
+		c.ComputNs = append(c.ComputNs, comput)
+		c.RestoreNs = append(c.RestoreNs, 10_000)
+	}
+	return c
+}
+
+func TestSimulateSchedBalancedBeatsStaticOnSkew(t *testing.T) {
+	costs := skewedCosts(128, 16, 50)
+	for _, g := range []int{8, 16} {
+		static := SimulateSched(costs, g, replay.Weak, true, sched.Static)
+		balanced := SimulateSched(costs, g, replay.Weak, true, sched.Balanced)
+		stealing := SimulateSched(costs, g, replay.Weak, true, sched.Stealing)
+		if float64(static.MakespanNs) < 1.5*float64(balanced.MakespanNs) {
+			t.Fatalf("G=%d: balanced %d not 1.5x better than static %d",
+				g, balanced.MakespanNs, static.MakespanNs)
+		}
+		if float64(static.MakespanNs) < 1.5*float64(stealing.MakespanNs) {
+			t.Fatalf("G=%d: stealing %d not 1.5x better than static %d",
+				g, stealing.MakespanNs, static.MakespanNs)
+		}
+	}
+}
+
+func TestSimulateSchedUniformNoRegression(t *testing.T) {
+	costs := uniformCosts(200, 1_000_000, 1000, 10_000)
+	for _, g := range []int{4, 8, 16} {
+		static := SimulateSched(costs, g, replay.Weak, true, sched.Static)
+		for _, policy := range []sched.Policy{sched.Balanced, sched.Stealing} {
+			vr := SimulateSched(costs, g, replay.Weak, true, policy)
+			if vr.MakespanNs > static.MakespanNs {
+				t.Fatalf("G=%d %v makespan %d exceeds static %d",
+					g, policy, vr.MakespanNs, static.MakespanNs)
+			}
+		}
+	}
+}
+
+func TestSimulateMatchesSchedStaticExactly(t *testing.T) {
+	// Simulate is now a thin wrapper over the sched-backed path; its numbers
+	// must be reproducible from the scheduler's own cost accounting.
+	costs := skewedCosts(64, 8, 10)
+	vr := Simulate(costs, 4, replay.Strong, true)
+	var want int64
+	for _, w := range vr.WorkerNs {
+		if w > want {
+			want = w
+		}
+	}
+	if vr.MakespanNs != want {
+		t.Fatalf("makespan %d != max worker %d", vr.MakespanNs, want)
+	}
+	if len(vr.WorkerNs) != 4 {
+		t.Fatalf("worker count %d, want 4", len(vr.WorkerNs))
 	}
 }

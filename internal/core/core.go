@@ -19,10 +19,12 @@ import (
 	"flor.dev/flor/internal/store"
 )
 
-// Program structure and record log file names inside a run directory.
+// Program structure, record log, and iteration-timing file names inside a
+// run directory.
 const (
 	programFile   = "PROGRAM"
 	recordLogFile = "record.log"
+	timingsFile   = "timings.log"
 )
 
 // RecordOptions configures a record run.
@@ -78,8 +80,23 @@ func Record(dir string, factory func() *script.Program, opts RecordOptions) (*Re
 	lg := runlog.New()
 	ctx := &script.Ctx{Env: script.NewEnv(), Log: lg.Append, LoopHook: rt.Hook}
 
+	// Run the program phase by phase (same semantics as script.Run), timing
+	// setup and every main-loop iteration: the timings feed the replay
+	// scheduler's cost model (internal/sched), which balances and steals
+	// segments by measured per-iteration cost.
+	timings := &runlog.Timings{}
 	t0 := time.Now()
-	if err := script.Run(ctx, p); err != nil {
+	err = script.ExecStmts(ctx, p.Setup)
+	timings.SetupNs = time.Since(t0).Nanoseconds()
+	if err == nil && p.Main != nil {
+		err = script.ExecLoopTimed(ctx, p.Main, func(_ int, ns int64) {
+			timings.IterNs = append(timings.IterNs, ns)
+		})
+	}
+	if err == nil {
+		err = script.ExecStmts(ctx, p.Tail)
+	}
+	if err != nil {
 		mat.Close()
 		return nil, fmt.Errorf("core: record: %w", err)
 	}
@@ -88,12 +105,17 @@ func Record(dir string, factory func() *script.Program, opts RecordOptions) (*Re
 	}
 	wall := time.Since(t0).Nanoseconds()
 
-	// Persist the code copy (program structure) and the record log.
+	// Persist the code copy (program structure), the record log, and the
+	// per-iteration timings.
 	shape := script.StructureOf(p)
 	if err := os.WriteFile(filepath.Join(dir, programFile), shape.Encode(), 0o644); err != nil {
 		return nil, fmt.Errorf("core: save program structure: %w", err)
 	}
 	if err := lg.WriteFile(filepath.Join(dir, recordLogFile)); err != nil {
+		return nil, err
+	}
+	timings.C = tracker.C()
+	if err := timings.WriteFile(filepath.Join(dir, timingsFile)); err != nil {
 		return nil, err
 	}
 
@@ -102,7 +124,7 @@ func Record(dir string, factory func() *script.Program, opts RecordOptions) (*Re
 		loopStats[id] = tracker.Stats(id)
 	}
 	return &RecordResult{
-		Recording: &replay.Recording{Store: st, Shape: shape, RecordLog: lg.Lines()},
+		Recording: &replay.Recording{Store: st, Shape: shape, RecordLog: lg.Lines(), Timings: timings},
 		WallNs:    wall,
 		MatStats:  mat.Stats(),
 		C:         tracker.C(),
@@ -143,5 +165,13 @@ func LoadRecording(dir string) (*replay.Recording, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &replay.Recording{Store: st, Shape: shape, RecordLog: logs}, nil
+	// Timings are optional: recordings made before timing capture replay
+	// with a metadata-derived cost model instead.
+	var timings *runlog.Timings
+	if _, serr := os.Stat(filepath.Join(dir, timingsFile)); serr == nil {
+		if timings, err = runlog.ReadTimingsFile(filepath.Join(dir, timingsFile)); err != nil {
+			return nil, err
+		}
+	}
+	return &replay.Recording{Store: st, Shape: shape, RecordLog: logs, Timings: timings}, nil
 }

@@ -2,11 +2,11 @@
 // diff, partial replay through SkipBlocks, and hindsight parallelism via the
 // Flor generator (paper §3.2, §5.4).
 //
-// A replay partitions the main loop's iterator into contiguous segments, one
-// per worker. Every worker executes the same instrumented program from the
-// beginning: setup runs logically (imports, data loading, model
-// construction), then the generator drives the main loop through two
-// phases —
+// A replay partitions the main loop's iterator into contiguous segments
+// (internal/sched owns the partitioners and the work-stealing executor).
+// Every worker executes the same instrumented program from the beginning:
+// setup runs logically (imports, data loading, model construction), then the
+// generator drives the main loop through two phases —
 //
 //	init_sgmnt: iterations replayed in SkipBlock initialization mode, which
 //	            skips nested loops by restoring their Loop End Checkpoints.
@@ -17,43 +17,56 @@
 //	            probed loops re-execute (producing the hindsight logs) and
 //	            unprobed loops restore.
 //
-// Workers share nothing and never communicate; their logs are concatenated
-// in segment order, and the merged log is diffed against the record log
-// (deferred correctness check, §5.2.2).
+// Workers share nothing and never communicate beyond the lease bookkeeping
+// of the stealing scheduler; each executed span of iterations carries its
+// own log lines, and spans are merged in iteration order before the merged
+// log is diffed against the record log (deferred correctness check, §5.2.2).
 package replay
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"flor.dev/flor/internal/adapt"
 	"flor.dev/flor/internal/backmat"
 	"flor.dev/flor/internal/runlog"
+	"flor.dev/flor/internal/sched"
 	"flor.dev/flor/internal/script"
 	"flor.dev/flor/internal/skipblock"
 	"flor.dev/flor/internal/store"
 )
 
-// InitMode selects the worker initialization strategy (paper §5.4.2).
-type InitMode int
+// InitMode selects the worker initialization strategy (paper §5.4.2); it is
+// the scheduler's Init so replay and the cluster simulator price it alike.
+type InitMode = sched.Init
 
 // Strong initialization replays every iteration preceding the work segment
 // in init mode (the default: its correctness follows from the correctness of
 // loop memoization). Weak initialization jumps to the checkpoint nearest the
 // segment start.
 const (
-	Strong InitMode = iota
-	Weak
+	Strong = sched.Strong
+	Weak   = sched.Weak
 )
 
-// String renders the init mode.
-func (m InitMode) String() string {
-	if m == Weak {
-		return "weak"
-	}
-	return "strong"
-}
+// Scheduler selects how main-loop iterations are distributed over workers.
+type Scheduler = sched.Policy
+
+// Replay scheduling policies.
+const (
+	// SchedStatic assigns uniform contiguous segments statically (the
+	// original Flor generator partitioning).
+	SchedStatic = sched.Static
+	// SchedBalanced balances segments by recorded per-iteration cost and
+	// snaps boundaries to materialized checkpoints.
+	SchedBalanced = sched.Balanced
+	// SchedStealing additionally lets idle workers steal the trailing half
+	// of the heaviest remaining segment, re-initializing from the nearest
+	// checkpoint.
+	SchedStealing = sched.Stealing
+)
 
 // Options configures a replay.
 type Options struct {
@@ -61,24 +74,30 @@ type Options struct {
 	Workers int
 	// Init selects strong or weak worker initialization.
 	Init InitMode
+	// Scheduler selects the segment scheduling policy (default SchedStatic).
+	Scheduler Scheduler
 	// SkipDeferredCheck disables the record/replay log diff (used by
 	// benchmarks that measure pure replay latency).
 	SkipDeferredCheck bool
 }
 
 // Recording is the artifact a record run leaves behind: the checkpoint
-// store, the saved program structure, and the record log.
+// store, the saved program structure, the record log, and the per-iteration
+// timings the record phase measured (nil for recordings made before timing
+// capture existed; the scheduler then falls back to store metadata).
 type Recording struct {
 	Store     *store.Store
 	Shape     *script.ProgramShape
 	RecordLog []string
+	Timings   *runlog.Timings
 }
 
 // WorkerReport describes one parallel worker's replay.
 type WorkerReport struct {
 	PID           int
-	Segment       [2]int // [start, end) main-loop iterations
+	Segment       [2]int // initial [start, end) main-loop lease
 	InitFrom      int    // first iteration replayed in init mode
+	Stolen        int    // leases acquired by stealing
 	Logs          []string
 	SetupNs       int64
 	InitNs        int64
@@ -96,33 +115,36 @@ type Result struct {
 	Logs      []string // merged logs in iteration order
 	Anomalies []runlog.Anomaly
 	Workers   []WorkerReport
+	Scheduler Scheduler
+	Steals    int
 	WallNs    int64
+}
+
+// logSpan is the log output of one contiguous executed span of iterations;
+// spans merge in start order, which is iteration order because claimed spans
+// are disjoint. Tail output rides in the span that ends at the last
+// iteration, which necessarily has the largest start.
+type logSpan struct {
+	start int
+	lines []string
+}
+
+// mergeSpans flattens spans into one log in iteration order.
+func mergeSpans(spans []logSpan) []string {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	var out []string
+	for _, s := range spans {
+		out = append(out, s.lines...)
+	}
+	return out
 }
 
 // Partition splits n iterations into at most g contiguous segments whose
 // sizes differ by at most one (the Flor generator's iterator partitioning,
-// §5.4.1). Segments are returned in order; fewer than g segments are
-// returned when n < g.
+// §5.4.1). Kept as the package's static-partition entry point; the balanced
+// and stealing policies live in internal/sched.
 func Partition(n, g int) [][2]int {
-	if n <= 0 || g <= 0 {
-		return nil
-	}
-	if g > n {
-		g = n
-	}
-	segs := make([][2]int, 0, g)
-	base := n / g
-	rem := n % g
-	start := 0
-	for i := 0; i < g; i++ {
-		size := base
-		if i < rem {
-			size++
-		}
-		segs = append(segs, [2]int{start, start + size})
-		start += size
-	}
-	return segs
+	return sched.PartitionStatic(n, g)
 }
 
 // MaxSpeedup returns the best achievable parallel speedup for n iterations
@@ -151,120 +173,347 @@ func Replay(rec *Recording, factory func() *script.Program, opts Options) (*Resu
 		return nil, fmt.Errorf("replay: program has no main loop")
 	}
 	n := probeProgram.Main.Iters
-	segs := Partition(n, opts.Workers)
-
-	res := &Result{Probes: diff.Probes, NewLabels: diff.NewLabels}
-	res.Workers = make([]WorkerReport, len(segs))
-
-	t0 := time.Now()
-	var wg sync.WaitGroup
-	errs := make([]error, len(segs))
-	for pid := range segs {
-		wg.Add(1)
-		go func(pid int) {
-			defer wg.Done()
-			report, err := runWorker(rec, factory, diff, segs[pid], pid, opts, pid == len(segs)-1)
-			if err != nil {
-				errs[pid] = err
-				return
+	// Anchors matter only to weak initialization and the non-static
+	// schedulers, and the cost model only to the latter; the default
+	// static/strong path skips the store scans entirely.
+	anchors := make([]int, 0)
+	var costs *sched.Costs
+	if opts.Init == Weak || opts.Scheduler != SchedStatic {
+		ids, mult := instrumentedLoops(rec.Store, probeProgram)
+		anchors = anchoredIterations(rec.Store, probeProgram, ids, mult)
+		if opts.Scheduler != SchedStatic {
+			// Work iterations re-execute at compute cost only when an
+			// instrumented (restorable) loop itself is probed; an outer-only
+			// probe leaves every nested loop restoring, so work is priced as
+			// catch-up.
+			probedInner := false
+			for _, id := range ids {
+				if diff.Probes[id] {
+					probedInner = true
+				}
 			}
-			res.Workers[pid] = *report
-		}(pid)
-	}
-	wg.Wait()
-	res.WallNs = time.Since(t0).Nanoseconds()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			costs = schedCosts(rec, probeProgram, ids, mult, anchors, probedInner)
 		}
 	}
-	for _, w := range res.Workers {
-		res.Logs = append(res.Logs, w.Logs...)
+
+	res := &Result{Probes: diff.Probes, NewLabels: diff.NewLabels, Scheduler: opts.Scheduler}
+	t0 := time.Now()
+	var spans []logSpan
+	if opts.Scheduler == SchedStealing && n > 0 {
+		spans, err = replayStealing(rec, factory, diff, costs, anchors, opts, n, res)
+	} else {
+		var segs [][2]int
+		if opts.Scheduler == SchedBalanced {
+			segs = sched.PartitionBalancedAnchored(costs, opts.Workers, opts.Init, anchors)
+		} else {
+			segs = sched.PartitionStatic(n, opts.Workers)
+		}
+		spans, err = replayStatic(rec, factory, diff, segs, anchors, opts, res)
 	}
+	if err != nil {
+		return nil, err
+	}
+	res.WallNs = time.Since(t0).Nanoseconds()
+	res.Logs = mergeSpans(spans)
 	if !opts.SkipDeferredCheck {
 		res.Anomalies = runlog.DeferredCheck(rec.RecordLog, res.Logs, diff.NewLabels)
 	}
 	return res, nil
 }
 
-// runWorker executes one parallel worker: setup, initialization, work
-// segment, and (for the last worker) the program tail.
-func runWorker(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
-	seg [2]int, pid int, opts Options, last bool) (*WorkerReport, error) {
+// replayStatic runs one worker per segment with static assignment (the
+// SchedStatic and SchedBalanced policies).
+func replayStatic(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
+	segs [][2]int, anchors []int, opts Options, res *Result) ([]logSpan, error) {
 
-	p := factory()
-	report := &WorkerReport{PID: pid, Segment: seg}
-
-	// Each worker is its own process in the paper; here, its own program
-	// instance, environment, tracker and SkipBlock runtime over the shared
-	// (read-only) checkpoint store.
-	tracker := adapt.New(adapt.DefaultEpsilon)
-	mat := backmat.New(rec.Store, backmat.Fork)
-	defer mat.Close()
-	rt := skipblock.NewRuntime(p, tracker, mat, rec.Store)
-	rt.SetProbes(diff.Probes)
-
-	ctx := &script.Ctx{Env: script.NewEnv(), LoopHook: rt.Hook}
-
-	// Phase 1: run every statement before the main loop (imports, data
-	// loading, model construction — §5.4.2 "the first part").
-	s0 := time.Now()
-	if err := script.ExecStmts(ctx, p.Setup); err != nil {
-		return nil, fmt.Errorf("replay: worker %d setup: %w", pid, err)
-	}
-	report.SetupNs = time.Since(s0).Nanoseconds()
-
-	// Phase 2: initialization — restore the program state at iteration
-	// seg[0] by replaying init_sgmnt in SkipBlock init mode. Log output is
-	// suppressed: init iterations belong to other workers' segments.
-	initFrom := 0
-	if opts.Init == Weak && seg[0] > 0 {
-		initFrom = weakAnchor(rec.Store, p, rt, seg[0]-1)
-	}
-	report.InitFrom = initFrom
-	i0 := time.Now()
-	if seg[0] > 0 {
-		rt.SetMode(skipblock.ModeReplayInit)
-		positionBlocks(p, rt, initFrom)
-		ctx.Log = nil
-		for e := initFrom; e < seg[0]; e++ {
-			ctx.Env.SetInt(p.Main.IterVar, e)
-			if err := script.ExecStmts(ctx, p.Main.Body); err != nil {
-				return nil, fmt.Errorf("replay: worker %d init iteration %d: %w", pid, e, err)
+	res.Workers = make([]WorkerReport, len(segs))
+	spans := make([]logSpan, len(segs))
+	var wg sync.WaitGroup
+	errs := make([]error, len(segs))
+	for pid := range segs {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			report, err := runWorker(rec, factory, diff, segs[pid], anchors, pid, opts, pid == len(segs)-1)
+			if err != nil {
+				errs[pid] = err
+				return
 			}
+			res.Workers[pid] = *report
+			spans[pid] = logSpan{start: segs[pid][0], lines: report.Logs}
+		}(pid)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	report.InitNs = time.Since(i0).Nanoseconds()
+	return spans, nil
+}
+
+// replayStealing runs opts.Workers workers over a shared lease executor
+// seeded with the balanced partition (the SchedStealing policy).
+func replayStealing(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
+	costs *sched.Costs, anchors []int, opts Options, n int, res *Result) ([]logSpan, error) {
+
+	g := opts.Workers
+	if g > n {
+		g = n
+	}
+	segs := sched.PartitionBalancedAnchored(costs, g, opts.Init, anchors)
+	x := sched.NewExecutor(costs, segs, anchors)
+
+	res.Workers = make([]WorkerReport, g)
+	workerSpans := make([][]logSpan, g)
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	for pid := 0; pid < g; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			report, spans, err := runStealingWorker(rec, factory, diff, x, anchors, pid, n, opts)
+			if err != nil {
+				errs[pid] = err
+				return
+			}
+			res.Workers[pid] = *report
+			workerSpans[pid] = spans
+		}(pid)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Steals = x.Steals()
+	var spans []logSpan
+	for _, ws := range workerSpans {
+		spans = append(spans, ws...)
+	}
+	return spans, nil
+}
+
+// worker bundles one replay worker's per-process state. Each worker is its
+// own process in the paper; here, its own program instance, environment,
+// tracker and SkipBlock runtime over the shared (read-only) checkpoint
+// store. Both scheduling paths (static segments and stealing leases) share
+// this lifecycle: construction + setup, initTo, work iterations, tail.
+type worker struct {
+	p      *script.Program
+	rt     *skipblock.Runtime
+	mat    *backmat.Materializer
+	ctx    *script.Ctx
+	pid    int
+	report *WorkerReport
+}
+
+// newWorker builds a worker and runs phase 1: every statement before the
+// main loop (imports, data loading, model construction — §5.4.2 "the first
+// part"). Callers must close() the worker.
+func newWorker(rec *Recording, factory func() *script.Program, diff *script.DiffResult, pid int) (*worker, error) {
+	p := factory()
+	tracker := adapt.New(adapt.DefaultEpsilon)
+	mat := backmat.New(rec.Store, backmat.Fork)
+	rt := skipblock.NewRuntime(p, tracker, mat, rec.Store)
+	rt.SetProbes(diff.Probes)
+	w := &worker{
+		p: p, rt: rt, mat: mat, pid: pid,
+		ctx:    &script.Ctx{Env: script.NewEnv(), LoopHook: rt.Hook},
+		report: &WorkerReport{PID: pid},
+	}
+	s0 := time.Now()
+	if err := script.ExecStmts(w.ctx, p.Setup); err != nil {
+		mat.Close()
+		return nil, fmt.Errorf("replay: worker %d setup: %w", pid, err)
+	}
+	w.report.SetupNs = time.Since(s0).Nanoseconds()
+	return w, nil
+}
+
+func (w *worker) close() { w.mat.Close() }
+
+// initTo restores the program state at iteration start by replaying
+// [initFrom, start) in SkipBlock init mode. Log output is suppressed: init
+// iterations belong to other workers' segments. Block execution counters
+// are repositioned first, so initTo is correct from any current position
+// (the stealing path re-initializes mid-replay).
+func (w *worker) initTo(initFrom, start int) error {
+	i0 := time.Now()
+	w.rt.SetMode(skipblock.ModeReplayInit)
+	positionBlocks(w.p, w.rt, initFrom)
+	w.ctx.Log = nil
+	for e := initFrom; e < start; e++ {
+		w.ctx.Env.SetInt(w.p.Main.IterVar, e)
+		if err := script.ExecStmts(w.ctx, w.p.Main.Body); err != nil {
+			return fmt.Errorf("replay: worker %d init iteration %d: %w", w.pid, e, err)
+		}
+	}
+	w.report.InitNs += time.Since(i0).Nanoseconds()
+	return nil
+}
+
+// runIteration executes one work iteration; the caller has set
+// ModeReplayExec and log capture.
+func (w *worker) runIteration(e int) error {
+	w.ctx.Env.SetInt(w.p.Main.IterVar, e)
+	if err := script.ExecStmts(w.ctx, w.p.Main.Body); err != nil {
+		return fmt.Errorf("replay: worker %d iteration %d: %w", w.pid, e, err)
+	}
+	return nil
+}
+
+// runTail executes the post-loop statements.
+func (w *worker) runTail() error {
+	if err := script.ExecStmts(w.ctx, w.p.Tail); err != nil {
+		return fmt.Errorf("replay: worker %d tail: %w", w.pid, err)
+	}
+	return nil
+}
+
+// finish folds every SkipBlock's counters into the report and returns it.
+func (w *worker) finish() *WorkerReport {
+	for _, id := range w.rt.Blocks() {
+		b, _ := w.rt.Block(id)
+		st := b.Stats()
+		w.report.RestoreNs += st.RestoreNs
+		w.report.Restored += st.Restored
+		w.report.RestoredBytes += st.RestoredBytes
+		w.report.Executed += st.Executed
+	}
+	return w.report
+}
+
+// runWorker executes one statically assigned worker: setup, initialization,
+// work segment, and (for the last worker) the program tail.
+func runWorker(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
+	seg [2]int, anchors []int, pid int, opts Options, last bool) (*WorkerReport, error) {
+
+	w, err := newWorker(rec, factory, diff, pid)
+	if err != nil {
+		return nil, err
+	}
+	defer w.close()
+	w.report.Segment = seg
+
+	// Phase 2: initialization — strong catches up from 0, weak from the
+	// nearest anchored checkpoint.
+	initFrom := 0
+	if opts.Init == Weak && seg[0] > 0 {
+		initFrom = sched.AnchorBefore(anchors, seg[0]-1)
+	}
+	w.report.InitFrom = initFrom
+	if seg[0] > 0 {
+		if err := w.initTo(initFrom, seg[0]); err != nil {
+			return nil, err
+		}
+	}
 
 	// Phase 3: the work segment, in replay-execution mode with log capture.
 	w0 := time.Now()
-	rt.SetMode(skipblock.ModeReplayExec)
+	w.rt.SetMode(skipblock.ModeReplayExec)
 	lg := runlog.New()
-	ctx.Log = lg.Append
+	w.ctx.Log = lg.Append
 	for e := seg[0]; e < seg[1]; e++ {
-		ctx.Env.SetInt(p.Main.IterVar, e)
-		if err := script.ExecStmts(ctx, p.Main.Body); err != nil {
-			return nil, fmt.Errorf("replay: worker %d iteration %d: %w", pid, e, err)
+		if err := w.runIteration(e); err != nil {
+			return nil, err
 		}
 	}
 	// The final worker also runs the tail (post-loop statements).
 	if last {
-		if err := script.ExecStmts(ctx, p.Tail); err != nil {
-			return nil, fmt.Errorf("replay: worker %d tail: %w", pid, err)
+		if err := w.runTail(); err != nil {
+			return nil, err
 		}
 	}
-	report.WorkNs = time.Since(w0).Nanoseconds()
-	report.Logs = lg.Lines()
+	w.report.WorkNs = time.Since(w0).Nanoseconds()
+	w.report.Logs = lg.Lines()
+	return w.finish(), nil
+}
 
-	for _, id := range rt.Blocks() {
-		b, _ := rt.Block(id)
-		st := b.Stats()
-		report.RestoreNs += st.RestoreNs
-		report.Restored += st.Restored
-		report.RestoredBytes += st.RestoredBytes
-		report.Executed += st.Executed
+// runStealingWorker executes one worker of the stealing scheduler: setup
+// once, then a loop of leases — the statically assigned one first, stolen
+// remainders after. Before each lease whose start differs from the worker's
+// current position, the worker re-initializes: from iteration 0 (strong,
+// first lease only) or from the nearest anchored checkpoint (weak; always,
+// for stolen leases). The worker whose final lease ends at the last
+// iteration runs the program tail immediately, while its state is current.
+func runStealingWorker(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
+	x *sched.Executor, anchors []int, pid, n int, opts Options) (*WorkerReport, []logSpan, error) {
+
+	w, err := newWorker(rec, factory, diff, pid)
+	if err != nil {
+		return nil, nil, err
 	}
-	return report, nil
+	defer w.close()
+
+	var spans []logSpan
+	pos := 0 // the main-loop iteration the program state currently sits at
+	first := true
+	lease := x.InitialLease(pid)
+	if lease != nil {
+		s, e := lease.Bounds()
+		w.report.Segment = [2]int{s, e}
+	}
+	for {
+		if lease == nil {
+			var ok bool
+			if lease, ok = x.Steal(); !ok {
+				break
+			}
+			w.report.Stolen++
+		}
+		start := lease.Start()
+
+		// Initialization to the lease start. A lease adjacent to the
+		// worker's current position needs none; otherwise stolen leases
+		// always use weak (checkpoint-anchored) initialization — stealing
+		// only targets splits with a reachable anchor. start==0 re-inits
+		// only the block counters (the init loop is empty).
+		if start != pos {
+			initFrom := 0
+			if !first || opts.Init == Weak {
+				initFrom = sched.AnchorBefore(anchors, start-1)
+			}
+			if first {
+				w.report.InitFrom = initFrom
+			}
+			if err := w.initTo(initFrom, start); err != nil {
+				return nil, nil, err
+			}
+		}
+
+		// Work phase: claim iterations until the lease is exhausted (either
+		// finished or stolen down to the worker's position).
+		w0 := time.Now()
+		w.rt.SetMode(skipblock.ModeReplayExec)
+		span := logSpan{start: start}
+		w.ctx.Log = func(line string) { span.lines = append(span.lines, line) }
+		for {
+			e, ok := lease.Next()
+			if !ok {
+				break
+			}
+			if err := w.runIteration(e); err != nil {
+				return nil, nil, err
+			}
+		}
+		_, end := lease.Bounds()
+		pos = end
+		// The lease reaching the loop's end is unique (ends only move by
+		// splitting); its owner runs the tail while positioned at n.
+		if end == n {
+			if err := w.runTail(); err != nil {
+				return nil, nil, err
+			}
+		}
+		w.report.WorkNs += time.Since(w0).Nanoseconds()
+		spans = append(spans, span)
+		w.report.Logs = append(w.report.Logs, span.lines...)
+		lease = nil
+		first = false
+	}
+	return w.finish(), spans, nil
 }
 
 // positionBlocks sets every SkipBlock's execution counter to its position at
@@ -277,32 +526,164 @@ func positionBlocks(p *script.Program, rt *skipblock.Runtime, epoch int) {
 	}
 }
 
+// instrumentedLoops returns the IDs of the program's memoizable nested
+// loops, sorted, with their executions per main-loop iteration — the loops
+// whose checkpoints drive anchoring and restore-cost estimates.
+func instrumentedLoops(st *store.Store, p *script.Program) ([]string, map[string]int) {
+	rt := skipblock.NewRuntime(p, adapt.New(0), nil, st)
+	ids := rt.Blocks()
+	sort.Strings(ids)
+	mult := make(map[string]int, len(ids))
+	for _, id := range ids {
+		mult[id] = skipblock.ExecsPerMainIteration(p, id)
+	}
+	return ids, mult
+}
+
+// anchoredIterations returns, sorted, every main-loop iteration e whose
+// instrumented loops all have materialized checkpoints for every execution
+// during e — the iterations weak initialization can jump to and stealing can
+// re-initialize from. A program with no instrumented loops anchors nothing
+// (there are no checkpoints to restore).
+func anchoredIterations(st *store.Store, p *script.Program, ids []string, mult map[string]int) []int {
+	anchors := make([]int, 0)
+	if len(ids) == 0 || p.Main == nil {
+		return anchors
+	}
+	for e := 0; e < p.Main.Iters; e++ {
+		if iterationAnchored(st, ids, mult, e) {
+			anchors = append(anchors, e)
+		}
+	}
+	return anchors
+}
+
+// iterationAnchored is the single definition of "anchored": every
+// instrumented loop has a materialized checkpoint for each of its
+// executions during main-loop iteration e. anchoredIterations (the
+// scheduler) and weakAnchor (iteration sampling) both use it.
+func iterationAnchored(st *store.Store, ids []string, mult map[string]int, e int) bool {
+	for _, id := range ids {
+		m := mult[id]
+		for x := e * m; x < (e+1)*m; x++ {
+			if !st.Has(store.Key{LoopID: id, Exec: x}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // weakAnchor returns the largest main-loop iteration e ≤ target such that
-// every instrumented loop has checkpoints for all its executions during
-// iteration e, so the whole iteration can be replayed by restoration alone.
-// Falls back to 0 (strong initialization) when no such iteration exists.
+// iteration e is anchored, so the whole iteration can be replayed by
+// restoration alone. Falls back to 0 (strong initialization) when no such
+// iteration exists.
 func weakAnchor(st *store.Store, p *script.Program, rt *skipblock.Runtime, target int) int {
 	ids := rt.Blocks()
 	if len(ids) == 0 {
 		return 0
 	}
+	mult := make(map[string]int, len(ids))
+	for _, id := range ids {
+		mult[id] = skipblock.ExecsPerMainIteration(p, id)
+	}
 	for e := target; e >= 0; e-- {
-		ok := true
-		for _, id := range ids {
-			mult := skipblock.ExecsPerMainIteration(p, id)
-			for x := e * mult; x < (e+1)*mult; x++ {
-				if !st.Has(store.Key{LoopID: id, Exec: x}) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				break
-			}
-		}
-		if ok {
+		if iterationAnchored(st, ids, mult, e) {
 			return e
 		}
 	}
 	return 0
+}
+
+// schedCosts derives the scheduler's cost model for this replay from the
+// recording. Work costs come from the record phase's per-iteration timings
+// when the inner loop is probed (it re-executes), and from restore estimates
+// otherwise; catch-up costs are restore estimates on anchored iterations and
+// re-execution costs elsewhere (the sparse-checkpoint fallback). Restore
+// times are predicted from materialization times through the restore/
+// materialize scaling factor the record phase measured (§5.3.2, persisted
+// with the timings). Recordings made before timing capture fall back to
+// checkpoint metadata, and to a uniform model when no cost data exists.
+func schedCosts(rec *Recording, p *script.Program, ids []string, mult map[string]int,
+	anchors []int, probed bool) *sched.Costs {
+
+	n := p.Main.Iters
+	tracker := adapt.New(adapt.DefaultEpsilon)
+	if rec.Timings != nil && rec.Timings.C > 0 {
+		tracker.SeedC(rec.Timings.C)
+	}
+
+	// Per-iteration compute: recorded wall times, else store metadata.
+	comput := make([]int64, n)
+	if rec.Timings != nil && len(rec.Timings.IterNs) == n {
+		copy(comput, rec.Timings.IterNs)
+	} else {
+		var sum, cnt int64
+		for e := 0; e < n; e++ {
+			for _, id := range ids {
+				m := mult[id]
+				for x := e * m; x < (e+1)*m; x++ {
+					if meta, ok := rec.Store.Lookup(store.Key{LoopID: id, Exec: x}); ok && meta.ComputNs > 0 {
+						comput[e] += meta.ComputNs
+					}
+				}
+			}
+			if comput[e] > 0 {
+				sum += comput[e]
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			mean := sum / cnt
+			for e := range comput {
+				if comput[e] == 0 {
+					comput[e] = mean
+				}
+			}
+		}
+	}
+
+	// Per-iteration restore estimate from materialization metadata.
+	restore := make([]int64, n)
+	for e := 0; e < n; e++ {
+		for _, id := range ids {
+			m := mult[id]
+			for x := e * m; x < (e+1)*m; x++ {
+				if meta, ok := rec.Store.Lookup(store.Key{LoopID: id, Exec: x}); ok {
+					restore[e] += tracker.PredictRestoreNs(meta.MaterNs)
+				}
+			}
+		}
+	}
+
+	anchored := make(map[int]bool, len(anchors))
+	for _, a := range anchors {
+		anchored[a] = true
+	}
+	c := &sched.Costs{WorkNs: make([]int64, n), CatchupNs: make([]int64, n)}
+	if rec.Timings != nil {
+		c.SetupNs = rec.Timings.SetupNs
+	}
+	var total int64
+	for e := 0; e < n; e++ {
+		if anchored[e] {
+			c.CatchupNs[e] = restore[e]
+		} else {
+			c.CatchupNs[e] = comput[e]
+		}
+		if probed {
+			c.WorkNs[e] = comput[e]
+		} else {
+			c.WorkNs[e] = c.CatchupNs[e]
+		}
+		total += c.WorkNs[e]
+	}
+	if total == 0 {
+		// No usable cost data: uniform work costs so Balanced degenerates
+		// to Static and Stealing splits by count.
+		for e := range c.WorkNs {
+			c.WorkNs[e] = 1
+		}
+	}
+	return c
 }

@@ -1,0 +1,176 @@
+package replay_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/replay"
+	"flor.dev/flor/internal/runlog"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/value"
+	"flor.dev/flor/internal/xrand"
+)
+
+// skewedFactory builds a training program whose per-epoch compute is
+// head-heavy: the first eighth of the epochs do 40x the work (the "heavy
+// probes on a few epochs" shape the cost-balanced scheduler exists for).
+// The log output is identical regardless of how iterations are scheduled.
+func skewedFactory(epochs, steps int) func() *script.Program {
+	return func() *script.Program {
+		train := &script.Loop{
+			ID:      "train",
+			IterVar: "step",
+			Iters:   steps,
+			Body: []script.Stmt{
+				script.AssignMethod([]string{"w"}, "rng", "perturb", []string{"w", "epoch"}, func(e *script.Env) error {
+					w := e.MustGet("w").(*value.Tensor).T
+					rng := e.MustGet("rng").(*value.RNG).R
+					passes := 5
+					if e.Int("epoch") < epochs/8 {
+						passes = 200
+					}
+					for pass := 0; pass < passes; pass++ {
+						for i := 0; i < w.Len(); i++ {
+							w.Data()[i] += rng.Float64() * 0.001
+						}
+					}
+					return nil
+				}),
+			},
+		}
+		return &script.Program{
+			Name: "skewtrain",
+			Setup: []script.Stmt{
+				script.AssignFunc([]string{"w"}, "zeros", nil, func(e *script.Env) error {
+					e.Set("w", &value.Tensor{T: tensor.New(64)})
+					return nil
+				}),
+				script.AssignFunc([]string{"rng"}, "RNG", nil, func(e *script.Env) error {
+					e.Set("rng", &value.RNG{R: xrand.New(99)})
+					return nil
+				}),
+			},
+			Main: &script.Loop{
+				ID:      "main",
+				IterVar: "epoch",
+				Iters:   epochs,
+				Body: []script.Stmt{
+					script.LoopStmt(train),
+					script.LogStmt("loss", func(e *script.Env) (string, error) {
+						w := e.MustGet("w").(*value.Tensor).T
+						return fmt.Sprintf("epoch=%d sum=%.17g", e.Int("epoch"), w.Sum()), nil
+					}),
+				},
+			},
+			Tail: []script.Stmt{
+				script.LogStmt("done", func(e *script.Env) (string, error) {
+					return fmt.Sprintf("final=%.17g", e.MustGet("w").(*value.Tensor).T.Sum()), nil
+				}),
+			},
+		}
+	}
+}
+
+// replayWith replays rec with the probed factory under one scheduler
+// configuration and fails on error or anomalies.
+func replayWith(t *testing.T, rec *core.RecordResult, factory func() *script.Program, opts replay.Options) *replay.Result {
+	t.Helper()
+	res, err := replay.Replay(rec.Recording, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Anomalies) != 0 {
+		t.Fatalf("deferred check found anomalies under %v/%v: %v", opts.Scheduler, opts.Init, res.Anomalies[0])
+	}
+	return res
+}
+
+// TestSchedulersProduceIdenticalLogs is the deterministic-merge regression:
+// replay logs under Balanced and Stealing with skewed costs are byte-
+// identical to the Static single-worker replay, and the deferred check
+// reports no anomalies for any of them.
+func TestSchedulersProduceIdenticalLogs(t *testing.T) {
+	factory := skewedFactory(32, 3)
+	rec := record(t, factory)
+	probed := addInnerProbe(factory)
+
+	baseline := replayWith(t, rec, probed, replay.Options{Workers: 1})
+	want := strings.Join(baseline.Logs, "\n")
+
+	for _, opts := range []replay.Options{
+		{Workers: 4, Scheduler: replay.SchedBalanced, Init: replay.Weak},
+		{Workers: 4, Scheduler: replay.SchedBalanced, Init: replay.Strong},
+		{Workers: 4, Scheduler: replay.SchedStealing, Init: replay.Weak},
+		{Workers: 8, Scheduler: replay.SchedStealing, Init: replay.Strong},
+	} {
+		res := replayWith(t, rec, probed, opts)
+		if got := strings.Join(res.Logs, "\n"); got != want {
+			t.Fatalf("%v/%v logs diverge from static single-worker:\n got: %.200s\nwant: %.200s",
+				opts.Scheduler, opts.Init, got, want)
+		}
+	}
+}
+
+// TestStealingSparseCheckpoints exercises the no-anchor safety path: with
+// adaptive checkpointing enabled these microsecond epochs materialize few or
+// no checkpoints, so stealing must stand down (or steal only around real
+// anchors) and still merge a byte-identical log.
+func TestStealingSparseCheckpoints(t *testing.T) {
+	factory := skewedFactory(16, 2)
+	res, err := core.Record(t.TempDir(), factory, core.RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := addInnerProbe(factory)
+	baseline := replayWith(t, res, probed, replay.Options{Workers: 1})
+	stealing := replayWith(t, res, probed, replay.Options{Workers: 4, Scheduler: replay.SchedStealing, Init: replay.Weak})
+	if strings.Join(stealing.Logs, "\n") != strings.Join(baseline.Logs, "\n") {
+		t.Fatal("stealing logs diverge under sparse checkpoints")
+	}
+}
+
+// TestStealingOuterProbe checks the partial-replay path (work iterations
+// restore rather than execute) under the stealing scheduler.
+func TestStealingOuterProbe(t *testing.T) {
+	factory := skewedFactory(24, 2)
+	rec := record(t, factory)
+	probed := addOuterProbe(factory)
+	baseline := replayWith(t, rec, probed, replay.Options{Workers: 1})
+	stealing := replayWith(t, rec, probed, replay.Options{Workers: 6, Scheduler: replay.SchedStealing, Init: replay.Weak})
+	if strings.Join(stealing.Logs, "\n") != strings.Join(baseline.Logs, "\n") {
+		t.Fatal("stealing logs diverge on outer-probe partial replay")
+	}
+}
+
+// TestBalancedSegmentsRespectSkew verifies the balanced partitioner actually
+// consumes the recording's timings: with a deterministic head-heavy timing
+// vector injected into the recording, the heavy head must be split across
+// more workers than the uniform split would give it. (The timings are
+// injected rather than wall-clock-measured so the partition is independent
+// of machine load; end-to-end timing capture has its own coverage.)
+func TestBalancedSegmentsRespectSkew(t *testing.T) {
+	factory := skewedFactory(32, 3)
+	rec := record(t, factory)
+	iters := make([]int64, 32)
+	for e := range iters {
+		iters[e] = 1_000_000
+		if e < 4 {
+			iters[e] = 40_000_000
+		}
+	}
+	rec.Recording.Timings = &runlog.Timings{SetupNs: 1000, IterNs: iters}
+	probed := addInnerProbe(factory)
+	res := replayWith(t, rec, probed, replay.Options{Workers: 4, Scheduler: replay.SchedBalanced, Init: replay.Weak})
+	if len(res.Workers) < 2 {
+		t.Fatalf("balanced replay used %d workers", len(res.Workers))
+	}
+	// The first (heavy) segment must be shorter than the uniform 32/4 = 8
+	// iterations: the head eighth (4 epochs) does 40x the per-epoch work.
+	first := res.Workers[0].Segment
+	if first[1]-first[0] >= 8 {
+		t.Fatalf("first balanced segment %v ignores the recorded head skew", first)
+	}
+}

@@ -105,6 +105,61 @@ func FilterLabels(lines []string, exclude map[string]bool) []string {
 	return out
 }
 
+// Timings carries the per-iteration wall-clock measurements the record
+// phase captures alongside the run log: how long program setup took and how
+// long each main-loop iteration took. The replay scheduler's cost model
+// (internal/sched) is derived from them, so cost-balanced partitioning and
+// work stealing can react to skew the checkpoint metadata alone cannot see
+// (eval phases, logging, unmemoized loops).
+type Timings struct {
+	SetupNs int64
+	// C is the restore/materialize scaling factor known when the timings
+	// were written (the paper's §5.3.2 prior, refined as restores are
+	// observed); 0 when unknown.
+	C      float64
+	IterNs []int64
+}
+
+// WriteFile persists the timings: a "setup <ns> c <factor>" header line,
+// then one iteration duration per line.
+func (t *Timings) WriteFile(path string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "setup %d c %g\n", t.SetupNs, t.C)
+	for _, ns := range t.IterNs {
+		fmt.Fprintf(&b, "%d\n", ns)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("runlog: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadTimingsFile loads timings previously written with WriteFile.
+func ReadTimingsFile(path string) (*Timings, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: read %s: %w", path, err)
+	}
+	t := &Timings{}
+	for i, line := range strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if i == 0 {
+			if _, err := fmt.Sscanf(line, "setup %d c %g", &t.SetupNs, &t.C); err != nil {
+				return nil, fmt.Errorf("runlog: %s: bad timings header %q", path, line)
+			}
+			continue
+		}
+		var ns int64
+		if _, err := fmt.Sscanf(line, "%d", &ns); err != nil {
+			return nil, fmt.Errorf("runlog: %s: bad timings line %q", path, line)
+		}
+		t.IterNs = append(t.IterNs, ns)
+	}
+	return t, nil
+}
+
 // Anomaly is one record/replay divergence found by the deferred check.
 type Anomaly struct {
 	Index  int    // line position in the record log

@@ -1,6 +1,7 @@
 package runlog
 
 import (
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -193,4 +194,65 @@ func TestPartialDeferredCheckEmptySegment(t *testing.T) {
 	if got := PartialDeferredCheck([]string{"a: 1"}, nil, nil); got != nil {
 		t.Fatalf("empty segment flagged: %v", got)
 	}
+}
+
+func TestTimingsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timings.log")
+	tm := &Timings{SetupNs: 12345, C: 1.375, IterNs: []int64{1, 0, 999_999_999_999, 42}}
+	if err := tm.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTimingsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SetupNs != tm.SetupNs {
+		t.Fatalf("setup %d, want %d", got.SetupNs, tm.SetupNs)
+	}
+	if got.C != tm.C {
+		t.Fatalf("c %g, want %g", got.C, tm.C)
+	}
+	if len(got.IterNs) != len(tm.IterNs) {
+		t.Fatalf("iterations %d, want %d", len(got.IterNs), len(tm.IterNs))
+	}
+	for i := range tm.IterNs {
+		if got.IterNs[i] != tm.IterNs[i] {
+			t.Fatalf("iteration %d = %d, want %d", i, got.IterNs[i], tm.IterNs[i])
+		}
+	}
+}
+
+func TestTimingsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timings.log")
+	if err := (&Timings{SetupNs: 7}).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTimingsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SetupNs != 7 || len(got.IterNs) != 0 {
+		t.Fatalf("got %+v, want setup=7 with no iterations", got)
+	}
+}
+
+func TestTimingsRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timings.log")
+	if err := writeRaw(path, "setup nope\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTimingsFile(path); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if err := writeRaw(path, "setup 5 c 1.38\nabc\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTimingsFile(path); err == nil {
+		t.Fatal("bad iteration line accepted")
+	}
+}
+
+// writeRaw writes raw file content for the garbage-rejection cases.
+func writeRaw(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
 }

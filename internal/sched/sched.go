@@ -1,0 +1,434 @@
+// Package sched implements replay scheduling: cost models derived from
+// recorded per-iteration timings, cost-balanced contiguous partitioning, and
+// (in steal.go / sim.go) a dynamic work-stealing executor with
+// checkpoint-aware lease splitting.
+//
+// The paper's hindsight-parallel replay (§5.4) splits the main loop's
+// iterator into contiguous segments, one per worker. The seed implementation
+// split uniformly — near-ideal when every iteration costs the same, but any
+// skew (adaptive sparse checkpointing per §5.3, heavy probes on a few
+// epochs, fine-tuning workloads with tiny epochs) concentrates cost into one
+// worker's segment and wrecks the makespan. This package owns everything the
+// replay engine and the cluster simulator need to schedule around skew:
+//
+//   - Costs: per-iteration work and catch-up (restore) costs plus setup.
+//   - PartitionStatic: the seed's uniform contiguous split.
+//   - PartitionBalanced: a contiguous split minimizing the maximum segment
+//     work cost (prefix sums + binary search on the bottleneck).
+//   - SnapToAnchors: moves segment boundaries to materialized checkpoints so
+//     weak-initialized workers never pay long catch-up replays.
+//   - Executor (steal.go): lease-based work stealing for real replay.
+//   - SimulateStealing (sim.go): the same policy in deterministic virtual
+//     time, for the cluster simulator's makespan accounting.
+//
+// internal/replay and internal/cluster both build on this package, so the
+// virtual makespans behind Figures 10 and 13 use exactly the scheduler the
+// real replay engine runs.
+package sched
+
+import (
+	"sort"
+	"sync"
+)
+
+// Policy selects the replay scheduling strategy.
+type Policy int
+
+const (
+	// Static is the seed behaviour: uniform contiguous segments, one
+	// statically assigned per worker.
+	Static Policy = iota
+	// Balanced splits contiguously by measured cost (minimizing the maximum
+	// segment cost) and snaps boundaries to materialized checkpoints, but
+	// assignment stays static.
+	Balanced
+	// Stealing starts from the Balanced partition and lets idle workers
+	// steal the trailing half of the heaviest remaining segment,
+	// re-initializing from the nearest checkpoint.
+	Stealing
+)
+
+// String renders the policy.
+func (p Policy) String() string {
+	switch p {
+	case Balanced:
+		return "balanced"
+	case Stealing:
+		return "stealing"
+	default:
+		return "static"
+	}
+}
+
+// Init selects the worker initialization strategy (paper §5.4.2). It lives
+// here so the scheduler's cost accounting and the replay engine share one
+// definition; internal/replay aliases it as InitMode.
+type Init int
+
+// Strong initialization replays every iteration preceding the work segment
+// in init mode (the default: its correctness follows from the correctness of
+// loop memoization). Weak initialization jumps to the checkpoint nearest the
+// segment start.
+const (
+	Strong Init = iota
+	Weak
+)
+
+// String renders the init mode.
+func (m Init) String() string {
+	if m == Weak {
+		return "weak"
+	}
+	return "strong"
+}
+
+// Costs is the scheduler's cost model over one main loop of n iterations,
+// derived from timings the record phase measured (runlog.Timings, store
+// metadata) or synthesized by the cluster simulator.
+type Costs struct {
+	// WorkNs[e] estimates the cost of iteration e during the work phase of a
+	// replay: compute time when the inner loop is probed (it re-executes),
+	// restore time otherwise.
+	WorkNs []int64
+	// CatchupNs[e] estimates the cost of iteration e during initialization:
+	// a checkpoint restore when iteration e's checkpoints were materialized,
+	// a re-execution otherwise (the sparse-checkpoint fallback). Zero
+	// entries fall back to the mean of the non-zero entries.
+	CatchupNs []int64
+	// SetupNs is the per-worker cost of program setup (imports, data
+	// loading, model construction).
+	SetupNs int64
+
+	// meanOnce caches meanCatchup: catchupAt falls back to it for every
+	// zero entry, and recomputing the O(n) mean inside the executor's
+	// per-lease profitability scans would be quadratic.
+	meanOnce    sync.Once
+	meanCatchup int64
+}
+
+// Uniform returns the cost model the scheduler falls back to when no
+// timings were recorded: every iteration costs one unit, catch-up is free.
+// Under it, Balanced reduces to Static and Stealing splits by count.
+func Uniform(n int) *Costs {
+	c := &Costs{WorkNs: make([]int64, n)}
+	for i := range c.WorkNs {
+		c.WorkNs[i] = 1
+	}
+	return c
+}
+
+// N returns the number of iterations the model covers.
+func (c *Costs) N() int { return len(c.WorkNs) }
+
+// catchupMean returns the average of the non-zero catch-up costs (0 when
+// none), computed once.
+func (c *Costs) catchupMean() int64 {
+	c.meanOnce.Do(func() {
+		var sum, n int64
+		for _, r := range c.CatchupNs {
+			if r > 0 {
+				sum += r
+				n++
+			}
+		}
+		if n > 0 {
+			c.meanCatchup = sum / n
+		}
+	})
+	return c.meanCatchup
+}
+
+// catchupAt returns the catch-up cost of iteration e with mean fallback.
+func (c *Costs) catchupAt(e int) int64 {
+	if e >= 0 && e < len(c.CatchupNs) && c.CatchupNs[e] > 0 {
+		return c.CatchupNs[e]
+	}
+	return c.catchupMean()
+}
+
+// prefix returns P where P[i] = sum of WorkNs[0:i]; P has n+1 entries.
+func (c *Costs) prefix() []int64 {
+	p := make([]int64, len(c.WorkNs)+1)
+	for i, w := range c.WorkNs {
+		p[i+1] = p[i] + w
+	}
+	return p
+}
+
+// WorkCostNs returns the modeled work-phase cost of iterations [s, e).
+func (c *Costs) WorkCostNs(s, e int) int64 {
+	var sum int64
+	for i := s; i < e && i < len(c.WorkNs); i++ {
+		sum += c.WorkNs[i]
+	}
+	return sum
+}
+
+// InitCostNs returns the modeled cost of initializing a worker to iteration
+// start: strong initialization catches up from 0, weak initialization from
+// the nearest anchored iteration at or before start-1 (see AnchorBefore).
+func (c *Costs) InitCostNs(start int, init Init, anchors []int) int64 {
+	if start <= 0 {
+		return 0
+	}
+	from := 0
+	if init == Weak {
+		from = AnchorBefore(anchors, start-1)
+	}
+	var sum int64
+	for e := from; e < start; e++ {
+		sum += c.catchupAt(e)
+	}
+	return sum
+}
+
+// Makespan returns the virtual makespan of executing segs: each worker pays
+// setup, initialization catch-up to its segment start, and its segment's
+// work; workers share nothing, so the makespan is the maximum (§5.4.4).
+func (c *Costs) Makespan(segs [][2]int, init Init, anchors []int) int64 {
+	var max int64
+	for _, s := range segs {
+		w := c.SetupNs + c.InitCostNs(s[0], init, anchors) + c.WorkCostNs(s[0], s[1])
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// ---------- anchors ----------
+//
+// An "anchored" iteration is a main-loop iteration whose instrumented loops
+// all have materialized checkpoints for every execution during it, so the
+// whole iteration can be replayed by restoration alone. A nil anchor slice
+// means every iteration is anchored (the cluster simulator's idealized
+// default, matching its pre-existing weak-init model); an empty non-nil
+// slice means none is. Anchor slices are sorted ascending.
+
+// AnchorBefore returns the largest anchored iteration ≤ target, or 0 when
+// none exists (the strong-initialization fallback).
+func AnchorBefore(anchors []int, target int) int {
+	if target <= 0 {
+		return 0
+	}
+	if anchors == nil {
+		return target
+	}
+	i := sort.SearchInts(anchors, target+1) - 1
+	if i < 0 {
+		return 0
+	}
+	return anchors[i]
+}
+
+// hasAnchorAtOrBefore reports whether some anchored iteration exists at or
+// before target. Stealing requires one: re-initializing a mid-replay worker
+// is only safe when the catch-up starts from a restored checkpoint (a fresh
+// worker may fall back to iteration 0, but a worker carrying state from
+// another segment may not).
+func hasAnchorAtOrBefore(anchors []int, target int) bool {
+	if anchors == nil {
+		return true
+	}
+	return len(anchors) > 0 && anchors[0] <= target
+}
+
+// freeBoundary reports whether a segment starting at b pays at most one
+// restore of catch-up: b is the loop start, or iteration b-1 is anchored.
+func freeBoundary(anchors []int, b int) bool {
+	if b <= 0 {
+		return true
+	}
+	if anchors == nil {
+		return true
+	}
+	i := sort.SearchInts(anchors, b-1)
+	return i < len(anchors) && anchors[i] == b-1
+}
+
+// nearestFree returns the free boundary nearest to want within the open
+// interval (lo, hi), preferring the smaller on ties; ok is false when the
+// interval contains no free boundary.
+func nearestFree(anchors []int, want, lo, hi int) (int, bool) {
+	if anchors == nil {
+		if want > lo && want < hi {
+			return want, true
+		}
+		return 0, false
+	}
+	best, found := 0, false
+	better := func(b int) {
+		if b <= lo || b >= hi {
+			return
+		}
+		if !found || abs(b-want) < abs(best-want) || (abs(b-want) == abs(best-want) && b < best) {
+			best, found = b, true
+		}
+	}
+	// Candidate free boundaries are anchors+1; probe the two anchors
+	// bracketing want-1.
+	i := sort.SearchInts(anchors, want)
+	for _, j := range []int{i - 2, i - 1, i, i + 1} {
+		if j >= 0 && j < len(anchors) {
+			better(anchors[j] + 1)
+		}
+	}
+	return best, found
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ---------- partitioners ----------
+
+// PartitionStatic splits n iterations into at most g contiguous segments
+// whose sizes differ by at most one (the seed's uniform split, §5.4.1).
+// Segments are returned in order; fewer than g are returned when n < g.
+func PartitionStatic(n, g int) [][2]int {
+	if n <= 0 || g <= 0 {
+		return nil
+	}
+	if g > n {
+		g = n
+	}
+	segs := make([][2]int, 0, g)
+	base := n / g
+	rem := n % g
+	start := 0
+	for i := 0; i < g; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		segs = append(segs, [2]int{start, start + size})
+		start += size
+	}
+	return segs
+}
+
+// PartitionBalanced splits the model's n iterations into at most g
+// contiguous segments minimizing the maximum segment work cost: binary
+// search on the bottleneck over prefix sums, then a greedy sweep packing
+// each segment up to the optimum. Deterministic for a fixed input, and its
+// makespan never exceeds PartitionStatic's on the same costs.
+func PartitionBalanced(c *Costs, g int) [][2]int {
+	n := c.N()
+	if n <= 0 || g <= 0 {
+		return nil
+	}
+	if g > n {
+		g = n
+	}
+	var lo, hi int64
+	for _, w := range c.WorkNs {
+		if w > lo {
+			lo = w
+		}
+		hi += w
+	}
+	// Smallest T such that [0,n) fits in ≤ g segments each of cost ≤ T.
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if segmentsNeeded(c.WorkNs, mid) <= g {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	segs := make([][2]int, 0, g)
+	start := 0
+	var sum int64
+	for i := 0; i < n; i++ {
+		if i > start && sum+c.WorkNs[i] > lo {
+			segs = append(segs, [2]int{start, i})
+			start, sum = i, 0
+		}
+		sum += c.WorkNs[i]
+	}
+	return append(segs, [2]int{start, n})
+}
+
+// segmentsNeeded counts the contiguous segments required to cover work with
+// no segment cost exceeding t (single iterations above t count alone).
+func segmentsNeeded(work []int64, t int64) int {
+	count := 1
+	var sum int64
+	for i, w := range work {
+		if i > 0 && sum+w > t {
+			count++
+			sum = 0
+		}
+		sum += w
+	}
+	return count
+}
+
+// SnapToAnchors moves each interior segment boundary to the nearest free
+// boundary (a materialized checkpoint's successor), so weak-initialized
+// workers start with a single restore instead of a catch-up replay.
+// Boundaries with no free boundary nearby stay put; snapping preserves
+// contiguity and coverage, and collapsed (empty) segments are dropped.
+func SnapToAnchors(segs [][2]int, anchors []int) [][2]int {
+	if len(segs) <= 1 || anchors == nil {
+		return segs
+	}
+	n := segs[len(segs)-1][1]
+	bounds := make([]int, 0, len(segs)+1)
+	bounds = append(bounds, segs[0][0])
+	for i := 1; i < len(segs); i++ {
+		bounds = append(bounds, segs[i][0])
+	}
+	bounds = append(bounds, n)
+	for i := 1; i < len(bounds)-1; i++ {
+		if freeBoundary(anchors, bounds[i]) {
+			continue
+		}
+		// Stay strictly between the previous (already snapped) boundary and
+		// the next original one so boundaries remain increasing.
+		if b, ok := nearestFree(anchors, bounds[i], bounds[i-1], bounds[i+1]); ok {
+			bounds[i] = b
+		}
+	}
+	out := make([][2]int, 0, len(segs))
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] < bounds[i+1] {
+			out = append(out, [2]int{bounds[i], bounds[i+1]})
+		}
+	}
+	return out
+}
+
+// PartitionBalancedAnchored returns the balanced partition with boundaries
+// snapped to checkpoint anchors — but only when the snap does not worsen the
+// modeled makespan under the given init mode. With sparse anchors the
+// nearest free boundary can be far from the balanced cut (or, under strong
+// initialization, buy nothing at all), and an unconditional snap would trade
+// away the balance this partitioner exists for.
+func PartitionBalancedAnchored(c *Costs, g int, init Init, anchors []int) [][2]int {
+	segs := PartitionBalanced(c, g)
+	snapped := SnapToAnchors(segs, anchors)
+	if c.Makespan(snapped, init, anchors) <= c.Makespan(segs, init, anchors) {
+		return snapped
+	}
+	return segs
+}
+
+// splitPoint chooses where to cut the remaining span [next, end) of a lease
+// so a thief can take the trailing part: the midpoint of the remainder,
+// snapped to the nearest free boundary strictly inside (next, end). ok is
+// false when the remainder is too small to share.
+func splitPoint(anchors []int, next, end int) (int, bool) {
+	rem := end - next
+	if rem < 2 {
+		return 0, false
+	}
+	mid := end - rem/2
+	if b, ok := nearestFree(anchors, mid, next, end); ok {
+		return b, true
+	}
+	return mid, true
+}

@@ -1,0 +1,302 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// costVector is a quick-generatable random cost model: up to 512 iterations
+// of bounded non-negative work cost.
+type costVector struct {
+	Work []int64
+	G    int
+}
+
+// Generate implements quick.Generator with bounded sizes and costs.
+func (costVector) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(512)
+	cv := costVector{Work: make([]int64, n), G: 1 + r.Intn(24)}
+	for i := range cv.Work {
+		// Heavy-tailed on occasion so skew is exercised, zeros included.
+		switch r.Intn(4) {
+		case 0:
+			cv.Work[i] = 0
+		case 1:
+			cv.Work[i] = int64(r.Intn(10))
+		default:
+			cv.Work[i] = int64(r.Intn(1_000_000))
+		}
+	}
+	return reflect.ValueOf(cv)
+}
+
+// checkSegments verifies segments are contiguous, disjoint, in order, and
+// cover exactly [0, n).
+func checkSegments(t *testing.T, segs [][2]int, n int) {
+	t.Helper()
+	if n <= 0 {
+		if len(segs) != 0 {
+			t.Fatalf("n=%d: want no segments, got %v", n, segs)
+		}
+		return
+	}
+	if len(segs) == 0 {
+		t.Fatalf("n=%d: no segments", n)
+	}
+	if segs[0][0] != 0 || segs[len(segs)-1][1] != n {
+		t.Fatalf("segments %v do not span [0,%d)", segs, n)
+	}
+	for i, s := range segs {
+		if s[0] >= s[1] {
+			t.Fatalf("segment %d = %v is empty or inverted", i, s)
+		}
+		if i > 0 && segs[i-1][1] != s[0] {
+			t.Fatalf("segments %d and %d are not contiguous: %v", i-1, i, segs)
+		}
+	}
+}
+
+func TestPartitionStaticProperties(t *testing.T) {
+	prop := func(cv costVector) bool {
+		segs := PartitionStatic(len(cv.Work), cv.G)
+		checkSegments(t, segs, len(cv.Work))
+		if len(segs) > cv.G {
+			t.Fatalf("static produced %d segments for g=%d", len(segs), cv.G)
+		}
+		// Sizes differ by at most one.
+		min, max := len(cv.Work), 0
+		for _, s := range segs {
+			if sz := s[1] - s[0]; sz < min {
+				min = sz
+			} else if sz > max {
+				max = sz
+			}
+			if sz := s[1] - s[0]; sz > max {
+				max = sz
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBalancedProperties(t *testing.T) {
+	prop := func(cv costVector) bool {
+		c := &Costs{WorkNs: cv.Work}
+		segs := PartitionBalanced(c, cv.G)
+		checkSegments(t, segs, len(cv.Work))
+		if len(segs) > cv.G {
+			t.Fatalf("balanced produced %d segments for g=%d", len(segs), cv.G)
+		}
+		// The balanced bottleneck never exceeds the static one on the same
+		// cost vector (its defining property).
+		static := PartitionStatic(len(cv.Work), cv.G)
+		balancedMax := maxSegCost(c, segs)
+		staticMax := maxSegCost(c, static)
+		if balancedMax > staticMax {
+			t.Fatalf("balanced bottleneck %d > static %d for %v g=%d",
+				balancedMax, staticMax, cv.Work, cv.G)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxSegCost(c *Costs, segs [][2]int) int64 {
+	var max int64
+	for _, s := range segs {
+		if w := c.WorkCostNs(s[0], s[1]); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+func TestPartitionBalancedDeterministic(t *testing.T) {
+	prop := func(cv costVector) bool {
+		c := &Costs{WorkNs: cv.Work}
+		a := PartitionBalanced(c, cv.G)
+		b := PartitionBalanced(c, cv.G)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapToAnchorsProperties(t *testing.T) {
+	prop := func(cv costVector, anchorSeed int64) bool {
+		n := len(cv.Work)
+		r := rand.New(rand.NewSource(anchorSeed))
+		anchors := make([]int, 0)
+		for e := 0; e < n; e++ {
+			if r.Intn(3) == 0 {
+				anchors = append(anchors, e)
+			}
+		}
+		c := &Costs{WorkNs: cv.Work}
+		segs := SnapToAnchors(PartitionBalanced(c, cv.G), anchors)
+		checkSegments(t, segs, n)
+		if len(segs) > cv.G {
+			t.Fatalf("snapped partition has %d segments for g=%d", len(segs), cv.G)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBalancedUniformMatchesStatic(t *testing.T) {
+	c := Uniform(256)
+	balanced := PartitionBalanced(c, 8)
+	static := PartitionStatic(256, 8)
+	if !reflect.DeepEqual(balanced, static) {
+		t.Fatalf("uniform costs: balanced %v != static %v", balanced, static)
+	}
+}
+
+func TestPartitionBalancedSkew(t *testing.T) {
+	// One huge iteration at the head: static packs it with 63 others;
+	// balanced isolates it.
+	c := &Costs{WorkNs: make([]int64, 256)}
+	for i := range c.WorkNs {
+		c.WorkNs[i] = 1
+	}
+	c.WorkNs[0] = 1000
+	segs := PartitionBalanced(c, 4)
+	checkSegments(t, segs, 256)
+	if got := maxSegCost(c, segs); got != 1000 {
+		t.Fatalf("balanced bottleneck = %d, want 1000 (the indivisible head)", got)
+	}
+	if segs[0] != [2]int{0, 1} {
+		t.Fatalf("first segment %v should isolate the heavy iteration", segs[0])
+	}
+}
+
+func TestPartitionBalancedAnchoredGatesSnap(t *testing.T) {
+	// A single early anchor: unconditionally snapping boundary 32 to free
+	// boundary 1 would collapse the first segments into [0,1),[1,64),...
+	// and roughly double the makespan. The gated partitioner must reject
+	// that snap and keep the balance.
+	c := Uniform(128)
+	anchors := []int{0}
+	segs := PartitionBalancedAnchored(c, 4, Weak, anchors)
+	checkSegments(t, segs, 128)
+	plain := PartitionBalanced(c, 4)
+	if got, want := c.Makespan(segs, Weak, anchors), c.Makespan(plain, Weak, anchors); got > want {
+		t.Fatalf("anchored partition makespan %d exceeds unsnapped %d", got, want)
+	}
+	if got := maxSegCost(c, segs); got > 2*maxSegCost(c, plain) {
+		t.Fatalf("snap collapsed the balance: bottleneck %d vs plain %d", got, maxSegCost(c, plain))
+	}
+}
+
+func TestAnchorBefore(t *testing.T) {
+	anchors := []int{2, 5, 9}
+	for _, tc := range []struct{ target, want int }{
+		{0, 0}, {1, 0}, {2, 2}, {4, 2}, {5, 5}, {8, 5}, {9, 9}, {100, 9},
+	} {
+		if got := AnchorBefore(anchors, tc.target); got != tc.want {
+			t.Fatalf("AnchorBefore(%v, %d) = %d, want %d", anchors, tc.target, got, tc.want)
+		}
+	}
+	if got := AnchorBefore(nil, 7); got != 7 {
+		t.Fatalf("nil anchors mean every iteration is anchored; got %d", got)
+	}
+	if got := AnchorBefore([]int{}, 7); got != 0 {
+		t.Fatalf("no anchors fall back to 0; got %d", got)
+	}
+}
+
+func TestMakespanInitAccounting(t *testing.T) {
+	c := &Costs{
+		WorkNs:    []int64{10, 10, 10, 10},
+		CatchupNs: []int64{1, 2, 3, 4},
+		SetupNs:   100,
+	}
+	segs := [][2]int{{0, 2}, {2, 4}}
+	// Weak with all anchored: second worker pays one catch-up (iteration 1).
+	if got := c.Makespan(segs, Weak, nil); got != 100+2+20 {
+		t.Fatalf("weak makespan = %d, want 122", got)
+	}
+	// Strong: second worker pays catch-up 0 and 1.
+	if got := c.Makespan(segs, Strong, nil); got != 100+1+2+20 {
+		t.Fatalf("strong makespan = %d, want 123", got)
+	}
+	// Weak with an anchor only at 0: catch-up covers [0, 2).
+	if got := c.Makespan(segs, Weak, []int{0}); got != 100+1+2+20 {
+		t.Fatalf("weak makespan with sparse anchors = %d, want 123", got)
+	}
+}
+
+func TestSimulateStealingUniformMatchesBalanced(t *testing.T) {
+	c := Uniform(64)
+	c.SetupNs = 5
+	sim := SimulateStealing(c, 8, Weak, nil)
+	segs := PartitionBalanced(c, 8)
+	want := c.Makespan(segs, Weak, nil)
+	if sim.MakespanNs != want {
+		t.Fatalf("uniform stealing makespan %d != balanced %d", sim.MakespanNs, want)
+	}
+	if sim.Steals != 0 {
+		t.Fatalf("uniform costs should need no steals, got %d", sim.Steals)
+	}
+}
+
+func TestSimulateStealingBeatsStaticOnSkew(t *testing.T) {
+	// Head-heavy costs: static's first worker drowns; stealing redistributes.
+	c := &Costs{WorkNs: make([]int64, 128), CatchupNs: make([]int64, 128)}
+	for i := range c.WorkNs {
+		c.WorkNs[i] = 1
+		c.CatchupNs[i] = 1
+		if i < 16 {
+			c.WorkNs[i] = 100
+		}
+	}
+	staticSpan := c.Makespan(PartitionStatic(128, 8), Weak, nil)
+	sim := SimulateStealing(c, 8, Weak, nil)
+	if sim.MakespanNs*2 > staticSpan {
+		t.Fatalf("stealing makespan %d not at least 2x better than static %d", sim.MakespanNs, staticSpan)
+	}
+	if sim.Steals == 0 {
+		t.Fatal("skewed costs should trigger steals")
+	}
+}
+
+func TestSimulateStealingDeterministic(t *testing.T) {
+	c := &Costs{WorkNs: make([]int64, 200), CatchupNs: make([]int64, 200)}
+	r := rand.New(rand.NewSource(42))
+	for i := range c.WorkNs {
+		c.WorkNs[i] = int64(r.Intn(1000)) + 1
+		c.CatchupNs[i] = int64(r.Intn(10)) + 1
+	}
+	a := SimulateStealing(c, 6, Weak, nil)
+	b := SimulateStealing(c, 6, Weak, nil)
+	if a.MakespanNs != b.MakespanNs || a.Steals != b.Steals || !reflect.DeepEqual(a.WorkerNs, b.WorkerNs) {
+		t.Fatalf("simulation is not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateStealingNoAnchorsNoSteals(t *testing.T) {
+	// Without any materialized checkpoint, re-initializing a mid-replay
+	// worker is unsafe, so stealing must stand down entirely.
+	c := &Costs{WorkNs: make([]int64, 64), CatchupNs: make([]int64, 64)}
+	for i := range c.WorkNs {
+		c.WorkNs[i] = 1
+		if i == 0 {
+			c.WorkNs[i] = 1000
+		}
+		c.CatchupNs[i] = 1
+	}
+	sim := SimulateStealing(c, 4, Weak, []int{})
+	if sim.Steals != 0 {
+		t.Fatalf("no anchors: want 0 steals, got %d", sim.Steals)
+	}
+}

@@ -1,0 +1,142 @@
+package sched
+
+// SimResult describes one simulated work-stealing replay in virtual time.
+type SimResult struct {
+	// MakespanNs is the virtual time at which the last worker finishes.
+	MakespanNs int64
+	// WorkerNs[w] is worker w's finish time (including setup, even for
+	// workers that never obtained work).
+	WorkerNs []int64
+	// Steals is the number of leases created by stealing.
+	Steals int
+}
+
+// simLease mirrors steal.go's Lease in virtual time: the owner executes
+// [start, end) sequentially from virtual time workStart, so its position at
+// any time is derivable from the cost prefix sums.
+type simLease struct {
+	start, end int
+	workStart  int64 // virtual time the owner began the work phase
+	owner      int
+}
+
+// SimulateStealing runs the work-stealing policy of Executor in
+// deterministic virtual time: workers are charged the modeled costs of the
+// iterations they initialize and execute, an idle worker steals the most
+// profitable trailing remainder exactly as Executor.Steal does, and the
+// makespan is the last finish time. The cluster simulator uses it so the
+// virtual scale-out numbers (Figures 10/13) reflect the scheduler replay
+// actually runs.
+//
+// Workers whose steal attempt finds no profitable remainder exit, matching
+// the real executor: remaining owners finish their own leases.
+func SimulateStealing(c *Costs, g int, init Init, anchors []int) *SimResult {
+	n := c.N()
+	res := &SimResult{}
+	if g <= 0 {
+		return res
+	}
+	segs := PartitionBalancedAnchored(c, g, init, anchors)
+	prefix := c.prefix()
+	work := func(s, e int) int64 { return prefix[e] - prefix[s] }
+
+	type worker struct {
+		busyUntil int64
+		lease     *simLease
+		done      bool
+	}
+	workers := make([]worker, g)
+	var active []*simLease
+	for w := range workers {
+		if w < len(segs) {
+			l := &simLease{start: segs[w][0], end: segs[w][1], owner: w}
+			l.workStart = c.SetupNs + c.InitCostNs(l.start, init, anchors)
+			workers[w] = worker{busyUntil: l.workStart + work(l.start, l.end), lease: l}
+			active = append(active, l)
+		} else {
+			// No initial lease: the worker goes idle after setup and tries
+			// to steal then.
+			workers[w] = worker{busyUntil: c.SetupNs}
+		}
+	}
+
+	// position returns how far l's owner has advanced by virtual time t: the
+	// first unclaimed iteration (the one being executed at t counts as
+	// claimed, like Executor's Lease.next).
+	position := func(l *simLease, t int64) int {
+		elapsed := t - l.workStart
+		p := l.start
+		for p < l.end && prefix[p+1]-prefix[l.start] <= elapsed {
+			p++
+		}
+		if p < l.end {
+			p++ // iteration p is mid-execution: claimed, not stealable
+		}
+		return p
+	}
+
+	for {
+		// Next event: the busy worker finishing earliest (lowest id on ties).
+		ev := -1
+		for w := range workers {
+			if workers[w].done {
+				continue
+			}
+			if ev < 0 || workers[w].busyUntil < workers[ev].busyUntil {
+				ev = w
+			}
+		}
+		if ev < 0 {
+			break
+		}
+		t := workers[ev].busyUntil
+		if l := workers[ev].lease; l != nil {
+			workers[ev].lease = nil
+			for i, al := range active {
+				if al == l {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+		}
+		// Steal attempt, mirroring Executor.Steal's profitability rule.
+		var best *simLease
+		var bestMid int
+		var bestProfit int64
+		for _, l := range active {
+			next := position(l, t)
+			mid, ok := splitPoint(anchors, next, l.end)
+			if !ok || !hasAnchorAtOrBefore(anchors, mid-1) {
+				continue
+			}
+			profit := work(mid, l.end) - c.InitCostNs(mid, Weak, anchors)
+			if best == nil || profit > bestProfit {
+				best, bestMid, bestProfit = l, mid, profit
+			}
+		}
+		if best == nil || bestProfit <= 0 {
+			workers[ev].done = true
+			continue
+		}
+		stolen := &simLease{start: bestMid, end: best.end, owner: ev}
+		stolen.workStart = t + c.InitCostNs(bestMid, Weak, anchors)
+		best.end = bestMid
+		workers[best.owner].busyUntil = best.workStart + work(best.start, best.end)
+		workers[ev].lease = stolen
+		workers[ev].busyUntil = stolen.workStart + work(stolen.start, stolen.end)
+		active = append(active, stolen)
+		res.Steals++
+	}
+
+	res.WorkerNs = make([]int64, g)
+	for w := range workers {
+		res.WorkerNs[w] = workers[w].busyUntil
+		if workers[w].busyUntil > res.MakespanNs {
+			res.MakespanNs = workers[w].busyUntil
+		}
+	}
+	if n == 0 {
+		res.MakespanNs = c.SetupNs
+	}
+	return res
+}

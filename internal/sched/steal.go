@@ -1,0 +1,127 @@
+package sched
+
+import "sync"
+
+// Executor coordinates lease-based work stealing over main-loop iterations.
+// Each worker owns one Lease (a contiguous, shrinkable span of iterations)
+// at a time and claims iterations from it one by one; when a worker's lease
+// is exhausted it calls Steal, which cuts the trailing part off the heaviest
+// remaining lease. The claimed-iteration sets of all leases are disjoint and
+// together cover exactly [0, n), whatever interleaving the scheduler
+// produces, so replay logs merge deterministically in iteration order.
+//
+// All methods are safe for concurrent use.
+type Executor struct {
+	mu      sync.Mutex
+	costs   *Costs
+	anchors []int
+	prefix  []int64 // work-cost prefix sums, len n+1
+	leases  []*Lease
+	initial int // leases created from the initial partition
+	steals  int
+}
+
+// Lease is one worker's contiguous span of iterations [Start, end). A steal
+// shrinks end; Next hands out iterations until it reaches the (current) end.
+type Lease struct {
+	x     *Executor
+	start int
+	next  int
+	end   int
+}
+
+// NewExecutor builds an executor over the initial partition segs (normally
+// PartitionBalanced snapped to anchors). costs drives the heaviest-lease and
+// profitability decisions; Uniform(n) is the fallback when no timings exist.
+func NewExecutor(costs *Costs, segs [][2]int, anchors []int) *Executor {
+	x := &Executor{costs: costs, anchors: anchors, prefix: costs.prefix(), initial: len(segs)}
+	for _, s := range segs {
+		x.leases = append(x.leases, &Lease{x: x, start: s[0], next: s[0], end: s[1]})
+	}
+	return x
+}
+
+// InitialLease returns worker's statically assigned lease, or nil when the
+// initial partition has fewer segments than workers (the worker then starts
+// by stealing).
+func (x *Executor) InitialLease(worker int) *Lease {
+	if worker < 0 || worker >= x.initial {
+		return nil
+	}
+	// The slice header mutates when Steal appends; a slow worker can ask
+	// for its initial lease after fast workers have started stealing.
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.leases[worker]
+}
+
+// Steals returns how many leases were created by stealing.
+func (x *Executor) Steals() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.steals
+}
+
+// workCost returns the modeled work cost of [s, e) via the prefix sums.
+func (x *Executor) workCost(s, e int) int64 {
+	if s < 0 || e > len(x.prefix)-1 || s >= e {
+		return 0
+	}
+	return x.prefix[e] - x.prefix[s]
+}
+
+// Steal cuts the trailing part off the lease whose pending remainder is most
+// profitable to share — stolen work cost minus the thief's weak re-init
+// catch-up — and returns it as a fresh lease. ok is false when no lease has
+// a profitable remainder; the caller should then finish (remaining owners
+// complete their own leases).
+func (x *Executor) Steal() (*Lease, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var best *Lease
+	var bestMid int
+	var bestProfit int64
+	for _, l := range x.leases {
+		mid, ok := splitPoint(x.anchors, l.next, l.end)
+		if !ok || !hasAnchorAtOrBefore(x.anchors, mid-1) {
+			continue
+		}
+		profit := x.workCost(mid, l.end) - x.costs.InitCostNs(mid, Weak, x.anchors)
+		if best == nil || profit > bestProfit {
+			best, bestMid, bestProfit = l, mid, profit
+		}
+	}
+	if best == nil || bestProfit <= 0 {
+		return nil, false
+	}
+	stolen := &Lease{x: x, start: bestMid, next: bestMid, end: best.end}
+	best.end = bestMid
+	x.leases = append(x.leases, stolen)
+	x.steals++
+	return stolen, true
+}
+
+// Start returns the first iteration of the lease.
+func (l *Lease) Start() int { return l.start }
+
+// Next claims the lease's next iteration. ok is false when the lease is
+// exhausted — either the worker reached the end or a thief took the rest.
+func (l *Lease) Next() (int, bool) {
+	l.x.mu.Lock()
+	defer l.x.mu.Unlock()
+	if l.next >= l.end {
+		return 0, false
+	}
+	i := l.next
+	l.next++
+	return i, true
+}
+
+// Bounds returns the lease's current [start, end). After Next has returned
+// false the bounds are final: an empty remainder can no longer be stolen
+// from, so end is stable.
+func (l *Lease) Bounds() (int, int) {
+	l.x.mu.Lock()
+	defer l.x.mu.Unlock()
+	return l.start, l.end
+}

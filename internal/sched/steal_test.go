@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// runExecutor drives an Executor with `workers` goroutines over n iterations
+// and returns every claimed (worker, iteration) pair grouped by lease spans.
+// Each worker busy-loops claiming iterations like a replay worker would,
+// optionally jittering to shuffle interleavings.
+func runExecutor(t *testing.T, c *Costs, g int, anchors []int, jitter bool) ([][2]int, []int) {
+	t.Helper()
+	n := c.N()
+	segs := SnapToAnchors(PartitionBalanced(c, g), anchors)
+	x := NewExecutor(c, segs, anchors)
+
+	var mu sync.Mutex
+	var spans [][2]int
+	claimed := make([]int, 0, n)
+
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			lease := x.InitialLease(w)
+			for {
+				if lease == nil {
+					var ok bool
+					if lease, ok = x.Steal(); !ok {
+						return
+					}
+				}
+				var mine []int
+				for {
+					i, ok := lease.Next()
+					if !ok {
+						break
+					}
+					mine = append(mine, i)
+					if jitter && r.Intn(4) == 0 {
+						for spin := 0; spin < r.Intn(200); spin++ {
+							_ = spin
+						}
+					}
+				}
+				start, end := lease.Bounds()
+				mu.Lock()
+				spans = append(spans, [2]int{start, end})
+				claimed = append(claimed, mine...)
+				mu.Unlock()
+				lease = nil
+			}
+		}(w)
+	}
+	wg.Wait()
+	return spans, claimed
+}
+
+// TestExecutorStress runs many workers over tiny leases and verifies the
+// fundamental invariant: every iteration is claimed exactly once, and each
+// finished lease's bounds exactly match the iterations its owner claimed.
+func TestExecutorStress(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		n, g    int
+		anchors []int // nil = all anchored
+	}{
+		{"tiny-leases", 512, 16, nil},
+		{"more-workers-than-work", 8, 16, nil},
+		{"single-worker", 64, 1, nil},
+		{"sparse-anchors", 300, 8, []int{0, 17, 50, 51, 52, 123, 200, 250}},
+		{"no-anchors", 100, 8, []int{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Uniform(tc.n)
+			// Skew the head so stealing has something to chew on.
+			for i := 0; i < tc.n/8; i++ {
+				c.WorkNs[i] = 50
+			}
+			spans, claimed := runExecutor(t, c, tc.g, tc.anchors, true)
+			if len(claimed) != tc.n {
+				t.Fatalf("claimed %d iterations, want %d", len(claimed), tc.n)
+			}
+			seen := make([]bool, tc.n)
+			for _, i := range claimed {
+				if seen[i] {
+					t.Fatalf("iteration %d claimed twice", i)
+				}
+				seen[i] = true
+			}
+			// Spans are disjoint and cover [0, n) exactly.
+			sort.Slice(spans, func(a, b int) bool { return spans[a][0] < spans[b][0] })
+			pos := 0
+			for _, s := range spans {
+				if s[0] != pos {
+					t.Fatalf("span gap or overlap at %d: spans %v", pos, spans)
+				}
+				pos = s[1]
+			}
+			if pos != tc.n {
+				t.Fatalf("spans end at %d, want %d", pos, tc.n)
+			}
+		})
+	}
+}
+
+// TestExecutorStealCounts verifies steals happen under skew and stay at zero
+// when stealing is unsafe (no anchors).
+func TestExecutorStealCounts(t *testing.T) {
+	c := Uniform(256)
+	for i := 0; i < 16; i++ {
+		c.WorkNs[i] = 1000
+	}
+	// Give only one worker an initial lease by partitioning for g=1, then
+	// running 8 workers: the other 7 must steal everything they do.
+	segs := PartitionBalanced(c, 1)
+	x := NewExecutor(c, segs, nil)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lease := x.InitialLease(w)
+			for {
+				if lease == nil {
+					var ok bool
+					if lease, ok = x.Steal(); !ok {
+						return
+					}
+				}
+				for {
+					if _, ok := lease.Next(); !ok {
+						break
+					}
+					mu.Lock()
+					total++
+					mu.Unlock()
+				}
+				lease = nil
+			}
+		}(w)
+	}
+	wg.Wait()
+	if total != 256 {
+		t.Fatalf("executed %d iterations, want 256", total)
+	}
+	if x.Steals() == 0 {
+		t.Fatal("idle workers with one fat lease available should have stolen")
+	}
+}

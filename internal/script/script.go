@@ -17,6 +17,7 @@ package script
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"flor.dev/flor/internal/value"
 )
@@ -260,10 +261,25 @@ func ExecStmt(ctx *Ctx, s *Stmt) error {
 
 // ExecLoop runs every iteration of a loop body.
 func ExecLoop(ctx *Ctx, l *Loop) error {
+	return ExecLoopTimed(ctx, l, nil)
+}
+
+// ExecLoopTimed runs a loop exactly like ExecLoop, additionally reporting
+// each iteration's wall-clock duration to onIter (when non-nil). The record
+// phase captures per-iteration timings with it for the replay scheduler's
+// cost model.
+func ExecLoopTimed(ctx *Ctx, l *Loop, onIter func(iter int, ns int64)) error {
 	for i := 0; i < l.Iters; i++ {
+		var t0 time.Time
+		if onIter != nil {
+			t0 = time.Now()
+		}
 		ctx.Env.SetInt(l.IterVar, i)
 		if err := ExecStmts(ctx, l.Body); err != nil {
 			return fmt.Errorf("script: loop %s iteration %d: %w", l.ID, i, err)
+		}
+		if onIter != nil {
+			onIter(i, time.Since(t0).Nanoseconds())
 		}
 	}
 	return nil
