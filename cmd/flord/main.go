@@ -1,0 +1,122 @@
+// Command flord is the multi-run replay serving daemon: it registers
+// recordings, keeps their checkpoint stores hot in an LRU (manifests
+// replayed once, decoded payloads cached across queries), and serves
+// concurrent replay and sample queries over HTTP/JSON through one shared,
+// admission-controlled worker pool.
+//
+// Replay probes are Go closures, so a standalone binary can only serve
+// programs it knows how to build; flord serves the Table 3 workloads
+// (internal/workloads) with their outer/inner probe variants. Programs of
+// your own are served by embedding the daemon instead: see flor.Serve.
+//
+// Usage:
+//
+//	flord -demo                         # record two smoke runs, serve them
+//	flord -record ImgN,Jasp -dir runs   # record (or reuse) named workloads
+//	flord -addr :7707 ...
+//
+// Endpoints:
+//
+//	GET  /v1/runs
+//	POST /v1/runs/{id}/replay   {"probe":"outer","workers":4,"scheduler":"stealing"}
+//	GET  /v1/runs/{id}/logs?iters=3,7&probe=outer
+//	GET  /v1/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/serve"
+	"flor.dev/flor/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", ":7707", "HTTP listen address")
+	dir := flag.String("dir", "", "directory holding one run subdirectory per workload (default: a temp directory)")
+	record := flag.String("record", "", "comma-separated Table 3 workload names to record (if absent) and serve, e.g. ImgN,Jasp")
+	demo := flag.Bool("demo", false, "shorthand for -record ImgN,Jasp -scale smoke")
+	scale := flag.String("scale", "smoke", "workload scale for -record: smoke or full")
+	slots := flag.Int("slots", 0, "global worker-pool slot budget (default: GOMAXPROCS)")
+	inflight := flag.Int("max-inflight", 2, "max in-flight queries per run")
+	queue := flag.Int("max-queue", 8, "max queued queries per run; beyond it queries get 429 (negative: no queueing)")
+	queueTimeout := flag.Duration("queue-timeout", 30*time.Second, "queued-query deadline; beyond it queries get 504")
+	storeCache := flag.Int("store-cache", 8, "open-store LRU capacity")
+	workers := flag.Int("workers", 2, "default replay parallelism per query")
+	flag.Parse()
+
+	names := *record
+	if *demo && names == "" {
+		names = "ImgN,Jasp"
+	}
+	if names == "" {
+		log.Fatal("flord: nothing to serve; pass -demo or -record <workloads>")
+	}
+	sc := workloads.Smoke
+	if *scale == "full" {
+		sc = workloads.Full
+	}
+	base := *dir
+	if base == "" {
+		// No cleanup: the daemon runs until killed, so a deferred remove
+		// would never execute; recordings are reusable across restarts via
+		// -dir anyway.
+		tmp, err := os.MkdirTemp("", "flord-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("flord: recording into %s (pass -dir to choose and reuse)", tmp)
+		base = tmp
+	}
+
+	srv := serve.New(serve.Options{
+		Addr:              *addr,
+		Slots:             *slots,
+		MaxInflightPerRun: *inflight,
+		MaxQueuePerRun:    *queue,
+		QueueTimeout:      *queueTimeout,
+		StoreCacheSize:    *storeCache,
+		DefaultWorkers:    *workers,
+	})
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec, ok := workloads.Get(name)
+		if !ok {
+			log.Fatalf("flord: unknown workload %q (have %v)", name, workloads.Names())
+		}
+		factory := spec.Build(sc)
+		runDir := filepath.Join(base, name)
+		if _, err := os.Stat(filepath.Join(runDir, "MANIFEST")); err != nil {
+			log.Printf("flord: recording %s into %s ...", name, runDir)
+			if _, err := core.Record(runDir, factory, core.RecordOptions{}); err != nil {
+				log.Fatalf("flord: record %s: %v", name, err)
+			}
+		} else {
+			log.Printf("flord: reusing recording %s", runDir)
+		}
+		if err := srv.Register(serve.RunConfig{
+			ID:  name,
+			Dir: runDir,
+			Factories: map[string]func() *script.Program{
+				"base":  factory,
+				"outer": workloads.WithOuterProbe(factory),
+				"inner": workloads.WithInnerProbe(factory),
+			},
+		}); err != nil {
+			log.Fatalf("flord: %v", err)
+		}
+		log.Printf("flord: serving run %q (probes: base, outer, inner)", name)
+	}
+
+	log.Printf("flord: listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -46,6 +46,7 @@ import (
 	"flor.dev/flor/internal/replay"
 	"flor.dev/flor/internal/runlog"
 	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/serve"
 	"flor.dev/flor/internal/value"
 )
 
@@ -291,6 +292,45 @@ func Replay(dir string, factory func() *Program, opts ...Option) (*ReplayResult,
 		Scheduler:   res.Scheduler,
 		Steals:      res.Steals,
 	}, nil
+}
+
+// ServeOptions configures an embedded flord daemon (see internal/serve for
+// knob semantics: shared worker-pool slots, per-run admission control,
+// open-store LRU sizing).
+type ServeOptions = serve.Options
+
+// ServeRun registers one recording with an embedded daemon: a run ID, its
+// recorded directory, and named probe factories ("base" plus hindsight-
+// probed variants) that HTTP clients select by name.
+type ServeRun = serve.RunConfig
+
+// Daemon is a running multi-run replay server; it exposes Handler(),
+// Stats(), and Register() for embedding into an existing process.
+type Daemon = serve.Server
+
+// NewDaemon builds a flord daemon serving the given recordings: stores stay
+// open (and their decoded payloads cached) across queries in an LRU, and all
+// queries share one admission-controlled worker pool. Serve its Handler()
+// on a listener of your choice, or call Serve to listen directly.
+func NewDaemon(opts ServeOptions, runs ...ServeRun) (*Daemon, error) {
+	d := serve.New(opts)
+	for _, r := range runs {
+		if err := d.Register(r); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Serve runs a flord daemon on opts.Addr, blocking until the listener
+// fails — the embedding API for serving replay queries over your own
+// programs (the standalone flord binary can only serve built-in workloads).
+func Serve(opts ServeOptions, runs ...ServeRun) error {
+	d, err := NewDaemon(opts, runs...)
+	if err != nil {
+		return err
+	}
+	return d.ListenAndServe()
 }
 
 // Vanilla executes factory's program without any instrumentation, returning

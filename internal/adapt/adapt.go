@@ -212,12 +212,17 @@ func (t *Tracker) NoteRestore(restoreNs, materNs int64) {
 // SeedC initializes the restore/materialize scaling estimate from a
 // previously measured value (e.g. one persisted with a recording's
 // timings), replacing the DefaultC prior. Non-positive values are ignored.
+// The seed counts as an observation: the next NoteRestore blends into it
+// (EWMA) rather than discarding it, so one unrepresentative first sample —
+// a cache-hot restore measuring near zero — cannot wipe out a measured
+// prior.
 func (t *Tracker) SeedC(c float64) {
 	if c <= 0 {
 		return
 	}
 	t.mu.Lock()
 	t.c = c
+	t.cSamples = 1
 	t.mu.Unlock()
 }
 

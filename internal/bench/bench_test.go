@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -206,10 +207,19 @@ func TestFig12OuterProbeIsPartialReplay(t *testing.T) {
 
 func TestSerVsIOBackgroundBeatsOnThread(t *testing.T) {
 	// The defining claim of §5.1: moving materialization off the training
-	// thread reduces the overhead the thread observes. At smoke scale on a
-	// loaded single-core host the two overheads are percent-level numbers
-	// separated by scheduler noise, so the claim is checked over a few
-	// attempts rather than one sample.
+	// thread reduces the overhead the thread observes. The mechanism needs a
+	// core for the background thread to run on; on a single-CPU host it only
+	// adds context switches, so the two overheads tie within scheduler noise
+	// and the comparison is a coin flip. Exercise the path there, but assert
+	// the claim only where it can hold.
+	if runtime.NumCPU() < 2 {
+		if _, err := smokeSession(t).SerVsIO([]string{"Jasp", "ImgN"}); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("single-CPU host: background materialization cannot overlap compute")
+	}
+	// On multi-core hosts the overheads are still percent-level numbers, so
+	// the claim is checked over a few attempts rather than one sample.
 	var last *SerVsIOReport
 	for attempt := 0; attempt < 3; attempt++ {
 		s := smokeSession(t)
@@ -257,5 +267,41 @@ func TestReplayScaleoutAcceptance(t *testing.T) {
 		if r.Scenario == "zipf" && r.G >= 8 && r.Scheduler != "static" && r.VsStatic < 1.5 {
 			t.Fatalf("zipf G=%d %s vs static = %.2fx, want >= 1.5x", r.G, r.Scheduler, r.VsStatic)
 		}
+	}
+}
+
+func TestServeThroughputSmoke(t *testing.T) {
+	s := smokeSession(t)
+	old := ServeQueryCount
+	ServeQueryCount = 6
+	t.Cleanup(func() { ServeQueryCount = old })
+	rep, err := s.ServeThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (cold/hot x 1/4/16 clients)", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.QPS <= 0 || r.P50Ns <= 0 || r.P95Ns < r.P50Ns {
+			t.Fatalf("implausible row %+v", r)
+		}
+		if r.Mode == "hot" && r.StoreMisses != 0 {
+			t.Fatalf("hot cell missed the store cache: %+v", r)
+		}
+		// Cold cells may still hit when concurrent queries on the same run
+		// overlap, but the alternating run order forces reopens.
+		if r.Mode == "cold" && r.StoreMisses == 0 {
+			t.Fatalf("cold cell never reopened a store: %+v", r)
+		}
+	}
+	if rep.HotHitRate != 1.0 {
+		t.Fatalf("hot hit rate = %.2f, want 1.0", rep.HotHitRate)
+	}
+	// The hot-vs-cold latency *gap* is a benchmark property: it is asserted
+	// against the persisted full-scale BENCH_serve.json, not at smoke scale
+	// with a handful of microsecond queries, where scheduling noise wins.
+	if rep.HotColdP50Ratio <= 0 {
+		t.Fatalf("hot/cold ratio not computed: %+v", rep)
 	}
 }

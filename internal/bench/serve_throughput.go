@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/serve"
+	"flor.dev/flor/internal/workloads"
+)
+
+// Serve-throughput scenario parameters. The workload mix mirrors the
+// hindsight-logging workflow the daemon exists for: repeated probed replay
+// queries over a small family of runs, interleaved with cheap point
+// (sample) queries — every third query is a sample.
+var (
+	// ServeQueryCount is the number of queries measured per (mode, clients)
+	// cell; tests shrink it.
+	ServeQueryCount = 24
+	// serveClientCounts are the concurrent-client levels measured.
+	serveClientCounts = []int{1, 4, 16}
+)
+
+// ServeThroughputRow is one (mode, clients) measurement.
+type ServeThroughputRow struct {
+	Mode    string  `json:"mode"` // "cold" or "hot"
+	Clients int     `json:"clients"`
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P50Ns   int64   `json:"p50_ns"`
+	P95Ns   int64   `json:"p95_ns"`
+	// StoreHits/StoreMisses are the open-store LRU counters accumulated
+	// during this cell's queries (cold cells miss on every alternation,
+	// hot cells hit after warmup).
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
+}
+
+// ServeThroughputReport is the serve-throughput benchmark output
+// (BENCH_serve.json).
+type ServeThroughputReport struct {
+	Runs       []string             `json:"runs"`
+	Slots      int                  `json:"slots"`
+	QueriesPer int                  `json:"queries_per_cell"`
+	Rows       []ServeThroughputRow `json:"rows"`
+	// HotColdP50Ratio is the headline: cold p50 latency over hot p50
+	// latency at the middle client level — how much a hot store (manifest
+	// replayed once, payloads cached) buys a repeated query.
+	HotColdP50Ratio float64 `json:"hot_cold_p50_ratio"`
+	// HotHitRate is the store-cache hit rate across all hot cells (1.0 =
+	// every measured hot query found its store open).
+	HotHitRate float64 `json:"hot_hit_rate"`
+}
+
+// serveBenchRun pairs a registered run ID with its query factories and
+// main-loop iteration count (bounds sample queries).
+type serveBenchRun struct {
+	id    string
+	dir   string
+	iters int
+	fns   map[string]func() *script.Program
+}
+
+// ServeThroughput measures the flord daemon's query throughput and latency
+// at 1/4/16 concurrent clients over cold vs hot stores. Queries go through
+// the full serving path — admission control, store LRU, shared worker pool —
+// in-process (no HTTP), so the numbers isolate the daemon, not the codec of
+// the wire. "Cold" forces an open-store LRU of one below two alternating
+// runs, so every query reopens its store (manifest replayed, caches empty);
+// "hot" sizes the LRU to fit and warms both runs first.
+func (s *Session) ServeThroughput() (*ServeThroughputReport, error) {
+	var runs []serveBenchRun
+	for _, name := range []string{"ImgN", "Jasp"} {
+		wr, err := s.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, serveBenchRun{
+			id:    name,
+			dir:   wr.Dir,
+			iters: wr.Epochs(),
+			fns: map[string]func() *script.Program{
+				"base":  wr.Factory,
+				"outer": workloads.WithOuterProbe(wr.Factory),
+			},
+		})
+	}
+
+	slots := 2 * runtime.GOMAXPROCS(0)
+	rep := &ServeThroughputReport{
+		Runs:       []string{runs[0].id, runs[1].id},
+		Slots:      slots,
+		QueriesPer: ServeQueryCount,
+	}
+	var hotHits, hotTotal int64
+	for _, mode := range []string{"cold", "hot"} {
+		for _, clients := range serveClientCounts {
+			row, err := serveCell(runs, mode, clients, slots)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, *row)
+			if mode == "hot" {
+				hotHits += row.StoreHits
+				hotTotal += row.StoreHits + row.StoreMisses
+			}
+		}
+	}
+	if hotTotal > 0 {
+		rep.HotHitRate = float64(hotHits) / float64(hotTotal)
+	}
+	mid := serveClientCounts[1]
+	var coldP50, hotP50 int64
+	for _, r := range rep.Rows {
+		if r.Clients == mid && r.Mode == "cold" {
+			coldP50 = r.P50Ns
+		}
+		if r.Clients == mid && r.Mode == "hot" {
+			hotP50 = r.P50Ns
+		}
+	}
+	if hotP50 > 0 {
+		rep.HotColdP50Ratio = float64(coldP50) / float64(hotP50)
+	}
+
+	s.printf("\nServe throughput: %d queries per cell over runs %v (2:1 replay:sample mix),\n",
+		ServeQueryCount, rep.Runs)
+	s.printf("one shared %d-slot pool; cold = store LRU of 1 under 2 alternating runs.\n", slots)
+	s.printf("%-5s %8s %8s %12s %12s %6s %7s\n", "mode", "clients", "qps", "p50", "p95", "hits", "misses")
+	for _, r := range rep.Rows {
+		s.printf("%-5s %8d %8.1f %11.3fms %11.3fms %6d %7d\n",
+			r.Mode, r.Clients, r.QPS, float64(r.P50Ns)/1e6, float64(r.P95Ns)/1e6, r.StoreHits, r.StoreMisses)
+	}
+	s.printf("hot/cold p50 gain at %d clients: %.2fx; hot hit rate %.2f\n",
+		mid, rep.HotColdP50Ratio, rep.HotHitRate)
+
+	js, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	s.printf("BENCH JSON %s\n", js)
+	return rep, nil
+}
+
+// serveCell measures one (mode, clients) cell on a fresh daemon.
+func serveCell(runs []serveBenchRun, mode string, clients, slots int) (*ServeThroughputRow, error) {
+	cacheSize := len(runs) + 2
+	if mode == "cold" {
+		cacheSize = 1
+	}
+	srv := serve.New(serve.Options{
+		Slots:             slots,
+		MaxInflightPerRun: clients,
+		MaxQueuePerRun:    2 * ServeQueryCount,
+		QueueTimeout:      time.Minute,
+		StoreCacheSize:    cacheSize,
+		DefaultWorkers:    2,
+	})
+	for _, r := range runs {
+		if err := srv.Register(serve.RunConfig{ID: r.id, Dir: r.dir, Factories: r.fns}); err != nil {
+			return nil, err
+		}
+	}
+	ctx := context.Background()
+	if mode == "hot" {
+		// Warm both stores (and their payload caches) before measuring.
+		for _, r := range runs {
+			if _, err := srv.Replay(ctx, r.id, serve.ReplayRequest{Probe: "outer", Workers: 2}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	warmStats := srv.Stats().StoreCache
+
+	latencies := make([]int64, ServeQueryCount)
+	errs := make([]error, ServeQueryCount)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range next {
+				// Alternate runs query-by-query (the cold-cache worst case);
+				// every third query is a cheap sample.
+				r := runs[q%len(runs)]
+				q0 := time.Now()
+				var err error
+				if q%3 == 2 {
+					iters := []int{0}
+					if r.iters > 1 {
+						a := q % (r.iters - 1)
+						iters = []int{a, a + 1}
+					}
+					_, err = srv.Sample(ctx, r.id, serve.SampleRequest{
+						Probe: "outer", Iterations: iters,
+					})
+				} else {
+					_, err = srv.Replay(ctx, r.id, serve.ReplayRequest{Probe: "outer", Workers: 2})
+				}
+				latencies[q] = time.Since(q0).Nanoseconds()
+				errs[q] = err
+			}
+		}()
+	}
+	for q := 0; q < ServeQueryCount; q++ {
+		next <- q
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(t0)
+	for q, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve %s/%d query %d: %w", mode, clients, q, err)
+		}
+	}
+
+	cs := srv.Stats().StoreCache
+	sorted := append([]int64(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	row := &ServeThroughputRow{
+		Mode:        mode,
+		Clients:     clients,
+		Queries:     ServeQueryCount,
+		QPS:         float64(ServeQueryCount) / wall.Seconds(),
+		P50Ns:       percentile(sorted, 0.50),
+		P95Ns:       percentile(sorted, 0.95),
+		StoreHits:   cs.Hits - warmStats.Hits,
+		StoreMisses: cs.Misses - warmStats.Misses,
+	}
+	return row, nil
+}
+
+// percentile returns the p-quantile of sorted (nearest-rank: the smallest
+// value with at least p·n values at or below it).
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -153,6 +153,23 @@ func LoadRecording(dir string) (*replay.Recording, error) {
 	if err != nil {
 		return nil, err
 	}
+	return loadRecording(dir, st)
+}
+
+// LoadRecordingShared opens a run directory for shared read-only serving:
+// the store rejects writes, the open touches nothing on disk, and the
+// resulting Recording may be handed to many concurrent replay and sample
+// queries (the daemon's open path — the manifest is replayed once here, not
+// per query).
+func LoadRecordingShared(dir string) (*replay.Recording, error) {
+	st, err := store.OpenReadOnly(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadRecording(dir, st)
+}
+
+func loadRecording(dir string, st *store.Store) (*replay.Recording, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, programFile))
 	if err != nil {
 		return nil, fmt.Errorf("core: load program structure: %w", err)

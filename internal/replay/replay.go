@@ -24,6 +24,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -79,6 +80,20 @@ type Options struct {
 	// SkipDeferredCheck disables the record/replay log diff (used by
 	// benchmarks that measure pure replay latency).
 	SkipDeferredCheck bool
+	// Slots, when non-nil, gates every replay worker on a shared slot
+	// source (normally a sched.Pool shared across concurrent queries in a
+	// serving daemon). Each worker holds one slot for its whole lifetime —
+	// setup, initialization, work — so the source's global budget bounds
+	// actual parallelism across replays regardless of each query's Workers.
+	// Nil means unlimited (the single-replay library default).
+	Slots sched.SlotSource
+	// Ctx bounds slot waits (a daemon's queueing deadline); nil means
+	// context.Background().
+	Ctx context.Context
+	// Cache, when non-nil, replaces each worker's private decoded-payload
+	// cache with a shared one, so a run's restored content stays hot across
+	// queries (and across the workers of one replay).
+	Cache *backmat.PayloadCache
 }
 
 // Recording is the artifact a record run leaves behind: the checkpoint
@@ -90,6 +105,61 @@ type Recording struct {
 	Shape     *script.ProgramShape
 	RecordLog []string
 	Timings   *runlog.Timings
+
+	// sched memoizes the recording-derived scheduling state. A serving
+	// daemon replays the same immutable recording for many queries;
+	// re-running the instrumented-loop discovery, anchor store scans, and
+	// O(n) cost-model construction per request would pay back exactly the
+	// latency the hot-store cache buys. Guarded by schedMu, built lazily.
+	schedMu sync.Mutex
+	sched   *schedState
+}
+
+// schedState is the memoized scheduler input derived from a recording. The
+// loop set, multiplicities, and anchors depend only on the program
+// structure (identical across probe variants — probes add log statements,
+// not loops) and the immutable store; the cost model additionally depends
+// on whether an instrumented inner loop is probed, the only query-dependent
+// bit, so both variants are cached.
+type schedState struct {
+	ids     []string
+	mult    map[string]int
+	anchors []int
+	costs   [2]*sched.Costs // indexed by probedInner
+}
+
+// schedStateFor returns the memoized loop/anchor state, building it on
+// first use.
+func (rec *Recording) schedStateFor(p *script.Program) *schedState {
+	rec.schedMu.Lock()
+	defer rec.schedMu.Unlock()
+	if rec.sched == nil {
+		ids, mult := instrumentedLoops(rec.Store, p)
+		rec.sched = &schedState{
+			ids:     ids,
+			mult:    mult,
+			anchors: anchoredIterations(rec.Store, p, ids, mult),
+		}
+	}
+	return rec.sched
+}
+
+// costsFor returns the memoized cost model for the probedInner variant.
+// Cached costs are priced with the recording's persisted c prior, which
+// every query's fresh tracker starts from, so the first and the hundredth
+// query see the same model; sched.Costs is read-only to its consumers and
+// safe to share across concurrent replays.
+func (rec *Recording) costsFor(st *schedState, p *script.Program, probedInner bool, tracker *adapt.Tracker) *sched.Costs {
+	idx := 0
+	if probedInner {
+		idx = 1
+	}
+	rec.schedMu.Lock()
+	defer rec.schedMu.Unlock()
+	if st.costs[idx] == nil {
+		st.costs[idx] = schedCosts(rec, p, st.ids, st.mult, st.anchors, probedInner, tracker)
+	}
+	return st.costs[idx]
 }
 
 // WorkerReport describes one parallel worker's replay.
@@ -118,6 +188,10 @@ type Result struct {
 	Scheduler Scheduler
 	Steals    int
 	WallNs    int64
+	// CFactor is the restore/materialize scaling factor after the replay:
+	// the recording's prior refined by every restore this replay measured
+	// (the cost-model feedback loop, paper §5.3.2).
+	CFactor float64
 }
 
 // logSpan is the log output of one contiguous executed span of iterations;
@@ -173,34 +247,57 @@ func Replay(rec *Recording, factory func() *script.Program, opts Options) (*Resu
 		return nil, fmt.Errorf("replay: program has no main loop")
 	}
 	n := probeProgram.Main.Iters
+
+	// One adaptive tracker is shared by the scheduler's cost model and
+	// every worker of this replay: restores measured by early segments
+	// refine the restore/materialize factor c mid-replay
+	// (skipblock.restore → adapt.NoteRestore), and the stealing executor
+	// reprices later catch-up estimates through it (cost-model feedback,
+	// paper §5.3.2).
+	tracker := adapt.New(adapt.DefaultEpsilon)
+	if rec.Timings != nil && rec.Timings.C > 0 {
+		tracker.SeedC(rec.Timings.C)
+	}
+	priorC := tracker.C()
+
 	// Anchors matter only to weak initialization and the non-static
-	// schedulers, and the cost model only to the latter; the default
-	// static/strong path skips the store scans entirely.
+	// schedulers; the cost model also prices slot requests whenever a
+	// shared slot source is in play (its waiters are ordered by estimated
+	// cost, which must be comparable across concurrent queries). The
+	// default static/strong library path skips the store scans entirely.
 	anchors := make([]int, 0)
 	var costs *sched.Costs
-	if opts.Init == Weak || opts.Scheduler != SchedStatic {
-		ids, mult := instrumentedLoops(rec.Store, probeProgram)
-		anchors = anchoredIterations(rec.Store, probeProgram, ids, mult)
-		if opts.Scheduler != SchedStatic {
+	if opts.Init == Weak || opts.Scheduler != SchedStatic || opts.Slots != nil {
+		st := rec.schedStateFor(probeProgram)
+		anchors = st.anchors
+		if opts.Scheduler != SchedStatic || opts.Slots != nil {
 			// Work iterations re-execute at compute cost only when an
 			// instrumented (restorable) loop itself is probed; an outer-only
 			// probe leaves every nested loop restoring, so work is priced as
 			// catch-up.
 			probedInner := false
-			for _, id := range ids {
+			for _, id := range st.ids {
 				if diff.Probes[id] {
 					probedInner = true
 				}
 			}
-			costs = schedCosts(rec, probeProgram, ids, mult, anchors, probedInner)
+			costs = rec.costsFor(st, probeProgram, probedInner, tracker)
 		}
+	}
+
+	env := &replayEnv{
+		rec: rec, factory: factory, diff: diff, tracker: tracker, priorC: priorC,
+		costs: costs, anchors: anchors, opts: opts, ctx: opts.Ctx,
+	}
+	if env.ctx == nil {
+		env.ctx = context.Background()
 	}
 
 	res := &Result{Probes: diff.Probes, NewLabels: diff.NewLabels, Scheduler: opts.Scheduler}
 	t0 := time.Now()
 	var spans []logSpan
 	if opts.Scheduler == SchedStealing && n > 0 {
-		spans, err = replayStealing(rec, factory, diff, costs, anchors, opts, n, res)
+		spans, err = replayStealing(env, n, res)
 	} else {
 		var segs [][2]int
 		if opts.Scheduler == SchedBalanced {
@@ -208,12 +305,13 @@ func Replay(rec *Recording, factory func() *script.Program, opts Options) (*Resu
 		} else {
 			segs = sched.PartitionStatic(n, opts.Workers)
 		}
-		spans, err = replayStatic(rec, factory, diff, segs, anchors, opts, res)
+		spans, err = replayStatic(env, segs, res)
 	}
 	if err != nil {
 		return nil, err
 	}
 	res.WallNs = time.Since(t0).Nanoseconds()
+	res.CFactor = tracker.C()
 	res.Logs = mergeSpans(spans)
 	if !opts.SkipDeferredCheck {
 		res.Anomalies = runlog.DeferredCheck(rec.RecordLog, res.Logs, diff.NewLabels)
@@ -221,11 +319,52 @@ func Replay(rec *Recording, factory func() *script.Program, opts Options) (*Resu
 	return res, nil
 }
 
-// replayStatic runs one worker per segment with static assignment (the
-// SchedStatic and SchedBalanced policies).
-func replayStatic(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
-	segs [][2]int, anchors []int, opts Options, res *Result) ([]logSpan, error) {
+// replayEnv bundles the per-replay state both scheduling paths thread
+// through their workers.
+type replayEnv struct {
+	rec     *Recording
+	factory func() *script.Program
+	diff    *script.DiffResult
+	tracker *adapt.Tracker
+	priorC  float64
+	costs   *sched.Costs
+	anchors []int
+	opts    Options
+	ctx     context.Context
+}
 
+// slotCost estimates one worker's total modeled cost (setup + init + work)
+// for slot-queue ordering; zero when no cost model exists.
+func (env *replayEnv) slotCost(seg [2]int) int64 {
+	if env.costs == nil {
+		return 0
+	}
+	return env.costs.SetupNs +
+		env.costs.InitCostNs(seg[0], env.opts.Init, env.anchors) +
+		env.costs.WorkCostNs(seg[0], seg[1])
+}
+
+// acquireSlot blocks until the shared slot source grants a slot (no-op
+// without one). Callers must releaseSlot on success.
+func (env *replayEnv) acquireSlot(seg [2]int) error {
+	if env.opts.Slots == nil {
+		return nil
+	}
+	return env.opts.Slots.Acquire(env.ctx, env.slotCost(seg))
+}
+
+func (env *replayEnv) releaseSlot() {
+	if env.opts.Slots != nil {
+		env.opts.Slots.Release()
+	}
+}
+
+// replayStatic runs one worker per segment with static assignment (the
+// SchedStatic and SchedBalanced policies). With a shared slot source, each
+// worker first acquires a slot priced at its segment's modeled cost;
+// segments are independent, so workers serialized by a tight budget still
+// complete.
+func replayStatic(env *replayEnv, segs [][2]int, res *Result) ([]logSpan, error) {
 	res.Workers = make([]WorkerReport, len(segs))
 	spans := make([]logSpan, len(segs))
 	var wg sync.WaitGroup
@@ -234,7 +373,12 @@ func replayStatic(rec *Recording, factory func() *script.Program, diff *script.D
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
-			report, err := runWorker(rec, factory, diff, segs[pid], anchors, pid, opts, pid == len(segs)-1)
+			if err := env.acquireSlot(segs[pid]); err != nil {
+				errs[pid] = err
+				return
+			}
+			defer env.releaseSlot()
+			report, err := runWorker(env, segs[pid], pid, pid == len(segs)-1)
 			if err != nil {
 				errs[pid] = err
 				return
@@ -254,15 +398,32 @@ func replayStatic(rec *Recording, factory func() *script.Program, diff *script.D
 
 // replayStealing runs opts.Workers workers over a shared lease executor
 // seeded with the balanced partition (the SchedStealing policy).
-func replayStealing(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
-	costs *sched.Costs, anchors []int, opts Options, n int, res *Result) ([]logSpan, error) {
-
+func replayStealing(env *replayEnv, n int, res *Result) ([]logSpan, error) {
+	opts := env.opts
 	g := opts.Workers
 	if g > n {
 		g = n
 	}
-	segs := sched.PartitionBalancedAnchored(costs, g, opts.Init, anchors)
-	x := sched.NewExecutor(costs, segs, anchors)
+	segs := sched.PartitionBalancedAnchored(env.costs, g, opts.Init, env.anchors)
+	x := sched.NewExecutor(env.costs, segs, env.anchors)
+	// Feedback: steal profitability rescales modeled catch-up by how far the
+	// measured restore/materialize factor has drifted from the prior the
+	// cost model was priced with. The scale is clamped: measured restores
+	// are biased cheap when they hit the payload cache, while a stolen
+	// lease's catch-up restores uncached content at full cost, so one
+	// replay's drift may adjust — but never invert — the profit rule.
+	x.SetRestoreScale(func() float64 {
+		if env.priorC <= 0 {
+			return 1
+		}
+		scale := env.tracker.C() / env.priorC
+		if scale < 0.5 {
+			scale = 0.5
+		} else if scale > 2 {
+			scale = 2
+		}
+		return scale
+	})
 
 	res.Workers = make([]WorkerReport, g)
 	workerSpans := make([][]logSpan, g)
@@ -272,7 +433,16 @@ func replayStealing(rec *Recording, factory func() *script.Program, diff *script
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
-			report, spans, err := runStealingWorker(rec, factory, diff, x, anchors, pid, n, opts)
+			seg := [2]int{0, 0}
+			if pid < len(segs) {
+				seg = segs[pid]
+			}
+			if err := env.acquireSlot(seg); err != nil {
+				errs[pid] = err
+				return
+			}
+			defer env.releaseSlot()
+			report, spans, err := runStealingWorker(env, x, pid, n)
 			if err != nil {
 				errs[pid] = err
 				return
@@ -311,13 +481,15 @@ type worker struct {
 
 // newWorker builds a worker and runs phase 1: every statement before the
 // main loop (imports, data loading, model construction — §5.4.2 "the first
-// part"). Callers must close() the worker.
-func newWorker(rec *Recording, factory func() *script.Program, diff *script.DiffResult, pid int) (*worker, error) {
-	p := factory()
-	tracker := adapt.New(adapt.DefaultEpsilon)
-	mat := backmat.New(rec.Store, backmat.Fork)
-	rt := skipblock.NewRuntime(p, tracker, mat, rec.Store)
-	rt.SetProbes(diff.Probes)
+// part"). Callers must close() the worker. Workers share the replay's
+// tracker (restore observations feed the scheduler's cost model) and, when
+// configured, a cross-query payload cache.
+func newWorker(env *replayEnv, pid int) (*worker, error) {
+	p := env.factory()
+	mat := backmat.New(env.rec.Store, backmat.Fork)
+	rt := skipblock.NewRuntime(p, env.tracker, mat, env.rec.Store)
+	rt.SetCache(env.opts.Cache)
+	rt.SetProbes(env.diff.Probes)
 	w := &worker{
 		p: p, rt: rt, mat: mat, pid: pid,
 		ctx:    &script.Ctx{Env: script.NewEnv(), LoopHook: rt.Hook},
@@ -387,10 +559,8 @@ func (w *worker) finish() *WorkerReport {
 
 // runWorker executes one statically assigned worker: setup, initialization,
 // work segment, and (for the last worker) the program tail.
-func runWorker(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
-	seg [2]int, anchors []int, pid int, opts Options, last bool) (*WorkerReport, error) {
-
-	w, err := newWorker(rec, factory, diff, pid)
+func runWorker(env *replayEnv, seg [2]int, pid int, last bool) (*WorkerReport, error) {
+	w, err := newWorker(env, pid)
 	if err != nil {
 		return nil, err
 	}
@@ -400,8 +570,8 @@ func runWorker(rec *Recording, factory func() *script.Program, diff *script.Diff
 	// Phase 2: initialization — strong catches up from 0, weak from the
 	// nearest anchored checkpoint.
 	initFrom := 0
-	if opts.Init == Weak && seg[0] > 0 {
-		initFrom = sched.AnchorBefore(anchors, seg[0]-1)
+	if env.opts.Init == Weak && seg[0] > 0 {
+		initFrom = sched.AnchorBefore(env.anchors, seg[0]-1)
 	}
 	w.report.InitFrom = initFrom
 	if seg[0] > 0 {
@@ -438,10 +608,8 @@ func runWorker(rec *Recording, factory func() *script.Program, diff *script.Diff
 // first lease only) or from the nearest anchored checkpoint (weak; always,
 // for stolen leases). The worker whose final lease ends at the last
 // iteration runs the program tail immediately, while its state is current.
-func runStealingWorker(rec *Recording, factory func() *script.Program, diff *script.DiffResult,
-	x *sched.Executor, anchors []int, pid, n int, opts Options) (*WorkerReport, []logSpan, error) {
-
-	w, err := newWorker(rec, factory, diff, pid)
+func runStealingWorker(env *replayEnv, x *sched.Executor, pid, n int) (*WorkerReport, []logSpan, error) {
+	w, err := newWorker(env, pid)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -472,8 +640,8 @@ func runStealingWorker(rec *Recording, factory func() *script.Program, diff *scr
 		// only the block counters (the init loop is empty).
 		if start != pos {
 			initFrom := 0
-			if !first || opts.Init == Weak {
-				initFrom = sched.AnchorBefore(anchors, start-1)
+			if !first || env.opts.Init == Weak {
+				initFrom = sched.AnchorBefore(env.anchors, start-1)
 			}
 			if first {
 				w.report.InitFrom = initFrom
@@ -604,14 +772,13 @@ func weakAnchor(st *store.Store, p *script.Program, rt *skipblock.Runtime, targe
 // materialize scaling factor the record phase measured (§5.3.2, persisted
 // with the timings). Recordings made before timing capture fall back to
 // checkpoint metadata, and to a uniform model when no cost data exists.
+// tracker prices restore predictions; Replay passes the shared per-replay
+// tracker so the same c-factor prior prices scheduling and is later refined
+// by the workers' measured restores.
 func schedCosts(rec *Recording, p *script.Program, ids []string, mult map[string]int,
-	anchors []int, probed bool) *sched.Costs {
+	anchors []int, probed bool, tracker *adapt.Tracker) *sched.Costs {
 
 	n := p.Main.Iters
-	tracker := adapt.New(adapt.DefaultEpsilon)
-	if rec.Timings != nil && rec.Timings.C > 0 {
-		tracker.SeedC(rec.Timings.C)
-	}
 
 	// Per-iteration compute: recorded wall times, else store metadata.
 	comput := make([]int64, n)

@@ -1,6 +1,8 @@
 package replay
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -8,9 +10,28 @@ import (
 	"flor.dev/flor/internal/adapt"
 	"flor.dev/flor/internal/backmat"
 	"flor.dev/flor/internal/runlog"
+	"flor.dev/flor/internal/sched"
 	"flor.dev/flor/internal/script"
 	"flor.dev/flor/internal/skipblock"
 )
+
+// SampleOptions configures a sampling replay for shared (daemon) use; the
+// zero value is the standalone library behaviour.
+type SampleOptions struct {
+	// Cache shares decoded payloads with other queries over the same store.
+	Cache *backmat.PayloadCache
+	// Slots, when non-nil, gates the sample on one slot of a shared pool; a
+	// sample's modeled cost is small, so the pool's cheapest-first ordering
+	// lets it overtake queued full-replay workers.
+	Slots sched.SlotSource
+	// Ctx bounds the slot wait; nil means context.Background().
+	Ctx context.Context
+}
+
+// ErrSampleRange reports a requested sample iteration outside the recorded
+// main loop — caller input, not a replay failure (the daemon maps it to a
+// client error).
+var ErrSampleRange = errors.New("replay: sampled iteration out of range")
 
 // SampleResult is the outcome of a sampling replay.
 type SampleResult struct {
@@ -32,6 +53,12 @@ type SampleResult struct {
 // log stream is a subsequence of the record log by construction, which
 // callers can verify with runlog.PartialDeferredCheck.
 func ReplaySample(rec *Recording, factory func() *script.Program, iterations []int) (*SampleResult, error) {
+	return ReplaySampleWith(rec, factory, iterations, SampleOptions{})
+}
+
+// ReplaySampleWith is ReplaySample with daemon plumbing: a shared payload
+// cache and a shared slot source (see SampleOptions).
+func ReplaySampleWith(rec *Recording, factory func() *script.Program, iterations []int, sopts SampleOptions) (*SampleResult, error) {
 	p := factory()
 	diff, err := script.DiffHindsight(rec.Shape, p)
 	if err != nil {
@@ -45,7 +72,7 @@ func ReplaySample(rec *Recording, factory func() *script.Program, iterations []i
 	var sample []int
 	for _, it := range iterations {
 		if it < 0 || it >= n {
-			return nil, fmt.Errorf("replay: sampled iteration %d out of range [0,%d)", it, n)
+			return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrSampleRange, it, n)
 		}
 		if !seen[it] {
 			seen[it] = true
@@ -54,10 +81,37 @@ func ReplaySample(rec *Recording, factory func() *script.Program, iterations []i
 	}
 	sort.Ints(sample)
 
+	// One slot covers the whole (sequential) sample. Its cost estimate — a
+	// mean recorded iteration per sampled point — is deliberately coarse:
+	// it only needs to be small next to a full replay's segments so the
+	// pool's cheapest-first queue lets point queries through.
+	if sopts.Slots != nil {
+		ctx := sopts.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var iterMean int64
+		if rec.Timings != nil && len(rec.Timings.IterNs) > 0 {
+			var sum int64
+			for _, ns := range rec.Timings.IterNs {
+				sum += ns
+			}
+			iterMean = sum / int64(len(rec.Timings.IterNs))
+		}
+		if err := sopts.Slots.Acquire(ctx, int64(len(sample))*iterMean); err != nil {
+			return nil, err
+		}
+		defer sopts.Slots.Release()
+	}
+
 	tracker := adapt.New(adapt.DefaultEpsilon)
+	if rec.Timings != nil && rec.Timings.C > 0 {
+		tracker.SeedC(rec.Timings.C)
+	}
 	mat := backmat.New(rec.Store, backmat.Fork)
 	defer mat.Close()
 	rt := skipblock.NewRuntime(p, tracker, mat, rec.Store)
+	rt.SetCache(sopts.Cache)
 	rt.SetProbes(diff.Probes)
 
 	ctx := &script.Ctx{Env: script.NewEnv(), LoopHook: rt.Hook}

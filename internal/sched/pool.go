@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+)
+
+// SlotSource grants execution slots to replay workers. A single replay
+// passes one to every worker it spawns; a serving daemon shares one source
+// across every concurrent query, so segments from different replays compete
+// for the same global compute budget. A nil SlotSource means "unlimited"
+// (the library's single-replay default).
+type SlotSource interface {
+	// Acquire blocks until a slot is granted or ctx is done. costNs is the
+	// caller's estimated work (modeled nanoseconds); sources may use it to
+	// order waiters. The caller must Release the slot when finished.
+	Acquire(ctx context.Context, costNs int64) error
+	// Release returns a previously acquired slot.
+	Release()
+}
+
+// Pool is a shared worker pool with a global slot budget: the lease/stealing
+// machinery lifted above a single replay. Each replay worker (or sampling
+// query) holds one slot while it computes, so a daemon serving many
+// concurrent queries runs at most Slots workers at once regardless of how
+// much parallelism each individual query asked for.
+//
+// Waiters are granted slots cheapest-estimated-cost-first (FIFO among equal
+// costs): a sample query priced at a few restores overtakes the remaining
+// workers of a G=8 full replay instead of starving behind them. Queries are
+// finite, so heavy waiters are delayed, never starved forever: each release
+// reconsiders the queue, and a stream of cheap queries must itself hold
+// slots to run.
+//
+// Pool is safe for concurrent use.
+type Pool struct {
+	mu      sync.Mutex
+	slots   int
+	free    int
+	seq     int64
+	waiters waiterHeap
+
+	acquires int64
+	waits    int64
+	waitNs   int64
+}
+
+// waiter is one blocked Acquire.
+type waiter struct {
+	cost    int64
+	seq     int64 // FIFO tie-break
+	granted chan struct{}
+	index   int // heap bookkeeping; -1 once popped or removed
+}
+
+// waiterHeap is a min-heap over (cost, seq).
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}
+
+// NewPool returns a pool with n slots (minimum 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{slots: n, free: n}
+}
+
+// Slots returns the pool's total slot budget.
+func (p *Pool) Slots() int { return p.slots }
+
+// Acquire implements SlotSource: it blocks until a slot is free and this
+// waiter is the cheapest pending one, or ctx is done.
+func (p *Pool) Acquire(ctx context.Context, costNs int64) error {
+	p.mu.Lock()
+	p.acquires++
+	if p.free > 0 && len(p.waiters) == 0 {
+		p.free--
+		p.mu.Unlock()
+		return nil
+	}
+	p.waits++
+	p.seq++
+	w := &waiter{cost: costNs, seq: p.seq, granted: make(chan struct{})}
+	heap.Push(&p.waiters, w)
+	p.mu.Unlock()
+
+	t0 := time.Now()
+	select {
+	case <-w.granted:
+		p.mu.Lock()
+		p.waitNs += time.Since(t0).Nanoseconds()
+		p.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if w.index >= 0 {
+			heap.Remove(&p.waiters, w.index)
+			p.mu.Unlock()
+			return ctx.Err()
+		}
+		// Lost the race: the slot was granted between ctx firing and the
+		// lock; hand it straight back so it is not leaked.
+		p.releaseLocked()
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release implements SlotSource: it hands the slot to the cheapest waiter,
+// or returns it to the free budget when nobody waits.
+func (p *Pool) Release() {
+	p.mu.Lock()
+	p.releaseLocked()
+	p.mu.Unlock()
+}
+
+func (p *Pool) releaseLocked() {
+	if len(p.waiters) > 0 {
+		w := heap.Pop(&p.waiters).(*waiter)
+		close(w.granted)
+		return
+	}
+	if p.free < p.slots {
+		p.free++
+	}
+}
+
+// PoolStats is a snapshot of the pool's accounting.
+type PoolStats struct {
+	Slots    int   `json:"slots"`
+	InUse    int   `json:"in_use"`
+	Waiting  int   `json:"waiting"`
+	Acquires int64 `json:"acquires"`
+	Waits    int64 `json:"waits"`
+	WaitNs   int64 `json:"wait_ns"`
+}
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Slots:    p.slots,
+		InUse:    p.slots - p.free,
+		Waiting:  len(p.waiters),
+		Acquires: p.acquires,
+		Waits:    p.waits,
+		WaitNs:   p.waitNs,
+	}
+}

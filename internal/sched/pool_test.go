@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolImmediateAcquire(t *testing.T) {
+	p := NewPool(2)
+	ctx := context.Background()
+	if err := p.Acquire(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.InUse != 2 || st.Waiting != 0 || st.Acquires != 2 || st.Waits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	p.Release()
+	p.Release()
+	if st := p.Stats(); st.InUse != 0 {
+		t.Fatalf("in use after release = %d", st.InUse)
+	}
+}
+
+// TestPoolCheapestFirst holds the only slot, queues an expensive waiter then
+// a cheap one, and checks the cheap waiter is granted first.
+func TestPoolCheapestFirst(t *testing.T) {
+	p := NewPool(1)
+	ctx := context.Background()
+	if err := p.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := func(name string, cost int64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Acquire(ctx, cost); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			p.Release()
+		}()
+	}
+	start("expensive", 1_000_000)
+	waitFor(t, func() bool { return p.Stats().Waiting == 1 })
+	start("cheap", 100)
+	waitFor(t, func() bool { return p.Stats().Waiting == 2 })
+
+	p.Release()
+	wg.Wait()
+	if len(order) != 2 || order[0] != "cheap" || order[1] != "expensive" {
+		t.Fatalf("grant order = %v, want [cheap expensive]", order)
+	}
+	st := p.Stats()
+	if st.Waits != 2 || st.InUse != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolAcquireCancel(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- p.Acquire(ctx, 1) }()
+	waitFor(t, func() bool { return p.Stats().Waiting == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := p.Stats(); st.Waiting != 0 {
+		t.Fatalf("waiter leaked: %+v", st)
+	}
+	// The held slot is still usable after the cancelled wait.
+	p.Release()
+	if err := p.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+}
+
+// TestPoolNeverOversubscribes hammers the pool from many goroutines and
+// checks the concurrent-holder count never exceeds the slot budget.
+func TestPoolNeverOversubscribes(t *testing.T) {
+	const slots = 3
+	p := NewPool(slots)
+	var cur, max int64
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(cost int64) {
+			defer wg.Done()
+			if err := p.Acquire(context.Background(), cost); err != nil {
+				t.Error(err)
+				return
+			}
+			c := atomic.AddInt64(&cur, 1)
+			for {
+				m := atomic.LoadInt64(&max)
+				if c <= m || atomic.CompareAndSwapInt64(&max, m, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt64(&cur, -1)
+			p.Release()
+		}(int64(i % 7))
+	}
+	wg.Wait()
+	if max > slots {
+		t.Fatalf("max concurrent holders = %d > %d slots", max, slots)
+	}
+	if st := p.Stats(); st.InUse != 0 || st.Waiting != 0 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}
+
+// TestExecutorRestoreScale checks that the feedback multiplier flips a
+// marginal steal decision: a remainder profitable under the prior becomes
+// unprofitable when measured restores are much slower.
+func TestExecutorRestoreScale(t *testing.T) {
+	n := 8
+	costs := &Costs{WorkNs: make([]int64, n), CatchupNs: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		costs.WorkNs[i] = 100
+		costs.CatchupNs[i] = 60
+	}
+	anchors := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	build := func() *Executor {
+		return NewExecutor(costs, [][2]int{{0, n}}, anchors)
+	}
+
+	// Without feedback the trailing half (cost 400) beats its weak re-init
+	// (one catch-up iteration from anchor 3, cost 60): the steal happens.
+	x := build()
+	if _, ok := x.Steal(); !ok {
+		t.Fatal("expected profitable steal with scale 1")
+	}
+
+	// Measured restores 10× the prior make the re-init (600) exceed the
+	// stolen work: no steal.
+	x = build()
+	x.SetRestoreScale(func() float64 { return 10.0 })
+	if _, ok := x.Steal(); ok {
+		t.Fatal("steal happened despite unprofitable rescaled catch-up")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -19,6 +19,12 @@ type Executor struct {
 	leases  []*Lease
 	initial int // leases created from the initial partition
 	steals  int
+	// restoreScale, when set, rescales the modeled catch-up cost of a steal's
+	// weak re-initialization by the ratio of the measured restore/materialize
+	// factor to the prior the cost model was priced with — the mid-replay
+	// cost-model feedback loop (paper §5.3.2): early leases observe real
+	// restore times, later steal decisions are priced with them.
+	restoreScale func() float64
 }
 
 // Lease is one worker's contiguous span of iterations [Start, end). A steal
@@ -55,6 +61,17 @@ func (x *Executor) InitialLease(worker int) *Lease {
 	return x.leases[worker]
 }
 
+// SetRestoreScale installs a callback returning the current catch-up cost
+// multiplier (1.0 = trust the prior). Steal profitability multiplies the
+// modeled weak re-initialization cost by it, so restore times measured by
+// early leases reprice later steals. Call before workers start; the callback
+// must be safe for concurrent use and is invoked with the executor lock held.
+func (x *Executor) SetRestoreScale(f func() float64) {
+	x.mu.Lock()
+	x.restoreScale = f
+	x.mu.Unlock()
+}
+
 // Steals returns how many leases were created by stealing.
 func (x *Executor) Steals() int {
 	x.mu.Lock()
@@ -78,6 +95,12 @@ func (x *Executor) workCost(s, e int) int64 {
 func (x *Executor) Steal() (*Lease, bool) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	scale := 1.0
+	if x.restoreScale != nil {
+		if s := x.restoreScale(); s > 0 {
+			scale = s
+		}
+	}
 	var best *Lease
 	var bestMid int
 	var bestProfit int64
@@ -86,7 +109,7 @@ func (x *Executor) Steal() (*Lease, bool) {
 		if !ok || !hasAnchorAtOrBefore(x.anchors, mid-1) {
 			continue
 		}
-		profit := x.workCost(mid, l.end) - x.costs.InitCostNs(mid, Weak, x.anchors)
+		profit := x.workCost(mid, l.end) - int64(scale*float64(x.costs.InitCostNs(mid, Weak, x.anchors)))
 		if best == nil || profit > bestProfit {
 			best, bestMid, bestProfit = l, mid, profit
 		}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/replay"
+)
+
+// cacheEntry is one hot store: the recording opened read-only (manifest and
+// dedup index replayed once) plus the cross-query decoded-payload cache.
+// Entries stay valid after eviction — in-flight queries holding one simply
+// finish on it; eviction only stops new queries from finding it hot.
+type cacheEntry struct {
+	runID string
+	rec   *replay.Recording
+	cache *backmat.PayloadCache
+}
+
+// storeCache is an LRU of open stores keyed by run ID.
+type storeCache struct {
+	mu         sync.Mutex
+	cap        int
+	cacheBytes int64
+	entries    map[string]*list.Element // value: *cacheEntry
+	lru        *list.List               // front = most recent
+	onEvict    func(runID string)
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newStoreCache(capacity int, cacheBytes int64, onEvict func(string)) *storeCache {
+	return &storeCache{
+		cap:        capacity,
+		cacheBytes: cacheBytes,
+		entries:    map[string]*list.Element{},
+		lru:        list.New(),
+		onEvict:    onEvict,
+	}
+}
+
+// get returns the entry for runID, opening the store (read-only) on a miss
+// and evicting the least recently used entry beyond capacity.
+func (c *storeCache) get(runID, dir string) (*cacheEntry, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[runID]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		ent := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		return ent, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Load outside the lock: opening a cold store replays its manifest,
+	// which must not block hits on other runs. A racing duplicate load of
+	// the same run is benign (last one wins the cache slot).
+	rec, err := core.LoadRecordingShared(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	ent := &cacheEntry{runID: runID, rec: rec, cache: backmat.NewPayloadCache(c.cacheBytes)}
+
+	c.mu.Lock()
+	var evicted []string
+	if el, ok := c.entries[runID]; ok {
+		// Lost the race: adopt the winner so concurrent queries share it.
+		c.lru.MoveToFront(el)
+		ent = el.Value.(*cacheEntry)
+	} else {
+		c.entries[runID] = c.lru.PushFront(ent)
+		for c.lru.Len() > c.cap {
+			last := c.lru.Back()
+			old := last.Value.(*cacheEntry)
+			c.lru.Remove(last)
+			delete(c.entries, old.runID)
+			c.evictions++
+			evicted = append(evicted, old.runID)
+		}
+	}
+	hook := c.onEvict
+	c.mu.Unlock()
+	if hook != nil {
+		for _, id := range evicted {
+			hook(id)
+		}
+	}
+	return ent, false, nil
+}
+
+// contains reports whether runID is currently cached (no LRU touch).
+func (c *storeCache) contains(runID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[runID]
+	return ok
+}
+
+// CacheStats is the open-store LRU accounting.
+type CacheStats struct {
+	Capacity  int   `json:"capacity"`
+	Open      int   `json:"open"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *storeCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:  c.cap,
+		Open:      c.lru.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the daemon's HTTP/JSON API:
+//
+//	GET  /v1/runs                 registered runs (probes, open state)
+//	POST /v1/runs/{id}/replay     full replay query (ReplayRequest body)
+//	GET  /v1/runs/{id}/logs       sample query (?iters=3,7&probe=name)
+//	POST /v1/runs/{id}/logs       sample query (SampleRequest body)
+//	GET  /v1/stats                pool, store-cache and per-run stats
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Runs())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/runs/{id}/replay", func(w http.ResponseWriter, r *http.Request) {
+		var req ReplayRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := s.Replay(r.Context(), r.PathValue("id"), req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	sample := func(w http.ResponseWriter, r *http.Request, req SampleRequest) {
+		res, err := s.Sample(r.Context(), r.PathValue("id"), req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+	mux.HandleFunc("POST /v1/runs/{id}/logs", func(w http.ResponseWriter, r *http.Request) {
+		var req SampleRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		sample(w, r, req)
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/logs", func(w http.ResponseWriter, r *http.Request) {
+		req := SampleRequest{Probe: r.URL.Query().Get("probe")}
+		iters, err := parseIters(r.URL.Query().Get("iters"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errBody(err))
+			return
+		}
+		req.Iterations = iters
+		sample(w, r, req)
+	})
+	return mux
+}
+
+// ListenAndServe serves the API on opts.Addr until the listener fails.
+func (s *Server) ListenAndServe() error {
+	return http.ListenAndServe(s.opts.Addr, s.Handler())
+}
+
+// Serve serves the API on an existing listener (tests, embedding).
+func (s *Server) Serve(l net.Listener) error {
+	return http.Serve(l, s.Handler())
+}
+
+// parseIters parses "3,7,12" into iterations.
+func parseIters(raw string) ([]int, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("serve: missing iters parameter (e.g. ?iters=3,7)")
+	}
+	var out []int
+	for _, f := range strings.Split(raw, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad iteration %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(fmt.Errorf("serve: bad request body: %w", err)))
+		return false
+	}
+	return true
+}
+
+func errBody(err error) map[string]string {
+	return map[string]string{"error": err.Error()}
+}
+
+// writeErr maps typed serve errors to HTTP status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownRun):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrUnknownProbe), errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrBusy):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrQueueTimeout):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errBody(err))
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

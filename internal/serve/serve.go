@@ -1,0 +1,572 @@
+// Package serve implements flord, the multi-run replay serving daemon: the
+// step from "library" to "service" on the ROADMAP.
+//
+// The paper frames hindsight logging as an interactive workflow — an analyst
+// poses post-hoc queries against many past training runs and expects
+// low-latency replayed logs. One process per query wastes exactly the state
+// that makes repeated queries fast: an open store's replayed manifest, its
+// dedup chunk index, and the decoded payloads of content restored by earlier
+// queries. The daemon keeps all three hot:
+//
+//   - a registry of recordings (run ID → directory + named probe factories),
+//   - an LRU cache of shared read-only stores (store.OpenReadOnly), each
+//     paired with a cross-query payload cache, so manifests are replayed
+//     once and restored content decodes once,
+//   - one shared worker pool (sched.Pool) with a global slot budget: the
+//     lease/stealing executor's slots lifted above a single replay, so
+//     segments from different queries compete for the same compute and a
+//     cheap sample query is not starved behind a G=8 full replay
+//     (cheapest-estimated-cost-first slot granting),
+//   - per-run admission control: bounded in-flight queries per run, a
+//     bounded wait queue, and a queueing deadline.
+//
+// http.go exposes the daemon over HTTP/JSON (/v1/runs, /v1/runs/{id}/replay,
+// /v1/runs/{id}/logs, /v1/stats); cmd/flord is the standalone binary and
+// flor.Serve the embedding API.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"flor.dev/flor/internal/replay"
+	"flor.dev/flor/internal/sched"
+	"flor.dev/flor/internal/script"
+)
+
+// Typed query failures; the HTTP layer maps them to status codes.
+var (
+	// ErrUnknownRun is returned for an unregistered run ID (404).
+	ErrUnknownRun = errors.New("serve: unknown run")
+	// ErrUnknownProbe is returned for a probe name the run does not
+	// register (400).
+	ErrUnknownProbe = errors.New("serve: unknown probe")
+	// ErrBadRequest is returned for malformed query parameters (unknown
+	// scheduler/init names, empty or out-of-range iteration lists) (400).
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrBusy is returned when a run's wait queue is full (429).
+	ErrBusy = errors.New("serve: run queue full")
+	// ErrQueueTimeout is returned when a queued query's deadline expires
+	// before an in-flight slot frees up (504).
+	ErrQueueTimeout = errors.New("serve: queue deadline exceeded")
+)
+
+// RunConfig registers one recording with the daemon.
+type RunConfig struct {
+	// ID names the run in the HTTP API.
+	ID string
+	// Dir is the recorded run directory (opened read-only, lazily, on the
+	// first query).
+	Dir string
+	// Factories maps probe names to program factories: "base" (or "") is
+	// conventionally the unprobed program; other entries are hindsight-
+	// probed variants. Replays are Go closures, so probe variants must be
+	// registered by the embedding program — HTTP clients select them by
+	// name.
+	Factories map[string]func() *script.Program
+}
+
+// Options configures a Server. Zero values select the documented defaults.
+type Options struct {
+	// Addr is the listen address for ListenAndServe (default ":7707").
+	Addr string
+	// Slots is the global worker-pool budget shared by every query
+	// (default GOMAXPROCS).
+	Slots int
+	// MaxInflightPerRun bounds concurrently executing queries per run
+	// (default 2).
+	MaxInflightPerRun int
+	// MaxQueuePerRun bounds queries waiting for admission per run; beyond
+	// it queries are rejected with ErrBusy. Zero selects the default (8);
+	// negative disables queueing entirely, so queries beyond the in-flight
+	// bound are rejected immediately.
+	MaxQueuePerRun int
+	// QueueTimeout bounds how long an admitted-queue query waits before
+	// failing with ErrQueueTimeout (default 30s).
+	QueueTimeout time.Duration
+	// StoreCacheSize bounds the open-store LRU (default 8).
+	StoreCacheSize int
+	// PayloadCacheBytes bounds each store's cross-query decoded-payload
+	// cache (default backmat.DefaultPayloadCacheBytes).
+	PayloadCacheBytes int64
+	// DefaultWorkers is the replay parallelism used when a query does not
+	// ask for one (default 2).
+	DefaultWorkers int
+	// OnEvict, when set, observes store-cache evictions (tests, metrics).
+	OnEvict func(runID string)
+}
+
+func (o *Options) fill() {
+	if o.Addr == "" {
+		o.Addr = ":7707"
+	}
+	if o.Slots <= 0 {
+		o.Slots = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInflightPerRun <= 0 {
+		o.MaxInflightPerRun = 2
+	}
+	if o.MaxQueuePerRun < 0 {
+		o.MaxQueuePerRun = 0
+	} else if o.MaxQueuePerRun == 0 {
+		o.MaxQueuePerRun = 8
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 30 * time.Second
+	}
+	if o.StoreCacheSize <= 0 {
+		o.StoreCacheSize = 8
+	}
+	if o.DefaultWorkers <= 0 {
+		o.DefaultWorkers = 2
+	}
+}
+
+// RunStats is one run's query accounting.
+type RunStats struct {
+	Replays       int64 `json:"replays"`
+	Samples       int64 `json:"samples"`
+	Errors        int64 `json:"errors"`
+	Rejected      int64 `json:"rejected"`
+	QueueTimeouts int64 `json:"queue_timeouts"`
+	StoreHits     int64 `json:"store_hits"`
+	StoreMisses   int64 `json:"store_misses"`
+	QueueNs       int64 `json:"queue_ns"`
+	Inflight      int   `json:"inflight"`
+	Queued        int   `json:"queued"`
+}
+
+// run is one registered recording's serving state.
+type run struct {
+	cfg RunConfig
+	sem chan struct{} // in-flight bound
+
+	mu     sync.Mutex
+	queued int
+	stats  RunStats
+}
+
+func (r *run) factory(probe string) (func() *script.Program, error) {
+	if probe == "" {
+		probe = "base"
+	}
+	if f, ok := r.cfg.Factories[probe]; ok {
+		return f, nil
+	}
+	if probe == "base" {
+		if f, ok := r.cfg.Factories[""]; ok {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q for run %q", ErrUnknownProbe, probe, r.cfg.ID)
+}
+
+// probes returns the run's registered probe names, sorted, "" shown as
+// "base".
+func (r *run) probes() []string {
+	out := make([]string, 0, len(r.cfg.Factories))
+	for name := range r.cfg.Factories {
+		if name == "" {
+			name = "base"
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Server is the flord daemon. Construct with New, register recordings, then
+// expose Handler (or ListenAndServe).
+type Server struct {
+	opts   Options
+	pool   *sched.Pool
+	stores *storeCache
+
+	mu    sync.Mutex
+	runs  map[string]*run
+	order []string
+}
+
+// New returns a Server with the given options (zero value = defaults).
+func New(opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		opts: opts,
+		pool: sched.NewPool(opts.Slots),
+		runs: map[string]*run{},
+	}
+	s.stores = newStoreCache(opts.StoreCacheSize, opts.PayloadCacheBytes, opts.OnEvict)
+	return s
+}
+
+// Pool exposes the shared worker pool (stats, embedding).
+func (s *Server) Pool() *sched.Pool { return s.pool }
+
+// Register adds a recording to the registry. The run directory must exist;
+// its store is opened lazily on the first query.
+func (s *Server) Register(cfg RunConfig) error {
+	if cfg.ID == "" {
+		return fmt.Errorf("serve: register: empty run ID")
+	}
+	if len(cfg.Factories) == 0 {
+		return fmt.Errorf("serve: register %q: no program factories", cfg.ID)
+	}
+	if st, err := os.Stat(cfg.Dir); err != nil {
+		return fmt.Errorf("serve: register %q: %w", cfg.ID, err)
+	} else if !st.IsDir() {
+		return fmt.Errorf("serve: register %q: %s is not a directory", cfg.ID, cfg.Dir)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.runs[cfg.ID]; dup {
+		return fmt.Errorf("serve: register: duplicate run ID %q", cfg.ID)
+	}
+	s.runs[cfg.ID] = &run{cfg: cfg, sem: make(chan struct{}, s.opts.MaxInflightPerRun)}
+	s.order = append(s.order, cfg.ID)
+	return nil
+}
+
+func (s *Server) run(id string) (*run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, id)
+	}
+	return r, nil
+}
+
+// admit applies the run's admission control: a fast path into an in-flight
+// slot, else a bounded wait queue with a deadline. On success it returns a
+// release closure and the time spent queued.
+func (s *Server) admit(ctx context.Context, r *run) (release func(), queueNs int64, err error) {
+	// Fast path: an in-flight slot is free right now.
+	select {
+	case r.sem <- struct{}{}:
+		return func() { <-r.sem }, 0, nil
+	default:
+	}
+	r.mu.Lock()
+	if r.queued >= s.opts.MaxQueuePerRun {
+		r.stats.Rejected++
+		r.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: run %q (%d queued)", ErrBusy, r.cfg.ID, s.opts.MaxQueuePerRun)
+	}
+	r.queued++
+	r.mu.Unlock()
+	leaveQueue := func() {
+		r.mu.Lock()
+		r.queued--
+		r.mu.Unlock()
+	}
+
+	t0 := time.Now()
+	timer := time.NewTimer(s.opts.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case r.sem <- struct{}{}:
+		leaveQueue()
+		queueNs = time.Since(t0).Nanoseconds()
+		r.mu.Lock()
+		r.stats.QueueNs += queueNs
+		r.mu.Unlock()
+		return func() { <-r.sem }, queueNs, nil
+	case <-timer.C:
+		leaveQueue()
+		r.mu.Lock()
+		r.stats.QueueTimeouts++
+		r.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: run %q after %v", ErrQueueTimeout, r.cfg.ID, s.opts.QueueTimeout)
+	case <-ctx.Done():
+		leaveQueue()
+		return nil, 0, ctx.Err()
+	}
+}
+
+// open resolves the run's shared store entry through the LRU, folding the
+// hit/miss into the run's stats.
+func (s *Server) open(r *run) (*cacheEntry, bool, error) {
+	ent, hit, err := s.stores.get(r.cfg.ID, r.cfg.Dir)
+	r.mu.Lock()
+	if err != nil {
+		r.stats.Errors++
+	} else if hit {
+		r.stats.StoreHits++
+	} else {
+		r.stats.StoreMisses++
+	}
+	r.mu.Unlock()
+	return ent, hit, err
+}
+
+// ReplayRequest is a full replay query.
+type ReplayRequest struct {
+	// Probe selects a registered probe variant ("base" when empty).
+	Probe string `json:"probe"`
+	// Workers is the hindsight parallelism G (server default when <= 0).
+	// Actual concurrency is additionally bounded by the shared pool.
+	Workers int `json:"workers"`
+	// Scheduler is "static", "balanced" or "stealing" ("balanced" default).
+	Scheduler string `json:"scheduler"`
+	// Init is "strong" or "weak" ("weak" default: daemon replays jump to
+	// checkpoints).
+	Init string `json:"init"`
+}
+
+// ReplayResponse reports a replay query.
+type ReplayResponse struct {
+	RunID     string   `json:"run_id"`
+	Probe     string   `json:"probe"`
+	Logs      []string `json:"logs"`
+	Anomalies int      `json:"anomalies"`
+	Workers   int      `json:"workers"`
+	Scheduler string   `json:"scheduler"`
+	Steals    int      `json:"steals"`
+	CFactor   float64  `json:"c_factor"`
+	WallNs    int64    `json:"wall_ns"`
+	QueueNs   int64    `json:"queue_ns"`
+	StoreHit  bool     `json:"store_hit"`
+}
+
+// Replay serves one replay query through admission control, the shared
+// store, and the shared worker pool.
+func (s *Server) Replay(ctx context.Context, runID string, req ReplayRequest) (*ReplayResponse, error) {
+	r, err := s.run(runID)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := r.factory(req.Probe)
+	if err != nil {
+		return nil, err
+	}
+	schedPolicy, err := parseScheduler(req.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	init, err := parseInit(req.Init)
+	if err != nil {
+		return nil, err
+	}
+	release, queueNs, err := s.admit(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ent, hit, err := s.open(r)
+	if err != nil {
+		return nil, err
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.DefaultWorkers
+	}
+	// The queue deadline also bounds shared-pool slot waits: an admitted
+	// query must not hold one of the run's in-flight slots forever while
+	// its workers starve behind other queries' segments.
+	slotCtx, cancel := context.WithTimeout(ctx, s.opts.QueueTimeout)
+	defer cancel()
+	res, err := replay.Replay(ent.rec, factory, replay.Options{
+		Workers:   workers,
+		Scheduler: schedPolicy,
+		Init:      init,
+		Slots:     s.pool,
+		Ctx:       slotCtx,
+		Cache:     ent.cache,
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			r.mu.Lock()
+			r.stats.QueueTimeouts++
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: replay %q waited on worker slots beyond %v", ErrQueueTimeout, runID, s.opts.QueueTimeout)
+		}
+		r.mu.Lock()
+		r.stats.Errors++
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serve: replay %q: %w", runID, err)
+	}
+	r.mu.Lock()
+	r.stats.Replays++
+	r.mu.Unlock()
+	return &ReplayResponse{
+		RunID:     runID,
+		Probe:     req.Probe,
+		Logs:      res.Logs,
+		Anomalies: len(res.Anomalies),
+		Workers:   len(res.Workers),
+		Scheduler: res.Scheduler.String(),
+		Steals:    res.Steals,
+		CFactor:   res.CFactor,
+		WallNs:    res.WallNs,
+		QueueNs:   queueNs,
+		StoreHit:  hit,
+	}, nil
+}
+
+// SampleRequest is an iteration-sampling query (point reads over the past).
+type SampleRequest struct {
+	Probe      string `json:"probe"`
+	Iterations []int  `json:"iterations"`
+}
+
+// SampleResponse reports a sample query.
+type SampleResponse struct {
+	RunID      string   `json:"run_id"`
+	Probe      string   `json:"probe"`
+	Iterations []int    `json:"iterations"`
+	Logs       []string `json:"logs"`
+	WallNs     int64    `json:"wall_ns"`
+	QueueNs    int64    `json:"queue_ns"`
+	StoreHit   bool     `json:"store_hit"`
+}
+
+// Sample serves one sampling query; its single slot is priced cheaply, so
+// the pool lets it overtake queued full-replay workers.
+func (s *Server) Sample(ctx context.Context, runID string, req SampleRequest) (*SampleResponse, error) {
+	r, err := s.run(runID)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := r.factory(req.Probe)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Iterations) == 0 {
+		return nil, fmt.Errorf("%w: sample %q: no iterations requested", ErrBadRequest, runID)
+	}
+	release, queueNs, err := s.admit(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ent, hit, err := s.open(r)
+	if err != nil {
+		return nil, err
+	}
+	slotCtx, cancel := context.WithTimeout(ctx, s.opts.QueueTimeout)
+	defer cancel()
+	res, err := replay.ReplaySampleWith(ent.rec, factory, req.Iterations, replay.SampleOptions{
+		Cache: ent.cache,
+		Slots: s.pool,
+		Ctx:   slotCtx,
+	})
+	if err != nil {
+		// Out-of-range iterations are the client's mistake, not a serving
+		// failure: report 400 and keep them out of the error counters.
+		if errors.Is(err, replay.ErrSampleRange) {
+			return nil, fmt.Errorf("%w: sample %q: %v", ErrBadRequest, runID, err)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			r.mu.Lock()
+			r.stats.QueueTimeouts++
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: sample %q waited on a worker slot beyond %v", ErrQueueTimeout, runID, s.opts.QueueTimeout)
+		}
+		r.mu.Lock()
+		r.stats.Errors++
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serve: sample %q: %w", runID, err)
+	}
+	r.mu.Lock()
+	r.stats.Samples++
+	r.mu.Unlock()
+	return &SampleResponse{
+		RunID:      runID,
+		Probe:      req.Probe,
+		Iterations: res.Iterations,
+		Logs:       res.Logs,
+		WallNs:     res.WallNs,
+		QueueNs:    queueNs,
+		StoreHit:   hit,
+	}, nil
+}
+
+// RunInfo describes one registered run for listings.
+type RunInfo struct {
+	ID     string   `json:"id"`
+	Dir    string   `json:"dir"`
+	Probes []string `json:"probes"`
+	Open   bool     `json:"open"` // store currently in the LRU
+}
+
+// Runs lists registered runs in registration order.
+func (s *Server) Runs() []RunInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]RunInfo, 0, len(ids))
+	for _, id := range ids {
+		r, err := s.run(id)
+		if err != nil {
+			continue
+		}
+		out = append(out, RunInfo{
+			ID:     id,
+			Dir:    r.cfg.Dir,
+			Probes: r.probes(),
+			Open:   s.stores.contains(id),
+		})
+	}
+	return out
+}
+
+// Stats is the daemon-wide accounting snapshot served at /v1/stats.
+type Stats struct {
+	Pool       sched.PoolStats     `json:"pool"`
+	StoreCache CacheStats          `json:"store_cache"`
+	Runs       map[string]RunStats `json:"runs"`
+}
+
+// Stats returns a snapshot of pool, store-cache, and per-run accounting.
+func (s *Server) Stats() Stats {
+	out := Stats{
+		Pool:       s.pool.Stats(),
+		StoreCache: s.stores.stats(),
+		Runs:       map[string]RunStats{},
+	}
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	for _, r := range runs {
+		r.mu.Lock()
+		st := r.stats
+		st.Queued = r.queued
+		r.mu.Unlock()
+		st.Inflight = len(r.sem)
+		out.Runs[r.cfg.ID] = st
+	}
+	return out
+}
+
+func parseScheduler(name string) (replay.Scheduler, error) {
+	switch name {
+	case "", "balanced":
+		return replay.SchedBalanced, nil
+	case "static":
+		return replay.SchedStatic, nil
+	case "stealing":
+		return replay.SchedStealing, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown scheduler %q (want static, balanced or stealing)", ErrBadRequest, name)
+	}
+}
+
+func parseInit(name string) (replay.InitMode, error) {
+	switch name {
+	case "", "weak":
+		return replay.Weak, nil
+	case "strong":
+		return replay.Strong, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown init mode %q (want strong or weak)", ErrBadRequest, name)
+	}
+}

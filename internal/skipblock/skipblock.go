@@ -128,6 +128,18 @@ func NewRuntime(p *script.Program, tracker *adapt.Tracker, mat *backmat.Material
 // and work segments).
 func (r *Runtime) SetMode(m Mode) { r.mode = m }
 
+// SetCache replaces the runtime's private payload cache with a shared one.
+// A serving daemon shares one cache per run store across every query's
+// workers, so content decoded by the first query is served from memory to
+// all later ones (PayloadCache is safe for concurrent use, and cached
+// payloads are immutable by contract). Call before execution starts; a nil
+// cache is ignored.
+func (r *Runtime) SetCache(c *backmat.PayloadCache) {
+	if c != nil {
+		r.cache = c
+	}
+}
+
 // Mode returns the current mode.
 func (r *Runtime) Mode() Mode { return r.mode }
 

@@ -147,8 +147,9 @@ type chunkLoc struct {
 // concurrent use: record's background materializer writes while the training
 // thread queries stats, and replay workers read in parallel.
 type Store struct {
-	dir    string
-	format int
+	dir      string
+	format   int
+	readOnly bool
 
 	mu      sync.Mutex
 	nextSeq int
@@ -161,6 +162,9 @@ type Store struct {
 
 // ErrNotFound is returned when no checkpoint exists for a key.
 var ErrNotFound = errors.New("store: checkpoint not found")
+
+// ErrReadOnly is returned by write operations on a read-only store.
+var ErrReadOnly = errors.New("store: read-only")
 
 // Open opens (or creates) a store at dir, replaying the manifest to rebuild
 // the checkpoint index and the dedup chunk index. Torn or corrupt manifest
@@ -188,6 +192,31 @@ func OpenFormat(dir string, format int) (*Store, error) {
 	}
 	return s, nil
 }
+
+// OpenReadOnly opens an existing recorded run for shared read-only use — the
+// serving daemon's open path. It touches nothing on disk: the FORMAT marker
+// is not (re)written, a torn manifest tail is skipped rather than truncated,
+// and every write operation (Put, PutSections, Spool, GC) fails with
+// ErrReadOnly. The returned store is safe for concurrent Get/GetSections
+// from many goroutines.
+func OpenReadOnly(dir string) (*Store, error) {
+	if st, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("store: open read-only: %w", err)
+	} else if !st.IsDir() {
+		return nil, fmt.Errorf("store: open read-only: %s is not a directory", dir)
+	}
+	s := &Store{dir: dir, readOnly: true, index: map[Key]*Meta{}, chunks: map[ckptfmt.Hash]chunkLoc{}}
+	if err := s.detectFormat(0); err != nil {
+		return nil, err
+	}
+	if err := s.replayManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadOnly reports whether the store rejects writes.
+func (s *Store) ReadOnly() bool { return s.readOnly }
 
 func (s *Store) detectFormat(force int) error {
 	detected := 0
@@ -221,7 +250,7 @@ func (s *Store) detectFormat(force int) error {
 		detected = force
 	}
 	s.format = detected
-	if s.format == FormatV2 {
+	if s.format == FormatV2 && !s.readOnly {
 		if err := os.WriteFile(s.formatPath(), []byte("2\n"), 0o644); err != nil {
 			return fmt.Errorf("store: write format marker: %w", err)
 		}
@@ -268,7 +297,7 @@ func (s *Store) replayManifest() error {
 		off += consumed
 		validated = off
 	}
-	if validated < len(raw) {
+	if validated < len(raw) && !s.readOnly {
 		if err := os.Truncate(s.manifestPath(), int64(validated)); err != nil {
 			return fmt.Errorf("store: truncate torn manifest: %w", err)
 		}
@@ -449,6 +478,9 @@ func (s *Store) frameRecord(tag byte, body []byte) []byte {
 // per-entry structure. PutSections is the structured (and more parallel)
 // write path.
 func (s *Store) Put(key Key, payload []byte, snapNs, serNs, computNs int64) (*Meta, error) {
+	if s.readOnly {
+		return nil, ErrReadOnly
+	}
 	if s.format == FormatV2 {
 		return s.putV2(key, []Section{{Data: payload}}, true, snapNs, serNs, computNs)
 	}
@@ -485,6 +517,9 @@ func (s *Store) Put(key Key, payload []byte, snapNs, serNs, computNs int64) (*Me
 // directory plus manifest records commit the checkpoint. See Put for the
 // timing parameters.
 func (s *Store) PutSections(key Key, secs []Section, snapNs, serNs, computNs int64) (*Meta, error) {
+	if s.readOnly {
+		return nil, ErrReadOnly
+	}
 	if s.format != FormatV2 {
 		return nil, fmt.Errorf("store: PutSections requires format v2 (store is v%d)", s.format)
 	}
@@ -729,16 +764,15 @@ func (s *Store) segmentDir(key Key) (*Meta, *ckptfmt.Directory, error) {
 // (returned with nil Data). Reads of chunks that sit contiguously in the
 // pack — the common case, since a checkpoint's fresh chunks are appended
 // together — coalesce into a single pread.
+//
+// The have callback is invoked without the store lock held, and the lock is
+// taken only briefly to resolve chunk locations: concurrent readers from
+// many server goroutines must not serialize on each other's cache probes.
 func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.Hash) bool) ([]Section, error) {
 	secs := make([]Section, len(dir.Sections))
-	type chunkJob struct {
-		sec int
-		dst []byte // decode destination (nil → alias raw frames, zero copy)
-		loc chunkLoc
-		ref ckptfmt.ChunkRef
-	}
-	var jobs []chunkJob
-	s.mu.Lock()
+	// Phase 1, lock-free: compute each section's content identity and ask
+	// the caller which sections it already holds.
+	var load []int
 	for i := range dir.Sections {
 		ds := &dir.Sections[i]
 		hs := make([]ckptfmt.Hash, len(ds.Chunks))
@@ -749,6 +783,19 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		if have != nil && have(secs[i].Hash) {
 			continue
 		}
+		load = append(load, i)
+	}
+	// Phase 2, under the lock: resolve chunk locations from the dedup index.
+	type chunkJob struct {
+		sec int
+		dst []byte // decode destination (nil → alias raw frames, zero copy)
+		loc chunkLoc
+		ref ckptfmt.ChunkRef
+	}
+	var jobs []chunkJob
+	s.mu.Lock()
+	for _, i := range load {
+		ds := &dir.Sections[i]
 		// Multi-chunk sections decode straight into one preallocated buffer;
 		// single-chunk sections let the frame alias its pack bytes.
 		var buf []byte
@@ -853,20 +900,31 @@ func (s *Store) Has(key Key) bool {
 	return ok
 }
 
-// Lookup returns the metadata for key if committed.
+// Lookup returns the metadata for key if committed. The returned Meta is a
+// snapshot copy: the store's own record can be concurrently updated (Spool
+// fills GzSize), and handing out the shared pointer would race readers
+// against that write.
 func (s *Store) Lookup(key Key) (*Meta, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.index[key]
-	return m, ok
+	if !ok {
+		return nil, false
+	}
+	cp := *m
+	return &cp, true
 }
 
-// Metas returns metadata for all committed checkpoints in commit order.
+// Metas returns snapshot copies of all committed checkpoints' metadata in
+// commit order (see Lookup for why copies).
 func (s *Store) Metas() []*Meta {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*Meta, len(s.metas))
-	copy(out, s.metas)
+	for i, m := range s.metas {
+		cp := *m
+		out[i] = &cp
+	}
 	return out
 }
 
@@ -901,6 +959,9 @@ func (s *Store) ExecsFor(loopID string) []int {
 // returns the total compressed size in bytes and updates per-checkpoint
 // GzSize metadata.
 func (s *Store) Spool() (int64, error) {
+	if s.readOnly {
+		return 0, ErrReadOnly
+	}
 	var total int64
 	for _, m := range s.Metas() {
 		raw, err := os.ReadFile(s.segmentPath(m.Seq))
@@ -914,8 +975,11 @@ func (s *Store) Spool() (int64, error) {
 		if err := os.WriteFile(s.segmentPath(m.Seq)+".gz", gz, 0o644); err != nil {
 			return 0, fmt.Errorf("store: spool write: %w", err)
 		}
+		// Metas returned a snapshot; commit GzSize to the live record.
 		s.mu.Lock()
-		m.GzSize = int64(len(gz))
+		if live, ok := s.index[m.Key]; ok && live.Seq == m.Seq {
+			live.GzSize = int64(len(gz))
+		}
 		s.mu.Unlock()
 		total += int64(len(gz))
 	}
@@ -967,6 +1031,9 @@ func (s *Store) TotalSize() int64 {
 // release only their (small) directory files, and their chunks remain
 // available to later checkpoints that reference the same content.
 func (s *Store) GC() (int, error) {
+	if s.readOnly {
+		return 0, ErrReadOnly
+	}
 	s.mu.Lock()
 	live := map[int]bool{}
 	for _, m := range s.index {
