@@ -206,6 +206,7 @@ func BenchmarkCkptThroughput(b *testing.B) {
 		b.ReportMetric(rep.MatSpeedupFrozen, "mat-speedup-frozen")
 		b.ReportMetric(rep.ResSpeedupFrozen, "res-speedup-frozen")
 		b.ReportMetric(rep.DedupRatioFrozen, "dedup-ratio-frozen")
+		b.ReportMetric(rep.ShardedSpoolSpeedup, "sharded-spool-speedup")
 	}
 }
 

@@ -18,6 +18,9 @@
 // Endpoints:
 //
 //	GET  /v1/runs
+//	POST /v1/runs               {"id":"x","dir":"...","program":"ImgN"} — register a
+//	                            recorded dir against a Table 3 workload; dirs are
+//	                            confined under -dir, and unknown store formats 400
 //	POST /v1/runs/{id}/replay   {"probe":"outer","workers":4,"scheduler":"stealing"}
 //	GET  /v1/runs/{id}/logs?iters=3,7&probe=outer
 //	GET  /v1/stats
@@ -75,6 +78,22 @@ func main() {
 		base = tmp
 	}
 
+	// Every Table 3 workload goes into the program library, so recorded
+	// directories can also be registered over HTTP (POST /v1/runs) against a
+	// workload name; bad directories (e.g. an unknown store format) 400.
+	library := map[string]map[string]func() *script.Program{}
+	for _, name := range workloads.Names() {
+		spec, ok := workloads.Get(name)
+		if !ok {
+			continue
+		}
+		factory := spec.Build(sc)
+		library[name] = map[string]func() *script.Program{
+			"base":  factory,
+			"outer": workloads.WithOuterProbe(factory),
+			"inner": workloads.WithInnerProbe(factory),
+		}
+	}
 	srv := serve.New(serve.Options{
 		Addr:              *addr,
 		Slots:             *slots,
@@ -83,34 +102,31 @@ func main() {
 		QueueTimeout:      *queueTimeout,
 		StoreCacheSize:    *storeCache,
 		DefaultWorkers:    *workers,
+		Library:           library,
+		RegisterRoot:      base,
 	})
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		spec, ok := workloads.Get(name)
+		factories, ok := library[name]
 		if !ok {
 			log.Fatalf("flord: unknown workload %q (have %v)", name, workloads.Names())
 		}
-		factory := spec.Build(sc)
 		runDir := filepath.Join(base, name)
 		if _, err := os.Stat(filepath.Join(runDir, "MANIFEST")); err != nil {
 			log.Printf("flord: recording %s into %s ...", name, runDir)
-			if _, err := core.Record(runDir, factory, core.RecordOptions{}); err != nil {
+			if _, err := core.Record(runDir, factories["base"], core.RecordOptions{}); err != nil {
 				log.Fatalf("flord: record %s: %v", name, err)
 			}
 		} else {
 			log.Printf("flord: reusing recording %s", runDir)
 		}
 		if err := srv.Register(serve.RunConfig{
-			ID:  name,
-			Dir: runDir,
-			Factories: map[string]func() *script.Program{
-				"base":  factory,
-				"outer": workloads.WithOuterProbe(factory),
-				"inner": workloads.WithInnerProbe(factory),
-			},
+			ID:        name,
+			Dir:       runDir,
+			Factories: library[name],
 		}); err != nil {
 			log.Fatalf("flord: %v", err)
 		}

@@ -6,6 +6,12 @@
 //
 //	florrun -workload RsNt -dir ./run-rsnt [-scale smoke|full]
 //	        [-epsilon 0.0667] [-no-adaptive] [-strategy fork|baseline|queue|plasma]
+//	        [-shards 16] [-shard-dirs /mnt/a,/mnt/b]
+//
+// -shards records into a hash-prefix sharded checkpoint store (see
+// docs/FORMATS.md); -shard-dirs spreads its packs over extra root
+// directories. Replay needs no matching flags — the layout is detected
+// from the run directory.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	flor "flor.dev/flor"
 	"flor.dev/flor/internal/workloads"
@@ -25,6 +32,8 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0, "record overhead tolerance (default 1/15)")
 	noAdaptive := flag.Bool("no-adaptive", false, "materialize every loop execution")
 	strategy := flag.String("strategy", "fork", "materialization strategy: fork, baseline, queue, plasma")
+	shards := flag.Int("shards", 0, "hash-prefix shard fanout for the checkpoint store (power of two in [2,256]; 0 = single pack)")
+	shardDirs := flag.String("shard-dirs", "", "comma-separated extra root dirs for shard packs (requires -shards)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -57,6 +66,21 @@ func main() {
 		opts = append(opts, flor.WithStrategy(flor.StrategyPlasma))
 	default:
 		log.Fatalf("florrun: unknown strategy %q", *strategy)
+	}
+	if *shards > 0 {
+		opts = append(opts, flor.Shards(*shards))
+	}
+	if *shardDirs != "" {
+		if *shards <= 1 {
+			log.Fatal("florrun: -shard-dirs requires -shards")
+		}
+		var dirs []string
+		for _, d := range strings.Split(*shardDirs, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				dirs = append(dirs, d)
+			}
+		}
+		opts = append(opts, flor.ShardDirs(dirs...))
 	}
 
 	res, err := flor.Record(*dir, spec.Build(sc), opts...)

@@ -1,0 +1,102 @@
+package flor_test
+
+// Documentation hygiene checks, run by the tier-1 suite and by the CI docs
+// lane: every internal package must carry a godoc package comment, and
+// every relative link in the repo's markdown docs must resolve. Keeping
+// these as plain tests (rather than CI-only shell) means a broken doc
+// fails `go test ./...` locally, before review.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackageComments fails for any internal/* (or cmd/*) package
+// whose Go files all lack a package comment. The comment is the package's
+// godoc front door; subsystem-sized packages (store, sched, serve) document
+// their on-disk formats and compatibility contracts there.
+func TestInternalPackageComments(t *testing.T) {
+	roots := []string{"internal", "cmd"}
+	for _, root := range roots {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			dir := filepath.Join(root, e.Name())
+			files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			documented := false
+			sawSource := false
+			fset := token.NewFileSet()
+			for _, f := range files {
+				if strings.HasSuffix(f, "_test.go") {
+					continue
+				}
+				sawSource = true
+				af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+				if err != nil {
+					t.Fatalf("%s: %v", f, err)
+				}
+				if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if sawSource && !documented {
+				t.Errorf("package %s has no package comment (add one to a file in %s)", e.Name(), dir)
+			}
+		}
+	}
+}
+
+// mdLink matches markdown links/images; group 1 is the target.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocRelativeLinks resolves every relative link in README.md and
+// docs/*.md against the filesystem, so doc reorganizations cannot leave
+// dangling references.
+func TestDocRelativeLinks(t *testing.T) {
+	mds := []string{"README.md", "ROADMAP.md", "CHANGES.md"}
+	extra, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mds = append(mds, extra...)
+	for _, md := range mds {
+		raw, err := os.ReadFile(md)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

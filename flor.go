@@ -192,6 +192,24 @@ func DisableAdaptiveCheckpointing() Option {
 	return func(o *options) { o.rec.DisableAdaptive = true }
 }
 
+// Shards records into a hash-prefix sharded checkpoint store at the given
+// fanout (a power of two in [2, 256]; store.DefaultShardFanout is 16).
+// Sharding splits the chunk pack and dedup index by content-hash prefix so
+// checkpoint writes fan out across shards concurrently and replay issues
+// per-shard reads; see docs/FORMATS.md. Replay needs no matching option —
+// the layout is detected from the run directory.
+func Shards(fanout int) Option {
+	return func(o *options) { o.rec.ShardFanout = fanout }
+}
+
+// ShardDirs spreads a sharded store's packs over extra root directories
+// (one device or mount per directory). Only meaningful together with
+// Shards; the directory list is persisted in the run directory so replay
+// and serving find the packs without options.
+func ShardDirs(dirs ...string) Option {
+	return func(o *options) { o.rec.ShardDirs = dirs }
+}
+
 // Workers sets the degree of hindsight parallelism G for replay.
 func Workers(g int) Option {
 	return func(o *options) { o.rep.Workers = g }

@@ -17,19 +17,25 @@ import (
 // CkptThroughputRow is one (scenario, format) measurement of the checkpoint
 // storage engine: serialize+write and read+decode throughput over the
 // logical payload volume, plus the chunk-dedup ratio the run achieved.
+// Spool-cadence rows additionally report spool throughput: the pack volume
+// an every-epoch background spool kept compressed, per second of spool
+// work.
 type CkptThroughputRow struct {
-	Scenario    string  `json:"scenario"` // "frozen" or "mutating"
-	Format      string  `json:"format"`   // "v1-blob" or "v2-frames"
+	Scenario    string  `json:"scenario"` // "frozen", "mutating" or "spool-cadence"
+	Format      string  `json:"format"`   // "v1-blob", "v2-frames", "v2-pack" or "v2-sharded16"
 	LogicalMB   float64 `json:"logical_mb"`
 	MatMBps     float64 `json:"materialize_mbps"`
 	ResMBps     float64 `json:"restore_mbps"`
 	DedupRatio  float64 `json:"dedup_ratio"`
 	Checkpoints int     `json:"checkpoints"`
+	SpoolMBps   float64 `json:"spool_mbps,omitempty"`
 }
 
 // CkptThroughputReport compares format v1 (one monolithic blob per
 // checkpoint, single-goroutine codec) against format v2 (parallel frames
-// with content-addressed dedup) on the same workload.
+// with content-addressed dedup) on the same workload, and — on the
+// spool-cadence scenario — the single CHUNKS pack against the hash-prefix
+// sharded store at fanout 16.
 type CkptThroughputReport struct {
 	Rows []CkptThroughputRow `json:"rows"`
 	// MatSpeedupFrozen / ResSpeedupFrozen are v2-over-v1 throughput ratios
@@ -40,6 +46,14 @@ type CkptThroughputReport struct {
 	MatSpeedupMutating float64 `json:"materialize_speedup_mutating"`
 	ResSpeedupMutating float64 `json:"restore_speedup_mutating"`
 	DedupRatioFrozen   float64 `json:"dedup_ratio_frozen"`
+	// ShardedSpoolSpeedup is the sharded-over-single-pack spool-throughput
+	// ratio on the frozen-layer spool cadence (the sharded store
+	// recompresses only dirty shards; acceptance bar ≥ 1.5 at fanout 16).
+	// ShardedMatSpeedup and ShardedRestoreSpeedup are the corresponding
+	// materialize/restore ratios and must not regress (~1.0).
+	ShardedSpoolSpeedup   float64 `json:"sharded_spool_speedup"`
+	ShardedMatSpeedup     float64 `json:"sharded_materialize_speedup"`
+	ShardedRestoreSpeedup float64 `json:"sharded_restore_speedup"`
 }
 
 // ckptScenario builds the environment values for one scenario and a mutator
@@ -175,8 +189,85 @@ func (s *Session) runCkptFormat(sc ckptScenario, format int, epochs int) (CkptTh
 	return row, nil
 }
 
+// runSpoolCadence drives the frozen-layer workload against a v2 store at
+// the given shard fanout (1 = the single CHUNKS pack) under an every-epoch
+// background-spool cadence (paper §6: checkpoints are "compressed by a
+// background process, before being spooled to an S3 bucket"). Spooled
+// objects are immutable S3-style artifacts, so after every epoch the spool
+// must re-cover every pack that grew: the single pack grows every epoch and
+// is recompressed wholesale, while the sharded store recompresses only the
+// shards the epoch's fresh chunks dirtied. Spool throughput is the pack
+// volume kept covered (current pack bytes, summed over the cadence) per
+// second of spool work; materialize and restore are timed like the other
+// scenarios.
+func (s *Session) runSpoolCadence(sc ckptScenario, fanout, epochs int) (CkptThroughputRow, error) {
+	row := CkptThroughputRow{Scenario: "spool-cadence", Checkpoints: epochs}
+	if fanout > 1 {
+		row.Format = fmt.Sprintf("v2-sharded%d", fanout)
+	} else {
+		row.Format = "v2-pack"
+	}
+	dir := s.tempDir(fmt.Sprintf("ckpt-spool-%s", row.Format))
+	st, err := store.OpenWith(dir, store.Options{ShardFanout: fanout})
+	if err != nil {
+		return row, err
+	}
+
+	var matNs, spoolNs, demand int64
+	for e := 0; e < epochs; e++ {
+		sc.mutate(e)
+		items := snapshotAll(sc.vals)
+		key := store.Key{LoopID: "train", Exec: e}
+		t0 := time.Now()
+		secs := backmat.EncodeSections(items)
+		if _, err := st.PutSections(key, secs, 0, 0, 0); err != nil {
+			return row, err
+		}
+		matNs += time.Since(t0).Nanoseconds()
+		demand += st.Dedup().StoredEncBytes // pack volume this spool pass must cover
+		t0 = time.Now()
+		if _, err := st.Spool(); err != nil {
+			return row, err
+		}
+		spoolNs += time.Since(t0).Nanoseconds()
+	}
+	var logical int64
+	for _, m := range st.Metas() {
+		logical += m.Size
+	}
+
+	// Restore cold, through the shared read-only open path the daemon uses,
+	// so sharded reads exercise the per-shard fetch fan-out.
+	ro, err := store.OpenReadOnly(dir)
+	if err != nil {
+		return row, err
+	}
+	cache := backmat.NewPayloadCache(0)
+	var resNs int64
+	for e := 0; e < epochs; e++ {
+		t0 := time.Now()
+		secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: e}, cache.Contains)
+		if err != nil || !ok {
+			return row, fmt.Errorf("bench: spool-cadence restore epoch %d: ok=%v err=%v", e, ok, err)
+		}
+		if _, err := backmat.DecodeSectionsCached(cache, secs); err != nil {
+			return row, err
+		}
+		resNs += time.Since(t0).Nanoseconds()
+	}
+
+	mb := float64(logical) / (1 << 20)
+	row.LogicalMB = mb
+	row.MatMBps = mb / (float64(matNs) / 1e9)
+	row.ResMBps = mb / (float64(resNs) / 1e9)
+	row.SpoolMBps = float64(demand) / (1 << 20) / (float64(spoolNs) / 1e9)
+	row.DedupRatio = st.Dedup().Ratio()
+	return row, nil
+}
+
 // CkptThroughput measures checkpoint materialize/restore throughput for both
-// segment formats over both scenarios and prints the comparison plus a
+// segment formats over both scenarios, plus the spool-cadence comparison of
+// the single-pack and sharded v2 layouts, and prints the comparison plus a
 // machine-readable BENCH JSON line.
 func (s *Session) CkptThroughput(epochs int) (*CkptThroughputReport, error) {
 	rep := &CkptThroughputReport{}
@@ -190,6 +281,17 @@ func (s *Session) CkptThroughput(epochs int) (*CkptThroughputReport, error) {
 			rep.Rows = append(rep.Rows, row)
 			byKey[row.Scenario+"/"+row.Format] = row
 		}
+	}
+	// Spool cadence: the frozen-layer workload against the single pack and
+	// the fanout-16 sharded layout.
+	frozenSc := ckptScenarios(s.Scale)[0]
+	for _, fanout := range []int{1, store.DefaultShardFanout} {
+		row, err := s.runSpoolCadence(frozenSc, fanout, epochs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+		byKey[row.Scenario+"/"+row.Format] = row
 	}
 	speedup := func(scenario string, f func(CkptThroughputRow) float64) float64 {
 		v1 := f(byKey[scenario+"/v1-blob"])
@@ -205,16 +307,34 @@ func (s *Session) CkptThroughput(epochs int) (*CkptThroughputReport, error) {
 	rep.MatSpeedupMutating = speedup("mutating", mat)
 	rep.ResSpeedupMutating = speedup("mutating", res)
 	rep.DedupRatioFrozen = byKey["frozen/v2-frames"].DedupRatio
+	pack := byKey["spool-cadence/v2-pack"]
+	sharded := byKey[fmt.Sprintf("spool-cadence/v2-sharded%d", store.DefaultShardFanout)]
+	ratio := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	rep.ShardedSpoolSpeedup = ratio(sharded.SpoolMBps, pack.SpoolMBps)
+	rep.ShardedMatSpeedup = ratio(sharded.MatMBps, pack.MatMBps)
+	rep.ShardedRestoreSpeedup = ratio(sharded.ResMBps, pack.ResMBps)
 
 	s.printf("\nCheckpoint throughput: format v1 (single blob) vs v2 (parallel frames + dedup),\n")
+	s.printf("plus the spool cadence: single pack vs hash-prefix shards (fanout %d).\n", store.DefaultShardFanout)
 	s.printf("%d checkpoints per cell; MB/s over the logical payload volume.\n", epochs)
-	s.printf("%-9s %-10s %10s %14s %12s %8s\n", "scenario", "format", "logical", "materialize", "restore", "dedup")
+	s.printf("%-14s %-12s %10s %14s %12s %8s %12s\n", "scenario", "format", "logical", "materialize", "restore", "dedup", "spool")
 	for _, r := range rep.Rows {
-		s.printf("%-9s %-10s %8.1fMB %11.1fMB/s %9.1fMB/s %7.2fx\n",
-			r.Scenario, r.Format, r.LogicalMB, r.MatMBps, r.ResMBps, r.DedupRatio)
+		spool := "-"
+		if r.SpoolMBps > 0 {
+			spool = fmt.Sprintf("%9.1fMB/s", r.SpoolMBps)
+		}
+		s.printf("%-14s %-12s %8.1fMB %11.1fMB/s %9.1fMB/s %7.2fx %12s\n",
+			r.Scenario, r.Format, r.LogicalMB, r.MatMBps, r.ResMBps, r.DedupRatio, spool)
 	}
 	s.printf("v2 speedup: frozen %0.2fx materialize / %0.2fx restore; mutating %0.2fx / %0.2fx\n",
 		rep.MatSpeedupFrozen, rep.ResSpeedupFrozen, rep.MatSpeedupMutating, rep.ResSpeedupMutating)
+	s.printf("sharded vs single pack: %0.2fx spool / %0.2fx materialize / %0.2fx restore\n",
+		rep.ShardedSpoolSpeedup, rep.ShardedMatSpeedup, rep.ShardedRestoreSpeedup)
 
 	js, err := json.Marshal(rep)
 	if err != nil {

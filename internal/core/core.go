@@ -41,6 +41,16 @@ type RecordOptions struct {
 	// DisableBackground forces the Baseline strategy (serialization and
 	// write on the training thread), reproducing §5.1's comparison.
 	DisableBackground bool
+	// StoreFormat forces the checkpoint store's segment format
+	// (store.FormatV1 or store.FormatV2); 0 auto-detects (v2 for new runs).
+	StoreFormat int
+	// ShardFanout requests a hash-prefix sharded chunk store for new runs
+	// (power of two in [2, 256]); 0 keeps the single-pack v2 layout.
+	ShardFanout int
+	// ShardDirs spreads the sharded store's packs over extra root
+	// directories (persisted in the run directory, so replay and serving
+	// find them without options).
+	ShardDirs []string
 }
 
 // RecordResult is the outcome of a record run.
@@ -63,7 +73,11 @@ type RecordResult struct {
 // checkpoints into dir. The returned Recording is everything replay needs.
 func Record(dir string, factory func() *script.Program, opts RecordOptions) (*RecordResult, error) {
 	p := factory()
-	st, err := store.Open(dir)
+	st, err := store.OpenWith(dir, store.Options{
+		Format:      opts.StoreFormat,
+		ShardFanout: opts.ShardFanout,
+		ShardDirs:   opts.ShardDirs,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +161,21 @@ func Vanilla(factory func() *script.Program) ([]string, int64, error) {
 	return lg.Lines(), time.Since(t0).Nanoseconds(), nil
 }
 
+// IsRecording reports whether dir looks like a run directory produced by
+// Record: the persisted program structure and record log exist. A checkpoint
+// manifest is deliberately not required — an adaptive record run may have
+// materialized zero checkpoints and still replay (by re-executing).
+// Registration paths use this to reject unrelated directories eagerly.
+func IsRecording(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, programFile)); err != nil {
+		return false
+	}
+	if _, err := os.Stat(filepath.Join(dir, recordLogFile)); err != nil {
+		return false
+	}
+	return true
+}
+
 // LoadRecording opens a run directory produced by Record.
 func LoadRecording(dir string) (*replay.Recording, error) {
 	st, err := store.Open(dir)
@@ -163,6 +192,19 @@ func LoadRecording(dir string) (*replay.Recording, error) {
 // per query).
 func LoadRecordingShared(dir string) (*replay.Recording, error) {
 	st, err := store.OpenReadOnly(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadRecording(dir, st)
+}
+
+// LoadRecordingSharedPinned is LoadRecordingShared with the sharded
+// store's extra pack roots pinned: the open fails unless the run
+// directory's persisted SHARDS list still matches shardDirs (empty means
+// "no extra roots"), so a server that validated the roots at registration
+// time cannot be redirected by a later SHARDS rewrite.
+func LoadRecordingSharedPinned(dir string, shardDirs []string) (*replay.Recording, error) {
+	st, err := store.OpenWith(dir, store.Options{ReadOnly: true, ShardDirs: shardDirs, PinShardDirs: true})
 	if err != nil {
 		return nil, err
 	}

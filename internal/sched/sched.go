@@ -24,6 +24,15 @@
 // internal/replay and internal/cluster both build on this package, so the
 // virtual makespans behind Figures 10 and 13 use exactly the scheduler the
 // real replay engine runs.
+//
+// pool.go adds the serving tier above single replays: Pool is a global
+// worker-slot budget shared by every concurrent query of a serving daemon.
+// Replay workers and sample queries hold one slot while they compute, and
+// waiters are granted slots cheapest-estimated-cost-first, so a point query
+// priced at a few restores overtakes the queued workers of a large full
+// replay instead of starving behind them. The cost estimates come from the
+// same Costs model the partitioners use — scheduling inside a replay and
+// between replays speak one currency.
 package sched
 
 import (

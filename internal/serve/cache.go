@@ -43,9 +43,10 @@ func newStoreCache(capacity int, cacheBytes int64, onEvict func(string)) *storeC
 	}
 }
 
-// get returns the entry for runID, opening the store (read-only) on a miss
-// and evicting the least recently used entry beyond capacity.
-func (c *storeCache) get(runID, dir string) (*cacheEntry, bool, error) {
+// get returns the entry for runID, opening the store (read-only, shard
+// roots pinned to what registration validated) on a miss and evicting the
+// least recently used entry beyond capacity.
+func (c *storeCache) get(runID, dir string, shardRoots []string) (*cacheEntry, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[runID]; ok {
 		c.lru.MoveToFront(el)
@@ -60,7 +61,7 @@ func (c *storeCache) get(runID, dir string) (*cacheEntry, bool, error) {
 	// Load outside the lock: opening a cold store replays its manifest,
 	// which must not block hits on other runs. A racing duplicate load of
 	// the same run is benign (last one wins the cache slot).
-	rec, err := core.LoadRecordingShared(dir)
+	rec, err := core.LoadRecordingSharedPinned(dir, shardRoots)
 	if err != nil {
 		return nil, false, err
 	}

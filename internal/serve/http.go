@@ -10,9 +10,19 @@ import (
 	"strings"
 )
 
+// RegisterRequest is the body of POST /v1/runs: register a recorded run
+// directory against a program from the server's library.
+type RegisterRequest struct {
+	ID      string `json:"id"`
+	Dir     string `json:"dir"`
+	Program string `json:"program"`
+}
+
 // Handler returns the daemon's HTTP/JSON API:
 //
-//	GET  /v1/runs                 registered runs (probes, open state)
+//	GET  /v1/runs                 registered runs (probes, layout, open state)
+//	POST /v1/runs                 register a run dir (RegisterRequest body);
+//	                              bad directories (unknown store format) 400
 //	POST /v1/runs/{id}/replay     full replay query (ReplayRequest body)
 //	GET  /v1/runs/{id}/logs       sample query (?iters=3,7&probe=name)
 //	POST /v1/runs/{id}/logs       sample query (SampleRequest body)
@@ -20,6 +30,17 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Runs())
+	})
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := s.RegisterByName(req.ID, req.Dir, req.Program); err != nil {
+			writeErr(w, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Runs())
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,201 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/serve"
+)
+
+// recordShardedRun records miniFactory into dir with a fanout-16 sharded
+// checkpoint store and returns the factory.
+func recordShardedRun(t *testing.T, dir string, epochs, steps int, seed uint64) func() *script.Program {
+	t.Helper()
+	factory := miniFactory(epochs, steps, seed)
+	if _, err := core.Record(dir, factory, core.RecordOptions{DisableAdaptive: true, ShardFanout: 16}); err != nil {
+		t.Fatal(err)
+	}
+	return factory
+}
+
+// TestHTTPRegistrationAndUnknownFormat400 drives POST /v1/runs end to end:
+// a good directory registers against a library program, and a directory
+// carrying a future/corrupt FORMAT marker is rejected with 400 — the typed
+// store.ErrUnknownFormat surfaced as a client error, with the offending
+// marker in the body.
+func TestHTTPRegistrationAndUnknownFormat400(t *testing.T) {
+	base := t.TempDir()
+	factory := miniFactory(6, 2, 3)
+	goodDir := filepath.Join(base, "good")
+	recordRun(t, goodDir, 6, 2, 3)
+
+	// A directory claiming a layout from the future.
+	badDir := filepath.Join(base, "bad")
+	os.MkdirAll(badDir, 0o755)
+	os.WriteFile(filepath.Join(badDir, "FORMAT"), []byte("7 exotic\n"), 0o644)
+
+	fx := startDaemon(t, serve.Options{
+		Slots: 2,
+		Library: map[string]map[string]func() *script.Program{
+			"mini": {"base": factory, "wnorm": withProbe(factory)},
+		},
+		RegisterRoot: base,
+	})
+
+	resp, body := fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "good", Dir: goodDir, Program: "mini"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register good: %d %s", resp.StatusCode, body)
+	}
+	var runs []serve.RunInfo
+	if err := json.Unmarshal(body, &runs); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range runs {
+		if r.ID == "good" {
+			found = true
+			if r.Format != "v2" || r.Shards != 1 {
+				t.Fatalf("registered run layout = %q/%d, want v2/1", r.Format, r.Shards)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("registered run missing from listing: %s", body)
+	}
+
+	// Relative request paths resolve against the register root, not the
+	// daemon's working directory.
+	resp, body = fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "good-rel", Dir: "good", Program: "mini"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register relative dir: %d %s", resp.StatusCode, body)
+	}
+
+	// The registered run actually serves queries.
+	resp, body = fx.post(t, "/v1/runs/good/replay", serve.ReplayRequest{Probe: "wnorm", Workers: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay registered run: %d %s", resp.StatusCode, body)
+	}
+
+	// Unknown store format → 400 naming the marker, not a 500.
+	resp, body = fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "bad", Dir: badDir, Program: "mini"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("register bad dir: %d %s, want 400", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "7 exotic") {
+		t.Fatalf("400 body %s does not name the detected marker", body)
+	}
+
+	// Nonexistent directory → 400, not 500.
+	resp, _ = fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "ghost", Dir: filepath.Join(base, "no-such"), Program: "mini"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("register nonexistent dir: %d, want 400", resp.StatusCode)
+	}
+
+	// An empty (never-recorded) directory → 400 now, not a 500 at first query.
+	emptyDir := filepath.Join(base, "empty")
+	os.MkdirAll(emptyDir, 0o755)
+	resp, body = fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "empty", Dir: emptyDir, Program: "mini"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("register empty dir: %d %s, want 400", resp.StatusCode, body)
+	}
+
+	// Unknown program name → 400 listing the library.
+	resp, body = fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "x", Dir: goodDir, Program: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("register unknown program: %d %s, want 400", resp.StatusCode, body)
+	}
+
+	// Duplicate ID → 400.
+	resp, _ = fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "good", Dir: goodDir, Program: "mini"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate register: %d, want 400", resp.StatusCode)
+	}
+
+	// Directories outside the register root are confined away — remote
+	// clients must not be able to point the daemon at arbitrary paths.
+	outside := t.TempDir()
+	recordRun(t, filepath.Join(outside, "r"), 4, 2, 5)
+	if err := os.Symlink(outside, filepath.Join(base, "sneaky")); err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{
+		filepath.Join(outside, "r"),
+		filepath.Join(base, "..", "somewhere"),
+		"/etc",
+		filepath.Join(base, "sneaky", "r"), // symlink under the root escaping it
+	} {
+		resp, body = fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "escape", Dir: dir, Program: "mini"})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("register outside root (%s): %d %s, want 400", dir, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestRegisterWithoutLibrary400 pins that HTTP registration on a server
+// with no program library is a client error, not a panic or 500.
+func TestRegisterWithoutLibrary400(t *testing.T) {
+	fx := startDaemon(t, serve.Options{Slots: 2})
+	resp, _ := fx.post(t, "/v1/runs", serve.RegisterRequest{ID: "x", Dir: t.TempDir(), Program: "mini"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("register without library: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestShardRootsPinnedAtRegistration pins the TOCTOU defense: the shard
+// roots validated at registration are passed back to every store open, so
+// rewriting a registered run's SHARDS file afterwards fails the query
+// instead of redirecting the daemon's pack reads elsewhere.
+func TestShardRootsPinnedAtRegistration(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "sharded")
+	factory := recordShardedRun(t, dir, 6, 2, 13)
+	fx := startDaemon(t, serve.Options{Slots: 2})
+	if err := fx.srv.Register(serve.RunConfig{
+		ID:        "pinned",
+		Dir:       dir,
+		Factories: map[string]func() *script.Program{"base": factory},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The SHARDS rewrite lands between registration and the first open.
+	if err := os.WriteFile(filepath.Join(dir, "SHARDS"), []byte("/somewhere/else\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := fx.post(t, "/v1/runs/pinned/replay", serve.ReplayRequest{Workers: 1})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("replay succeeded against a rewritten SHARDS file: %s", body)
+	}
+	if !strings.Contains(string(body), "relocate") {
+		t.Fatalf("error %s does not surface the shard-root mismatch", body)
+	}
+}
+
+// TestRunsListingReportsShardedLayout registers a sharded recording and
+// checks the listing reports its layout.
+func TestRunsListingReportsShardedLayout(t *testing.T) {
+	fx := startDaemon(t, serve.Options{Slots: 2})
+	dir := filepath.Join(t.TempDir(), "sharded")
+	factory := recordShardedRun(t, dir, 6, 2, 9)
+	if err := fx.srv.Register(serve.RunConfig{
+		ID:        "sharded",
+		Dir:       dir,
+		Factories: map[string]func() *script.Program{"base": factory},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fx.srv.Runs() {
+		if r.ID == "sharded" {
+			if r.Format != "v2-sharded/16" || r.Shards != 16 {
+				t.Fatalf("sharded run layout = %q/%d", r.Format, r.Shards)
+			}
+			return
+		}
+	}
+	t.Fatal("sharded run missing from listing")
+}

@@ -20,9 +20,26 @@
 //   - per-run admission control: bounded in-flight queries per run, a
 //     bounded wait queue, and a queueing deadline.
 //
-// http.go exposes the daemon over HTTP/JSON (/v1/runs, /v1/runs/{id}/replay,
-// /v1/runs/{id}/logs, /v1/stats); cmd/flord is the standalone binary and
-// flor.Serve the embedding API.
+// http.go exposes the daemon over HTTP/JSON (/v1/runs for listing and
+// registration, /v1/runs/{id}/replay, /v1/runs/{id}/logs, /v1/stats);
+// cmd/flord is the standalone binary and flor.Serve the embedding API.
+//
+// # Registration and store-layout compatibility
+//
+// Runs register through Register (Go API) or POST /v1/runs (against a
+// program name from Options.Library — probes are Go closures, so remote
+// clients can only name programs the embedder registered — and confined to
+// directories under Options.RegisterRoot, so remote clients cannot point
+// the daemon at arbitrary server-side paths). Registration
+// validates the directory's store layout eagerly via store.DetectLayout:
+// v1, unsharded v2, and hash-prefix-sharded v2 directories (docs/FORMATS.md)
+// all serve through the same lazily opened read-only path, while a
+// directory recorded by a future layout — store.ErrUnknownFormat, carrying
+// the unrecognized FORMAT marker — is rejected as a client error (HTTP 400)
+// at registration instead of surfacing as a 500 from the first query. The
+// detected layout is reported per run in /v1/runs listings. For sharded
+// stores the hot read path issues per-shard ranged reads; the store LRU
+// and payload caches need no layout-specific handling.
 package serve
 
 import (
@@ -30,14 +47,18 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"flor.dev/flor/internal/core"
 	"flor.dev/flor/internal/replay"
 	"flor.dev/flor/internal/sched"
 	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/store"
 )
 
 // Typed query failures; the HTTP layer maps them to status codes.
@@ -100,6 +121,17 @@ type Options struct {
 	DefaultWorkers int
 	// OnEvict, when set, observes store-cache evictions (tests, metrics).
 	OnEvict func(runID string)
+	// Library maps program names to probe-factory sets for HTTP
+	// registration (POST /v1/runs): probes are Go closures, so remote
+	// clients can only register directories against programs the embedder
+	// has named here. An empty library disables HTTP registration.
+	Library map[string]map[string]func() *script.Program
+	// RegisterRoot confines HTTP registration to run directories under this
+	// path. It must be set (alongside Library) for POST /v1/runs to work at
+	// all: without the confinement, any client that can reach the listener
+	// could make the daemon open and probe arbitrary server-side paths.
+	// The Go-API Register is not confined — the embedder owns those paths.
+	RegisterRoot string
 }
 
 func (o *Options) fill() {
@@ -144,8 +176,12 @@ type RunStats struct {
 
 // run is one registered recording's serving state.
 type run struct {
-	cfg RunConfig
-	sem chan struct{} // in-flight bound
+	cfg    RunConfig
+	layout store.Layout // validated at registration
+	// shardRoots pins the sharded store's pack roots as validated at
+	// registration: opens fail rather than follow a later SHARDS rewrite.
+	shardRoots []string
+	sem        chan struct{} // in-flight bound
 
 	mu     sync.Mutex
 	queued int
@@ -208,28 +244,128 @@ func New(opts Options) *Server {
 // Pool exposes the shared worker pool (stats, embedding).
 func (s *Server) Pool() *sched.Pool { return s.pool }
 
-// Register adds a recording to the registry. The run directory must exist;
-// its store is opened lazily on the first query.
+// Register adds a recording to the registry. The run directory must exist
+// and carry a store layout this build understands — a directory recorded by
+// a future layout (or with a corrupt FORMAT marker) is rejected here as a
+// bad request, not discovered as a 500 by the first query. The store itself
+// is still opened lazily on the first query.
 func (s *Server) Register(cfg RunConfig) error {
+	shardRoots, err := store.ShardRoots(cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
+	}
+	return s.registerPinned(cfg, shardRoots)
+}
+
+// registerPinned is Register with the shard roots already read (exactly
+// once): HTTP registration validates confinement and pins from the same
+// read, so a SHARDS rewrite between check and pin cannot slip through.
+func (s *Server) registerPinned(cfg RunConfig, shardRoots []string) error {
 	if cfg.ID == "" {
-		return fmt.Errorf("serve: register: empty run ID")
+		return fmt.Errorf("%w: register: empty run ID", ErrBadRequest)
 	}
 	if len(cfg.Factories) == 0 {
-		return fmt.Errorf("serve: register %q: no program factories", cfg.ID)
+		return fmt.Errorf("%w: register %q: no program factories", ErrBadRequest, cfg.ID)
 	}
-	if st, err := os.Stat(cfg.Dir); err != nil {
+	if st, err := os.Stat(cfg.Dir); errors.Is(err, os.ErrNotExist) {
+		// A typo'd path is the client's mistake, like any other bad dir.
+		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
+	} else if err != nil {
 		return fmt.Errorf("serve: register %q: %w", cfg.ID, err)
 	} else if !st.IsDir() {
-		return fmt.Errorf("serve: register %q: %s is not a directory", cfg.ID, cfg.Dir)
+		return fmt.Errorf("%w: register %q: %s is not a directory", ErrBadRequest, cfg.ID, cfg.Dir)
+	}
+	layout, err := store.DetectLayout(cfg.Dir)
+	if err != nil {
+		if errors.Is(err, store.ErrUnknownFormat) {
+			// The typed error carries the detected marker; surface it so the
+			// client learns which layout the directory claims.
+			return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
+		}
+		return fmt.Errorf("serve: register %q: %w", cfg.ID, err)
+	}
+	if !core.IsRecording(cfg.Dir) {
+		// An empty or unrelated directory would detect as a fresh v2 store
+		// and then 500 on the first query; reject it now instead. (A missing
+		// checkpoint manifest alone is fine — adaptive record runs can
+		// materialize zero checkpoints and still replay.)
+		return fmt.Errorf("%w: register %q: %s is not a recorded run directory", ErrBadRequest, cfg.ID, cfg.Dir)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.runs[cfg.ID]; dup {
-		return fmt.Errorf("serve: register: duplicate run ID %q", cfg.ID)
+		return fmt.Errorf("%w: register: duplicate run ID %q", ErrBadRequest, cfg.ID)
 	}
-	s.runs[cfg.ID] = &run{cfg: cfg, sem: make(chan struct{}, s.opts.MaxInflightPerRun)}
+	s.runs[cfg.ID] = &run{cfg: cfg, layout: layout, shardRoots: shardRoots, sem: make(chan struct{}, s.opts.MaxInflightPerRun)}
 	s.order = append(s.order, cfg.ID)
 	return nil
+}
+
+// RegisterByName registers a recorded directory against a named program
+// from the server's Library — the HTTP registration path (POST /v1/runs).
+// The directory must live under Options.RegisterRoot; unknown program
+// names, escaping paths, and bad directories are client errors.
+func (s *Server) RegisterByName(id, dir, program string) error {
+	if len(s.opts.Library) == 0 {
+		return fmt.Errorf("%w: this server has no program library; register runs through the embedding API", ErrBadRequest)
+	}
+	if s.opts.RegisterRoot == "" {
+		return fmt.Errorf("%w: HTTP registration disabled (no register root configured)", ErrBadRequest)
+	}
+	root, err := filepath.Abs(s.opts.RegisterRoot)
+	if err != nil {
+		return fmt.Errorf("serve: register root: %w", err)
+	}
+	// Relative request paths resolve against the register root — the only
+	// base the client knows about — never the daemon's working directory.
+	abs := dir
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(root, abs)
+	}
+	// The containment check must run on resolved paths: a lexical Rel alone
+	// would let a symlink under the root point the daemon anywhere.
+	// Nonexistent or unresolvable paths count as outside — for the run dir
+	// itself that is the client's mistake (the directory must exist).
+	root, err = filepath.EvalSymlinks(root)
+	if err != nil {
+		return fmt.Errorf("serve: register root: %w", err)
+	}
+	outside := func(p string) bool {
+		resolved, err := filepath.EvalSymlinks(p)
+		if err != nil {
+			return true
+		}
+		rel, err := filepath.Rel(root, resolved)
+		return err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator))
+	}
+	if outside(abs) {
+		return fmt.Errorf("%w: register %q: directory missing or outside the register root", ErrBadRequest, id)
+	}
+	// A sharded run's packs live wherever its SHARDS file says — confine
+	// those roots too, or a planted SHARDS file would point the daemon's
+	// reads outside the register root. The same single read is what gets
+	// pinned: checking one read and pinning another would leave a window
+	// for a rewrite in between.
+	shardRoots, err := store.ShardRoots(abs)
+	if err != nil {
+		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, id, err)
+	}
+	for _, r := range shardRoots {
+		if outside(r) {
+			return fmt.Errorf("%w: register %q: shard root %q outside the register root", ErrBadRequest, id, r)
+		}
+	}
+	dir = abs
+	factories, ok := s.opts.Library[program]
+	if !ok {
+		names := make([]string, 0, len(s.opts.Library))
+		for name := range s.opts.Library {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("%w: unknown program %q (library has %s)", ErrBadRequest, program, strings.Join(names, ", "))
+	}
+	return s.registerPinned(RunConfig{ID: id, Dir: dir, Factories: factories}, shardRoots)
 }
 
 func (s *Server) run(id string) (*run, error) {
@@ -292,7 +428,7 @@ func (s *Server) admit(ctx context.Context, r *run) (release func(), queueNs int
 // open resolves the run's shared store entry through the LRU, folding the
 // hit/miss into the run's stats.
 func (s *Server) open(r *run) (*cacheEntry, bool, error) {
-	ent, hit, err := s.stores.get(r.cfg.ID, r.cfg.Dir)
+	ent, hit, err := s.stores.get(r.cfg.ID, r.cfg.Dir, r.shardRoots)
 	r.mu.Lock()
 	if err != nil {
 		r.stats.Errors++
@@ -493,6 +629,11 @@ type RunInfo struct {
 	Dir    string   `json:"dir"`
 	Probes []string `json:"probes"`
 	Open   bool     `json:"open"` // store currently in the LRU
+	// Format is the store layout detected at registration ("v1", "v2",
+	// "v2-sharded/16").
+	Format string `json:"format"`
+	// Shards is the chunk-pack fanout (0 for v1, 1 for unsharded v2).
+	Shards int `json:"shards"`
 }
 
 // Runs lists registered runs in registration order.
@@ -511,6 +652,8 @@ func (s *Server) Runs() []RunInfo {
 			Dir:    r.cfg.Dir,
 			Probes: r.probes(),
 			Open:   s.stores.contains(id),
+			Format: r.layout.String(),
+			Shards: r.layout.ShardFanout,
 		})
 	}
 	return out

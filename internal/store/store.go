@@ -1,55 +1,106 @@
 // Package store implements the on-disk checkpoint store backing Flor record
-// and replay.
+// and replay: manifest-committed segments, content-addressed chunk packs
+// (optionally sharded by hash prefix across pluggable backends), and the
+// run-level dedup index.
 //
-// Layout of a run directory (segment format v2, the default for new runs):
+// # Run-directory layout
 //
-//	<dir>/FORMAT              format marker ("2"); absent in legacy v1 runs
+// A run directory always holds the store's control plane:
+//
+//	<dir>/FORMAT              format marker; absent in legacy v1 runs
 //	<dir>/MANIFEST            append-only log of committed checkpoints and
 //	                          dedup chunk-index records
-//	<dir>/CHUNKS              append-only pack of content-addressed frames
 //	<dir>/ckpt-<seq>.bin      one segment file per checkpoint
 //	<dir>/ckpt-<seq>.bin.gz   optional spooled (gzip) copy, the "S3 object"
+//	<dir>/SHARDS              sharded stores only: extra backend root dirs
+//	<dir>/SPOOL               incremental-spool state (pack coverage)
 //
-// In format v2 a segment file holds only a CRC-framed *directory* (package
-// ckptfmt): the checkpoint's named sections and, per section, the ordered
-// content hashes of the chunks holding its bytes. The chunk bytes themselves
-// live in the CHUNKS pack as independent frames — style byte (raw or
-// deflate), CRC-32C, 128-bit content hash — written once per distinct hash
-// and shared by every checkpoint of the run that references them
-// (cross-checkpoint dedup: frozen layers, datasets, and configuration are
-// stored once). Frames encode and decode in parallel across a worker pool.
+// Chunk bytes live in pack objects addressed through a Backend (local
+// directories today; the interface is shaped so S3-style ranged backends
+// slot in later):
 //
-// The MANIFEST interleaves two record kinds, each individually CRC-framed:
+//	CHUNKS                    unsharded v2: the single chunk pack
+//	CHUNKS-00 .. CHUNKS-ff    sharded v2: one pack per hash-prefix shard
 //
-//	'C' chunk record  hash, pack offset, encoded length, raw length, style —
-//	                  an entry of the run's dedup chunk index
+// # Formats
+//
+// Three layouts are readable (docs/FORMATS.md has the byte-level detail):
+//
+//   - v1 (legacy): one monolithic CRC-framed blob per segment, untyped
+//     manifest records, no pack. Detected from the absence of the FORMAT
+//     marker; v1 runs remain fully readable and writable in v1.
+//   - v2 (marker "2"): a segment file holds only a CRC-framed *directory*
+//     (package ckptfmt): the checkpoint's named sections and, per section,
+//     the ordered content hashes of the chunks holding its bytes. The chunk
+//     bytes themselves live in the CHUNKS pack as independent frames —
+//     style byte (raw or deflate), CRC-32C, 128-bit content hash — written
+//     once per distinct hash and shared by every checkpoint of the run that
+//     references them (cross-checkpoint dedup: frozen layers, datasets, and
+//     configuration are stored once). Frames encode and decode in parallel
+//     across a worker pool.
+//   - v2-sharded (marker "2 shards=N"): the v2 encoding with the pack and
+//     the dedup index split into N shards (power of two, 2..256) by the top
+//     byte of each chunk's content hash: chunk h lives in shard h[0] mod N,
+//     pack object "CHUNKS-<shard in hex>". Because the shard is a pure
+//     function of the hash, manifest chunk records are byte-identical to
+//     unsharded v2 — only the interpretation of their offsets (relative to
+//     the shard's pack, not one global pack) differs, which is why the
+//     FORMAT marker changes: builds that predate sharding refuse the
+//     marker instead of misreading shard-relative offsets.
+//
+// # Sharding and concurrency
+//
+// Each shard has its own append lock and its own dedup map (the two-level
+// index: shard, then hash), so record-time spooling fans a checkpoint's
+// fresh chunks out across shards concurrently, and replay-time restores of
+// independent sections issue per-shard ranged reads instead of serializing
+// on one file descriptor. Spooling to gzip is incremental per shard: only
+// shards whose pack grew since the last spool are recompressed, so a
+// background spool cadence touches the few shards a new checkpoint dirtied
+// rather than one ever-growing pack.
+//
+// # Manifest and crash consistency
+//
+// The v2 MANIFEST interleaves two record kinds, each individually
+// CRC-framed:
+//
+//	'C' chunk record  hash, pack offset (shard-relative when sharded),
+//	                  encoded length, raw length, style — an entry of the
+//	                  run's dedup chunk index
 //	'M' meta record   a committed checkpoint (key, segment seq, sizes,
 //	                  timings, format)
 //
 // Chunk records precede the meta record of the checkpoint that introduced
 // them, and pack bytes are written before either, so a crash at any point
 // leaves a prefix-consistent run: opening a store replays the manifest,
-// verifying each record's CRC and ignoring any torn tail.
-//
-// Legacy format v1 (one monolithic CRC-framed blob per segment, untyped
-// manifest records) is detected from the absence of the FORMAT marker; v1
-// runs remain fully readable and writable in v1.
-//
-// The design follows write-ahead-log discipline adapted to a redo-only
-// workload (paper §7, "Recovery and Replay Systems"): segment files and pack
-// bytes are written first, then a manifest record commits them, so a crash
+// verifying each record's CRC and ignoring any torn tail. The design
+// follows write-ahead-log discipline adapted to a redo-only workload (paper
+// §7, "Recovery and Replay Systems"): segment files and pack bytes are
+// written first, then a manifest record commits them, so a crash
 // mid-materialization never yields a checkpoint that replay could
 // half-trust.
+//
+// # Compatibility guarantees
+//
+// Stores open without flags: the FORMAT marker (or its absence) selects the
+// layout. v1 directories and unsharded v2 directories recorded by any
+// earlier build open and replay byte-identically. Unknown or corrupt FORMAT
+// markers surface ErrUnknownFormat (with the offending marker) rather than
+// risking misparse-and-truncate of a future layout's manifest.
 package store
 
 import (
+	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -62,14 +113,33 @@ import (
 const (
 	// FormatV1 is the legacy single-blob-per-segment encoding.
 	FormatV1 = 1
-	// FormatV2 is the frame-based, deduplicated encoding (package ckptfmt).
+	// FormatV2 is the frame-based, deduplicated encoding (package ckptfmt),
+	// with or without hash-prefix sharding.
 	FormatV2 = 2
+)
+
+// Shard-fanout bounds for the v2-sharded layout.
+const (
+	// DefaultShardFanout is the shard count used when sharding is requested
+	// without an explicit fanout.
+	DefaultShardFanout = 16
+	// maxShardFanout bounds the fanout to what one hash byte can address.
+	maxShardFanout = 256
 )
 
 // Manifest record tags (format v2 manifests only).
 const (
 	recMeta  = 'M'
 	recChunk = 'C'
+)
+
+// Control-plane file names inside a run directory.
+const (
+	formatFile     = "FORMAT"
+	manifestFile   = "MANIFEST"
+	packFile       = "CHUNKS"
+	shardDirsFile  = "SHARDS"
+	spoolStateFile = "SPOOL"
 )
 
 // Key identifies a checkpoint: the side-effects of execution number Exec of
@@ -121,9 +191,9 @@ type Section struct {
 type DedupStats struct {
 	LogicalBytes   int64 // raw bytes referenced by all committed checkpoints
 	StoredRawBytes int64 // raw bytes of distinct chunks actually stored
-	StoredEncBytes int64 // encoded (post-style) bytes appended to the pack
+	StoredEncBytes int64 // encoded (post-style) bytes appended to the packs
 	ChunkRefs      int64 // chunk references across all checkpoints
-	ChunksStored   int64 // distinct chunks written to the pack
+	ChunksStored   int64 // distinct chunks written to the packs
 }
 
 // Ratio returns the dedup ratio: logical bytes per stored raw byte. A run
@@ -135,29 +205,65 @@ func (d DedupStats) Ratio() float64 {
 	return float64(d.LogicalBytes) / float64(d.StoredRawBytes)
 }
 
-// chunkLoc locates one content-addressed frame inside the CHUNKS pack.
+// chunkLoc locates one content-addressed frame inside its shard's pack.
 type chunkLoc struct {
-	Off    int64
+	Off    int64 // offset within the shard's pack object
 	EncLen int
 	RawLen int
 	Style  byte
 }
 
+// shard is one hash-prefix slice of the chunk store: an independently
+// appendable pack object plus its level-two dedup map. Every shard has its
+// own lock, so appends and index probes on different shards never contend.
+// Lock order: Store.mu may be held while taking shard.mu, never the
+// reverse.
+type shard struct {
+	name string // pack object name within the backend
+
+	mu         sync.Mutex
+	chunks     map[ckptfmt.Hash]chunkLoc
+	packLen    int64 // committed pack length
+	spooledLen int64 // pack length covered by the last spool
+	spooledGz  int64 // compressed size of that spool artifact
+	// broken latches the first append failure whose length resync also
+	// failed: packLen can no longer be trusted, and appending at an unknown
+	// offset would commit wrong-offset chunk records into the manifest.
+	// Reads stay valid (committed locations are unaffected).
+	broken error
+}
+
 // Store is a checkpoint store rooted at a run directory. It is safe for
-// concurrent use: record's background materializer writes while the training
-// thread queries stats, and replay workers read in parallel.
+// concurrent use: record's background materializer (or several concurrent
+// spoolers) write while the training thread queries stats, and replay
+// workers read in parallel.
 type Store struct {
 	dir      string
 	format   int
+	fanout   int  // 0 for v1; 1 for unsharded v2; >1 for sharded v2
+	recorded bool // a manifest existed at open (detectDir's Layout.Recorded)
+	backend  Backend
 	readOnly bool
 
 	mu      sync.Mutex
 	nextSeq int
 	index   map[Key]*Meta // latest committed checkpoint per key
 	metas   []*Meta       // commit order
-	chunks  map[ckptfmt.Hash]chunkLoc
 	dedup   DedupStats
-	packLen int64 // current CHUNKS pack length
+
+	// spoolMu serializes whole Spool passes: overlapping passes (a periodic
+	// spool tick firing while a slow one still compresses) would race their
+	// gz rewrites of shards that grew in between.
+	spoolMu sync.Mutex
+
+	shards []*shard // two-level dedup index: shards[shardOf(h)].chunks[h]
+	// droppedShards names packs whose committed chunk records point past the
+	// pack's real end (pack lost or truncated — never a crash artifact,
+	// since pack bytes land before manifest records). Read-only opens
+	// degrade gracefully; writable opens refuse, because appending to a
+	// rewound pack would re-commit hashes at offsets the old records still
+	// claim and poison the manifest permanently.
+	droppedShards []string
 }
 
 // ErrNotFound is returned when no checkpoint exists for a key.
@@ -166,31 +272,77 @@ var ErrNotFound = errors.New("store: checkpoint not found")
 // ErrReadOnly is returned by write operations on a read-only store.
 var ErrReadOnly = errors.New("store: read-only")
 
+// ErrUnknownFormat is returned (wrapped in an *UnknownFormatError carrying
+// the offending marker) when a run directory's FORMAT marker names a layout
+// this build does not understand — a future version or corruption. The
+// store refuses rather than misparse the manifest as a torn tail and
+// truncate the run away; servers surface it as a client error when a bad
+// directory is registered.
+var ErrUnknownFormat = errors.New("store: unknown store format")
+
+// UnknownFormatError reports the unrecognized FORMAT marker of a run
+// directory. errors.Is(err, ErrUnknownFormat) matches it.
+type UnknownFormatError struct {
+	Dir    string
+	Marker string // the marker as found on disk, whitespace-trimmed
+}
+
+// Error implements error.
+func (e *UnknownFormatError) Error() string {
+	return fmt.Sprintf("store: unknown format marker %q in %s (newer layout or corrupt FORMAT file)", e.Marker, e.Dir)
+}
+
+// Is reports ErrUnknownFormat identity for errors.Is.
+func (e *UnknownFormatError) Is(target error) bool { return target == ErrUnknownFormat }
+
+// Options configures OpenWith. The zero value reproduces Open: auto-detect
+// format, single local directory, read-write.
+type Options struct {
+	// Format forces the segment format for writes (FormatV1 or FormatV2);
+	// 0 auto-detects. Forcing a format that disagrees with a recorded
+	// directory is refused.
+	Format int
+	// ShardFanout selects the chunk-pack layout for new v2 stores: 0 keeps
+	// the existing layout (single pack for new directories), 1 explicitly
+	// requests the single pack, and a power of two in [2, 256] requests
+	// hash-prefix sharding at that fanout. Opening an existing store with a
+	// conflicting non-zero fanout is refused.
+	ShardFanout int
+	// ShardDirs adds extra root directories to the default local backend:
+	// shard packs spread across the run directory plus these roots. The
+	// list is persisted in the run directory's SHARDS file so later opens
+	// (including OpenReadOnly) find the packs without options.
+	ShardDirs []string
+	// PinShardDirs makes ShardDirs authoritative even when empty: the open
+	// fails unless the directory's persisted SHARDS list matches ShardDirs
+	// exactly (resolved), instead of adopting whatever the file says.
+	// Servers pin the roots they validated at registration so a later
+	// SHARDS rewrite cannot redirect their reads.
+	PinShardDirs bool
+	// Backend overrides pack storage entirely (ShardDirs is then ignored).
+	// The control plane (FORMAT, MANIFEST, segments) stays in the run
+	// directory regardless.
+	Backend Backend
+	// ReadOnly opens the store for shared read-only use: nothing on disk is
+	// touched and every write operation fails with ErrReadOnly.
+	ReadOnly bool
+}
+
 // Open opens (or creates) a store at dir, replaying the manifest to rebuild
 // the checkpoint index and the dedup chunk index. Torn or corrupt manifest
 // tails are truncated away; segments whose files are missing or corrupt are
 // dropped from the index. New stores are created at format v2; directories
 // recorded before the FORMAT marker existed open as v1.
 func Open(dir string) (*Store, error) {
-	return OpenFormat(dir, 0)
+	return OpenWith(dir, Options{})
 }
 
 // OpenFormat opens a store forcing the given segment format for writes
 // (FormatV1 or FormatV2); format 0 auto-detects: the FORMAT marker if
 // present, v1 for pre-existing unmarked runs, v2 for new directories.
-// Benchmarks use the explicit form to compare the two write paths.
+// Benchmarks use the explicit form to compare the write paths.
 func OpenFormat(dir string, format int) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: open: %w", err)
-	}
-	s := &Store{dir: dir, index: map[Key]*Meta{}, chunks: map[ckptfmt.Hash]chunkLoc{}}
-	if err := s.detectFormat(format); err != nil {
-		return nil, err
-	}
-	if err := s.replayManifest(); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return OpenWith(dir, Options{Format: format})
 }
 
 // OpenReadOnly opens an existing recorded run for shared read-only use — the
@@ -200,65 +352,344 @@ func OpenFormat(dir string, format int) (*Store, error) {
 // ErrReadOnly. The returned store is safe for concurrent Get/GetSections
 // from many goroutines.
 func OpenReadOnly(dir string) (*Store, error) {
-	if st, err := os.Stat(dir); err != nil {
-		return nil, fmt.Errorf("store: open read-only: %w", err)
-	} else if !st.IsDir() {
-		return nil, fmt.Errorf("store: open read-only: %s is not a directory", dir)
+	return OpenWith(dir, Options{ReadOnly: true})
+}
+
+// OpenWith opens (or, unless o.ReadOnly, creates) a store at dir under the
+// given options. See Options for the layout and backend knobs; Open,
+// OpenFormat and OpenReadOnly are thin wrappers.
+func OpenWith(dir string, o Options) (*Store, error) {
+	if o.ReadOnly {
+		// A read-only open must not mint an empty store out of a typo'd
+		// path: the directory has to exist already.
+		if st, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("store: open read-only: %w", err)
+		} else if !st.IsDir() {
+			return nil, fmt.Errorf("store: open read-only: %s is not a directory", dir)
+		}
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
 	}
-	s := &Store{dir: dir, readOnly: true, index: map[Key]*Meta{}, chunks: map[ckptfmt.Hash]chunkLoc{}}
-	if err := s.detectFormat(0); err != nil {
+	if o.ShardFanout < 0 || o.ShardFanout > maxShardFanout ||
+		(o.ShardFanout > 1 && o.ShardFanout&(o.ShardFanout-1) != 0) {
+		return nil, fmt.Errorf("store: shard fanout %d: want a power of two in [2, %d]", o.ShardFanout, maxShardFanout)
+	}
+	s := &Store{dir: dir, readOnly: o.ReadOnly, index: map[Key]*Meta{}}
+	if err := s.detectLayout(o); err != nil {
+		return nil, err
+	}
+	// Extra roots are a sharded-layout feature: relocating the unsharded
+	// CHUNKS pack (or a v1 store) out of the run directory would leave the
+	// plain "2" marker lying to pre-sharding builds, which would misread
+	// the run (empty pack, dropped chunk records) instead of refusing.
+	// (Pinning an empty root list onto an unsharded store is fine — that is
+	// exactly what the layout declares.)
+	if len(o.ShardDirs) > 0 && s.fanout <= 1 {
+		return nil, fmt.Errorf("store: shard dirs require a sharded store (fanout %d); pass ShardFanout", s.fanout)
+	}
+	if err := s.initBackend(o); err != nil {
+		return nil, err
+	}
+	if err := s.initShards(); err != nil {
 		return nil, err
 	}
 	if err := s.replayManifest(); err != nil {
 		return nil, err
 	}
+	if !s.readOnly && len(s.droppedShards) > 0 {
+		return nil, fmt.Errorf("%w: shard pack %s is missing or truncated (committed chunk records point past its end); writable open refused — repair or open read-only",
+			codec.ErrCorrupt, strings.Join(s.droppedShards, ", "))
+	}
+	s.loadSpoolState()
 	return s, nil
 }
 
 // ReadOnly reports whether the store rejects writes.
 func (s *Store) ReadOnly() bool { return s.readOnly }
 
-func (s *Store) detectFormat(force int) error {
-	detected := 0
-	raw, err := os.ReadFile(s.formatPath())
+// Layout describes a run directory's on-disk store layout, detected without
+// replaying its manifest.
+type Layout struct {
+	// Format is FormatV1 or FormatV2 (what a fresh open would use).
+	Format int
+	// ShardFanout is 0 for v1, 1 for unsharded v2, and the shard count for
+	// sharded v2.
+	ShardFanout int
+	// Recorded reports whether the directory holds a committed run (a
+	// manifest exists). False for fresh or unrelated directories, which a
+	// plain open would happily initialize as an empty v2 store.
+	Recorded bool
+}
+
+// Sharded reports whether the layout splits the pack by hash prefix.
+func (l Layout) Sharded() bool { return l.ShardFanout > 1 }
+
+// String renders the layout for listings ("v1", "v2", "v2-sharded/16").
+func (l Layout) String() string {
+	switch {
+	case l.Format == FormatV1:
+		return "v1"
+	case l.Sharded():
+		return fmt.Sprintf("v2-sharded/%d", l.ShardFanout)
+	default:
+		return "v2"
+	}
+}
+
+// readShardDirsFile returns the SHARDS file's entries as persisted (not
+// resolved); nil when the file is absent. The single parser behind both
+// ShardRoots and the open path, so confinement checks and actual opens can
+// never disagree about what the file says.
+func readShardDirsFile(dir string) ([]string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, shardDirsFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read shard dirs: %w", err)
+	}
+	var entries []string
+	for _, ln := range strings.Split(string(raw), "\n") {
+		if ln = strings.TrimSpace(ln); ln != "" {
+			entries = append(entries, ln)
+		}
+	}
+	return entries, nil
+}
+
+// resolveShardRoot resolves one SHARDS entry against the run directory.
+func resolveShardRoot(dir, entry string) string {
+	if !filepath.IsAbs(entry) {
+		return filepath.Join(dir, entry)
+	}
+	return entry
+}
+
+// ShardRoots returns the extra backend root directories a plain open of dir
+// would use (the persisted SHARDS list, relative entries resolved against
+// dir); empty for unsharded and v1 stores. Registration paths that confine
+// run directories use it to confine the shard roots too.
+func ShardRoots(dir string) ([]string, error) {
+	entries, err := readShardDirsFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	roots := make([]string, len(entries))
+	for i, e := range entries {
+		roots[i] = resolveShardRoot(dir, e)
+	}
+	return roots, nil
+}
+
+// DetectLayout inspects a run directory's FORMAT marker (and, absent one,
+// its manifest) and reports the layout a plain open would use, without
+// opening the store. Unknown markers surface ErrUnknownFormat; registration
+// paths use this to reject bad directories before any query touches them.
+func DetectLayout(dir string) (Layout, error) {
+	if st, err := os.Stat(dir); err != nil {
+		return Layout{}, fmt.Errorf("store: detect layout: %w", err)
+	} else if !st.IsDir() {
+		return Layout{}, fmt.Errorf("store: detect layout: %s is not a directory", dir)
+	}
+	l, _, err := detectDir(dir)
+	return l, err
+}
+
+// detectDir reads a directory's FORMAT marker (falling back on manifest
+// presence) and reports the detected layout plus whether a marker was
+// found — the shared core of DetectLayout and Store.detectLayout.
+func detectDir(dir string) (Layout, bool, error) {
+	recorded := false
+	if _, merr := os.Stat(filepath.Join(dir, manifestFile)); merr == nil {
+		recorded = true
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, formatFile))
 	switch {
 	case err == nil:
-		marker := strings.TrimSpace(string(raw))
-		if marker != "2" {
+		format, fanout, perr := parseFormatMarker(raw)
+		if perr != nil {
 			// An unknown marker means a newer (or corrupted) layout whose
 			// manifest records this build would misparse as a torn tail and
 			// truncate away — refuse rather than destroy.
-			return fmt.Errorf("store: unsupported format marker %q in %s", marker, s.dir)
+			return Layout{}, true, &UnknownFormatError{Dir: dir, Marker: strings.TrimSpace(string(raw))}
 		}
-		detected = FormatV2
+		return Layout{Format: format, ShardFanout: fanout, Recorded: recorded}, true, nil
 	case errors.Is(err, os.ErrNotExist):
-		if _, merr := os.Stat(s.manifestPath()); merr == nil {
-			detected = FormatV1 // recorded before FORMAT markers existed
-		} else {
-			detected = FormatV2 // fresh directory
+		if recorded {
+			return Layout{Format: FormatV1, Recorded: true}, false, nil // pre-FORMAT-marker run
 		}
+		return Layout{Format: FormatV2, ShardFanout: 1}, false, nil // fresh directory
 	default:
-		return fmt.Errorf("store: read format marker: %w", err)
+		return Layout{}, false, fmt.Errorf("store: read format marker: %w", err)
 	}
-	// A forced format may only disagree with a directory that has no
-	// committed state: opening a v2 manifest as v1 (or vice versa) would
-	// misparse every record as a torn tail and truncate the whole run away.
-	if force != 0 && force != detected {
-		if _, merr := os.Stat(s.manifestPath()); merr == nil {
-			return fmt.Errorf("store: cannot force format v%d on %s (recorded as v%d)", force, s.dir, detected)
+}
+
+// parseFormatMarker decodes a FORMAT file: "2" (unsharded v2) or
+// "2 shards=N" (sharded v2, N a power of two in [2, 256]).
+func parseFormatMarker(raw []byte) (format, fanout int, err error) {
+	marker := strings.TrimSpace(string(raw))
+	if marker == "2" {
+		return FormatV2, 1, nil
+	}
+	if rest, ok := strings.CutPrefix(marker, "2 shards="); ok {
+		n, perr := strconv.Atoi(rest)
+		if perr == nil && n >= 2 && n <= maxShardFanout && n&(n-1) == 0 {
+			return FormatV2, n, nil
 		}
-		detected = force
+	}
+	return 0, 0, fmt.Errorf("unknown format marker %q", marker)
+}
+
+func formatMarker(fanout int) []byte {
+	if fanout > 1 {
+		return []byte(fmt.Sprintf("2 shards=%d\n", fanout))
+	}
+	return []byte("2\n")
+}
+
+// detectLayout resolves the store's format and shard fanout from the FORMAT
+// marker, the options, and (for unmarked directories) the presence of a
+// manifest, writing the marker for new writable v2 stores.
+func (s *Store) detectLayout(o Options) error {
+	l, hasMarker, err := detectDir(s.dir)
+	if err != nil {
+		return err
+	}
+	detected, detFanout := l.Format, l.ShardFanout
+	if !hasMarker && detected == FormatV2 && o.ShardFanout > 1 {
+		detFanout = o.ShardFanout // fresh directory: honor the requested fanout
+	}
+	// A forced format or fanout may only disagree with a directory that has
+	// no committed state: opening a v2 manifest as v1 (or a sharded one as
+	// unsharded) would misparse records or misplace every chunk.
+	s.recorded = l.Recorded
+	recorded := l.Recorded
+	if o.Format != 0 && o.Format != detected {
+		if recorded {
+			return fmt.Errorf("store: cannot force format v%d on %s (recorded as v%d)", o.Format, s.dir, detected)
+		}
+		detected = o.Format
+		if detected == FormatV1 {
+			detFanout = 0
+		}
+	}
+	if o.ShardFanout != 0 && detected == FormatV2 && o.ShardFanout != detFanout {
+		if recorded {
+			return fmt.Errorf("store: cannot reshard %s to fanout %d (recorded at fanout %d)", s.dir, o.ShardFanout, detFanout)
+		}
+		detFanout = o.ShardFanout
+	}
+	if o.ShardFanout > 1 && detected == FormatV1 {
+		return fmt.Errorf("store: format v1 cannot shard (fanout %d requested)", o.ShardFanout)
 	}
 	s.format = detected
+	s.fanout = detFanout
 	if s.format == FormatV2 && !s.readOnly {
-		if err := os.WriteFile(s.formatPath(), []byte("2\n"), 0o644); err != nil {
-			return fmt.Errorf("store: write format marker: %w", err)
+		// Write the marker only when absent or different, and via
+		// write-then-rename: rewriting it in place on every open would leave
+		// a crash window in which a torn marker bricks an otherwise intact
+		// run behind the UnknownFormatError refusal.
+		want := formatMarker(s.fanout)
+		if cur, err := os.ReadFile(s.formatPath()); err != nil || !bytes.Equal(cur, want) {
+			if err := writeFileAtomic(s.formatPath(), want); err != nil {
+				return fmt.Errorf("store: write format marker: %w", err)
+			}
 		}
 	}
-	if st, err := os.Stat(s.packPath()); err == nil {
-		s.packLen = st.Size()
+	return nil
+}
+
+// initBackend selects the pack backend: an explicit one from the options,
+// or a local-directory backend over the run directory plus any extra shard
+// roots (from the options for new stores, from the SHARDS file for
+// reopens).
+func (s *Store) initBackend(o Options) error {
+	if o.Backend != nil {
+		s.backend = o.Backend
+		return nil
+	}
+	persisted, err := readShardDirsFile(s.dir)
+	if err != nil {
+		return err
+	}
+	extra := o.ShardDirs
+	if len(extra) == 0 && !o.PinShardDirs {
+		extra = persisted
+	} else {
+		// Pack placement is a function of the root list (order included), so
+		// a recorded store's roots are immutable: silently adopting a
+		// different list would relocate every lookup away from the real
+		// packs — and rewriting SHARDS would make even plain opens stay
+		// broken. Refuse, like a conflicting shard fanout. Comparison is on
+		// resolved roots, so callers may pin the roots a registration-time
+		// ShardRoots reported and a later SHARDS rewrite fails the open
+		// instead of silently redirecting reads.
+		resolve := func(entries []string) []string {
+			out := make([]string, len(entries))
+			for i, e := range entries {
+				out[i] = resolveShardRoot(s.dir, e)
+			}
+			return out
+		}
+		same := slices.Equal(resolve(extra), resolve(persisted))
+		if s.recorded && !same {
+			return fmt.Errorf("store: cannot relocate shard packs of %s (recorded with shard dirs %q, got %q)",
+				s.dir, persisted, extra)
+		}
+		if !s.readOnly && !same {
+			// Persist the extra roots so later plain opens find the packs.
+			if err := writeFileAtomic(s.shardDirsPath(), []byte(strings.Join(extra, "\n")+"\n")); err != nil {
+				return fmt.Errorf("store: write shard dirs: %w", err)
+			}
+		}
+	}
+	roots := []string{s.dir}
+	for _, d := range extra {
+		roots = append(roots, resolveShardRoot(s.dir, d))
+	}
+	if s.readOnly {
+		s.backend = &DirBackend{roots: roots}
+		return nil
+	}
+	b, err := NewDirBackend(roots...)
+	if err != nil {
+		return err
+	}
+	s.backend = b
+	return nil
+}
+
+// initShards builds the shard table (one entry for unsharded v2) and reads
+// each pack's committed length from the backend.
+func (s *Store) initShards() error {
+	if s.format != FormatV2 {
+		return nil
+	}
+	if s.fanout <= 1 {
+		s.shards = []*shard{{name: packFile, chunks: map[ckptfmt.Hash]chunkLoc{}}}
+	} else {
+		s.shards = make([]*shard, s.fanout)
+		for i := range s.shards {
+			s.shards[i] = &shard{name: fmt.Sprintf("%s-%02x", packFile, i), chunks: map[ckptfmt.Hash]chunkLoc{}}
+		}
+	}
+	for _, sh := range s.shards {
+		n, err := s.backend.Size(sh.name)
+		if err != nil {
+			return fmt.Errorf("store: shard %s: %w", sh.name, err)
+		}
+		sh.packLen = n
 	}
 	return nil
+}
+
+// shardOf maps a content hash to its shard index: the hash's top byte
+// masked to the fanout. The shard is a pure function of the hash, so
+// manifest records never need to name it.
+func (s *Store) shardOf(h ckptfmt.Hash) int {
+	return int(h[0]) & (len(s.shards) - 1)
 }
 
 // Dir returns the store's root directory.
@@ -267,9 +698,27 @@ func (s *Store) Dir() string { return s.dir }
 // Format returns the segment format used for writes.
 func (s *Store) Format() int { return s.format }
 
-func (s *Store) formatPath() string   { return filepath.Join(s.dir, "FORMAT") }
-func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
-func (s *Store) packPath() string     { return filepath.Join(s.dir, "CHUNKS") }
+// ShardFanout returns the chunk-pack shard count: 0 for v1 stores, 1 for
+// the unsharded v2 layout, the fanout for sharded stores.
+func (s *Store) ShardFanout() int {
+	if s.format != FormatV2 {
+		return 0
+	}
+	return len(s.shards)
+}
+
+// Layout returns the store's detected layout.
+func (s *Store) Layout() Layout {
+	s.mu.Lock()
+	recorded := len(s.metas) > 0
+	s.mu.Unlock()
+	return Layout{Format: s.format, ShardFanout: s.ShardFanout(), Recorded: recorded}
+}
+
+func (s *Store) formatPath() string     { return filepath.Join(s.dir, formatFile) }
+func (s *Store) manifestPath() string   { return filepath.Join(s.dir, manifestFile) }
+func (s *Store) shardDirsPath() string  { return filepath.Join(s.dir, shardDirsFile) }
+func (s *Store) spoolStatePath() string { return filepath.Join(s.dir, spoolStateFile) }
 
 func (s *Store) segmentPath(seq int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%08d.bin", seq))
@@ -307,6 +756,7 @@ func (s *Store) replayManifest() error {
 
 // applyRecord replays one manifest record payload into the in-memory state,
 // returning false when the record is undecodable (treated as a torn tail).
+// It runs single-threaded at open, before the store is shared.
 func (s *Store) applyRecord(payload []byte) bool {
 	body := payload
 	tag := byte(recMeta)
@@ -323,14 +773,20 @@ func (s *Store) applyRecord(payload []byte) bool {
 		if err != nil {
 			return false
 		}
-		// Defensive: a chunk record pointing past the pack's end would make
-		// every referencing checkpoint unreadable; drop it (and let reads of
-		// those checkpoints surface ErrCorrupt) rather than trust it.
-		if loc.Off+int64(loc.EncLen) > s.packLen {
+		sh := s.shards[s.shardOf(hash)]
+		// Defensive: a chunk record pointing past its shard pack's end would
+		// make every referencing checkpoint unreadable; drop it (and let
+		// reads of those checkpoints surface ErrCorrupt naming the shard)
+		// rather than trust it. The shard is remembered so writable opens
+		// can refuse (see droppedShards).
+		if loc.Off+int64(loc.EncLen) > sh.packLen {
+			if !slices.Contains(s.droppedShards, sh.name) {
+				s.droppedShards = append(s.droppedShards, sh.name)
+			}
 			return true
 		}
-		if _, dup := s.chunks[hash]; !dup {
-			s.chunks[hash] = loc
+		if _, dup := sh.chunks[hash]; !dup {
+			sh.chunks[hash] = loc
 			s.dedup.ChunksStored++
 			s.dedup.StoredRawBytes += int64(loc.RawLen)
 			s.dedup.StoredEncBytes += int64(loc.EncLen)
@@ -513,9 +969,11 @@ func (s *Store) Put(key Key, payload []byte, snapNs, serNs, computNs int64) (*Me
 
 // PutSections durably stores a checkpoint as named sections (format v2
 // stores only). Sections are chunked, frames for previously unseen chunks
-// are encoded in parallel and appended to the pack, and the segment
-// directory plus manifest records commit the checkpoint. See Put for the
-// timing parameters.
+// are encoded in parallel and appended to their hash shards' packs
+// (concurrently across shards), and the segment directory plus manifest
+// records commit the checkpoint. PutSections is safe to call from several
+// goroutines at once: shards serialize their own appends and the manifest
+// commit is atomic per checkpoint. See Put for the timing parameters.
 func (s *Store) PutSections(key Key, secs []Section, snapNs, serNs, computNs int64) (*Meta, error) {
 	if s.readOnly {
 		return nil, ErrReadOnly
@@ -557,32 +1015,35 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 	}
 
 	// Select chunks the run has not stored yet (deduplicating within this
-	// checkpoint too) and encode their frames in parallel. A concurrent put
-	// racing on the same fresh chunk would store it twice — benign pack
-	// bloat, last index entry wins — but materialization is single-writer in
-	// practice.
-	s.mu.Lock()
+	// checkpoint too), probing each shard's index under its own lock. A
+	// concurrent put racing on the same fresh chunk stores it twice — benign
+	// pack bloat, since locations publish only with the manifest commit and
+	// the first committed record wins at replay.
+	byShard := map[int][]int{}
+	for i, h := range hashes {
+		si := s.shardOf(h)
+		byShard[si] = append(byShard[si], i)
+	}
 	var newIdx []int
 	fresh := map[ckptfmt.Hash]bool{}
-	for i, h := range hashes {
-		if _, ok := s.chunks[h]; !ok && !fresh[h] {
-			fresh[h] = true
-			newIdx = append(newIdx, i)
+	for si, idxs := range byShard {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			h := hashes[i]
+			if _, ok := sh.chunks[h]; !ok && !fresh[h] {
+				fresh[h] = true
+				newIdx = append(newIdx, i)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
+	sort.Ints(newIdx) // deterministic frame order regardless of shard map iteration
 	newChunks := make([][]byte, len(newIdx))
 	for i, idx := range newIdx {
 		newChunks[i] = flat[idx]
 	}
 	frames := ckptfmt.EncodeChunks(newChunks)
-	var packBuf []byte
-	wireLens := make([]int, len(frames))
-	for i := range frames {
-		before := len(packBuf)
-		packBuf = frames[i].Append(packBuf)
-		wireLens[i] = len(packBuf) - before
-	}
 
 	// Segment file: the CRC-framed directory. Written before the manifest
 	// record so a crash never commits a directory-less checkpoint.
@@ -590,37 +1051,77 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 		return nil, err
 	}
 
-	// Commit order under the lock: pack bytes, then chunk records, then the
-	// meta record — the manifest never references bytes that aren't on disk.
+	// Fan the fresh frames out across their shards: each involved shard
+	// serializes its frames and appends them to its own pack under its own
+	// lock, concurrently with the other shards. Pack bytes land before any
+	// manifest record references them.
+	frameShards := map[int][]int{} // shard index -> indices into frames
+	for i := range frames {
+		si := s.shardOf(frames[i].Hash)
+		frameShards[si] = append(frameShards[si], i)
+	}
+	involved := make([]int, 0, len(frameShards))
+	for si := range frameShards {
+		involved = append(involved, si)
+	}
+	locs := make([]chunkLoc, len(frames))
+	appendErrs := make([]error, len(involved))
+	ckptfmt.ParallelDo(len(involved), func(k int) {
+		sh := s.shards[involved[k]]
+		idxs := frameShards[involved[k]]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if sh.broken != nil {
+			appendErrs[k] = fmt.Errorf("store: shard %s unusable after failed append: %w", sh.name, sh.broken)
+			return
+		}
+		var buf []byte
+		off := sh.packLen
+		for _, i := range idxs {
+			before := len(buf)
+			buf = frames[i].Append(buf)
+			wire := len(buf) - before
+			locs[i] = chunkLoc{Off: off, EncLen: wire, RawLen: frames[i].RawLen, Style: frames[i].Style}
+			off += int64(wire)
+		}
+		if len(buf) == 0 {
+			return
+		}
+		if err := s.backend.Append(sh.name, buf); err != nil {
+			// A partial append leaves the pack length unknown; resync from
+			// the backend so later appends don't commit bad offsets. If even
+			// the resync fails, latch the shard broken: appending at a
+			// guessed offset would poison the manifest permanently.
+			if n, serr := s.backend.Size(sh.name); serr == nil {
+				sh.packLen = n
+			} else {
+				sh.broken = err
+			}
+			appendErrs[k] = fmt.Errorf("store: shard %s: %w", sh.name, err)
+			return
+		}
+		sh.packLen = off
+	})
+	for _, err := range appendErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Commit under the store lock: chunk records, then the meta record — the
+	// manifest never references bytes that aren't on disk. Chunk locations
+	// publish to the shard indexes only now, so concurrent puts never dedup
+	// against a chunk whose manifest record could still be lost to a crash.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	packBase := s.packLen
-	if len(packBuf) > 0 {
-		pf, err := os.OpenFile(s.packPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("store: open pack: %w", err)
-		}
-		if _, err := pf.Write(packBuf); err != nil {
-			pf.Close()
-			return nil, fmt.Errorf("store: append pack: %w", err)
-		}
-		if err := pf.Close(); err != nil {
-			return nil, fmt.Errorf("store: close pack: %w", err)
-		}
-		s.packLen = packBase + int64(len(packBuf))
-	}
 	var record []byte
 	var stored int64
-	off := packBase
 	for i := range frames {
-		loc := chunkLoc{Off: off, EncLen: wireLens[i], RawLen: frames[i].RawLen, Style: frames[i].Style}
-		off += int64(wireLens[i])
-		stored += int64(wireLens[i])
-		s.chunks[frames[i].Hash] = loc
+		stored += int64(locs[i].EncLen)
 		s.dedup.ChunksStored++
-		s.dedup.StoredRawBytes += int64(loc.RawLen)
-		s.dedup.StoredEncBytes += int64(loc.EncLen)
-		record = append(record, s.frameRecord(recChunk, encodeChunkRecord(frames[i].Hash, loc))...)
+		s.dedup.StoredRawBytes += int64(locs[i].RawLen)
+		s.dedup.StoredEncBytes += int64(locs[i].EncLen)
+		record = append(record, s.frameRecord(recChunk, encodeChunkRecord(frames[i].Hash, locs[i]))...)
 	}
 	s.dedup.ChunkRefs += int64(len(flat))
 	writeNs := time.Since(w0).Nanoseconds()
@@ -633,19 +1134,36 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 	if err := s.appendManifestLocked(record); err != nil {
 		return nil, err
 	}
+	for si, idxs := range frameShards {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			sh.chunks[frames[i].Hash] = locs[i]
+		}
+		sh.mu.Unlock()
+	}
 	s.commitLocked(m)
 	return m, nil
 }
 
-// writeSegment commits framed bytes to segment seq via write-then-rename.
-func (s *Store) writeSegment(seq int, framed []byte) error {
-	path := s.segmentPath(seq)
+// writeFileAtomic commits data to path via write-then-rename, so readers
+// (and existence-based skip checks) never observe a torn file.
+func writeFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
-		return fmt.Errorf("store: write segment: %w", err)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("store: commit segment: %w", err)
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// writeSegment commits framed bytes to segment seq via write-then-rename.
+func (s *Store) writeSegment(seq int, framed []byte) error {
+	if err := writeFileAtomic(s.segmentPath(seq), framed); err != nil {
+		return fmt.Errorf("store: write segment: %w", err)
 	}
 	return nil
 }
@@ -758,16 +1276,29 @@ func (s *Store) segmentDir(key Key) (*Meta, *ckptfmt.Directory, error) {
 	return m, dir, nil
 }
 
+// chunkJob is one frame to fetch and decode while materializing sections.
+type chunkJob struct {
+	sec   int
+	shard int
+	dst   []byte // decode destination (nil → alias raw frame, zero copy)
+	enc   []byte // encoded frame bytes, filled by the per-shard read phase
+	loc   chunkLoc
+	ref   ckptfmt.ChunkRef
+}
+
 // readSections materializes sections of a v2 directory: chunk frames are
-// read from the pack and decoded in parallel across the worker pool.
-// Sections whose identity the optional have callback claims are skipped
-// (returned with nil Data). Reads of chunks that sit contiguously in the
-// pack — the common case, since a checkpoint's fresh chunks are appended
-// together — coalesce into a single pread.
+// fetched with per-shard ranged reads — shards read concurrently, so
+// restores of independent sections never serialize on one file descriptor —
+// and decoded in parallel across the worker pool. Sections whose identity
+// the optional have callback claims are skipped (returned with nil Data).
+// Within a shard, reads of chunks that sit contiguously in the pack — the
+// common case, since a checkpoint's fresh chunks are appended together —
+// coalesce into a single ranged read.
 //
-// The have callback is invoked without the store lock held, and the lock is
-// taken only briefly to resolve chunk locations: concurrent readers from
-// many server goroutines must not serialize on each other's cache probes.
+// The have callback is invoked without any store lock held, and each
+// shard's lock is taken only briefly to resolve chunk locations: concurrent
+// readers from many server goroutines must not serialize on each other's
+// cache probes.
 func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.Hash) bool) ([]Section, error) {
 	secs := make([]Section, len(dir.Sections))
 	// Phase 1, lock-free: compute each section's content identity and ask
@@ -785,15 +1316,10 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		}
 		load = append(load, i)
 	}
-	// Phase 2, under the lock: resolve chunk locations from the dedup index.
-	type chunkJob struct {
-		sec int
-		dst []byte // decode destination (nil → alias raw frames, zero copy)
-		loc chunkLoc
-		ref ckptfmt.ChunkRef
-	}
+	// Phase 2: build the fetch jobs, then resolve chunk locations from the
+	// two-level dedup index, locking each involved shard exactly once.
 	var jobs []chunkJob
-	s.mu.Lock()
+	byShard := map[int][]int{} // shard -> indices into jobs
 	for _, i := range load {
 		ds := &dir.Sections[i]
 		// Multi-chunk sections decode straight into one preallocated buffer;
@@ -807,71 +1333,73 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		}
 		off := 0
 		for _, ref := range ds.Chunks {
-			loc, ok := s.chunks[ref.Hash]
-			if !ok {
-				s.mu.Unlock()
-				return nil, fmt.Errorf("%w: segment %d references unknown chunk %s", codec.ErrCorrupt, m.Seq, ref.Hash)
-			}
-			j := chunkJob{sec: i, loc: loc, ref: ref}
+			si := s.shardOf(ref.Hash)
+			j := chunkJob{sec: i, shard: si, ref: ref}
 			if buf != nil {
 				j.dst = buf[off : off+ref.RawLen]
 				off += ref.RawLen
 			}
+			byShard[si] = append(byShard[si], len(jobs))
 			jobs = append(jobs, j)
 		}
 	}
-	s.mu.Unlock()
+	for si, idxs := range byShard {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, ji := range idxs {
+			loc, ok := sh.chunks[jobs[ji].ref.Hash]
+			if !ok {
+				sh.mu.Unlock()
+				return nil, fmt.Errorf("%w: segment %d references chunk %s absent from shard %s (pack missing or truncated?)",
+					codec.ErrCorrupt, m.Seq, jobs[ji].ref.Hash, sh.name)
+			}
+			jobs[ji].loc = loc
+		}
+		sh.mu.Unlock()
+	}
 	if len(jobs) == 0 {
 		return secs, nil
 	}
 
-	pf, err := os.Open(s.packPath())
-	if err != nil {
-		return nil, fmt.Errorf("store: open pack: %w", err)
+	// Phase 3: fetch each shard's frames, shards in parallel (inline when a
+	// single shard is involved — the unsharded layout and small restores).
+	if len(byShard) == 1 {
+		for si, idxs := range byShard {
+			if err := s.fetchShardJobs(si, jobs, idxs); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		shardErrs := make([]error, len(s.shards))
+		var wg sync.WaitGroup
+		for si, idxs := range byShard {
+			wg.Add(1)
+			go func(si int, idxs []int) {
+				defer wg.Done()
+				shardErrs[si] = s.fetchShardJobs(si, jobs, idxs)
+			}(si, idxs)
+		}
+		wg.Wait()
+		for _, err := range shardErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
-	defer pf.Close()
 
-	// Coalesce when the chunks occupy a mostly dense span of the pack.
-	minOff, maxEnd, total := jobs[0].loc.Off, int64(0), int64(0)
-	for _, j := range jobs {
-		if j.loc.Off < minOff {
-			minOff = j.loc.Off
-		}
-		if end := j.loc.Off + int64(j.loc.EncLen); end > maxEnd {
-			maxEnd = end
-		}
-		total += int64(j.loc.EncLen)
-	}
-	var span []byte
-	if maxEnd-minOff <= 2*total {
-		span = make([]byte, maxEnd-minOff)
-		if _, err := pf.ReadAt(span, minOff); err != nil {
-			return nil, fmt.Errorf("%w: pack read span [%d,%d): %v", codec.ErrCorrupt, minOff, maxEnd, err)
-		}
-	}
-
+	// Phase 4: parse and decode every frame in parallel across the pool.
 	out := make([][]byte, len(jobs))
 	errs := make([]error, len(jobs))
 	ckptfmt.ParallelDo(len(jobs), func(i int) {
 		j := jobs[i]
-		var buf []byte
-		if span != nil {
-			buf = span[j.loc.Off-minOff : j.loc.Off-minOff+int64(j.loc.EncLen)]
-		} else {
-			buf = make([]byte, j.loc.EncLen)
-			if _, err := pf.ReadAt(buf, j.loc.Off); err != nil {
-				errs[i] = fmt.Errorf("%w: pack read at %d: %v", codec.ErrCorrupt, j.loc.Off, err)
-				return
-			}
-		}
-		frame, _, err := ckptfmt.Parse(buf)
+		frame, _, err := ckptfmt.Parse(j.enc)
 		if err != nil {
-			errs[i] = fmt.Errorf("store: pack frame at %d: %w", j.loc.Off, err)
+			errs[i] = fmt.Errorf("store: shard %s frame at %d: %w", s.shards[j.shard].name, j.loc.Off, err)
 			return
 		}
 		if frame.Hash != j.ref.Hash {
-			errs[i] = fmt.Errorf("%w: pack frame at %d holds %s, directory wants %s",
-				codec.ErrCorrupt, j.loc.Off, frame.Hash, j.ref.Hash)
+			errs[i] = fmt.Errorf("%w: shard %s frame at %d holds %s, directory wants %s",
+				codec.ErrCorrupt, s.shards[j.shard].name, j.loc.Off, frame.Hash, j.ref.Hash)
 			return
 		}
 		out[i], err = frame.DecodeInto(j.dst)
@@ -890,6 +1418,50 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		}
 	}
 	return secs, nil
+}
+
+// fetchShardJobs reads the encoded frame bytes for the given jobs from one
+// shard's pack, coalescing into a single ranged read when the frames occupy
+// a mostly dense span.
+func (s *Store) fetchShardJobs(si int, jobs []chunkJob, idxs []int) error {
+	sh := s.shards[si]
+	pf, err := s.backend.Open(sh.name)
+	if err != nil {
+		return fmt.Errorf("%w: shard %s: open pack: %v", codec.ErrCorrupt, sh.name, err)
+	}
+	defer pf.Close()
+
+	minOff, maxEnd, total := jobs[idxs[0]].loc.Off, int64(0), int64(0)
+	for _, ji := range idxs {
+		loc := jobs[ji].loc
+		if loc.Off < minOff {
+			minOff = loc.Off
+		}
+		if end := loc.Off + int64(loc.EncLen); end > maxEnd {
+			maxEnd = end
+		}
+		total += int64(loc.EncLen)
+	}
+	if maxEnd-minOff <= 2*total {
+		span := make([]byte, maxEnd-minOff)
+		if _, err := pf.ReadAt(span, minOff); err != nil {
+			return fmt.Errorf("%w: shard %s: read span [%d,%d): %v", codec.ErrCorrupt, sh.name, minOff, maxEnd, err)
+		}
+		for _, ji := range idxs {
+			loc := jobs[ji].loc
+			jobs[ji].enc = span[loc.Off-minOff : loc.Off-minOff+int64(loc.EncLen)]
+		}
+		return nil
+	}
+	for _, ji := range idxs {
+		loc := jobs[ji].loc
+		buf := make([]byte, loc.EncLen)
+		if _, err := pf.ReadAt(buf, loc.Off); err != nil {
+			return fmt.Errorf("%w: shard %s: read at %d: %v", codec.ErrCorrupt, sh.name, loc.Off, err)
+		}
+		jobs[ji].enc = buf
+	}
+	return nil
 }
 
 // Has reports whether a committed checkpoint exists for key.
@@ -952,18 +1524,43 @@ func (s *Store) ExecsFor(loopID string) []int {
 	return out
 }
 
-// Spool compresses every committed segment to a .gz sibling (the simulated
-// S3 spooling of paper §6; checkpoints were "compressed by a background
-// process, before being spooled to an S3 bucket"). For format v2 the shared
-// CHUNKS pack is spooled too, since segment files hold only directories. It
-// returns the total compressed size in bytes and updates per-checkpoint
-// GzSize metadata.
+// Spool compresses the run's durable artifacts to .gz siblings (the
+// simulated S3 spooling of paper §6; checkpoints were "compressed by a
+// background process, before being spooled to an S3 bucket"): every
+// committed segment, plus — for format v2 — the chunk packs, since segment
+// files hold only directories. Spooling is incremental: segments already
+// spooled are skipped, and a shard pack is recompressed only when it grew
+// since the last spool, so on a periodic spool cadence a sharded store
+// touches only the shards new checkpoints dirtied instead of one
+// ever-growing pack. Shards spool concurrently. Spool returns the total
+// compressed size of the run's current spool artifacts and updates
+// per-checkpoint GzSize metadata.
 func (s *Store) Spool() (int64, error) {
 	if s.readOnly {
 		return 0, ErrReadOnly
 	}
+	s.spoolMu.Lock()
+	defer s.spoolMu.Unlock()
 	var total int64
 	for _, m := range s.Metas() {
+		gzPath := s.segmentPath(m.Seq) + ".gz"
+		// Segments are immutable once committed, so an intact spool artifact
+		// is always current — including across restarts, where the
+		// manifest-committed GzSize is still 0 and only the artifact itself
+		// records that the segment was spooled. "Intact" is verified via the
+		// gzip ISIZE trailer (this build writes artifacts atomically, but
+		// older builds could leave torn ones behind a crash).
+		if st, err := os.Stat(gzPath); err == nil {
+			if seg, serr := os.Stat(s.segmentPath(m.Seq)); serr == nil && gzTrailerMatches(gzPath, seg.Size()) {
+				s.mu.Lock()
+				if live, ok := s.index[m.Key]; ok && live.Seq == m.Seq && live.GzSize == 0 {
+					live.GzSize = st.Size()
+				}
+				s.mu.Unlock()
+				total += st.Size()
+				continue
+			}
+		}
 		raw, err := os.ReadFile(s.segmentPath(m.Seq))
 		if err != nil {
 			return 0, fmt.Errorf("store: spool read: %w", err)
@@ -972,7 +1569,9 @@ func (s *Store) Spool() (int64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("store: spool compress: %w", err)
 		}
-		if err := os.WriteFile(s.segmentPath(m.Seq)+".gz", gz, 0o644); err != nil {
+		// Atomic, because the skip check above treats existence as
+		// completeness: a torn artifact must never land under the final name.
+		if err := writeFileAtomic(gzPath, gz); err != nil {
 			return 0, fmt.Errorf("store: spool write: %w", err)
 		}
 		// Metas returned a snapshot; commit GzSize to the live record.
@@ -983,35 +1582,158 @@ func (s *Store) Spool() (int64, error) {
 		s.mu.Unlock()
 		total += int64(len(gz))
 	}
-	// The pack holds every distinct chunk of the run, so unlike segments it
-	// can be far larger than any one checkpoint — stream it through gzip
-	// instead of buffering it in memory.
-	if pf, err := os.Open(s.packPath()); err == nil {
-		defer pf.Close()
-		gzPath := s.packPath() + ".gz"
-		out, err := os.Create(gzPath)
-		if err != nil {
-			return 0, fmt.Errorf("store: spool pack create: %w", err)
+	// Packs hold every distinct chunk of the run, so unlike segments they
+	// can be far larger than any one checkpoint; each dirty shard streams
+	// through gzip, shards in parallel.
+	if len(s.shards) > 0 {
+		sizes := make([]int64, len(s.shards))
+		errs := make([]error, len(s.shards))
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, sh *shard) {
+				defer wg.Done()
+				sizes[i], errs[i] = s.spoolShard(sh)
+			}(i, sh)
 		}
-		zw := gzip.NewWriter(out)
-		if _, err := io.Copy(zw, pf); err != nil {
-			out.Close()
-			return 0, fmt.Errorf("store: spool pack: %w", err)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
 		}
-		if err := zw.Close(); err != nil {
-			out.Close()
-			return 0, fmt.Errorf("store: spool pack: %w", err)
+		for _, n := range sizes {
+			total += n
 		}
-		if err := out.Close(); err != nil {
-			return 0, fmt.Errorf("store: spool pack write: %w", err)
+		if err := s.saveSpoolState(); err != nil {
+			return 0, err
 		}
-		st, err := os.Stat(gzPath)
-		if err != nil {
-			return 0, fmt.Errorf("store: spool pack stat: %w", err)
-		}
-		total += st.Size()
 	}
 	return total, nil
+}
+
+// gzTrailerMatches reports whether the gzip artifact's ISIZE trailer (last
+// four bytes: uncompressed length mod 2^32) matches the source's size — a
+// cheap completeness probe that rejects truncated artifacts without
+// decompressing anything.
+func gzTrailerMatches(gzPath string, rawSize int64) bool {
+	f, err := os.Open(gzPath)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() < 4 {
+		return false
+	}
+	var tr [4]byte
+	if _, err := f.ReadAt(tr[:], st.Size()-4); err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint32(tr[:]) == uint32(rawSize)
+}
+
+// spoolShard compresses one shard's pack to its .gz sibling unless the pack
+// has not grown since the last spool. It returns the compressed size of the
+// shard's current spool artifact (0 for an empty shard).
+func (s *Store) spoolShard(sh *shard) (int64, error) {
+	sh.mu.Lock()
+	plen, slen, sgz := sh.packLen, sh.spooledLen, sh.spooledGz
+	sh.mu.Unlock()
+	if plen == 0 {
+		return 0, nil
+	}
+	if plen == slen && sgz > 0 {
+		if n, err := s.backend.Size(sh.name + ".gz"); err == nil && n == sgz {
+			return sgz, nil // clean: spooled artifact still covers the pack
+		}
+	}
+	pf, err := s.backend.Open(sh.name)
+	if err != nil {
+		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
+	}
+	defer pf.Close()
+	// Stream pack → gzip → backend: a pack holds the run's whole distinct
+	// chunk volume, so buffering its compressed form in memory would cost
+	// O(pack) heap per spool tick (worse at high fanout, where dirty shards
+	// compress concurrently).
+	out, err := s.backend.Create(sh.name + ".gz")
+	if err != nil {
+		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
+	}
+	cw := &countingWriter{w: out}
+	zw := gzip.NewWriter(cw)
+	if _, err := io.Copy(zw, io.NewSectionReader(pf, 0, plen)); err != nil {
+		out.Abort() // keep the previous intact spool artifact, if any
+		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
+	}
+	if err := zw.Close(); err != nil {
+		out.Abort()
+		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
+	}
+	if err := out.Close(); err != nil {
+		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
+	}
+	sh.mu.Lock()
+	sh.spooledLen = plen
+	sh.spooledGz = cw.n
+	sh.mu.Unlock()
+	return cw.n, nil
+}
+
+// countingWriter counts bytes forwarded to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// saveSpoolState persists per-shard spool coverage ("name spooledLen
+// gzSize" lines) so incremental spooling survives reopen.
+func (s *Store) saveSpoolState() error {
+	var b strings.Builder
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.spooledLen > 0 {
+			fmt.Fprintf(&b, "%s %d %d\n", sh.name, sh.spooledLen, sh.spooledGz)
+		}
+		sh.mu.Unlock()
+	}
+	if err := writeFileAtomic(s.spoolStatePath(), []byte(b.String())); err != nil {
+		return fmt.Errorf("store: save spool state: %w", err)
+	}
+	return nil
+}
+
+// loadSpoolState restores per-shard spool coverage at open. Stale or
+// unparsable entries are ignored: the worst case is one redundant
+// recompression on the next Spool.
+func (s *Store) loadSpoolState() {
+	raw, err := os.ReadFile(s.spoolStatePath())
+	if err != nil {
+		return
+	}
+	byName := map[string]*shard{}
+	for _, sh := range s.shards {
+		byName[sh.name] = sh
+	}
+	for _, ln := range strings.Split(string(raw), "\n") {
+		var name string
+		var slen, sgz int64
+		if _, err := fmt.Sscanf(ln, "%s %d %d", &name, &slen, &sgz); err != nil {
+			continue
+		}
+		if sh := byName[name]; sh != nil && slen <= sh.packLen {
+			sh.mu.Lock()
+			sh.spooledLen, sh.spooledGz = slen, sgz
+			sh.mu.Unlock()
+		}
+	}
 }
 
 // TotalSize returns the uncompressed byte total of all committed
@@ -1026,8 +1748,8 @@ func (s *Store) TotalSize() int64 {
 
 // GC deletes segments that are no longer the latest checkpoint for their
 // key, reclaiming space from superseded materializations. It returns the
-// number of segments removed. The CHUNKS pack is append-only and shared
-// between checkpoints, so GC never rewrites it; superseded v2 segments
+// number of segments removed. Chunk packs are append-only and shared
+// between checkpoints, so GC never rewrites them; superseded v2 segments
 // release only their (small) directory files, and their chunks remain
 // available to later checkpoints that reference the same content.
 func (s *Store) GC() (int, error) {

@@ -1,0 +1,105 @@
+package flor_test
+
+import (
+	"fmt"
+	"testing"
+
+	flor "flor.dev/flor"
+	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/store"
+)
+
+// TestMigrationMatrixByteIdenticalReplay is the layout-compatibility
+// matrix: the same program recorded into a legacy v1 store, an unsharded v2
+// store, and a hash-prefix sharded v2 store must open through the same API
+// — no flags, no layout hints — and replay byte-identical logs, with the
+// record-phase logs as the reference.
+func TestMigrationMatrixByteIdenticalReplay(t *testing.T) {
+	factory := counterFactory(6, 3)
+	probed := func() *flor.Program {
+		p := factory()
+		train := p.Main.Body[0].Loop
+		train.Body = flor.AddLog(train.Body, 1, flor.LogStmt("hs", func(e *flor.Env) (string, error) {
+			return fmt.Sprintf("%.17g", e.MustGet("w").(*flor.TensorVal).T.Norm()), nil
+		}))
+		return p
+	}
+
+	variants := []struct {
+		name   string
+		record func(dir string) error
+		layout string
+	}{
+		{"v1", func(dir string) error {
+			_, err := core.Record(dir, factory, core.RecordOptions{DisableAdaptive: true, StoreFormat: store.FormatV1})
+			return err
+		}, "v1"},
+		{"v2", func(dir string) error {
+			_, err := flor.Record(dir, factory, flor.DisableAdaptiveCheckpointing())
+			return err
+		}, "v2"},
+		{"v2-sharded", func(dir string) error {
+			_, err := flor.Record(dir, factory, flor.DisableAdaptiveCheckpointing(), flor.Shards(16))
+			return err
+		}, "v2-sharded/16"},
+	}
+
+	type result struct {
+		name string
+		base []string
+		hs   []string
+	}
+	var results []result
+	for _, v := range variants {
+		dir := t.TempDir()
+		if err := v.record(dir); err != nil {
+			t.Fatalf("%s: record: %v", v.name, err)
+		}
+		l, err := store.DetectLayout(dir)
+		if err != nil {
+			t.Fatalf("%s: detect layout: %v", v.name, err)
+		}
+		if l.String() != v.layout {
+			t.Fatalf("%s: layout = %s, want %s", v.name, l, v.layout)
+		}
+		// Unprobed replay reproduces the record log; probed replay adds the
+		// hindsight lines. Both go through the flag-free open path.
+		base, err := flor.Replay(dir, factory, flor.Workers(2))
+		if err != nil {
+			t.Fatalf("%s: replay: %v", v.name, err)
+		}
+		if len(base.Anomalies) != 0 {
+			t.Fatalf("%s: anomalies %v", v.name, base.Anomalies)
+		}
+		hs, err := flor.Replay(dir, probed, flor.Workers(3), flor.Init(flor.WeakInit))
+		if err != nil {
+			t.Fatalf("%s: probed replay: %v", v.name, err)
+		}
+		if len(hs.Anomalies) != 0 {
+			t.Fatalf("%s: probed anomalies %v", v.name, hs.Anomalies)
+		}
+		results = append(results, result{name: v.name, base: base.Logs, hs: hs.Logs})
+	}
+
+	ref := results[0]
+	for _, r := range results[1:] {
+		if err := sameLogs(ref.base, r.base); err != nil {
+			t.Fatalf("base replay logs diverge between %s and %s: %v", ref.name, r.name, err)
+		}
+		if err := sameLogs(ref.hs, r.hs); err != nil {
+			t.Fatalf("probed replay logs diverge between %s and %s: %v", ref.name, r.name, err)
+		}
+	}
+}
+
+func sameLogs(a, b []string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("line %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	return nil
+}
