@@ -207,6 +207,7 @@ func BenchmarkCkptThroughput(b *testing.B) {
 		b.ReportMetric(rep.ResSpeedupFrozen, "res-speedup-frozen")
 		b.ReportMetric(rep.DedupRatioFrozen, "dedup-ratio-frozen")
 		b.ReportMetric(rep.ShardedSpoolSpeedup, "sharded-spool-speedup")
+		b.ReportMetric(rep.FamilyStorageReduction, "family-storage-reduction")
 	}
 }
 

@@ -13,7 +13,13 @@
 //
 //	flord -demo                         # record two smoke runs, serve them
 //	flord -record ImgN,Jasp -dir runs   # record (or reuse) named workloads
-//	flord -addr :7707 ...
+//	flord -record ImgN,Jasp -pool       # runs share one chunk pool (<dir>/POOL)
+//	flord -addr :7707 -drain-timeout 30s ...
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
+// accepting, queries begun after the signal get 503, in-flight replays
+// finish up to -drain-timeout, then the stores close and the process
+// exits.
 //
 // Endpoints:
 //
@@ -27,11 +33,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"flor.dev/flor/internal/core"
@@ -52,6 +63,8 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 30*time.Second, "queued-query deadline; beyond it queries get 504")
 	storeCache := flag.Int("store-cache", 8, "open-store LRU capacity")
 	workers := flag.Int("workers", 2, "default replay parallelism per query")
+	pool := flag.Bool("pool", false, "record the workloads into one shared chunk pool (<dir>/POOL): sibling runs dedup chunks and share decoded payloads")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
 	names := *record
@@ -117,7 +130,11 @@ func main() {
 		runDir := filepath.Join(base, name)
 		if _, err := os.Stat(filepath.Join(runDir, "MANIFEST")); err != nil {
 			log.Printf("flord: recording %s into %s ...", name, runDir)
-			if _, err := core.Record(runDir, factories["base"], core.RecordOptions{}); err != nil {
+			recOpts := core.RecordOptions{}
+			if *pool {
+				recOpts.Pool = filepath.Join(base, "POOL")
+			}
+			if _, err := core.Record(runDir, factories["base"], recOpts); err != nil {
 				log.Fatalf("flord: record %s: %v", name, err)
 			}
 		} else {
@@ -133,6 +150,29 @@ func main() {
 		log.Printf("flord: serving run %q (probes: base, outer, inner)", name)
 	}
 
+	// Graceful drain: on SIGINT/SIGTERM stop accepting, finish in-flight
+	// replays up to the deadline, then close the stores and exit.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		log.Printf("flord: %v: draining (deadline %v) ...", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("flord: drain deadline exceeded: %v", err)
+			return
+		}
+		log.Printf("flord: drained cleanly")
+	}()
+
 	log.Printf("flord: listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		<-done // a signal is draining; let it finish before exiting
+		return
+	}
+	log.Fatal(err)
 }

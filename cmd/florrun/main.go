@@ -6,12 +6,14 @@
 //
 //	florrun -workload RsNt -dir ./run-rsnt [-scale smoke|full]
 //	        [-epsilon 0.0667] [-no-adaptive] [-strategy fork|baseline|queue|plasma]
-//	        [-shards 16] [-shard-dirs /mnt/a,/mnt/b]
+//	        [-shards 16] [-shard-dirs /mnt/a,/mnt/b] [-pool ./project/POOL]
 //
 // -shards records into a hash-prefix sharded checkpoint store (see
 // docs/FORMATS.md); -shard-dirs spreads its packs over extra root
-// directories. Replay needs no matching flags — the layout is detected
-// from the run directory.
+// directories. -pool records into a shared chunk pool, deduplicating
+// checkpoint chunks against every other run attached to the same pool
+// (fine-tuning families over one frozen backbone store it once). Replay
+// needs no matching flags — the layout is detected from the run directory.
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	strategy := flag.String("strategy", "fork", "materialization strategy: fork, baseline, queue, plasma")
 	shards := flag.Int("shards", 0, "hash-prefix shard fanout for the checkpoint store (power of two in [2,256]; 0 = single pack)")
 	shardDirs := flag.String("shard-dirs", "", "comma-separated extra root dirs for shard packs (requires -shards)")
+	pool := flag.String("pool", "", "shared chunk-pool root: dedup checkpoint chunks across every run attached to the same pool")
 	flag.Parse()
 
 	if *dir == "" {
@@ -74,6 +77,9 @@ func main() {
 		if *shards <= 1 {
 			log.Fatal("florrun: -shard-dirs requires -shards")
 		}
+		if *pool != "" {
+			log.Fatal("florrun: -shard-dirs and -pool are mutually exclusive (pooled packs live in the pool)")
+		}
 		var dirs []string
 		for _, d := range strings.Split(*shardDirs, ",") {
 			if d = strings.TrimSpace(d); d != "" {
@@ -81,6 +87,9 @@ func main() {
 			}
 		}
 		opts = append(opts, flor.ShardDirs(dirs...))
+	}
+	if *pool != "" {
+		opts = append(opts, flor.Pool(*pool))
 	}
 
 	res, err := flor.Record(*dir, spec.Build(sc), opts...)

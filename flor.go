@@ -210,6 +210,20 @@ func ShardDirs(dirs ...string) Option {
 	return func(o *options) { o.rec.ShardDirs = dirs }
 }
 
+// Pool records into a shared chunk pool rooted at dir (created on first
+// use; relative paths resolve against the process working directory, while
+// the run's manifest records a run-dir-relative reference so a project
+// tree relocates as a unit). Runs attached to
+// the same pool — a fine-tuning family over one frozen backbone, a swept
+// hyperparameter grid — deduplicate checkpoint chunks against each other,
+// so shared state is stored once per project instead of once per run, and
+// concurrent replays of sibling runs share decoded payloads. Combine with
+// Shards to pick the pool's shard fanout at creation. Replay needs no
+// matching option — the run's manifest records the attachment.
+func Pool(dir string) Option {
+	return func(o *options) { o.rec.Pool = dir }
+}
+
 // Workers sets the degree of hindsight parallelism G for replay.
 func Workers(g int) Option {
 	return func(o *options) { o.rep.Workers = g }

@@ -305,3 +305,26 @@ func TestServeThroughputSmoke(t *testing.T) {
 		t.Fatalf("hot/cold ratio not computed: %+v", rep)
 	}
 }
+
+// TestFinetuneFamilyPoolAcceptance is the cross-run dedup acceptance bar: a
+// 4-run fine-tuning family over one frozen backbone must store at least 3x
+// less in a shared chunk pool than in per-run private packs, with the
+// pool-wide payload cache not slowing the family restore down.
+func TestFinetuneFamilyPoolAcceptance(t *testing.T) {
+	s := smokeSession(t)
+	priv, pooled, reduction, restoreSpeedup, err := s.FinetuneFamily(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduction < 3 {
+		t.Fatalf("family storage reduction = %.2fx (private %+v, pooled %+v); acceptance bar is >= 3x", reduction, priv, pooled)
+	}
+	if pooled.DedupRatio <= priv.DedupRatio {
+		t.Fatalf("pooled family dedup ratio %.2f not above private %.2f", pooled.DedupRatio, priv.DedupRatio)
+	}
+	// Restore throughput is timing-noisy on shared CI cores: require only
+	// that pool-wide caching does not catastrophically regress the restore.
+	if restoreSpeedup < 0.5 {
+		t.Fatalf("shared-restore speedup = %.2fx; pooled restore regressed", restoreSpeedup)
+	}
+}

@@ -21,8 +21,8 @@ import (
 // an every-epoch background spool kept compressed, per second of spool
 // work.
 type CkptThroughputRow struct {
-	Scenario    string  `json:"scenario"` // "frozen", "mutating" or "spool-cadence"
-	Format      string  `json:"format"`   // "v1-blob", "v2-frames", "v2-pack" or "v2-sharded16"
+	Scenario    string  `json:"scenario"` // "frozen", "mutating", "spool-cadence" or "finetune-family"
+	Format      string  `json:"format"`   // "v1-blob", "v2-frames", "v2-pack", "v2-sharded16", "v2-private" or "v2-pooled"
 	LogicalMB   float64 `json:"logical_mb"`
 	MatMBps     float64 `json:"materialize_mbps"`
 	ResMBps     float64 `json:"restore_mbps"`
@@ -54,6 +54,15 @@ type CkptThroughputReport struct {
 	ShardedSpoolSpeedup   float64 `json:"sharded_spool_speedup"`
 	ShardedMatSpeedup     float64 `json:"sharded_materialize_speedup"`
 	ShardedRestoreSpeedup float64 `json:"sharded_restore_speedup"`
+	// FamilyStorageReduction is the finetune-family scenario's stored-bytes
+	// ratio: per-run private packs over one shared chunk pool, across a
+	// 4-run family re-checkpointing a frozen backbone (acceptance bar ≥ 3x
+	// — the pool stores the backbone once instead of once per run).
+	// FamilySharedRestoreSpeedup is the family restore-throughput ratio
+	// from the pool-wide payload cache (the backbone decodes once for the
+	// family instead of once per run).
+	FamilyStorageReduction     float64 `json:"family_storage_reduction"`
+	FamilySharedRestoreSpeedup float64 `json:"family_shared_restore_speedup"`
 }
 
 // ckptScenario builds the environment values for one scenario and a mutator
@@ -293,6 +302,14 @@ func (s *Session) CkptThroughput(epochs int) (*CkptThroughputReport, error) {
 		rep.Rows = append(rep.Rows, row)
 		byKey[row.Scenario+"/"+row.Format] = row
 	}
+	// Fine-tuning family: per-run private packs vs one shared chunk pool.
+	privRow, poolRow, reduction, restoreSpeedup, err := s.FinetuneFamily(epochs)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, privRow, poolRow)
+	rep.FamilyStorageReduction = reduction
+	rep.FamilySharedRestoreSpeedup = restoreSpeedup
 	speedup := func(scenario string, f func(CkptThroughputRow) float64) float64 {
 		v1 := f(byKey[scenario+"/v1-blob"])
 		if v1 == 0 {
@@ -335,6 +352,8 @@ func (s *Session) CkptThroughput(epochs int) (*CkptThroughputReport, error) {
 		rep.MatSpeedupFrozen, rep.ResSpeedupFrozen, rep.MatSpeedupMutating, rep.ResSpeedupMutating)
 	s.printf("sharded vs single pack: %0.2fx spool / %0.2fx materialize / %0.2fx restore\n",
 		rep.ShardedSpoolSpeedup, rep.ShardedMatSpeedup, rep.ShardedRestoreSpeedup)
+	s.printf("finetune family (%d runs), pooled vs private packs: %0.2fx storage reduction / %0.2fx shared-restore\n",
+		familyRuns, rep.FamilyStorageReduction, rep.FamilySharedRestoreSpeedup)
 
 	js, err := json.Marshal(rep)
 	if err != nil {

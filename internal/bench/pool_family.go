@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/nn"
+	"flor.dev/flor/internal/store"
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/value"
+	"flor.dev/flor/internal/workloads"
+	"flor.dev/flor/internal/xrand"
+)
+
+// familyRuns is the size of the fine-tuning family: sibling runs sharing
+// one frozen backbone, each with its own task head — the paper's RTE/CoLA
+// shape, where every run re-checkpoints a backbone it never trains.
+const familyRuns = 4
+
+// familyScenario builds the fine-tuning family's per-run environments: one
+// frozen backbone (identical object across runs) plus a per-run head tensor
+// the mutator rewrites every epoch.
+type familyScenario struct {
+	backbone backmat.NamedValue
+	heads    []*value.Tensor
+}
+
+func newFamilyScenario(scale workloads.Scale) *familyScenario {
+	// The head is deliberately small next to the backbone (a task head over
+	// a frozen encoder — the RTE/CoLA shape): the family's redundancy is
+	// the backbone, re-checkpointed by every run.
+	vocab, seqLen, dim, hidden, depth := 4096, 24, 96, 192, 3
+	headLen := 1 << 11
+	if scale == workloads.Smoke {
+		vocab, seqLen, dim, hidden, depth = 512, 12, 32, 64, 2
+		headLen = 1 << 8
+	}
+	fs := &familyScenario{
+		backbone: backmat.NamedValue{
+			Name: "backbone",
+			V:    &value.Model{M: nn.NewTransformer(xrand.New(0xFA417), vocab, seqLen, dim, hidden, depth, 2)},
+		},
+	}
+	for r := 0; r < familyRuns; r++ {
+		rng := xrand.New(0xBEEF + uint64(r))
+		fs.heads = append(fs.heads, &value.Tensor{T: tensor.Randn(rng, 1, headLen)})
+	}
+	return fs
+}
+
+// vals returns run r's checkpoint environment.
+func (fs *familyScenario) vals(r int) []backmat.NamedValue {
+	return []backmat.NamedValue{
+		fs.backbone,
+		{Name: "head", V: fs.heads[r]},
+	}
+}
+
+// mutate rewrites run r's head for a new epoch (the backbone stays frozen).
+func (fs *familyScenario) mutate(r, epoch int) {
+	d := fs.heads[r].T.Data()
+	rng := xrand.New(uint64(r)<<16 | uint64(epoch))
+	for i := range d {
+		d[i] = rng.Float64()
+	}
+}
+
+// runFamily materializes the whole family (epochs checkpoints per run) with
+// either per-run private packs (pool == "") or one shared chunk pool, then
+// restores every run's checkpoints through the daemon-style read-only path.
+// Private runs restore with per-run payload caches; pooled runs share one
+// pool-wide cache, so the backbone decodes once for the whole family. It
+// returns the row plus the family's total stored pack bytes.
+func (s *Session) runFamily(fs *familyScenario, pool string, epochs int) (CkptThroughputRow, int64, error) {
+	label := "v2-private"
+	if pool != "" {
+		label = "v2-pooled"
+	}
+	row := CkptThroughputRow{Scenario: "finetune-family", Format: label, Checkpoints: familyRuns * epochs}
+
+	dirs := make([]string, familyRuns)
+	var logical, stored, matNs int64
+	for r := 0; r < familyRuns; r++ {
+		dirs[r] = s.tempDir(fmt.Sprintf("family-%s-%d", label, r))
+		// Private runs shard at the pool's default fanout so the comparison
+		// isolates pooling (cross-run dedup, shared payload cache) from the
+		// orthogonal sharded-read parallelism both layouts share.
+		st, err := store.OpenWith(dirs[r], store.Options{Pool: pool, ShardFanout: store.DefaultShardFanout})
+		if err != nil {
+			return row, 0, err
+		}
+		for e := 0; e < epochs; e++ {
+			fs.mutate(r, e)
+			items := snapshotAll(fs.vals(r))
+			t0 := time.Now()
+			secs := backmat.EncodeSections(items)
+			if _, err := st.PutSections(store.Key{LoopID: "train", Exec: e}, secs, 0, 0, 0); err != nil {
+				return row, 0, err
+			}
+			matNs += time.Since(t0).Nanoseconds()
+		}
+		for _, m := range st.Metas() {
+			logical += m.Size
+		}
+		if pool == "" {
+			stored += st.Dedup().StoredEncBytes
+		}
+	}
+	if pool != "" {
+		ps, ok := store.PoolStatsAt(pool)
+		if !ok {
+			return row, 0, fmt.Errorf("bench: pool %s not open after family record", pool)
+		}
+		stored = ps.StoredEncBytes
+	}
+
+	// Shared-restore throughput: replay the family's checkpoints back
+	// through read-only stores. The pooled family shares one payload cache
+	// (pool-wide content addressing); the private family pays one cache per
+	// run, decoding the backbone four times.
+	sharedCache := backmat.NewPayloadCache(0)
+	var resNs int64
+	for r := 0; r < familyRuns; r++ {
+		ro, err := store.OpenReadOnly(dirs[r])
+		if err != nil {
+			return row, 0, err
+		}
+		cache := sharedCache
+		if pool == "" {
+			cache = backmat.NewPayloadCache(0)
+		}
+		for e := 0; e < epochs; e++ {
+			t0 := time.Now()
+			secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: e}, cache.Contains)
+			if err != nil || !ok {
+				return row, 0, fmt.Errorf("bench: family restore %s run %d epoch %d: ok=%v err=%v", label, r, e, ok, err)
+			}
+			items, err := backmat.DecodeSectionsCached(cache, secs)
+			if err != nil {
+				return row, 0, err
+			}
+			resNs += time.Since(t0).Nanoseconds()
+			if len(items) != 2 {
+				return row, 0, fmt.Errorf("bench: family restore decoded %d items", len(items))
+			}
+		}
+	}
+
+	mb := float64(logical) / (1 << 20)
+	row.LogicalMB = mb
+	row.MatMBps = mb / (float64(matNs) / 1e9)
+	row.ResMBps = mb / (float64(resNs) / 1e9)
+	if stored > 0 {
+		row.DedupRatio = float64(logical) / float64(stored)
+	}
+	return row, stored, nil
+}
+
+// FinetuneFamily measures the cross-run shared chunk pool on a fine-tuning
+// family: familyRuns sibling runs checkpoint one frozen backbone plus
+// per-run heads, once into per-run private packs and once into a shared
+// pool. It reports the family-wide storage reduction (private stored bytes
+// over pooled stored bytes; the pool stores the backbone once) and the
+// shared-restore speedup from the pool-wide payload cache.
+func (s *Session) FinetuneFamily(epochs int) (privateRow, pooledRow CkptThroughputRow, reduction, restoreSpeedup float64, err error) {
+	fs := newFamilyScenario(s.Scale)
+	privateRow, privateStored, err := s.runFamily(fs, "", epochs)
+	if err != nil {
+		return privateRow, pooledRow, 0, 0, err
+	}
+	pooledRow, pooledStored, err := s.runFamily(fs, s.tempDir("family-pool"), epochs)
+	if err != nil {
+		return privateRow, pooledRow, 0, 0, err
+	}
+	if pooledStored > 0 {
+		reduction = float64(privateStored) / float64(pooledStored)
+	}
+	if privateRow.ResMBps > 0 {
+		restoreSpeedup = pooledRow.ResMBps / privateRow.ResMBps
+	}
+	return privateRow, pooledRow, reduction, restoreSpeedup, nil
+}

@@ -51,6 +51,12 @@ type RecordOptions struct {
 	// directories (persisted in the run directory, so replay and serving
 	// find them without options).
 	ShardDirs []string
+	// Pool attaches the run to a shared chunk pool at this root (created on
+	// first use; see store.Options.Pool). Runs of one project attached to
+	// the same pool deduplicate chunks against each other — fine-tuning
+	// families sharing a frozen backbone store it once. Replay needs no
+	// matching option: the run's manifest records the attachment.
+	Pool string
 }
 
 // RecordResult is the outcome of a record run.
@@ -77,6 +83,7 @@ func Record(dir string, factory func() *script.Program, opts RecordOptions) (*Re
 		Format:      opts.StoreFormat,
 		ShardFanout: opts.ShardFanout,
 		ShardDirs:   opts.ShardDirs,
+		Pool:        opts.Pool,
 	})
 	if err != nil {
 		return nil, err
@@ -198,13 +205,21 @@ func LoadRecordingShared(dir string) (*replay.Recording, error) {
 	return loadRecording(dir, st)
 }
 
-// LoadRecordingSharedPinned is LoadRecordingShared with the sharded
-// store's extra pack roots pinned: the open fails unless the run
-// directory's persisted SHARDS list still matches shardDirs (empty means
-// "no extra roots"), so a server that validated the roots at registration
-// time cannot be redirected by a later SHARDS rewrite.
-func LoadRecordingSharedPinned(dir string, shardDirs []string) (*replay.Recording, error) {
-	st, err := store.OpenWith(dir, store.Options{ReadOnly: true, ShardDirs: shardDirs, PinShardDirs: true})
+// LoadRecordingSharedPinned is LoadRecordingShared with the store's
+// external roots pinned: the open fails unless the run directory's
+// persisted SHARDS list still matches shardDirs (empty means "no extra
+// roots") and its pool attachment still matches pool (empty means "not
+// pooled"), so a server that validated both at registration time cannot be
+// redirected by a later SHARDS or manifest rewrite.
+func LoadRecordingSharedPinned(dir string, shardDirs []string, pool string) (*replay.Recording, error) {
+	opts := store.Options{ReadOnly: true, Pool: pool, PinPool: true}
+	if pool == "" {
+		// ShardDirs and Pool are mutually exclusive on pooled stores; pin
+		// whichever axis the layout actually has.
+		opts.ShardDirs = shardDirs
+		opts.PinShardDirs = true
+	}
+	st, err := store.OpenWith(dir, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -59,6 +59,19 @@ func ReplaySample(rec *Recording, factory func() *script.Program, iterations []i
 // ReplaySampleWith is ReplaySample with daemon plumbing: a shared payload
 // cache and a shared slot source (see SampleOptions).
 func ReplaySampleWith(rec *Recording, factory func() *script.Program, iterations []int, sopts SampleOptions) (*SampleResult, error) {
+	return ReplaySampleStream(rec, factory, iterations, sopts, nil)
+}
+
+// ReplaySampleStream is ReplaySampleWith with incremental delivery: after
+// each sampled iteration replays, emit receives the iteration index and its
+// log lines — before the next iteration starts. Long multi-point queries
+// (binary searches over hundreds of epochs) surface their first results
+// immediately and bound the caller's buffering to one iteration; the
+// serving daemon streams these chunks over HTTP instead of buffering the
+// whole response. An emit error aborts the replay and is returned as-is. A
+// nil emit degrades to the buffered behavior. The returned SampleResult
+// still aggregates everything emitted.
+func ReplaySampleStream(rec *Recording, factory func() *script.Program, iterations []int, sopts SampleOptions, emit func(iteration int, logs []string) error) (*SampleResult, error) {
 	p := factory()
 	diff, err := script.DiffHindsight(rec.Shape, p)
 	if err != nil {
@@ -146,12 +159,18 @@ func ReplaySampleWith(rec *Recording, factory func() *script.Program, iterations
 		// Replay the sampled iteration with log capture.
 		rt.SetMode(skipblock.ModeReplayExec)
 		positionBlocks(p, rt, it)
+		mark := lg.Len()
 		ctx.Log = lg.Append
 		ctx.Env.SetInt(p.Main.IterVar, it)
 		if err := script.ExecStmts(ctx, p.Main.Body); err != nil {
 			return nil, fmt.Errorf("replay: sample iteration %d: %w", it, err)
 		}
 		cursor = it
+		if emit != nil {
+			if err := emit(it, lg.Tail(mark)); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return &SampleResult{
 		Iterations: sample,

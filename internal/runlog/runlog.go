@@ -52,6 +52,20 @@ func (l *Log) Len() int {
 	return len(l.lines)
 }
 
+// Tail returns a copy of the lines from index `from` on — what streaming
+// consumers emit per increment without copying the whole log each time. An
+// out-of-range from yields nil.
+func (l *Log) Tail(from int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 || from >= len(l.lines) {
+		return nil
+	}
+	out := make([]string, len(l.lines)-from)
+	copy(out, l.lines[from:])
+	return out
+}
+
 // WriteFile persists the log, one line per row.
 func (l *Log) WriteFile(path string) error {
 	content := strings.Join(l.Lines(), "\n")

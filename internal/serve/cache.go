@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"flor.dev/flor/internal/backmat"
@@ -13,13 +14,19 @@ import (
 // dedup index replayed once) plus the cross-query decoded-payload cache.
 // Entries stay valid after eviction — in-flight queries holding one simply
 // finish on it; eviction only stops new queries from finding it hot.
+//
+// For runs attached to a shared chunk pool, cache is the *pool's* payload
+// cache, shared by every sibling run of the project: content is addressed
+// by hash, so a backbone decoded for one run's replay serves its whole
+// fine-tuning family.
 type cacheEntry struct {
 	runID string
 	rec   *replay.Recording
 	cache *backmat.PayloadCache
 }
 
-// storeCache is an LRU of open stores keyed by run ID.
+// storeCache is an LRU of open stores keyed by run ID, plus the per-pool
+// payload caches that outlive individual entries.
 type storeCache struct {
 	mu         sync.Mutex
 	cap        int
@@ -27,6 +34,11 @@ type storeCache struct {
 	entries    map[string]*list.Element // value: *cacheEntry
 	lru        *list.List               // front = most recent
 	onEvict    func(runID string)
+	// poolCaches keys shared payload caches by resolved pool root. Pool
+	// caches are not evicted with their runs: the pool outlives any one
+	// run's LRU residency, and its decoded content stays valid (content-
+	// addressed, immutable by contract).
+	poolCaches map[string]*backmat.PayloadCache
 
 	hits      int64
 	misses    int64
@@ -40,13 +52,14 @@ func newStoreCache(capacity int, cacheBytes int64, onEvict func(string)) *storeC
 		entries:    map[string]*list.Element{},
 		lru:        list.New(),
 		onEvict:    onEvict,
+		poolCaches: map[string]*backmat.PayloadCache{},
 	}
 }
 
-// get returns the entry for runID, opening the store (read-only, shard
-// roots pinned to what registration validated) on a miss and evicting the
-// least recently used entry beyond capacity.
-func (c *storeCache) get(runID, dir string, shardRoots []string) (*cacheEntry, bool, error) {
+// get returns the entry for runID, opening the store (read-only, shard and
+// pool roots pinned to what registration validated) on a miss and evicting
+// the least recently used entry beyond capacity.
+func (c *storeCache) get(runID, dir string, shardRoots []string, poolRoot string) (*cacheEntry, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[runID]; ok {
 		c.lru.MoveToFront(el)
@@ -61,11 +74,11 @@ func (c *storeCache) get(runID, dir string, shardRoots []string) (*cacheEntry, b
 	// Load outside the lock: opening a cold store replays its manifest,
 	// which must not block hits on other runs. A racing duplicate load of
 	// the same run is benign (last one wins the cache slot).
-	rec, err := core.LoadRecordingSharedPinned(dir, shardRoots)
+	rec, err := core.LoadRecordingSharedPinned(dir, shardRoots, poolRoot)
 	if err != nil {
 		return nil, false, err
 	}
-	ent := &cacheEntry{runID: runID, rec: rec, cache: backmat.NewPayloadCache(c.cacheBytes)}
+	ent := &cacheEntry{runID: runID, rec: rec, cache: c.payloadCache(poolRoot)}
 
 	c.mu.Lock()
 	var evicted []string
@@ -92,6 +105,45 @@ func (c *storeCache) get(runID, dir string, shardRoots []string) (*cacheEntry, b
 		}
 	}
 	return ent, false, nil
+}
+
+// payloadCache returns the decoded-payload cache for a store: per-run for
+// private-pack stores, shared pool-wide for pooled ones.
+func (c *storeCache) payloadCache(poolRoot string) *backmat.PayloadCache {
+	if poolRoot == "" {
+		return backmat.NewPayloadCache(c.cacheBytes)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pc, ok := c.poolCaches[poolRoot]; ok {
+		return pc
+	}
+	pc := backmat.NewPayloadCache(c.cacheBytes)
+	c.poolCaches[poolRoot] = pc
+	return pc
+}
+
+// clear drops every entry (graceful shutdown: stop handing out stores),
+// firing the eviction hook for each like normal LRU eviction does —
+// embedders track open-store resources through it.
+func (c *storeCache) clear() {
+	c.mu.Lock()
+	var evicted []string
+	for id := range c.entries {
+		evicted = append(evicted, id)
+	}
+	c.entries = map[string]*list.Element{}
+	c.lru = list.New()
+	c.poolCaches = map[string]*backmat.PayloadCache{}
+	c.evictions += int64(len(evicted))
+	hook := c.onEvict
+	c.mu.Unlock()
+	if hook != nil {
+		sort.Strings(evicted)
+		for _, id := range evicted {
+			hook(id)
+		}
+	}
 }
 
 // contains reports whether runID is currently cached (no LRU touch).

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // RegisterRequest is the body of POST /v1/runs: register a recorded run
@@ -24,9 +25,17 @@ type RegisterRequest struct {
 //	POST /v1/runs                 register a run dir (RegisterRequest body);
 //	                              bad directories (unknown store format) 400
 //	POST /v1/runs/{id}/replay     full replay query (ReplayRequest body)
-//	GET  /v1/runs/{id}/logs       sample query (?iters=3,7&probe=name)
+//	GET  /v1/runs/{id}/logs       sample query (?iters=3,7&probe=name);
+//	                              &stream=1 streams NDJSON chunks (one
+//	                              {"iteration","logs"} object per sampled
+//	                              iteration, chunked transfer encoding)
+//	                              instead of buffering the whole replay
 //	POST /v1/runs/{id}/logs       sample query (SampleRequest body)
-//	GET  /v1/stats                pool, store-cache and per-run stats
+//	GET  /v1/stats                pool, store-cache, per-run and chunk-pool
+//	                              stats
+//
+// While the daemon drains (Shutdown), new queries and registrations get
+// 503.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -81,19 +90,94 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		req.Iterations = iters
+		if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+			s.streamSample(w, r, req)
+			return
+		}
 		sample(w, r, req)
 	})
 	return mux
 }
 
-// ListenAndServe serves the API on opts.Addr until the listener fails.
-func (s *Server) ListenAndServe() error {
-	return http.ListenAndServe(s.opts.Addr, s.Handler())
+// streamSample serves a sampling query incrementally: one NDJSON line per
+// replayed iteration, flushed as produced, so the response is chunked
+// rather than buffered — a replay over hundreds of iterations delivers its
+// first logs after the first iteration and never holds the full output in
+// memory. Every chunk write carries a rolling deadline (the queue timeout):
+// a client that stops reading mid-stream would otherwise stall the replay
+// between iterations while it pins an in-flight slot and blocks drain.
+// Errors after the first chunk arrive as a final {"error": ...} line (the
+// 200 status is already on the wire).
+func (s *Server) streamSample(w http.ResponseWriter, r *http.Request, req SampleRequest) {
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	started := false
+	_, err := s.SampleStream(r.Context(), r.PathValue("id"), req, func(chunk SampleChunk) error {
+		if !started {
+			started = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		// Best-effort: not every ResponseWriter supports deadlines
+		// (httptest recorders); the write itself still errors out the
+		// query when the connection is gone.
+		_ = rc.SetWriteDeadline(time.Now().Add(s.opts.QueueTimeout))
+		if err := enc.Encode(chunk); err != nil {
+			return err
+		}
+		// The ResponseController follows Unwrap through middleware
+		// wrappers, unlike a direct http.Flusher assertion.
+		_ = rc.Flush()
+		return nil
+	})
+	if started {
+		// The per-chunk deadlines were set on the connection, which
+		// keep-alive reuses for later (possibly slow, non-streamed)
+		// responses; clear them so the stream's timeout does not outlive
+		// the stream.
+		defer rc.SetWriteDeadline(time.Time{})
+	}
+	if err != nil {
+		if !started {
+			writeErr(w, err)
+			return
+		}
+		_ = enc.Encode(errBody(err))
+	}
 }
 
-// Serve serves the API on an existing listener (tests, embedding).
+// ListenAndServe serves the API on opts.Addr until the listener fails or
+// Shutdown drains the daemon (then it returns http.ErrServerClosed).
+func (s *Server) ListenAndServe() error {
+	hs, err := s.installHTTPServer(&http.Server{Addr: s.opts.Addr, Handler: s.Handler()})
+	if err != nil {
+		return err
+	}
+	return hs.ListenAndServe()
+}
+
+// Serve serves the API on an existing listener (tests, embedding); Shutdown
+// stops it like ListenAndServe's.
 func (s *Server) Serve(l net.Listener) error {
-	return http.Serve(l, s.Handler())
+	hs, err := s.installHTTPServer(&http.Server{Handler: s.Handler()})
+	if err != nil {
+		return err
+	}
+	return hs.Serve(l)
+}
+
+// installHTTPServer publishes the http.Server for Shutdown to stop. If a
+// drain already began — a signal racing startup — the listener must not
+// start at all: Shutdown has already passed the point where it would have
+// stopped it, and an orphaned listener would serve 503s forever.
+func (s *Server) installHTTPServer(hs *http.Server) (*http.Server, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, http.ErrServerClosed
+	}
+	s.httpSrv = hs
+	return hs, nil
 }
 
 // parseIters parses "3,7,12" into iterations.
@@ -138,6 +222,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrQueueTimeout):
 		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errBody(err))
 }

@@ -46,6 +46,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -76,6 +77,9 @@ var (
 	// ErrQueueTimeout is returned when a queued query's deadline expires
 	// before an in-flight slot frees up (504).
 	ErrQueueTimeout = errors.New("serve: queue deadline exceeded")
+	// ErrDraining is returned once Shutdown has begun: the daemon finishes
+	// in-flight queries but accepts no new work (503).
+	ErrDraining = errors.New("serve: draining")
 )
 
 // RunConfig registers one recording with the daemon.
@@ -181,7 +185,12 @@ type run struct {
 	// shardRoots pins the sharded store's pack roots as validated at
 	// registration: opens fail rather than follow a later SHARDS rewrite.
 	shardRoots []string
-	sem        chan struct{} // in-flight bound
+	// poolRoot pins a pooled run's chunk-pool root the same way ("" for
+	// private-pack runs). Runs sharing a poolRoot form a project group:
+	// their stores resolve chunks through one pool and their queries share
+	// one decoded-payload cache.
+	poolRoot string
+	sem      chan struct{} // in-flight bound
 
 	mu     sync.Mutex
 	queued int
@@ -218,15 +227,19 @@ func (r *run) probes() []string {
 }
 
 // Server is the flord daemon. Construct with New, register recordings, then
-// expose Handler (or ListenAndServe).
+// expose Handler (or ListenAndServe). Shutdown drains gracefully: new work
+// is refused with ErrDraining while in-flight queries finish.
 type Server struct {
 	opts   Options
 	pool   *sched.Pool
 	stores *storeCache
 
-	mu    sync.Mutex
-	runs  map[string]*run
-	order []string
+	mu       sync.Mutex
+	runs     map[string]*run
+	order    []string
+	draining bool
+	inflight sync.WaitGroup
+	httpSrv  *http.Server
 }
 
 // New returns a Server with the given options (zero value = defaults).
@@ -247,20 +260,26 @@ func (s *Server) Pool() *sched.Pool { return s.pool }
 // Register adds a recording to the registry. The run directory must exist
 // and carry a store layout this build understands — a directory recorded by
 // a future layout (or with a corrupt FORMAT marker) is rejected here as a
-// bad request, not discovered as a 500 by the first query. The store itself
-// is still opened lazily on the first query.
+// bad request, not discovered as a 500 by the first query. Pooled runs are
+// grouped by their chunk pool's root, which is validated and pinned here.
+// The store itself is still opened lazily on the first query.
 func (s *Server) Register(cfg RunConfig) error {
 	shardRoots, err := store.ShardRoots(cfg.Dir)
 	if err != nil {
 		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
 	}
-	return s.registerPinned(cfg, shardRoots)
+	poolRoot, _, err := store.PoolRef(cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
+	}
+	return s.registerPinned(cfg, shardRoots, poolRoot)
 }
 
-// registerPinned is Register with the shard roots already read (exactly
-// once): HTTP registration validates confinement and pins from the same
-// read, so a SHARDS rewrite between check and pin cannot slip through.
-func (s *Server) registerPinned(cfg RunConfig, shardRoots []string) error {
+// registerPinned is Register with the shard and pool roots already read
+// (exactly once): HTTP registration validates confinement and pins from the
+// same read, so a SHARDS or manifest rewrite between check and pin cannot
+// slip through.
+func (s *Server) registerPinned(cfg RunConfig, shardRoots []string, poolRoot string) error {
 	if cfg.ID == "" {
 		return fmt.Errorf("%w: register: empty run ID", ErrBadRequest)
 	}
@@ -293,12 +312,60 @@ func (s *Server) registerPinned(cfg RunConfig, shardRoots []string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return fmt.Errorf("%w: register %q", ErrDraining, cfg.ID)
+	}
 	if _, dup := s.runs[cfg.ID]; dup {
 		return fmt.Errorf("%w: register: duplicate run ID %q", ErrBadRequest, cfg.ID)
 	}
-	s.runs[cfg.ID] = &run{cfg: cfg, layout: layout, shardRoots: shardRoots, sem: make(chan struct{}, s.opts.MaxInflightPerRun)}
+	s.runs[cfg.ID] = &run{cfg: cfg, layout: layout, shardRoots: shardRoots, poolRoot: poolRoot, sem: make(chan struct{}, s.opts.MaxInflightPerRun)}
 	s.order = append(s.order, cfg.ID)
 	return nil
+}
+
+// beginQuery gates a query on the drain state and tracks it for Shutdown's
+// wait; the returned func must be called when the query finishes.
+func (s *Server) beginQuery() (func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.inflight.Add(1)
+	return func() { s.inflight.Done() }, nil
+}
+
+// Shutdown drains the daemon: registrations and queries begun after this
+// call fail with ErrDraining (HTTP 503), the embedded listener (if
+// ListenAndServe started one) stops accepting, in-flight queries run to
+// completion up to ctx's deadline, and the open stores are released. It
+// returns ctx.Err() if the deadline expired with queries still running.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	hs := s.httpSrv
+	s.mu.Unlock()
+	if hs != nil {
+		// Stop the listener first so no request can race past the drain
+		// check while we wait. http.Server.Shutdown itself waits for active
+		// handlers, bounded by the same ctx.
+		_ = hs.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Release the hot stores only after the drain (or deadline): in-flight
+	// queries keep their entries alive regardless, but new opens are over.
+	s.stores.clear()
+	return err
 }
 
 // RegisterByName registers a recorded directory against a named program
@@ -341,11 +408,12 @@ func (s *Server) RegisterByName(id, dir, program string) error {
 	if outside(abs) {
 		return fmt.Errorf("%w: register %q: directory missing or outside the register root", ErrBadRequest, id)
 	}
-	// A sharded run's packs live wherever its SHARDS file says — confine
-	// those roots too, or a planted SHARDS file would point the daemon's
-	// reads outside the register root. The same single read is what gets
-	// pinned: checking one read and pinning another would leave a window
-	// for a rewrite in between.
+	// A sharded run's packs live wherever its SHARDS file says, and a
+	// pooled run's wherever its manifest's pool reference says — confine
+	// those roots too, or a planted SHARDS file or manifest would point the
+	// daemon's reads outside the register root. The same single read is
+	// what gets pinned: checking one read and pinning another would leave a
+	// window for a rewrite in between.
 	shardRoots, err := store.ShardRoots(abs)
 	if err != nil {
 		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, id, err)
@@ -354,6 +422,13 @@ func (s *Server) RegisterByName(id, dir, program string) error {
 		if outside(r) {
 			return fmt.Errorf("%w: register %q: shard root %q outside the register root", ErrBadRequest, id, r)
 		}
+	}
+	poolRoot, pooled, err := store.PoolRef(abs)
+	if err != nil {
+		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, id, err)
+	}
+	if pooled && outside(poolRoot) {
+		return fmt.Errorf("%w: register %q: pool root %q outside the register root", ErrBadRequest, id, poolRoot)
 	}
 	dir = abs
 	factories, ok := s.opts.Library[program]
@@ -365,7 +440,7 @@ func (s *Server) RegisterByName(id, dir, program string) error {
 		sort.Strings(names)
 		return fmt.Errorf("%w: unknown program %q (library has %s)", ErrBadRequest, program, strings.Join(names, ", "))
 	}
-	return s.registerPinned(RunConfig{ID: id, Dir: dir, Factories: factories}, shardRoots)
+	return s.registerPinned(RunConfig{ID: id, Dir: dir, Factories: factories}, shardRoots, poolRoot)
 }
 
 func (s *Server) run(id string) (*run, error) {
@@ -428,7 +503,7 @@ func (s *Server) admit(ctx context.Context, r *run) (release func(), queueNs int
 // open resolves the run's shared store entry through the LRU, folding the
 // hit/miss into the run's stats.
 func (s *Server) open(r *run) (*cacheEntry, bool, error) {
-	ent, hit, err := s.stores.get(r.cfg.ID, r.cfg.Dir, r.shardRoots)
+	ent, hit, err := s.stores.get(r.cfg.ID, r.cfg.Dir, r.shardRoots, r.poolRoot)
 	r.mu.Lock()
 	if err != nil {
 		r.stats.Errors++
@@ -473,6 +548,11 @@ type ReplayResponse struct {
 // Replay serves one replay query through admission control, the shared
 // store, and the shared worker pool.
 func (s *Server) Replay(ctx context.Context, runID string, req ReplayRequest) (*ReplayResponse, error) {
+	done, err := s.beginQuery()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	r, err := s.run(runID)
 	if err != nil {
 		return nil, err
@@ -565,6 +645,34 @@ type SampleResponse struct {
 // Sample serves one sampling query; its single slot is priced cheaply, so
 // the pool lets it overtake queued full-replay workers.
 func (s *Server) Sample(ctx context.Context, runID string, req SampleRequest) (*SampleResponse, error) {
+	return s.sample(ctx, runID, req, nil)
+}
+
+// SampleChunk is one streamed unit of a sampling query: a replayed
+// iteration and its log lines.
+type SampleChunk struct {
+	Iteration int      `json:"iteration"`
+	Logs      []string `json:"logs"`
+}
+
+// SampleStream is Sample with incremental delivery: emit receives each
+// sampled iteration's logs as soon as that iteration has replayed, so a
+// very long sample surfaces results immediately and the caller never
+// buffers more than one iteration. The HTTP layer streams the chunks with
+// chunked transfer encoding. An emit error aborts the query.
+func (s *Server) SampleStream(ctx context.Context, runID string, req SampleRequest, emit func(SampleChunk) error) (*SampleResponse, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("%w: stream sample without an emit callback", ErrBadRequest)
+	}
+	return s.sample(ctx, runID, req, emit)
+}
+
+func (s *Server) sample(ctx context.Context, runID string, req SampleRequest, emit func(SampleChunk) error) (*SampleResponse, error) {
+	done, err := s.beginQuery()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	r, err := s.run(runID)
 	if err != nil {
 		return nil, err
@@ -587,11 +695,15 @@ func (s *Server) Sample(ctx context.Context, runID string, req SampleRequest) (*
 	}
 	slotCtx, cancel := context.WithTimeout(ctx, s.opts.QueueTimeout)
 	defer cancel()
-	res, err := replay.ReplaySampleWith(ent.rec, factory, req.Iterations, replay.SampleOptions{
+	var rawEmit func(int, []string) error
+	if emit != nil {
+		rawEmit = func(it int, logs []string) error { return emit(SampleChunk{Iteration: it, Logs: logs}) }
+	}
+	res, err := replay.ReplaySampleStream(ent.rec, factory, req.Iterations, replay.SampleOptions{
 		Cache: ent.cache,
 		Slots: s.pool,
 		Ctx:   slotCtx,
-	})
+	}, rawEmit)
 	if err != nil {
 		// Out-of-range iterations are the client's mistake, not a serving
 		// failure: report 400 and keep them out of the error counters.
@@ -630,10 +742,13 @@ type RunInfo struct {
 	Probes []string `json:"probes"`
 	Open   bool     `json:"open"` // store currently in the LRU
 	// Format is the store layout detected at registration ("v1", "v2",
-	// "v2-sharded/16").
+	// "v2-sharded/16", "v2-pooled/16").
 	Format string `json:"format"`
 	// Shards is the chunk-pack fanout (0 for v1, 1 for unsharded v2).
 	Shards int `json:"shards"`
+	// Pool is the resolved chunk-pool root for pooled runs ("" otherwise);
+	// runs sharing it form one project group.
+	Pool string `json:"pool,omitempty"`
 }
 
 // Runs lists registered runs in registration order.
@@ -654,9 +769,30 @@ func (s *Server) Runs() []RunInfo {
 			Open:   s.stores.contains(id),
 			Format: r.layout.String(),
 			Shards: r.layout.ShardFanout,
+			Pool:   r.poolRoot,
 		})
 	}
 	return out
+}
+
+// ChunkPoolStats describes one project's shared chunk pool in /v1/stats:
+// which runs are grouped under it and, when a query has opened it in this
+// process, its pool-wide storage accounting.
+type ChunkPoolStats struct {
+	Root string   `json:"root"`
+	Runs []string `json:"runs"` // registered run IDs attached to the pool
+	// Open reports whether the pool is resident (some run opened it);
+	// storage figures below are only populated then.
+	Open           bool  `json:"open"`
+	Leases         int   `json:"leases,omitempty"`
+	Chunks         int64 `json:"chunks,omitempty"`
+	StoredRawBytes int64 `json:"stored_raw_bytes,omitempty"`
+	StoredEncBytes int64 `json:"stored_enc_bytes,omitempty"`
+	// CompressionRatio is raw chunk bytes per encoded pack byte — the
+	// pool's frame-style encoding win, deliberately not named dedup_ratio:
+	// cross-run dedup shows up as StoredRawBytes staying near one family
+	// member's footprint, and the per-run dedup figures live elsewhere.
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
 }
 
 // Stats is the daemon-wide accounting snapshot served at /v1/stats.
@@ -664,9 +800,15 @@ type Stats struct {
 	Pool       sched.PoolStats     `json:"pool"`
 	StoreCache CacheStats          `json:"store_cache"`
 	Runs       map[string]RunStats `json:"runs"`
+	// ChunkPools groups registered runs by shared chunk pool, keyed by the
+	// resolved pool root; absent when no registered run is pooled.
+	ChunkPools map[string]ChunkPoolStats `json:"chunk_pools,omitempty"`
+	// Draining reports a shutdown in progress (new queries get 503).
+	Draining bool `json:"draining,omitempty"`
 }
 
-// Stats returns a snapshot of pool, store-cache, and per-run accounting.
+// Stats returns a snapshot of pool, store-cache, per-run, and per-chunk-pool
+// accounting.
 func (s *Server) Stats() Stats {
 	out := Stats{
 		Pool:       s.pool.Stats(),
@@ -678,6 +820,7 @@ func (s *Server) Stats() Stats {
 	for _, r := range s.runs {
 		runs = append(runs, r)
 	}
+	out.Draining = s.draining
 	s.mu.Unlock()
 	for _, r := range runs {
 		r.mu.Lock()
@@ -686,6 +829,34 @@ func (s *Server) Stats() Stats {
 		r.mu.Unlock()
 		st.Inflight = len(r.sem)
 		out.Runs[r.cfg.ID] = st
+	}
+	// Project groups: every pooled run under its pool root, with live pool
+	// accounting when the pool is open in-process.
+	for _, r := range runs {
+		if r.poolRoot == "" {
+			continue
+		}
+		if out.ChunkPools == nil {
+			out.ChunkPools = map[string]ChunkPoolStats{}
+		}
+		ps := out.ChunkPools[r.poolRoot]
+		ps.Root = r.poolRoot
+		ps.Runs = append(ps.Runs, r.cfg.ID)
+		out.ChunkPools[r.poolRoot] = ps
+	}
+	for root, ps := range out.ChunkPools {
+		sort.Strings(ps.Runs)
+		if live, ok := store.PoolStatsAt(root); ok {
+			ps.Open = true
+			ps.Leases = live.Leases
+			ps.Chunks = live.Chunks
+			ps.StoredRawBytes = live.StoredRawBytes
+			ps.StoredEncBytes = live.StoredEncBytes
+			if live.StoredEncBytes > 0 {
+				ps.CompressionRatio = float64(live.StoredRawBytes) / float64(live.StoredEncBytes)
+			}
+		}
+		out.ChunkPools[root] = ps
 	}
 	return out
 }

@@ -130,10 +130,13 @@ func (r *Runtime) SetMode(m Mode) { r.mode = m }
 
 // SetCache replaces the runtime's private payload cache with a shared one.
 // A serving daemon shares one cache per run store across every query's
-// workers, so content decoded by the first query is served from memory to
-// all later ones (PayloadCache is safe for concurrent use, and cached
-// payloads are immutable by contract). Call before execution starts; a nil
-// cache is ignored.
+// workers — and, for runs attached to a shared chunk pool, one cache per
+// *pool*, so content decoded for one sibling run's replay (the family's
+// frozen backbone) is served from memory to every other sibling's. The
+// cache key is content identity, which is pool-wide by construction.
+// (PayloadCache is safe for concurrent use, and cached payloads are
+// immutable by contract.) Call before execution starts; a nil cache is
+// ignored.
 func (r *Runtime) SetCache(c *backmat.PayloadCache) {
 	if c != nil {
 		r.cache = c

@@ -45,6 +45,10 @@ type Backend interface {
 	// buffering the compressed object in memory. Abort discards the
 	// in-progress write, leaving any existing object untouched.
 	Create(name string) (BackendWriter, error)
+	// Remove deletes the named object; removing an absent object is not an
+	// error. Only GC's grace-period pack retirement uses it — the hot paths
+	// never delete.
+	Remove(name string) error
 }
 
 // BackendReader is a ranged read handle on one backend object.
@@ -150,6 +154,15 @@ func (b *DirBackend) Create(name string) (BackendWriter, error) {
 		return nil, fmt.Errorf("store: create %s: %w", name, err)
 	}
 	return &renameOnClose{f: f, tmp: tmp, path: path, name: name}, nil
+}
+
+// Remove implements Backend.
+func (b *DirBackend) Remove(name string) error {
+	err := os.Remove(b.path(name))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: remove %s: %w", name, err)
+	}
+	return nil
 }
 
 type renameOnClose struct {

@@ -1,7 +1,11 @@
 // Package store implements the on-disk checkpoint store backing Flor record
-// and replay: manifest-committed segments, content-addressed chunk packs
-// (optionally sharded by hash prefix across pluggable backends), and the
-// run-level dedup index.
+// and replay: manifest-committed segments, and a run-agnostic ChunkPool
+// layer owning the content-addressed chunk packs (optionally sharded by
+// hash prefix across pluggable backends), the dedup index, and refcounted
+// GC/compaction of superseded chunks. A run's private pack is a
+// single-tenant pool; a shared pool at a project-level root is attached by
+// many runs, which then deduplicate chunks against each other (fine-tuning
+// families re-checkpointing one frozen backbone store it once).
 //
 // # Run-directory layout
 //
@@ -9,11 +13,13 @@
 //
 //	<dir>/FORMAT              format marker; absent in legacy v1 runs
 //	<dir>/MANIFEST            append-only log of committed checkpoints and
-//	                          dedup chunk-index records
+//	                          (private-pack stores) dedup chunk records;
+//	                          pooled runs lead with a pool-reference record
 //	<dir>/ckpt-<seq>.bin      one segment file per checkpoint
 //	<dir>/ckpt-<seq>.bin.gz   optional spooled (gzip) copy, the "S3 object"
 //	<dir>/SHARDS              sharded stores only: extra backend root dirs
 //	<dir>/SPOOL               incremental-spool state (pack coverage)
+//	<dir>/PACKGC              retired pack generations awaiting expiry
 //
 // Chunk bytes live in pack objects addressed through a Backend (local
 // directories today; the interface is shaped so S3-style ranged backends
@@ -21,10 +27,18 @@
 //
 //	CHUNKS                    unsharded v2: the single chunk pack
 //	CHUNKS-00 .. CHUNKS-ff    sharded v2: one pack per hash-prefix shard
+//	CHUNKS-xx.g<n>            generation n of a shard's pack, after GC
+//	                          compaction rewrote it (see pool.go)
+//
+// Shared pools keep the same pack objects plus their own control plane
+// (POOL marker, INDEX chunk-record log, LEASES/ refcount entries) under the
+// pool root; see pool.go and docs/FORMATS.md.
 //
 // # Formats
 //
-// Three layouts are readable (docs/FORMATS.md has the byte-level detail):
+// Four layouts are readable (docs/FORMATS.md has the byte-level detail);
+// v2-pooled (marker "2 pool shards=N") stores segments like v2 but resolves
+// every chunk through the shared pool named by its manifest:
 //
 //   - v1 (legacy): one monolithic CRC-framed blob per segment, untyped
 //     manifest records, no pack. Detected from the absence of the FORMAT
@@ -61,14 +75,18 @@
 //
 // # Manifest and crash consistency
 //
-// The v2 MANIFEST interleaves two record kinds, each individually
-// CRC-framed:
+// The v2 MANIFEST interleaves record kinds, each individually CRC-framed:
 //
 //	'C' chunk record  hash, pack offset (shard-relative when sharded),
-//	                  encoded length, raw length, style — an entry of the
-//	                  run's dedup chunk index
+//	                  encoded length, raw length, style, and (after GC
+//	                  compaction) the pack generation — an entry of the
+//	                  run's dedup chunk index; absent in pooled runs,
+//	                  whose records live in the pool INDEX
 //	'M' meta record   a committed checkpoint (key, segment seq, sizes,
 //	                  timings, format)
+//	'P' pool record   pooled runs only, always first: the shared pool's
+//	                  root (relative paths resolve against the run dir)
+//	                  and fanout
 //
 // Chunk records precede the meta record of the checkpoint that introduced
 // them, and pack bytes are written before either, so a crash at any point
@@ -83,15 +101,17 @@
 // # Compatibility guarantees
 //
 // Stores open without flags: the FORMAT marker (or its absence) selects the
-// layout. v1 directories and unsharded v2 directories recorded by any
-// earlier build open and replay byte-identically. Unknown or corrupt FORMAT
-// markers surface ErrUnknownFormat (with the offending marker) rather than
-// risking misparse-and-truncate of a future layout's manifest.
+// layout, and pooled runs find their pool through the manifest's
+// pool-reference record. v1, unsharded-v2, and sharded-v2 directories
+// recorded by any earlier build open and replay byte-identically. Unknown
+// or corrupt FORMAT markers — including the pooled and gc-flagged markers
+// on builds that predate them — surface ErrUnknownFormat (with the
+// offending marker) rather than risking misparse-and-truncate of a future
+// layout's manifest.
 package store
 
 import (
 	"bytes"
-	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -131,6 +151,9 @@ const (
 const (
 	recMeta  = 'M'
 	recChunk = 'C'
+	// recPool is the pool-reference record: the first record of a pooled
+	// run's manifest, naming the shared chunk pool the run's chunks live in.
+	recPool = 'P'
 )
 
 // Control-plane file names inside a run directory.
@@ -205,45 +228,35 @@ func (d DedupStats) Ratio() float64 {
 	return float64(d.LogicalBytes) / float64(d.StoredRawBytes)
 }
 
-// chunkLoc locates one content-addressed frame inside its shard's pack.
-type chunkLoc struct {
-	Off    int64 // offset within the shard's pack object
-	EncLen int
-	RawLen int
-	Style  byte
-}
-
-// shard is one hash-prefix slice of the chunk store: an independently
-// appendable pack object plus its level-two dedup map. Every shard has its
-// own lock, so appends and index probes on different shards never contend.
-// Lock order: Store.mu may be held while taking shard.mu, never the
-// reverse.
-type shard struct {
-	name string // pack object name within the backend
-
-	mu         sync.Mutex
-	chunks     map[ckptfmt.Hash]chunkLoc
-	packLen    int64 // committed pack length
-	spooledLen int64 // pack length covered by the last spool
-	spooledGz  int64 // compressed size of that spool artifact
-	// broken latches the first append failure whose length resync also
-	// failed: packLen can no longer be trusted, and appending at an unknown
-	// offset would commit wrong-offset chunk records into the manifest.
-	// Reads stay valid (committed locations are unaffected).
-	broken error
-}
-
 // Store is a checkpoint store rooted at a run directory. It is safe for
 // concurrent use: record's background materializer (or several concurrent
 // spoolers) write while the training thread queries stats, and replay
 // workers read in parallel.
+//
+// Chunk bytes live in the store's ChunkPool. A plain v2 store runs on a
+// private single-tenant pool over the run's own backend (chunk records in
+// the run MANIFEST — byte-identical to pre-pool layouts); a pooled store
+// attaches to a shared pool named by its manifest's pool-reference record,
+// where sibling runs of the same project dedup against each other.
 type Store struct {
 	dir      string
 	format   int
-	fanout   int  // 0 for v1; 1 for unsharded v2; >1 for sharded v2
+	fanout   int  // 0 for v1; 1 for unsharded v2; >1 for sharded/pooled v2
 	recorded bool // a manifest existed at open (detectDir's Layout.Recorded)
 	backend  Backend
 	readOnly bool
+
+	// pool is the chunk layer (nil for v1 stores). pooled marks a shared,
+	// multi-run pool; poolRoot is its resolved root and poolRef the path as
+	// recorded in (or destined for) the manifest's pool-reference record.
+	pool     *ChunkPool
+	pooled   bool
+	poolRoot string
+	poolRef  string
+	// gcMarked mirrors the FORMAT marker's "gc" flag: the manifest may name
+	// pack generations, so pre-GC builds must refuse the directory.
+	gcMarked bool
+	sawPRec  bool // manifest already holds the pool-reference record
 
 	mu      sync.Mutex
 	nextSeq int
@@ -253,17 +266,8 @@ type Store struct {
 
 	// spoolMu serializes whole Spool passes: overlapping passes (a periodic
 	// spool tick firing while a slow one still compresses) would race their
-	// gz rewrites of shards that grew in between.
+	// gz rewrites of segments that grew in between.
 	spoolMu sync.Mutex
-
-	shards []*shard // two-level dedup index: shards[shardOf(h)].chunks[h]
-	// droppedShards names packs whose committed chunk records point past the
-	// pack's real end (pack lost or truncated — never a crash artifact,
-	// since pack bytes land before manifest records). Read-only opens
-	// degrade gracefully; writable opens refuse, because appending to a
-	// rewound pack would re-commit hashes at offsets the old records still
-	// claim and poison the manifest permanently.
-	droppedShards []string
 }
 
 // ErrNotFound is returned when no checkpoint exists for a key.
@@ -323,6 +327,24 @@ type Options struct {
 	// The control plane (FORMAT, MANIFEST, segments) stays in the run
 	// directory regardless.
 	Backend Backend
+	// Pool attaches the run to a shared chunk pool at this root (created at
+	// ShardFanout — DefaultShardFanout when 0 — if absent; relative paths
+	// resolve against the process working directory, while the manifest
+	// records a run-dir-relative reference so a project tree relocates as a
+	// unit). The run's chunks are published to
+	// and read from the pool, deduplicated against every sibling run
+	// attached to it; a pool-reference record in the manifest plus a LEASE
+	// entry under the pool root make the attachment durable. Only fresh
+	// directories can attach; a recorded private-pack run cannot be
+	// relocated into a pool (nor a pooled run out of one). Reopens need no
+	// Pool option — the manifest record names the pool.
+	Pool string
+	// PinPool makes Pool authoritative even when empty: the open fails
+	// unless the run's recorded pool attachment matches Pool exactly
+	// (resolved; empty means "not pooled"). Servers pin the pool root they
+	// validated at registration so a later manifest rewrite cannot redirect
+	// their reads.
+	PinPool bool
 	// ReadOnly opens the store for shared read-only use: nothing on disk is
 	// touched and every write operation fails with ErrReadOnly.
 	ReadOnly bool
@@ -377,32 +399,70 @@ func OpenWith(dir string, o Options) (*Store, error) {
 		return nil, fmt.Errorf("store: shard fanout %d: want a power of two in [2, %d]", o.ShardFanout, maxShardFanout)
 	}
 	s := &Store{dir: dir, readOnly: o.ReadOnly, index: map[Key]*Meta{}}
-	if err := s.detectLayout(o); err != nil {
+	if err := s.resolveLayout(o); err != nil {
 		return nil, err
 	}
-	// Extra roots are a sharded-layout feature: relocating the unsharded
-	// CHUNKS pack (or a v1 store) out of the run directory would leave the
-	// plain "2" marker lying to pre-sharding builds, which would misread
-	// the run (empty pack, dropped chunk records) instead of refusing.
-	// (Pinning an empty root list onto an unsharded store is fine — that is
-	// exactly what the layout declares.)
-	if len(o.ShardDirs) > 0 && s.fanout <= 1 {
-		return nil, fmt.Errorf("store: shard dirs require a sharded store (fanout %d); pass ShardFanout", s.fanout)
+	if s.pooled {
+		if o.Backend != nil || len(o.ShardDirs) > 0 {
+			return nil, fmt.Errorf("store: pooled stores place all packs in the pool (Backend/ShardDirs not applicable)")
+		}
+		if err := s.attachPool(o); err != nil {
+			return nil, err
+		}
+	} else {
+		if o.PinPool && o.Pool != "" {
+			return nil, fmt.Errorf("store: %s is not attached to a pool (pinned to %s)", s.dir, o.Pool)
+		}
+		// Extra roots are a sharded-layout feature: relocating the unsharded
+		// CHUNKS pack (or a v1 store) out of the run directory would leave
+		// the plain "2" marker lying to pre-sharding builds, which would
+		// misread the run (empty pack, dropped chunk records) instead of
+		// refusing. (Pinning an empty root list onto an unsharded store is
+		// fine — that is exactly what the layout declares.)
+		if len(o.ShardDirs) > 0 && s.fanout <= 1 {
+			return nil, fmt.Errorf("store: shard dirs require a sharded store (fanout %d); pass ShardFanout", s.fanout)
+		}
+		if err := s.initBackend(o); err != nil {
+			return nil, err
+		}
+		if s.format == FormatV2 {
+			s.pool = newPrivatePool(s.backend, s.fanout, s.readOnly)
+			s.pool.ctlDir = s.dir
+		}
 	}
-	if err := s.initBackend(o); err != nil {
-		return nil, err
-	}
-	if err := s.initShards(); err != nil {
+	if err := s.writeMarker(); err != nil {
 		return nil, err
 	}
 	if err := s.replayManifest(); err != nil {
 		return nil, err
 	}
-	if !s.readOnly && len(s.droppedShards) > 0 {
-		return nil, fmt.Errorf("%w: shard pack %s is missing or truncated (committed chunk records point past its end); writable open refused — repair or open read-only",
-			codec.ErrCorrupt, strings.Join(s.droppedShards, ", "))
+	if s.format == FormatV2 && !s.pooled {
+		// The private pool adopted the manifest's chunk records; resolve
+		// pack generations and lengths, drop unreadable records, and take
+		// over the run's stored-chunk accounting from the surviving index.
+		if err := s.pool.finishOpen(); err != nil {
+			return nil, err
+		}
+		st := s.pool.Stats()
+		s.dedup.ChunksStored = st.Chunks
+		s.dedup.StoredRawBytes = st.StoredRawBytes
+		s.dedup.StoredEncBytes = st.StoredEncBytes
+		s.pool.loadSpoolState()
 	}
-	s.loadSpoolState()
+	if s.pool != nil {
+		if dropped := s.pool.droppedPacks(); !s.readOnly && len(dropped) > 0 {
+			return nil, fmt.Errorf("%w: shard pack %s is missing or truncated (committed chunk records point past its end); writable open refused — repair or open read-only",
+				codec.ErrCorrupt, strings.Join(dropped, ", "))
+		}
+	}
+	if s.pooled && !s.readOnly {
+		// Make the attachment durable: the pool-reference record is the
+		// manifest's first record, and the LEASE entry is the pool-side
+		// refcount that keeps this run's chunks live under GCPool.
+		if err := s.commitPoolAttachment(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -415,8 +475,11 @@ type Layout struct {
 	// Format is FormatV1 or FormatV2 (what a fresh open would use).
 	Format int
 	// ShardFanout is 0 for v1, 1 for unsharded v2, and the shard count for
-	// sharded v2.
+	// sharded v2 (the pool's fanout for pooled runs).
 	ShardFanout int
+	// Pooled reports whether the run's chunks live in a shared chunk pool
+	// (the manifest's pool-reference record names it).
+	Pooled bool
 	// Recorded reports whether the directory holds a committed run (a
 	// manifest exists). False for fresh or unrelated directories, which a
 	// plain open would happily initialize as an empty v2 store.
@@ -426,11 +489,14 @@ type Layout struct {
 // Sharded reports whether the layout splits the pack by hash prefix.
 func (l Layout) Sharded() bool { return l.ShardFanout > 1 }
 
-// String renders the layout for listings ("v1", "v2", "v2-sharded/16").
+// String renders the layout for listings ("v1", "v2", "v2-sharded/16",
+// "v2-pooled/16").
 func (l Layout) String() string {
 	switch {
 	case l.Format == FormatV1:
 		return "v1"
+	case l.Pooled:
+		return fmt.Sprintf("v2-pooled/%d", l.ShardFanout)
 	case l.Sharded():
 		return fmt.Sprintf("v2-sharded/%d", l.ShardFanout)
 	default:
@@ -493,14 +559,15 @@ func DetectLayout(dir string) (Layout, error) {
 	} else if !st.IsDir() {
 		return Layout{}, fmt.Errorf("store: detect layout: %s is not a directory", dir)
 	}
-	l, _, err := detectDir(dir)
+	l, _, _, err := detectDir(dir)
 	return l, err
 }
 
 // detectDir reads a directory's FORMAT marker (falling back on manifest
-// presence) and reports the detected layout plus whether a marker was
-// found — the shared core of DetectLayout and Store.detectLayout.
-func detectDir(dir string) (Layout, bool, error) {
+// presence) and reports the detected layout, the parsed marker (zero when
+// absent), and whether a marker was found — the shared core of DetectLayout
+// and Store.resolveLayout.
+func detectDir(dir string) (Layout, markerInfo, bool, error) {
 	recorded := false
 	if _, merr := os.Stat(filepath.Join(dir, manifestFile)); merr == nil {
 		recorded = true
@@ -508,56 +575,103 @@ func detectDir(dir string) (Layout, bool, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, formatFile))
 	switch {
 	case err == nil:
-		format, fanout, perr := parseFormatMarker(raw)
+		m, perr := parseFormatMarker(raw)
 		if perr != nil {
 			// An unknown marker means a newer (or corrupted) layout whose
 			// manifest records this build would misparse as a torn tail and
 			// truncate away — refuse rather than destroy.
-			return Layout{}, true, &UnknownFormatError{Dir: dir, Marker: strings.TrimSpace(string(raw))}
+			return Layout{}, markerInfo{}, true, &UnknownFormatError{Dir: dir, Marker: strings.TrimSpace(string(raw))}
 		}
-		return Layout{Format: format, ShardFanout: fanout, Recorded: recorded}, true, nil
+		return Layout{Format: m.format, ShardFanout: m.fanout, Pooled: m.pooled, Recorded: recorded}, m, true, nil
 	case errors.Is(err, os.ErrNotExist):
 		if recorded {
-			return Layout{Format: FormatV1, Recorded: true}, false, nil // pre-FORMAT-marker run
+			return Layout{Format: FormatV1, Recorded: true}, markerInfo{}, false, nil // pre-FORMAT-marker run
 		}
-		return Layout{Format: FormatV2, ShardFanout: 1}, false, nil // fresh directory
+		return Layout{Format: FormatV2, ShardFanout: 1}, markerInfo{}, false, nil // fresh directory
 	default:
-		return Layout{}, false, fmt.Errorf("store: read format marker: %w", err)
+		return Layout{}, markerInfo{}, false, fmt.Errorf("store: read format marker: %w", err)
 	}
 }
 
-// parseFormatMarker decodes a FORMAT file: "2" (unsharded v2) or
-// "2 shards=N" (sharded v2, N a power of two in [2, 256]).
-func parseFormatMarker(raw []byte) (format, fanout int, err error) {
+// markerInfo is the parsed FORMAT marker.
+type markerInfo struct {
+	format int
+	fanout int
+	pooled bool
+	gc     bool
+}
+
+// parseFormatMarker decodes a FORMAT file. The grammar is
+// "2[ pool][ shards=N][ gc]" in that order: "2" (unsharded v2),
+// "2 shards=N" (hash-prefix sharded at N, a power of two in [2, 256]),
+// "2 pool shards=N" (chunks live in a shared pool at fanout N ≥ 1), with a
+// trailing "gc" on stores whose chunk records name compacted pack
+// generations — a flag older builds cannot honor, so they refuse.
+func parseFormatMarker(raw []byte) (markerInfo, error) {
 	marker := strings.TrimSpace(string(raw))
-	if marker == "2" {
-		return FormatV2, 1, nil
+	fields := strings.Fields(marker)
+	bad := func() (markerInfo, error) {
+		return markerInfo{}, fmt.Errorf("unknown format marker %q", marker)
 	}
-	if rest, ok := strings.CutPrefix(marker, "2 shards="); ok {
-		n, perr := strconv.Atoi(rest)
-		if perr == nil && n >= 2 && n <= maxShardFanout && n&(n-1) == 0 {
-			return FormatV2, n, nil
+	if len(fields) == 0 || fields[0] != "2" {
+		return bad()
+	}
+	m := markerInfo{format: FormatV2, fanout: 1}
+	rest := fields[1:]
+	if len(rest) > 0 && rest[0] == "pool" {
+		m.pooled = true
+		rest = rest[1:]
+	}
+	if len(rest) > 0 && strings.HasPrefix(rest[0], "shards=") {
+		n, perr := strconv.Atoi(strings.TrimPrefix(rest[0], "shards="))
+		min := 2
+		if m.pooled {
+			min = 1 // a pool at fanout 1 is legal (single pack, still shared)
 		}
+		if perr != nil || n < min || n > maxShardFanout || (n > 1 && n&(n-1) != 0) {
+			return bad()
+		}
+		m.fanout = n
+		rest = rest[1:]
+	} else if m.pooled {
+		return bad() // pooled markers always carry the fanout
 	}
-	return 0, 0, fmt.Errorf("unknown format marker %q", marker)
+	if len(rest) > 0 && rest[0] == "gc" {
+		m.gc = true
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		return bad()
+	}
+	return m, nil
 }
 
-func formatMarker(fanout int) []byte {
-	if fanout > 1 {
-		return []byte(fmt.Sprintf("2 shards=%d\n", fanout))
+func formatMarker(fanout int, pooled, gc bool) []byte {
+	var b strings.Builder
+	b.WriteString("2")
+	if pooled {
+		fmt.Fprintf(&b, " pool shards=%d", fanout)
+	} else if fanout > 1 {
+		fmt.Fprintf(&b, " shards=%d", fanout)
 	}
-	return []byte("2\n")
+	if gc {
+		b.WriteString(" gc")
+	}
+	b.WriteString("\n")
+	return []byte(b.String())
 }
 
-// detectLayout resolves the store's format and shard fanout from the FORMAT
-// marker, the options, and (for unmarked directories) the presence of a
-// manifest, writing the marker for new writable v2 stores.
-func (s *Store) detectLayout(o Options) error {
-	l, hasMarker, err := detectDir(s.dir)
+// resolveLayout resolves the store's format, shard fanout, and pool
+// attachment from the FORMAT marker, the options, and (for unmarked
+// directories) the presence of a manifest. The marker itself is written
+// later (writeMarker), after a pool attachment has fixed the fanout.
+func (s *Store) resolveLayout(o Options) error {
+	l, m, hasMarker, err := detectDir(s.dir)
 	if err != nil {
 		return err
 	}
-	detected, detFanout := l.Format, l.ShardFanout
+	detected, detFanout, pooled := l.Format, l.ShardFanout, l.Pooled
+	s.gcMarked = m.gc
 	if !hasMarker && detected == FormatV2 && o.ShardFanout > 1 {
 		detFanout = o.ShardFanout // fresh directory: honor the requested fanout
 	}
@@ -575,7 +689,7 @@ func (s *Store) detectLayout(o Options) error {
 			detFanout = 0
 		}
 	}
-	if o.ShardFanout != 0 && detected == FormatV2 && o.ShardFanout != detFanout {
+	if o.ShardFanout != 0 && detected == FormatV2 && !pooled && o.ShardFanout != detFanout {
 		if recorded {
 			return fmt.Errorf("store: cannot reshard %s to fanout %d (recorded at fanout %d)", s.dir, o.ShardFanout, detFanout)
 		}
@@ -584,18 +698,36 @@ func (s *Store) detectLayout(o Options) error {
 	if o.ShardFanout > 1 && detected == FormatV1 {
 		return fmt.Errorf("store: format v1 cannot shard (fanout %d requested)", o.ShardFanout)
 	}
+	// Pool attachment: only fresh directories can attach — moving a
+	// recorded run's chunks into (or out of) a pool would strand every
+	// committed chunk record.
+	if o.Pool != "" {
+		if detected == FormatV1 {
+			return fmt.Errorf("store: format v1 cannot attach to a chunk pool")
+		}
+		if recorded && !pooled {
+			return fmt.Errorf("store: cannot attach recorded run %s to pool %s (recorded with a private pack)", s.dir, o.Pool)
+		}
+		pooled = true
+	}
 	s.format = detected
 	s.fanout = detFanout
-	if s.format == FormatV2 && !s.readOnly {
-		// Write the marker only when absent or different, and via
-		// write-then-rename: rewriting it in place on every open would leave
-		// a crash window in which a torn marker bricks an otherwise intact
-		// run behind the UnknownFormatError refusal.
-		want := formatMarker(s.fanout)
-		if cur, err := os.ReadFile(s.formatPath()); err != nil || !bytes.Equal(cur, want) {
-			if err := writeFileAtomic(s.formatPath(), want); err != nil {
-				return fmt.Errorf("store: write format marker: %w", err)
-			}
+	s.pooled = pooled
+	return nil
+}
+
+// writeMarker persists the FORMAT marker for writable v2 stores, only when
+// absent or different, and via write-then-rename: rewriting it in place on
+// every open would leave a crash window in which a torn marker bricks an
+// otherwise intact run behind the UnknownFormatError refusal.
+func (s *Store) writeMarker() error {
+	if s.format != FormatV2 || s.readOnly {
+		return nil
+	}
+	want := formatMarker(s.fanout, s.pooled, s.gcMarked)
+	if cur, err := os.ReadFile(s.formatPath()); err != nil || !bytes.Equal(cur, want) {
+		if err := writeFileAtomic(s.formatPath(), want); err != nil {
+			return fmt.Errorf("store: write format marker: %w", err)
 		}
 	}
 	return nil
@@ -661,35 +793,151 @@ func (s *Store) initBackend(o Options) error {
 	return nil
 }
 
-// initShards builds the shard table (one entry for unsharded v2) and reads
-// each pack's committed length from the backend.
-func (s *Store) initShards() error {
-	if s.format != FormatV2 {
-		return nil
+// resolvePoolPath resolves a pool reference against the run directory
+// (relative references keep run families relocatable as a unit).
+func resolvePoolPath(dir, entry string) string {
+	if !filepath.IsAbs(entry) {
+		return filepath.Join(dir, entry)
 	}
-	if s.fanout <= 1 {
-		s.shards = []*shard{{name: packFile, chunks: map[ckptfmt.Hash]chunkLoc{}}}
-	} else {
-		s.shards = make([]*shard, s.fanout)
-		for i := range s.shards {
-			s.shards[i] = &shard{name: fmt.Sprintf("%s-%02x", packFile, i), chunks: map[ckptfmt.Hash]chunkLoc{}}
-		}
-	}
-	for _, sh := range s.shards {
-		n, err := s.backend.Size(sh.name)
+	return entry
+}
+
+// attachPool connects a pooled store to its shared chunk pool: the recorded
+// pool-reference record names it for reopens; fresh directories take it
+// from Options.Pool.
+func (s *Store) attachPool(o Options) error {
+	recordedRef := ""
+	if s.recorded {
+		ref, _, err := peekPoolRef(s.dir)
 		if err != nil {
-			return fmt.Errorf("store: shard %s: %w", sh.name, err)
+			return err
 		}
-		sh.packLen = n
+		recordedRef = ref
 	}
+	var root string
+	switch {
+	case recordedRef != "":
+		root = resolvePoolPath(s.dir, recordedRef)
+		s.poolRef = recordedRef
+		if o.Pool != "" || o.PinPool {
+			// Pinning compares resolved roots, so callers may pin the root a
+			// registration-time PoolRef reported and a later manifest rewrite
+			// fails the open instead of silently redirecting reads. Option
+			// paths are cwd-relative, recorded references run-dir-relative.
+			rec, err := resolvePoolRoot(root)
+			if err != nil {
+				return err
+			}
+			var want string
+			if o.Pool != "" {
+				if want, err = resolvePoolRoot(o.Pool); err != nil {
+					return err
+				}
+			}
+			if want != rec {
+				return fmt.Errorf("store: cannot repoint %s to pool %q (recorded against %q)", s.dir, o.Pool, recordedRef)
+			}
+		}
+	case o.Pool != "":
+		root = o.Pool // cwd-relative; openSharedPool canonicalizes
+	default:
+		return fmt.Errorf("store: %s is marked pooled but its manifest carries no pool reference (pass Options.Pool)", s.dir)
+	}
+	// On recorded pooled runs the marker's fanout is the pool's; a
+	// conflicting explicit request is refused by openSharedPool.
+	want := o.ShardFanout
+	if want == 0 && s.recorded {
+		want = s.fanout
+	}
+	p, err := openSharedPool(root, want, s.readOnly)
+	if err != nil {
+		return err
+	}
+	s.pool = p
+	s.fanout = p.fanout
+	s.poolRoot = p.root
 	return nil
 }
 
-// shardOf maps a content hash to its shard index: the hash's top byte
-// masked to the fanout. The shard is a pure function of the hash, so
-// manifest records never need to name it.
-func (s *Store) shardOf(h ckptfmt.Hash) int {
-	return int(h[0]) & (len(s.shards) - 1)
+// commitPoolAttachment makes a writable pooled open durable: the manifest's
+// leading pool-reference record plus the pool-side LEASE entry.
+func (s *Store) commitPoolAttachment() error {
+	if !s.sawPRec {
+		// Prefer a run-dir-relative reference so a project tree (runs +
+		// POOL) can relocate as a unit; fall back to the canonical absolute
+		// root when no relative path exists.
+		ref := s.poolRoot
+		if absDir, err := filepath.Abs(s.dir); err == nil {
+			if resolved, rerr := filepath.EvalSymlinks(absDir); rerr == nil {
+				absDir = resolved
+			}
+			if rel, rerr := filepath.Rel(absDir, s.poolRoot); rerr == nil {
+				ref = rel
+			}
+		}
+		s.mu.Lock()
+		err := s.appendManifestLocked(s.frameRecord(recPool, encodePoolRef(ref, s.fanout)))
+		if err == nil {
+			s.sawPRec = true
+			s.poolRef = ref
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return s.pool.writeLease(s.dir)
+}
+
+// peekPoolRef reads the pool reference off a pooled run's manifest without
+// replaying it: the pool-reference record is always the manifest's first
+// record.
+func peekPoolRef(dir string) (ref string, fanout int, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return "", 0, nil
+	}
+	if err != nil {
+		return "", 0, fmt.Errorf("store: read manifest: %w", err)
+	}
+	payload, _, err := codec.Unframe(raw)
+	if err != nil {
+		// A torn first record (crash during the attachment append) reads as
+		// "no reference yet": writable opens truncate the tail and re-append
+		// from Options.Pool.
+		return "", 0, nil
+	}
+	if len(payload) == 0 || payload[0] != recPool {
+		return "", 0, fmt.Errorf("%w: pooled run %s: manifest does not start with a pool-reference record", codec.ErrCorrupt, dir)
+	}
+	return decodePoolRef(payload[1:])
+}
+
+// PoolRef reports the shared chunk pool a run directory is attached to: the
+// resolved pool root and ok=true for pooled runs, ok=false otherwise.
+// Registration paths use it to validate and pin pool roots.
+func PoolRef(dir string) (root string, ok bool, err error) {
+	l, _, _, err := detectDir(dir)
+	if err != nil {
+		return "", false, err
+	}
+	if !l.Pooled {
+		return "", false, nil
+	}
+	ref, _, err := peekPoolRef(dir)
+	if err != nil {
+		return "", false, err
+	}
+	if ref == "" {
+		return "", false, fmt.Errorf("store: %s is marked pooled but has no manifest", dir)
+	}
+	// Canonicalize so callers grouping runs by pool root compare equal
+	// strings regardless of how each run recorded the reference.
+	root, err = resolvePoolRoot(resolvePoolPath(dir, ref))
+	if err != nil {
+		return "", false, err
+	}
+	return root, true, nil
 }
 
 // Dir returns the store's root directory.
@@ -699,12 +947,30 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Format() int { return s.format }
 
 // ShardFanout returns the chunk-pack shard count: 0 for v1 stores, 1 for
-// the unsharded v2 layout, the fanout for sharded stores.
+// the unsharded v2 layout, the fanout for sharded and pooled stores.
 func (s *Store) ShardFanout() int {
 	if s.format != FormatV2 {
 		return 0
 	}
-	return len(s.shards)
+	return s.pool.Fanout()
+}
+
+// Pooled reports whether the run's chunks live in a shared pool.
+func (s *Store) Pooled() bool { return s.pooled }
+
+// PoolRoot returns the resolved root of the attached shared pool ("" for
+// private-pack stores).
+func (s *Store) PoolRoot() string { return s.poolRoot }
+
+// PoolStats returns the attached pool's pool-wide storage accounting;
+// ok is false for stores without a shared pool. (For per-run accounting see
+// Dedup; a pooled run's stored-bytes counters cover only chunks this store
+// instance published.)
+func (s *Store) PoolStats() (PoolStats, bool) {
+	if !s.pooled {
+		return PoolStats{}, false
+	}
+	return s.pool.Stats(), true
 }
 
 // Layout returns the store's detected layout.
@@ -712,13 +978,12 @@ func (s *Store) Layout() Layout {
 	s.mu.Lock()
 	recorded := len(s.metas) > 0
 	s.mu.Unlock()
-	return Layout{Format: s.format, ShardFanout: s.ShardFanout(), Recorded: recorded}
+	return Layout{Format: s.format, ShardFanout: s.ShardFanout(), Pooled: s.pooled, Recorded: recorded}
 }
 
-func (s *Store) formatPath() string     { return filepath.Join(s.dir, formatFile) }
-func (s *Store) manifestPath() string   { return filepath.Join(s.dir, manifestFile) }
-func (s *Store) shardDirsPath() string  { return filepath.Join(s.dir, shardDirsFile) }
-func (s *Store) spoolStatePath() string { return filepath.Join(s.dir, spoolStateFile) }
+func (s *Store) formatPath() string    { return filepath.Join(s.dir, formatFile) }
+func (s *Store) manifestPath() string  { return filepath.Join(s.dir, manifestFile) }
+func (s *Store) shardDirsPath() string { return filepath.Join(s.dir, shardDirsFile) }
 
 func (s *Store) segmentPath(seq int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%08d.bin", seq))
@@ -773,23 +1038,23 @@ func (s *Store) applyRecord(payload []byte) bool {
 		if err != nil {
 			return false
 		}
-		sh := s.shards[s.shardOf(hash)]
-		// Defensive: a chunk record pointing past its shard pack's end would
-		// make every referencing checkpoint unreadable; drop it (and let
-		// reads of those checkpoints surface ErrCorrupt naming the shard)
-		// rather than trust it. The shard is remembered so writable opens
-		// can refuse (see droppedShards).
-		if loc.Off+int64(loc.EncLen) > sh.packLen {
-			if !slices.Contains(s.droppedShards, sh.name) {
-				s.droppedShards = append(s.droppedShards, sh.name)
-			}
+		if s.pooled {
+			// Pooled manifests carry no chunk records (they live in the pool
+			// INDEX); tolerate and ignore rather than truncate.
 			return true
 		}
-		if _, dup := sh.chunks[hash]; !dup {
-			sh.chunks[hash] = loc
-			s.dedup.ChunksStored++
-			s.dedup.StoredRawBytes += int64(loc.RawLen)
-			s.dedup.StoredEncBytes += int64(loc.EncLen)
+		// Validation against the pack's real length happens after the full
+		// replay (ChunkPool.finishOpen), once the active generation is known.
+		s.pool.adopt(hash, loc)
+	case recPool:
+		ref, fanout, err := decodePoolRef(body)
+		if err != nil {
+			return false
+		}
+		// The reference was already resolved by attachPool's peek; replay
+		// just confirms its presence (and sanity) so reopen skips re-adding.
+		if s.pooled && ref != "" && fanout == s.fanout {
+			s.sawPRec = true
 		}
 	case recMeta:
 		m, err := decodeMeta(body)
@@ -878,7 +1143,34 @@ func encodeChunkRecord(hash ckptfmt.Hash, loc chunkLoc) []byte {
 	w.Int(loc.EncLen)
 	w.Int(loc.RawLen)
 	w.Uvarint(uint64(loc.Style))
+	// The pack generation is a trailing optional field: generation 0 is
+	// omitted, keeping never-compacted manifests byte-identical to the
+	// pre-pool encoding. Stores with generation records carry the "gc"
+	// FORMAT flag so pre-GC builds refuse instead of reading the wrong pack.
+	if loc.Gen > 0 {
+		w.Uvarint(uint64(loc.Gen))
+	}
 	return w.Bytes()
+}
+
+// encodePoolRef encodes a pool-reference record: the pool root (relative
+// references resolve against the run directory) and the pool's fanout.
+func encodePoolRef(ref string, fanout int) []byte {
+	w := codec.NewWriter()
+	w.String(ref)
+	w.Int(fanout)
+	return w.Bytes()
+}
+
+func decodePoolRef(b []byte) (ref string, fanout int, err error) {
+	r := codec.NewReader(b)
+	if ref, err = r.String(); err != nil {
+		return "", 0, err
+	}
+	if fanout, err = r.Int(); err != nil {
+		return "", 0, err
+	}
+	return ref, fanout, nil
 }
 
 func decodeChunkRecord(b []byte) (hash ckptfmt.Hash, loc chunkLoc, err error) {
@@ -907,7 +1199,23 @@ func decodeChunkRecord(b []byte) (hash ckptfmt.Hash, loc chunkLoc, err error) {
 	}
 	loc.Off = int64(off)
 	loc.Style = byte(style)
+	if r.Remaining() > 0 {
+		gen, err := r.Uvarint()
+		if err != nil {
+			return hash, loc, err
+		}
+		loc.Gen = int(gen)
+	}
 	return hash, loc, nil
+}
+
+// frameTagged wraps a record body with its type tag and CRC frame — the one
+// encoding shared by v2 manifest records and pool INDEX records.
+func frameTagged(tag byte, body []byte) []byte {
+	payload := make([]byte, 0, len(body)+1)
+	payload = append(payload, tag)
+	payload = append(payload, body...)
+	return codec.Frame(payload)
 }
 
 // frameRecord wraps a manifest record payload with its type tag (v2) and CRC
@@ -916,10 +1224,7 @@ func (s *Store) frameRecord(tag byte, body []byte) []byte {
 	if s.format != FormatV2 {
 		return codec.Frame(body)
 	}
-	payload := make([]byte, 0, len(body)+1)
-	payload = append(payload, tag)
-	payload = append(payload, body...)
-	return codec.Frame(payload)
+	return frameTagged(tag, body)
 }
 
 // Put durably stores payload for key and commits it to the manifest.
@@ -1014,31 +1319,21 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 		refs[i].Hash = h
 	}
 
-	// Select chunks the run has not stored yet (deduplicating within this
+	// The pool's GC fence: holding the read side from fresh-chunk filtering
+	// through the manifest commit means a compaction pass can never reclaim
+	// a chunk this checkpoint deduplicated against — the segment directory
+	// below is on disk (and thus visible to GC's mark phase) before the
+	// fence releases.
+	p := s.pool
+	p.gcMu.RLock()
+	defer p.gcMu.RUnlock()
+
+	// Select chunks the pool has not stored yet (deduplicating within this
 	// checkpoint too), probing each shard's index under its own lock. A
 	// concurrent put racing on the same fresh chunk stores it twice — benign
-	// pack bloat, since locations publish only with the manifest commit and
+	// pack bloat, since locations publish only with the durable commit and
 	// the first committed record wins at replay.
-	byShard := map[int][]int{}
-	for i, h := range hashes {
-		si := s.shardOf(h)
-		byShard[si] = append(byShard[si], i)
-	}
-	var newIdx []int
-	fresh := map[ckptfmt.Hash]bool{}
-	for si, idxs := range byShard {
-		sh := s.shards[si]
-		sh.mu.Lock()
-		for _, i := range idxs {
-			h := hashes[i]
-			if _, ok := sh.chunks[h]; !ok && !fresh[h] {
-				fresh[h] = true
-				newIdx = append(newIdx, i)
-			}
-		}
-		sh.mu.Unlock()
-	}
-	sort.Ints(newIdx) // deterministic frame order regardless of shard map iteration
+	newIdx := p.filterFresh(hashes)
 	newChunks := make([][]byte, len(newIdx))
 	for i, idx := range newIdx {
 		newChunks[i] = flat[idx]
@@ -1046,72 +1341,27 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 	frames := ckptfmt.EncodeChunks(newChunks)
 
 	// Segment file: the CRC-framed directory. Written before the manifest
-	// record so a crash never commits a directory-less checkpoint.
+	// record so a crash never commits a directory-less checkpoint — and
+	// before the pack appends, so GC's mark phase (which scans segment
+	// files) always sees a materializing checkpoint's chunk references.
 	if err := s.writeSegment(seq, codec.Frame(ckptfmt.EncodeDirectory(&dir))); err != nil {
 		return nil, err
 	}
 
-	// Fan the fresh frames out across their shards: each involved shard
-	// serializes its frames and appends them to its own pack under its own
-	// lock, concurrently with the other shards. Pack bytes land before any
-	// manifest record references them.
-	frameShards := map[int][]int{} // shard index -> indices into frames
-	for i := range frames {
-		si := s.shardOf(frames[i].Hash)
-		frameShards[si] = append(frameShards[si], i)
-	}
-	involved := make([]int, 0, len(frameShards))
-	for si := range frameShards {
-		involved = append(involved, si)
-	}
-	locs := make([]chunkLoc, len(frames))
-	appendErrs := make([]error, len(involved))
-	ckptfmt.ParallelDo(len(involved), func(k int) {
-		sh := s.shards[involved[k]]
-		idxs := frameShards[involved[k]]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		if sh.broken != nil {
-			appendErrs[k] = fmt.Errorf("store: shard %s unusable after failed append: %w", sh.name, sh.broken)
-			return
-		}
-		var buf []byte
-		off := sh.packLen
-		for _, i := range idxs {
-			before := len(buf)
-			buf = frames[i].Append(buf)
-			wire := len(buf) - before
-			locs[i] = chunkLoc{Off: off, EncLen: wire, RawLen: frames[i].RawLen, Style: frames[i].Style}
-			off += int64(wire)
-		}
-		if len(buf) == 0 {
-			return
-		}
-		if err := s.backend.Append(sh.name, buf); err != nil {
-			// A partial append leaves the pack length unknown; resync from
-			// the backend so later appends don't commit bad offsets. If even
-			// the resync fails, latch the shard broken: appending at a
-			// guessed offset would poison the manifest permanently.
-			if n, serr := s.backend.Size(sh.name); serr == nil {
-				sh.packLen = n
-			} else {
-				sh.broken = err
-			}
-			appendErrs[k] = fmt.Errorf("store: shard %s: %w", sh.name, err)
-			return
-		}
-		sh.packLen = off
-	})
-	for _, err := range appendErrs {
-		if err != nil {
-			return nil, err
-		}
+	// Fan the fresh frames out across their hash shards (concurrently); for
+	// shared pools this also durably appends the chunk records to the pool
+	// INDEX and publishes them to sibling runs.
+	locs, err := p.appendFrames(frames)
+	if err != nil {
+		return nil, err
 	}
 
-	// Commit under the store lock: chunk records, then the meta record — the
-	// manifest never references bytes that aren't on disk. Chunk locations
-	// publish to the shard indexes only now, so concurrent puts never dedup
-	// against a chunk whose manifest record could still be lost to a crash.
+	// Commit under the store lock: chunk records (private pools only — a
+	// shared pool's records live in its INDEX), then the meta record — the
+	// manifest never references bytes that aren't on disk. Private-pool
+	// chunk locations publish to the shard indexes only now, so concurrent
+	// puts never dedup against a chunk whose manifest record could still be
+	// lost to a crash.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var record []byte
@@ -1121,7 +1371,9 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 		s.dedup.ChunksStored++
 		s.dedup.StoredRawBytes += int64(locs[i].RawLen)
 		s.dedup.StoredEncBytes += int64(locs[i].EncLen)
-		record = append(record, s.frameRecord(recChunk, encodeChunkRecord(frames[i].Hash, locs[i]))...)
+		if !p.shared {
+			record = append(record, s.frameRecord(recChunk, encodeChunkRecord(frames[i].Hash, locs[i]))...)
+		}
 	}
 	s.dedup.ChunkRefs += int64(len(flat))
 	writeNs := time.Since(w0).Nanoseconds()
@@ -1134,13 +1386,8 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 	if err := s.appendManifestLocked(record); err != nil {
 		return nil, err
 	}
-	for si, idxs := range frameShards {
-		sh := s.shards[si]
-		sh.mu.Lock()
-		for _, i := range idxs {
-			sh.chunks[frames[i].Hash] = locs[i]
-		}
-		sh.mu.Unlock()
+	if !p.shared {
+		p.publish(frames, locs)
 	}
 	s.commitLocked(m)
 	return m, nil
@@ -1317,7 +1564,9 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		load = append(load, i)
 	}
 	// Phase 2: build the fetch jobs, then resolve chunk locations from the
-	// two-level dedup index, locking each involved shard exactly once.
+	// pool's two-level dedup index, locking each involved shard exactly
+	// once.
+	p := s.pool
 	var jobs []chunkJob
 	byShard := map[int][]int{} // shard -> indices into jobs
 	for _, i := range load {
@@ -1333,7 +1582,7 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		}
 		off := 0
 		for _, ref := range ds.Chunks {
-			si := s.shardOf(ref.Hash)
+			si := p.shardOf(ref.Hash)
 			j := chunkJob{sec: i, shard: si, ref: ref}
 			if buf != nil {
 				j.dst = buf[off : off+ref.RawLen]
@@ -1343,19 +1592,8 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 			jobs = append(jobs, j)
 		}
 	}
-	for si, idxs := range byShard {
-		sh := s.shards[si]
-		sh.mu.Lock()
-		for _, ji := range idxs {
-			loc, ok := sh.chunks[jobs[ji].ref.Hash]
-			if !ok {
-				sh.mu.Unlock()
-				return nil, fmt.Errorf("%w: segment %d references chunk %s absent from shard %s (pack missing or truncated?)",
-					codec.ErrCorrupt, m.Seq, jobs[ji].ref.Hash, sh.name)
-			}
-			jobs[ji].loc = loc
-		}
-		sh.mu.Unlock()
+	if err := p.resolve(jobs, byShard, m.Seq); err != nil {
+		return nil, err
 	}
 	if len(jobs) == 0 {
 		return secs, nil
@@ -1365,18 +1603,18 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 	// single shard is involved — the unsharded layout and small restores).
 	if len(byShard) == 1 {
 		for si, idxs := range byShard {
-			if err := s.fetchShardJobs(si, jobs, idxs); err != nil {
+			if err := p.fetchShard(si, jobs, idxs); err != nil {
 				return nil, err
 			}
 		}
 	} else {
-		shardErrs := make([]error, len(s.shards))
+		shardErrs := make([]error, p.Fanout())
 		var wg sync.WaitGroup
 		for si, idxs := range byShard {
 			wg.Add(1)
 			go func(si int, idxs []int) {
 				defer wg.Done()
-				shardErrs[si] = s.fetchShardJobs(si, jobs, idxs)
+				shardErrs[si] = p.fetchShard(si, jobs, idxs)
 			}(si, idxs)
 		}
 		wg.Wait()
@@ -1394,12 +1632,12 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		j := jobs[i]
 		frame, _, err := ckptfmt.Parse(j.enc)
 		if err != nil {
-			errs[i] = fmt.Errorf("store: shard %s frame at %d: %w", s.shards[j.shard].name, j.loc.Off, err)
+			errs[i] = fmt.Errorf("store: shard %s frame at %d: %w", p.shardName(j.shard), j.loc.Off, err)
 			return
 		}
 		if frame.Hash != j.ref.Hash {
 			errs[i] = fmt.Errorf("%w: shard %s frame at %d holds %s, directory wants %s",
-				codec.ErrCorrupt, s.shards[j.shard].name, j.loc.Off, frame.Hash, j.ref.Hash)
+				codec.ErrCorrupt, p.shardName(j.shard), j.loc.Off, frame.Hash, j.ref.Hash)
 			return
 		}
 		out[i], err = frame.DecodeInto(j.dst)
@@ -1418,50 +1656,6 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		}
 	}
 	return secs, nil
-}
-
-// fetchShardJobs reads the encoded frame bytes for the given jobs from one
-// shard's pack, coalescing into a single ranged read when the frames occupy
-// a mostly dense span.
-func (s *Store) fetchShardJobs(si int, jobs []chunkJob, idxs []int) error {
-	sh := s.shards[si]
-	pf, err := s.backend.Open(sh.name)
-	if err != nil {
-		return fmt.Errorf("%w: shard %s: open pack: %v", codec.ErrCorrupt, sh.name, err)
-	}
-	defer pf.Close()
-
-	minOff, maxEnd, total := jobs[idxs[0]].loc.Off, int64(0), int64(0)
-	for _, ji := range idxs {
-		loc := jobs[ji].loc
-		if loc.Off < minOff {
-			minOff = loc.Off
-		}
-		if end := loc.Off + int64(loc.EncLen); end > maxEnd {
-			maxEnd = end
-		}
-		total += int64(loc.EncLen)
-	}
-	if maxEnd-minOff <= 2*total {
-		span := make([]byte, maxEnd-minOff)
-		if _, err := pf.ReadAt(span, minOff); err != nil {
-			return fmt.Errorf("%w: shard %s: read span [%d,%d): %v", codec.ErrCorrupt, sh.name, minOff, maxEnd, err)
-		}
-		for _, ji := range idxs {
-			loc := jobs[ji].loc
-			jobs[ji].enc = span[loc.Off-minOff : loc.Off-minOff+int64(loc.EncLen)]
-		}
-		return nil
-	}
-	for _, ji := range idxs {
-		loc := jobs[ji].loc
-		buf := make([]byte, loc.EncLen)
-		if _, err := pf.ReadAt(buf, loc.Off); err != nil {
-			return fmt.Errorf("%w: shard %s: read at %d: %v", codec.ErrCorrupt, sh.name, loc.Off, err)
-		}
-		jobs[ji].enc = buf
-	}
-	return nil
 }
 
 // Has reports whether a committed checkpoint exists for key.
@@ -1582,32 +1776,16 @@ func (s *Store) Spool() (int64, error) {
 		s.mu.Unlock()
 		total += int64(len(gz))
 	}
-	// Packs hold every distinct chunk of the run, so unlike segments they
-	// can be far larger than any one checkpoint; each dirty shard streams
-	// through gzip, shards in parallel.
-	if len(s.shards) > 0 {
-		sizes := make([]int64, len(s.shards))
-		errs := make([]error, len(s.shards))
-		var wg sync.WaitGroup
-		for i, sh := range s.shards {
-			wg.Add(1)
-			go func(i int, sh *shard) {
-				defer wg.Done()
-				sizes[i], errs[i] = s.spoolShard(sh)
-			}(i, sh)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return 0, err
-			}
-		}
-		for _, n := range sizes {
-			total += n
-		}
-		if err := s.saveSpoolState(); err != nil {
+	// Packs hold every distinct chunk of the run (or, for a shared pool, of
+	// the whole run family), so unlike segments they can be far larger than
+	// any one checkpoint; the pool streams each dirty shard through gzip,
+	// shards in parallel.
+	if s.format == FormatV2 {
+		n, err := s.pool.spool()
+		if err != nil {
 			return 0, err
 		}
+		total += n
 	}
 	return total, nil
 }
@@ -1633,54 +1811,6 @@ func gzTrailerMatches(gzPath string, rawSize int64) bool {
 	return binary.LittleEndian.Uint32(tr[:]) == uint32(rawSize)
 }
 
-// spoolShard compresses one shard's pack to its .gz sibling unless the pack
-// has not grown since the last spool. It returns the compressed size of the
-// shard's current spool artifact (0 for an empty shard).
-func (s *Store) spoolShard(sh *shard) (int64, error) {
-	sh.mu.Lock()
-	plen, slen, sgz := sh.packLen, sh.spooledLen, sh.spooledGz
-	sh.mu.Unlock()
-	if plen == 0 {
-		return 0, nil
-	}
-	if plen == slen && sgz > 0 {
-		if n, err := s.backend.Size(sh.name + ".gz"); err == nil && n == sgz {
-			return sgz, nil // clean: spooled artifact still covers the pack
-		}
-	}
-	pf, err := s.backend.Open(sh.name)
-	if err != nil {
-		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
-	}
-	defer pf.Close()
-	// Stream pack → gzip → backend: a pack holds the run's whole distinct
-	// chunk volume, so buffering its compressed form in memory would cost
-	// O(pack) heap per spool tick (worse at high fanout, where dirty shards
-	// compress concurrently).
-	out, err := s.backend.Create(sh.name + ".gz")
-	if err != nil {
-		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
-	}
-	cw := &countingWriter{w: out}
-	zw := gzip.NewWriter(cw)
-	if _, err := io.Copy(zw, io.NewSectionReader(pf, 0, plen)); err != nil {
-		out.Abort() // keep the previous intact spool artifact, if any
-		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
-	}
-	if err := zw.Close(); err != nil {
-		out.Abort()
-		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
-	}
-	if err := out.Close(); err != nil {
-		return 0, fmt.Errorf("store: spool shard %s: %w", sh.name, err)
-	}
-	sh.mu.Lock()
-	sh.spooledLen = plen
-	sh.spooledGz = cw.n
-	sh.mu.Unlock()
-	return cw.n, nil
-}
-
 // countingWriter counts bytes forwarded to the underlying writer.
 type countingWriter struct {
 	w io.Writer
@@ -1693,49 +1823,6 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// saveSpoolState persists per-shard spool coverage ("name spooledLen
-// gzSize" lines) so incremental spooling survives reopen.
-func (s *Store) saveSpoolState() error {
-	var b strings.Builder
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		if sh.spooledLen > 0 {
-			fmt.Fprintf(&b, "%s %d %d\n", sh.name, sh.spooledLen, sh.spooledGz)
-		}
-		sh.mu.Unlock()
-	}
-	if err := writeFileAtomic(s.spoolStatePath(), []byte(b.String())); err != nil {
-		return fmt.Errorf("store: save spool state: %w", err)
-	}
-	return nil
-}
-
-// loadSpoolState restores per-shard spool coverage at open. Stale or
-// unparsable entries are ignored: the worst case is one redundant
-// recompression on the next Spool.
-func (s *Store) loadSpoolState() {
-	raw, err := os.ReadFile(s.spoolStatePath())
-	if err != nil {
-		return
-	}
-	byName := map[string]*shard{}
-	for _, sh := range s.shards {
-		byName[sh.name] = sh
-	}
-	for _, ln := range strings.Split(string(raw), "\n") {
-		var name string
-		var slen, sgz int64
-		if _, err := fmt.Sscanf(ln, "%s %d %d", &name, &slen, &sgz); err != nil {
-			continue
-		}
-		if sh := byName[name]; sh != nil && slen <= sh.packLen {
-			sh.mu.Lock()
-			sh.spooledLen, sh.spooledGz = slen, sgz
-			sh.mu.Unlock()
-		}
-	}
-}
-
 // TotalSize returns the uncompressed byte total of all committed
 // checkpoints.
 func (s *Store) TotalSize() int64 {
@@ -1746,21 +1833,104 @@ func (s *Store) TotalSize() int64 {
 	return total
 }
 
-// GC deletes segments that are no longer the latest checkpoint for their
-// key, reclaiming space from superseded materializations. It returns the
-// number of segments removed. Chunk packs are append-only and shared
-// between checkpoints, so GC never rewrites them; superseded v2 segments
-// release only their (small) directory files, and their chunks remain
-// available to later checkpoints that reference the same content.
+// GC reclaims space from superseded materializations: segment files that
+// are no longer the latest checkpoint for their key are deleted, and —
+// format v2 private-pack stores — chunks referenced only by those
+// superseded checkpoints are compacted out of the packs (GCWith for the
+// knobs and full accounting). It returns the number of segments removed.
+//
+// Compaction is safe under concurrent readers: packs are never rewritten in
+// place. Survivors move to a new pack generation, the manifest's chunk
+// records are atomically rewritten to the new locations, and the replaced
+// generation stays on disk as a grace-period tombstone (GCOptions.
+// PackRetention) so a reader that resolved locations before the swap —
+// including a concurrent OpenReadOnly store — keeps reading valid bytes. A
+// later GC pass deletes expired generations.
+//
+// Pooled runs GC only their segments here; their chunks are shared with
+// sibling runs and are reclaimed by GCPool, which consults every lease.
 func (s *Store) GC() (int, error) {
+	res, err := s.GCWith(GCOptions{})
+	return res.Segments, err
+}
+
+// GCWith is GC with explicit options and full reclamation accounting.
+func (s *Store) GCWith(o GCOptions) (GCResult, error) {
+	var res GCResult
 	if s.readOnly {
-		return 0, ErrReadOnly
+		return res, ErrReadOnly
 	}
+	if s.pooled {
+		// Pooled runs GC only their segments here (chunks are shared;
+		// GCPool reclaims them, so SkipChunks changes nothing) — but the
+		// sweep always runs under the pool's GC fence: a segment deleted
+		// mid-put would hide its chunk references from a concurrent GCPool
+		// mark.
+		s.pool.gcMu.Lock()
+		defer s.pool.gcMu.Unlock()
+		n, err := s.sweepSegments()
+		res.Segments = n
+		return res, err
+	}
+	if s.format != FormatV2 || o.SkipChunks {
+		// v1 (or chunk-skipping private) GC: just the segment sweep. With
+		// no chunk mark downstream, sweeping a racing put's segment costs
+		// at most that one checkpoint's readability, never pack bytes.
+		n, err := s.sweepSegments()
+		res.Segments = n
+		return res, err
+	}
+
+	// Private v2: the segment sweep AND the chunk mark run inside the
+	// pool's GC fence (the mark callback executes under gcMu). Puts hold
+	// the fence's read side from before their segment write to after their
+	// manifest commit, so under the write lock every on-disk segment is
+	// either committed (and its meta live or superseded in the index) or an
+	// orphan of a failed put — never a mid-flight checkpoint the sweep
+	// could vanish before the mark counts its chunk references.
+	mark := func() (map[ckptfmt.Hash]bool, error) {
+		n, err := s.sweepSegments()
+		if err != nil {
+			return nil, err
+		}
+		res.Segments = n
+		liveChunks := map[ckptfmt.Hash]bool{}
+		if err := collectLiveChunks(s.dir, liveChunks); err != nil {
+			return nil, fmt.Errorf("store: gc: %w", err)
+		}
+		return liveChunks, nil
+	}
+	cres, err := s.pool.gc(mark, o, s.persistCompaction)
+	res.DeadChunks = cres.DeadChunks
+	res.ReclaimedBytes = cres.ReclaimedBytes
+	res.CompactedShards = cres.CompactedShards
+	res.RetiredPacks = cres.RetiredPacks
+	res.DeletedPacks = cres.DeletedPacks
+	if err != nil {
+		return res, err
+	}
+	if cres.DeadChunks > 0 {
+		s.mu.Lock()
+		st := s.pool.Stats()
+		s.dedup.ChunksStored = st.Chunks
+		s.dedup.StoredRawBytes = st.StoredRawBytes
+		s.dedup.StoredEncBytes = st.StoredEncBytes
+		s.mu.Unlock()
+	}
+	return res, nil
+}
+
+// sweepSegments deletes segment files that are no longer the latest
+// checkpoint for their key, returning the number removed. The caller
+// provides the concurrency fence (see GCWith); the seq horizon additionally
+// spares segments allocated after the index snapshot on the unfenced paths.
+func (s *Store) sweepSegments() (int, error) {
 	s.mu.Lock()
 	live := map[int]bool{}
 	for _, m := range s.index {
 		live[m.Seq] = true
 	}
+	seqHorizon := s.nextSeq
 	var kept []*Meta
 	for _, m := range s.metas {
 		if live[m.Seq] {
@@ -1784,7 +1954,7 @@ func (s *Store) GC() (int, error) {
 		if _, err := fmt.Sscanf(name, "ckpt-%d.bin", &seq); err != nil {
 			continue
 		}
-		if !live[seq] {
+		if !live[seq] && seq < seqHorizon {
 			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
 				return removed, fmt.Errorf("store: gc remove: %w", err)
 			}
@@ -1793,4 +1963,31 @@ func (s *Store) GC() (int, error) {
 		}
 	}
 	return removed, nil
+}
+
+// persistCompaction is the private-pool compaction commit: the FORMAT
+// marker gains the "gc" flag (pre-GC builds must refuse before the
+// manifest starts naming pack generations they would resolve against the
+// wrong object), then the manifest is atomically rewritten — the surviving
+// chunk records at their new locations, then the live meta records.
+func (s *Store) persistCompaction(recs []poolChunkRec) error {
+	if !s.gcMarked {
+		s.gcMarked = true
+		if err := s.writeMarker(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf []byte
+	for _, cr := range recs {
+		buf = append(buf, s.frameRecord(recChunk, encodeChunkRecord(cr.hash, cr.loc))...)
+	}
+	for _, m := range s.metas {
+		buf = append(buf, s.frameRecord(recMeta, encodeMeta(m))...)
+	}
+	if err := writeFileAtomic(s.manifestPath(), buf); err != nil {
+		return fmt.Errorf("store: rewrite manifest: %w", err)
+	}
+	return nil
 }

@@ -1,7 +1,10 @@
 package flor_test
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	flor "flor.dev/flor"
@@ -11,11 +14,14 @@ import (
 
 // TestMigrationMatrixByteIdenticalReplay is the layout-compatibility
 // matrix: the same program recorded into a legacy v1 store, an unsharded v2
-// store, and a hash-prefix sharded v2 store must open through the same API
-// — no flags, no layout hints — and replay byte-identical logs, with the
-// record-phase logs as the reference.
+// store, a hash-prefix sharded v2 store, and a pooled store (shared chunk
+// pool) must open through the same API — no flags, no layout hints — and
+// replay byte-identical logs, with the record-phase logs as the reference.
+// In particular the pooled run is the private-pack run's twin: same
+// program, same probes, byte-identical replay output.
 func TestMigrationMatrixByteIdenticalReplay(t *testing.T) {
 	factory := counterFactory(6, 3)
+	poolRoot := filepath.Join(t.TempDir(), "POOL")
 	probed := func() *flor.Program {
 		p := factory()
 		train := p.Main.Body[0].Loop
@@ -42,6 +48,10 @@ func TestMigrationMatrixByteIdenticalReplay(t *testing.T) {
 			_, err := flor.Record(dir, factory, flor.DisableAdaptiveCheckpointing(), flor.Shards(16))
 			return err
 		}, "v2-sharded/16"},
+		{"v2-pooled", func(dir string) error {
+			_, err := flor.Record(dir, factory, flor.DisableAdaptiveCheckpointing(), flor.Pool(poolRoot), flor.Shards(16))
+			return err
+		}, "v2-pooled/16"},
 	}
 
 	type result struct {
@@ -88,6 +98,39 @@ func TestMigrationMatrixByteIdenticalReplay(t *testing.T) {
 		}
 		if err := sameLogs(ref.hs, r.hs); err != nil {
 			t.Fatalf("probed replay logs diverge between %s and %s: %v", ref.name, r.name, err)
+		}
+	}
+}
+
+// TestUnknownFormatMarkersRefuseCleanly pins the forward-compatibility
+// contract across the layout family: a FORMAT marker this build does not
+// understand — a future layout or corruption — surfaces the typed
+// store.ErrUnknownFormat through the flag-free open path instead of
+// misparsing the manifest as a torn tail and truncating the run away. The
+// markers below include shapes a future build might plausibly write.
+func TestUnknownFormatMarkersRefuseCleanly(t *testing.T) {
+	factory := counterFactory(3, 2)
+	for _, marker := range []string{"3", "2 shards=banana", "2 pool", "2 pool shards=16 v3", "2 gc shards=16"} {
+		dir := t.TempDir()
+		if _, err := flor.Record(dir, factory, flor.DisableAdaptiveCheckpointing()); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "FORMAT"), []byte(marker+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := flor.Replay(dir, factory); !errors.Is(err, store.ErrUnknownFormat) {
+			t.Fatalf("marker %q: replay error = %v, want ErrUnknownFormat", marker, err)
+		}
+		if _, err := store.DetectLayout(dir); !errors.Is(err, store.ErrUnknownFormat) {
+			t.Fatalf("marker %q: detect error = %v, want ErrUnknownFormat", marker, err)
+		}
+		// The refusal destroyed nothing: restoring the real marker restores
+		// the run.
+		if err := os.WriteFile(filepath.Join(dir, "FORMAT"), []byte("2\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if res, err := flor.Replay(dir, factory); err != nil || len(res.Anomalies) != 0 {
+			t.Fatalf("marker %q: replay after restore: %v anomalies=%v", marker, err, res)
 		}
 	}
 }
