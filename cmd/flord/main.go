@@ -15,6 +15,8 @@
 //	flord -record ImgN,Jasp -dir runs   # record (or reuse) named workloads
 //	flord -record ImgN,Jasp -pool       # runs share one chunk pool (<dir>/POOL)
 //	flord -addr :7707 -drain-timeout 30s ...
+//	flord -demo -log-level debug        # structured key=value logs to stderr
+//	flord -demo -debug-addr :6060       # pprof profiling listener
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, queries begun after the signal get 503, in-flight replays
@@ -29,15 +31,20 @@
 //	                            confined under -dir, and unknown store formats 400
 //	POST /v1/runs/{id}/replay   {"probe":"outer","workers":4,"scheduler":"stealing"}
 //	GET  /v1/runs/{id}/logs?iters=3,7&probe=outer
+//	GET  /v1/runs/{id}/trace/{trace_id}
 //	GET  /v1/stats
+//	GET  /metrics               Prometheus text format (unless -metrics=false)
+//
+// With -debug-addr a second listener serves net/http/pprof at
+// /debug/pprof/ for CPU, heap and goroutine profiling of a live daemon.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -46,6 +53,7 @@ import (
 	"time"
 
 	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/script"
 	"flor.dev/flor/internal/serve"
 	"flor.dev/flor/internal/workloads"
@@ -65,14 +73,36 @@ func main() {
 	workers := flag.Int("workers", 2, "default replay parallelism per query")
 	pool := flag.Bool("pool", false, "record the workloads into one shared chunk pool (<dir>/POOL): sibling runs dedup chunks and share decoded payloads")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	metrics := flag.Bool("metrics", true, "enable the metrics registry served at /metrics")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for the net/http/pprof profiling endpoints (disabled when empty)")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		logger.Error("bad -log-level", "err", err)
+		os.Exit(1)
+	}
+	logger.SetLevel(level)
+	fatal := func(msg string, kv ...any) {
+		logger.Error(msg, kv...)
+		os.Exit(1)
+	}
+
+	// Metrics handles resolve from the package default at component
+	// construction, so the registry must be enabled before serve.New — runs
+	// registered later pick it up, components constructed earlier stay dark.
+	if *metrics {
+		obs.Enable()
+	}
 
 	names := *record
 	if *demo && names == "" {
 		names = "ImgN,Jasp"
 	}
 	if names == "" {
-		log.Fatal("flord: nothing to serve; pass -demo or -record <workloads>")
+		fatal("nothing to serve; pass -demo or -record <workloads>")
 	}
 	sc := workloads.Smoke
 	if *scale == "full" {
@@ -85,9 +115,9 @@ func main() {
 		// -dir anyway.
 		tmp, err := os.MkdirTemp("", "flord-*")
 		if err != nil {
-			log.Fatal(err)
+			fatal("temp dir", "err", err)
 		}
-		log.Printf("flord: recording into %s (pass -dir to choose and reuse)", tmp)
+		logger.Info("recording into temp dir (pass -dir to choose and reuse)", "dir", tmp)
 		base = tmp
 	}
 
@@ -125,29 +155,48 @@ func main() {
 		}
 		factories, ok := library[name]
 		if !ok {
-			log.Fatalf("flord: unknown workload %q (have %v)", name, workloads.Names())
+			fatal("unknown workload", "name", name, "have", strings.Join(workloads.Names(), ","))
 		}
 		runDir := filepath.Join(base, name)
 		if _, err := os.Stat(filepath.Join(runDir, "MANIFEST")); err != nil {
-			log.Printf("flord: recording %s into %s ...", name, runDir)
+			logger.Info("recording workload", "name", name, "dir", runDir)
 			recOpts := core.RecordOptions{}
 			if *pool {
 				recOpts.Pool = filepath.Join(base, "POOL")
 			}
 			if _, err := core.Record(runDir, factories["base"], recOpts); err != nil {
-				log.Fatalf("flord: record %s: %v", name, err)
+				fatal("record failed", "name", name, "err", err)
 			}
 		} else {
-			log.Printf("flord: reusing recording %s", runDir)
+			logger.Info("reusing recording", "name", name, "dir", runDir)
 		}
 		if err := srv.Register(serve.RunConfig{
 			ID:        name,
 			Dir:       runDir,
 			Factories: library[name],
 		}); err != nil {
-			log.Fatalf("flord: %v", err)
+			fatal("register failed", "name", name, "err", err)
 		}
-		log.Printf("flord: serving run %q (probes: base, outer, inner)", name)
+		logger.Info("serving run", "run", name, "probes", "base,outer,inner")
+	}
+
+	if *debugAddr != "" {
+		// Opt-in profiling listener, separate from the API address so an
+		// operator can firewall it independently. Explicit handler
+		// registrations rather than the DefaultServeMux side effect: only
+		// pprof is exposed here.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func(addr string) {
+			logger.Info("pprof listening", "addr", addr)
+			if err := http.ListenAndServe(addr, dmux); err != nil {
+				logger.Warn("pprof listener failed", "addr", addr, "err", err)
+			}
+		}(*debugAddr)
 	}
 
 	// Graceful drain: on SIGINT/SIGTERM stop accepting, finish in-flight
@@ -158,21 +207,21 @@ func main() {
 	go func() {
 		defer close(done)
 		sig := <-sigs
-		log.Printf("flord: %v: draining (deadline %v) ...", sig, *drainTimeout)
+		logger.Info("drain begin", "signal", sig.String(), "deadline", drainTimeout.String(), "inflight", srv.InflightQueries())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("flord: drain deadline exceeded: %v", err)
+			logger.Error("drain deadline exceeded", "err", err, "inflight", srv.InflightQueries())
 			return
 		}
-		log.Printf("flord: drained cleanly")
+		logger.Info("drain end", "inflight", srv.InflightQueries())
 	}()
 
-	log.Printf("flord: listening on %s", *addr)
-	err := srv.ListenAndServe()
+	logger.Info("listening", "addr", *addr, "metrics", *metrics)
+	err = srv.ListenAndServe()
 	if errors.Is(err, http.ErrServerClosed) {
 		<-done // a signal is draining; let it finish before exiting
 		return
 	}
-	log.Fatal(err)
+	fatal("listen failed", "err", err)
 }

@@ -14,6 +14,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"flor.dev/flor/internal/obs"
 )
 
 // TestInternalPackageComments fails for any internal/* (or cmd/*) package
@@ -96,6 +98,28 @@ func TestDocRelativeLinks(t *testing.T) {
 			resolved := filepath.Join(filepath.Dir(md), target)
 			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: broken relative link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestMetricCatalogDocumented requires every metric in the obs catalog to
+// appear in docs/OBSERVABILITY.md: the registry's closed namespace means a
+// metric cannot exist without a catalog row, and this test means a catalog
+// row cannot exist without operator documentation.
+func TestMetricCatalogDocumented(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	for _, d := range obs.Catalog {
+		if !strings.Contains(doc, "`"+d.Name+"`") {
+			t.Errorf("metric %s is in the catalog but not documented in docs/OBSERVABILITY.md", d.Name)
+		}
+		for _, l := range d.Labels {
+			if !strings.Contains(doc, "`"+l+"`") {
+				t.Errorf("metric %s label %q not mentioned in docs/OBSERVABILITY.md", d.Name, l)
 			}
 		}
 	}

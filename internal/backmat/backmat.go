@@ -37,6 +37,7 @@ import (
 
 	"flor.dev/flor/internal/ckptfmt"
 	"flor.dev/flor/internal/codec"
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/store"
 	"flor.dev/flor/internal/value"
 )
@@ -152,6 +153,42 @@ type PayloadCache struct {
 	// second appearance, so a stream of never-repeating checkpoints (a
 	// fully mutating model) doesn't pin one-shot payloads in memory.
 	seen map[ckptfmt.Hash]struct{}
+
+	hits   int64
+	misses int64
+	admits int64
+
+	mHits   *obs.Counter
+	mMisses *obs.Counter
+	mAdmits *obs.Counter
+}
+
+// PayloadCacheStats is a consistent snapshot of a cache's accounting.
+type PayloadCacheStats struct {
+	CapBytes  int64 `json:"cap_bytes"`
+	SizeBytes int64 `json:"size_bytes"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Admits    int64 `json:"admits"`
+}
+
+// Stats returns a snapshot taken under the cache lock, so the counters are
+// mutually consistent. Zero-valued for a nil cache.
+func (c *PayloadCache) Stats() PayloadCacheStats {
+	if c == nil {
+		return PayloadCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PayloadCacheStats{
+		CapBytes:  c.cap,
+		SizeBytes: c.size,
+		Entries:   len(c.m),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Admits:    c.admits,
+	}
 }
 
 type cachedPayload struct {
@@ -169,7 +206,12 @@ func NewPayloadCache(capBytes int64) *PayloadCache {
 	if capBytes <= 0 {
 		capBytes = DefaultPayloadCacheBytes
 	}
-	return &PayloadCache{cap: capBytes, m: map[ckptfmt.Hash]cachedPayload{}, seen: map[ckptfmt.Hash]struct{}{}}
+	return &PayloadCache{
+		cap: capBytes, m: map[ckptfmt.Hash]cachedPayload{}, seen: map[ckptfmt.Hash]struct{}{},
+		mHits:   obs.C(obs.MReplayPayloadCacheHits),
+		mMisses: obs.C(obs.MReplayPayloadCacheMisses),
+		mAdmits: obs.C(obs.MReplayPayloadCacheAdmits),
+	}
 }
 
 // Contains reports whether the cache holds a payload for the identity; it
@@ -189,6 +231,13 @@ func (c *PayloadCache) get(h ckptfmt.Hash) (value.Payload, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[h]
+	if ok {
+		c.hits++
+		c.mHits.Inc()
+	} else {
+		c.misses++
+		c.mMisses.Inc()
+	}
 	return e.p, ok
 }
 
@@ -210,6 +259,8 @@ func (c *PayloadCache) put(h ckptfmt.Hash, p value.Payload, bytes int64) {
 	}
 	c.m[h] = cachedPayload{p: p, bytes: bytes}
 	c.size += bytes
+	c.admits++
+	c.mAdmits.Inc()
 }
 
 // DecodeSectionsCached parses sections into bundle items, serving sections
@@ -410,10 +461,10 @@ func (m *Materializer) finish(t task) {
 		m.stats.BytesWritten += meta.Size
 		m.stats.StoredBytes += meta.StoredBytes
 	}
-	obs := m.observer
+	observe := m.observer
 	m.mu.Unlock()
-	if err == nil && obs != nil {
-		obs(meta)
+	if err == nil && observe != nil {
+		observe(meta)
 	}
 }
 
@@ -464,10 +515,10 @@ func (m *Materializer) Materialize(key store.Key, vals []NamedValue, computNs in
 			m.stats.BytesWritten += meta.Size
 			m.stats.StoredBytes += meta.StoredBytes
 		}
-		obs := m.observer
+		observe := m.observer
 		m.mu.Unlock()
-		if err == nil && obs != nil {
-			obs(meta)
+		if err == nil && observe != nil {
+			observe(meta)
 		}
 
 	case Queue:

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/script"
 	"flor.dev/flor/internal/serve"
 	"flor.dev/flor/internal/workloads"
@@ -40,6 +41,36 @@ type ServeThroughputRow struct {
 	// hot cells hit after warmup).
 	StoreHits   int64 `json:"store_hits"`
 	StoreMisses int64 `json:"store_misses"`
+	// AllocsPerQuery / AllocBytesPerQuery are process-wide heap allocation
+	// counts amortized over the cell's queries (runtime.MemStats deltas
+	// around the measured section) — the obs-overhead comparison reads them.
+	AllocsPerQuery     int64 `json:"allocs_per_query"`
+	AllocBytesPerQuery int64 `json:"alloc_bytes_per_query"`
+}
+
+// ObsOverheadRow is one hot serving cell measured with the metrics registry
+// in a given state.
+type ObsOverheadRow struct {
+	Registry           string  `json:"registry"` // "disabled" or "enabled"
+	QPS                float64 `json:"qps"`
+	P50Ns              int64   `json:"p50_ns"`
+	P95Ns              int64   `json:"p95_ns"`
+	AllocsPerQuery     int64   `json:"allocs_per_query"`
+	AllocBytesPerQuery int64   `json:"alloc_bytes_per_query"`
+}
+
+// ObsOverheadReport compares identical hot serving cells with the obs
+// registry disabled (nil handles, the default) vs enabled (atomic counters
+// live). The acceptance bar is a p50 delta within noise for disabled and a
+// small single-digit percentage enabled.
+type ObsOverheadReport struct {
+	Clients int              `json:"clients"`
+	Rows    []ObsOverheadRow `json:"rows"`
+	// P50DeltaPct is (enabled p50 − disabled p50) / disabled p50 × 100.
+	P50DeltaPct float64 `json:"p50_delta_pct"`
+	// Alloc deltas per query attributable to the enabled registry.
+	AllocsDeltaPerQuery     int64 `json:"allocs_delta_per_query"`
+	AllocBytesDeltaPerQuery int64 `json:"alloc_bytes_delta_per_query"`
 }
 
 // ServeThroughputReport is the serve-throughput benchmark output
@@ -56,6 +87,9 @@ type ServeThroughputReport struct {
 	// HotHitRate is the store-cache hit rate across all hot cells (1.0 =
 	// every measured hot query found its store open).
 	HotHitRate float64 `json:"hot_hit_rate"`
+	// ObsOverhead records the wall-clock and allocation cost of the metrics
+	// registry on the hot serving path.
+	ObsOverhead *ObsOverheadReport `json:"obs_overhead,omitempty"`
 }
 
 // serveBenchRun pairs a registered run ID with its query factories and
@@ -128,6 +162,11 @@ func (s *Session) ServeThroughput() (*ServeThroughputReport, error) {
 	if hotP50 > 0 {
 		rep.HotColdP50Ratio = float64(coldP50) / float64(hotP50)
 	}
+	ov, err := obsOverhead(runs, slots)
+	if err != nil {
+		return nil, err
+	}
+	rep.ObsOverhead = ov
 
 	s.printf("\nServe throughput: %d queries per cell over runs %v (2:1 replay:sample mix),\n",
 		ServeQueryCount, rep.Runs)
@@ -139,12 +178,57 @@ func (s *Session) ServeThroughput() (*ServeThroughputReport, error) {
 	}
 	s.printf("hot/cold p50 gain at %d clients: %.2fx; hot hit rate %.2f\n",
 		mid, rep.HotColdP50Ratio, rep.HotHitRate)
+	s.printf("obs overhead at %d clients: p50 %+.1f%%, %+d allocs/query (%+d B)\n",
+		ov.Clients, ov.P50DeltaPct, ov.AllocsDeltaPerQuery, ov.AllocBytesDeltaPerQuery)
 
 	js, err := json.Marshal(rep)
 	if err != nil {
 		return nil, err
 	}
 	s.printf("BENCH JSON %s\n", js)
+	return rep, nil
+}
+
+// obsOverhead measures the same hot serving cell back to back with the
+// metrics registry disabled, then enabled. The daemon is constructed inside
+// each cell, so the enabled run resolves live handles everywhere the
+// instrumented layers do.
+func obsOverhead(runs []serveBenchRun, slots int) (*ObsOverheadReport, error) {
+	const clients = 4
+	rep := &ObsOverheadReport{Clients: clients}
+	wasEnabled := obs.Default() != nil
+	defer func() {
+		if wasEnabled {
+			obs.Enable()
+		} else {
+			obs.Disable()
+		}
+	}()
+	for _, state := range []string{"disabled", "enabled"} {
+		if state == "enabled" {
+			obs.Enable()
+		} else {
+			obs.Disable()
+		}
+		row, err := serveCell(runs, "hot", clients, slots)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, ObsOverheadRow{
+			Registry:           state,
+			QPS:                row.QPS,
+			P50Ns:              row.P50Ns,
+			P95Ns:              row.P95Ns,
+			AllocsPerQuery:     row.AllocsPerQuery,
+			AllocBytesPerQuery: row.AllocBytesPerQuery,
+		})
+	}
+	d, e := rep.Rows[0], rep.Rows[1]
+	if d.P50Ns > 0 {
+		rep.P50DeltaPct = 100 * float64(e.P50Ns-d.P50Ns) / float64(d.P50Ns)
+	}
+	rep.AllocsDeltaPerQuery = e.AllocsPerQuery - d.AllocsPerQuery
+	rep.AllocBytesDeltaPerQuery = e.AllocBytesPerQuery - d.AllocBytesPerQuery
 	return rep, nil
 }
 
@@ -182,6 +266,8 @@ func serveCell(runs []serveBenchRun, mode string, clients, slots int) (*ServeThr
 	errs := make([]error, ServeQueryCount)
 	next := make(chan int)
 	var wg sync.WaitGroup
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -216,6 +302,8 @@ func serveCell(runs []serveBenchRun, mode string, clients, slots int) (*ServeThr
 	close(next)
 	wg.Wait()
 	wall := time.Since(t0)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 	for q, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("bench: serve %s/%d query %d: %w", mode, clients, q, err)
@@ -234,6 +322,9 @@ func serveCell(runs []serveBenchRun, mode string, clients, slots int) (*ServeThr
 		P95Ns:       percentile(sorted, 0.95),
 		StoreHits:   cs.Hits - warmStats.Hits,
 		StoreMisses: cs.Misses - warmStats.Misses,
+
+		AllocsPerQuery:     int64(m1.Mallocs-m0.Mallocs) / int64(ServeQueryCount),
+		AllocBytesPerQuery: int64(m1.TotalAlloc-m0.TotalAlloc) / int64(ServeQueryCount),
 	}
 	return row, nil
 }

@@ -15,6 +15,7 @@ package cluster
 import (
 	"fmt"
 
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/replay"
 	"flor.dev/flor/internal/sched"
 )
@@ -147,6 +148,16 @@ func Simulate(costs *IterationCosts, g int, init replay.InitMode, probedInner bo
 // 10/13 — and the replay-scaleout benchmark comparing schedulers under
 // skewed costs — reflects what a replay would actually do.
 func SimulateSched(costs *IterationCosts, g int, init replay.InitMode, probedInner bool, policy sched.Policy) *VirtualReplay {
+	return SimulateSchedTraced(costs, g, init, probedInner, policy, nil)
+}
+
+// SimulateSchedTraced is SimulateSched with an optional virtual-time span
+// trace (obs.NewVirtualTrace): each simulated worker's setup, checkpoint
+// catch-up, and work phases are recorded as spans stamped with the same
+// virtual nanoseconds the makespan uses. The simulation is deterministic, so
+// two traces of identical inputs are byte-identical NDJSON — diffable
+// records of what the scheduler decided. A nil tr traces nothing.
+func SimulateSchedTraced(costs *IterationCosts, g int, init replay.InitMode, probedInner bool, policy sched.Policy, tr *obs.Trace) *VirtualReplay {
 	sc := costs.schedCosts(probedInner)
 	vr := &VirtualReplay{Workers: g, Init: init, ProbedInner: probedInner, Scheduler: policy}
 
@@ -158,7 +169,7 @@ func SimulateSched(costs *IterationCosts, g int, init replay.InitMode, probedInn
 
 	switch policy {
 	case sched.Stealing:
-		sim := sched.SimulateStealing(sc, g, init, nil)
+		sim := sched.SimulateStealingTraced(sc, g, init, nil, tr)
 		vr.WorkerNs = sim.WorkerNs
 		vr.MakespanNs = sim.MakespanNs
 		vr.Steals = sim.Steals
@@ -169,11 +180,21 @@ func SimulateSched(costs *IterationCosts, g int, init replay.InitMode, probedInn
 		} else {
 			segs = sched.PartitionStatic(sc.N(), g)
 		}
-		for _, seg := range segs {
-			w := sc.SetupNs + sc.InitCostNs(seg[0], init, nil) + sc.WorkCostNs(seg[0], seg[1])
+		for i, seg := range segs {
+			initNs := sc.InitCostNs(seg[0], init, nil)
+			workNs := sc.WorkCostNs(seg[0], seg[1])
+			w := sc.SetupNs + initNs + workNs
 			vr.WorkerNs = append(vr.WorkerNs, w)
 			if w > vr.MakespanNs {
 				vr.MakespanNs = w
+			}
+			if tr != nil {
+				tr.Add(obs.Span{Name: "setup", Worker: i, StartNs: 0, DurNs: sc.SetupNs})
+				tr.Add(obs.Span{Name: "init", Worker: i, StartNs: sc.SetupNs, DurNs: initNs,
+					Attrs: map[string]int64{"start": int64(seg[0]), "stolen": 0}})
+				tr.Add(obs.Span{Name: "work", Worker: i, StartNs: sc.SetupNs + initNs, DurNs: workNs,
+					Attrs: map[string]int64{"start": int64(seg[0]), "end": int64(seg[1]), "stolen": 0}})
+				tr.Add(obs.Span{Name: "worker", Worker: i, StartNs: 0, DurNs: w})
 			}
 		}
 	}

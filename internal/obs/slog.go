@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level keyword used in log lines and -log-level values.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+// ParseLevel parses a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Logger is a leveled, structured logger emitting one key=value line per
+// event:
+//
+//	ts=2026-08-08T10:12:13.004Z level=info msg="run registered" run=demo slots=4
+//
+// Keys render in the order given; values are quoted only when they need it.
+// A nil *Logger discards everything, so optional logging threads through
+// without branching. Safe for concurrent use.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+	now func() time.Time // test hook; nil means time.Now
+}
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w, now: time.Now}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum level.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether lines at lv would be written.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= Level(l.min.Load())
+}
+
+// Log writes one line at lv. kv alternates key, value; values are rendered
+// with %v. An odd trailing key renders as key=MISSING rather than dropping.
+func (l *Logger) Log(lv Level, msg string, kv ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + 16*len(kv))
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	writeLogValue(&b, msg)
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			writeLogValue(&b, fmt.Sprint(kv[i+1]))
+		} else {
+			b.WriteString("MISSING")
+		}
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.Log(LevelInfo, msg, kv...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.Log(LevelWarn, msg, kv...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }
+
+func writeLogValue(b *strings.Builder, v string) {
+	if v != "" && !strings.ContainsAny(v, " \t\n\"=") {
+		b.WriteString(v)
+		return
+	}
+	b.WriteString(strconv.Quote(v))
+}

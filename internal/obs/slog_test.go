@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testLogger(min Level) (*Logger, *strings.Builder) {
+	var b strings.Builder
+	l := NewLogger(&b, min)
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC) }
+	return l, &b
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "INFO": LevelInfo, "": LevelInfo,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info("run registered", "run", "demo", "slots", 4)
+	want := `ts=2026-08-08T10:00:00Z level=info msg="run registered" run=demo slots=4` + "\n"
+	if b.String() != want {
+		t.Fatalf("got  %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l, b := testLogger(LevelDebug)
+	l.Warn("x", "path", "/tmp/a b", "eq", "k=v", "empty", "", "plain", "ok")
+	out := b.String()
+	for _, want := range []string{`path="/tmp/a b"`, `eq="k=v"`, `empty=""`, `plain=ok`, "level=warn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("line missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	l, b := testLogger(LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	if b.Len() != 0 {
+		t.Fatalf("below-threshold lines written: %q", b.String())
+	}
+	l.Error("yes", "code", 500)
+	if !strings.Contains(b.String(), "level=error msg=yes code=500") {
+		t.Fatalf("error line malformed: %q", b.String())
+	}
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Fatal("SetLevel(debug) should enable debug")
+	}
+}
+
+func TestLoggerNilAndOddKV(t *testing.T) {
+	var nilLogger *Logger
+	nilLogger.Info("ignored", "k", "v") // must not panic
+	nilLogger.SetLevel(LevelDebug)
+	if nilLogger.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+	l, b := testLogger(LevelInfo)
+	l.Info("odd", "dangling")
+	if !strings.Contains(b.String(), "dangling=MISSING") {
+		t.Fatalf("odd trailing key mishandled: %q", b.String())
+	}
+}

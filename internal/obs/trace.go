@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed unit of work inside a trace. Times are nanoseconds
+// since the trace began — wall-clock offsets for live traces, virtual
+// nanoseconds for simulation traces — so a trace is self-contained and two
+// virtual traces of the same schedule serialize byte-identically. Attrs are
+// numeric by design: replay spans carry counts and byte totals, and numeric
+// attributes keep the NDJSON encoding canonical (encoding/json sorts map
+// keys) for diffing.
+type Span struct {
+	Name    string           `json:"name"`
+	Worker  int              `json:"worker"`
+	StartNs int64            `json:"start_ns"`
+	DurNs   int64            `json:"dur_ns"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Trace collects spans. A nil *Trace no-ops on every method, so callers
+// thread an optional trace without branching. Construct live traces with
+// NewTrace (Now returns wall-clock offsets) and simulation traces with
+// NewVirtualTrace (callers supply virtual times; Now returns 0).
+//
+// Trace is safe for concurrent use; Spans and WriteNDJSON return spans
+// sorted by (start, worker, name), so a finished trace renders identically
+// regardless of which worker appended first.
+type Trace struct {
+	mu      sync.Mutex
+	t0      time.Time
+	virtual bool
+	spans   []Span
+}
+
+// NewTrace returns a live trace anchored at the current wall clock.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// NewVirtualTrace returns a trace for deterministic virtual-time spans:
+// callers supply StartNs/DurNs in virtual nanoseconds.
+func NewVirtualTrace() *Trace { return &Trace{virtual: true} }
+
+// Virtual reports whether the trace is a virtual-time trace.
+func (t *Trace) Virtual() bool { return t != nil && t.virtual }
+
+// Now returns nanoseconds since the trace began (0 for nil and virtual
+// traces, whose callers own the clock).
+func (t *Trace) Now() int64 {
+	if t == nil || t.virtual {
+		return 0
+	}
+	return time.Since(t.t0).Nanoseconds()
+}
+
+// Add appends one span (no-op on nil).
+func (t *Trace) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a sorted copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartNs != out[j].StartNs {
+			return out[i].StartNs < out[j].StartNs
+		}
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteNDJSON renders the trace as newline-delimited JSON, one span per
+// line, in sorted span order. Two virtual traces of identical schedules
+// produce identical bytes.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

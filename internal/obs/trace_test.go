@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceNoOps(t *testing.T) {
+	var tr *Trace
+	tr.Add(Span{Name: "x"})
+	if tr.Now() != 0 || tr.Virtual() || tr.Spans() != nil {
+		t.Fatal("nil trace must no-op")
+	}
+}
+
+func TestTraceSortedDeterministic(t *testing.T) {
+	mk := func(order []int) string {
+		tr := NewVirtualTrace()
+		spans := []Span{
+			{Name: "work", Worker: 1, StartNs: 100, DurNs: 50, Attrs: map[string]int64{"iters": 9, "bytes": 4}},
+			{Name: "init", Worker: 0, StartNs: 0, DurNs: 100},
+			{Name: "work", Worker: 0, StartNs: 100, DurNs: 80},
+		}
+		var wg sync.WaitGroup
+		for _, i := range order {
+			wg.Add(1)
+			go func(s Span) { defer wg.Done(); tr.Add(s) }(spans[i])
+		}
+		wg.Wait()
+		var b strings.Builder
+		if err := tr.WriteNDJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := mk([]int{0, 1, 2})
+	b := mk([]int{2, 1, 0})
+	if a != b {
+		t.Fatalf("trace output depends on append order:\n%s\n---\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 NDJSON lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"name":"init"`) {
+		t.Errorf("first span should be init: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"worker":0`) || !strings.Contains(lines[2], `"worker":1`) {
+		t.Errorf("equal-start spans must order by worker:\n%s\n%s", lines[1], lines[2])
+	}
+	// Attr maps serialize with sorted keys (encoding/json guarantee) so
+	// NDJSON is canonical.
+	if !strings.Contains(lines[2], `"attrs":{"bytes":4,"iters":9}`) {
+		t.Errorf("attrs not canonical: %s", lines[2])
+	}
+}
+
+func TestTraceNowModes(t *testing.T) {
+	if NewVirtualTrace().Now() != 0 {
+		t.Fatal("virtual trace Now must be 0 — callers own the clock")
+	}
+	live := NewTrace()
+	if live.Virtual() {
+		t.Fatal("live trace must not report virtual")
+	}
+	if live.Now() < 0 {
+		t.Fatal("live trace Now must be non-negative")
+	}
+}

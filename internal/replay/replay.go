@@ -32,6 +32,7 @@ import (
 
 	"flor.dev/flor/internal/adapt"
 	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/runlog"
 	"flor.dev/flor/internal/sched"
 	"flor.dev/flor/internal/script"
@@ -94,6 +95,10 @@ type Options struct {
 	// cache with a shared one, so a run's restored content stays hot across
 	// queries (and across the workers of one replay).
 	Cache *backmat.PayloadCache
+	// Trace, when non-nil, collects per-worker phase spans (setup, init,
+	// work, and a closing per-worker summary carrying restore-vs-step time).
+	// Nil disables tracing at zero cost.
+	Trace *obs.Trace
 }
 
 // Recording is the artifact a record run leaves behind: the checkpoint
@@ -316,7 +321,28 @@ func Replay(rec *Recording, factory func() *script.Program, opts Options) (*Resu
 	if !opts.SkipDeferredCheck {
 		res.Anomalies = runlog.DeferredCheck(rec.RecordLog, res.Logs, diff.NewLabels)
 	}
+	recordReplayMetrics(n, res)
 	return res, nil
+}
+
+// recordReplayMetrics folds a finished replay into the metrics registry
+// (no-op handles while disabled; one resolution per replay, off the hot
+// iteration path).
+func recordReplayMetrics(n int, res *Result) {
+	obs.C(obs.MReplayReplays).Inc()
+	obs.C(obs.MReplayIterations).Add(int64(n))
+	restoreNs := obs.C(obs.MReplayRestoreNs)
+	workNs := obs.C(obs.MReplayWorkNs)
+	busyNs := obs.C(obs.MReplayWorkerBusyNs)
+	restored := obs.C(obs.MReplayRestoredCheckpoints)
+	restoredBytes := obs.C(obs.MReplayRestoredBytes)
+	for _, wr := range res.Workers {
+		restoreNs.Add(wr.RestoreNs)
+		workNs.Add(wr.WorkNs)
+		busyNs.Add(wr.SetupNs + wr.InitNs + wr.WorkNs)
+		restored.Add(int64(wr.Restored))
+		restoredBytes.Add(wr.RestoredBytes)
+	}
 }
 
 // replayEnv bundles the per-replay state both scheduling paths thread
@@ -477,6 +503,7 @@ type worker struct {
 	ctx    *script.Ctx
 	pid    int
 	report *WorkerReport
+	tr     *obs.Trace // nil when the replay is untraced
 }
 
 // newWorker builds a worker and runs phase 1: every statement before the
@@ -494,13 +521,16 @@ func newWorker(env *replayEnv, pid int) (*worker, error) {
 		p: p, rt: rt, mat: mat, pid: pid,
 		ctx:    &script.Ctx{Env: script.NewEnv(), LoopHook: rt.Hook},
 		report: &WorkerReport{PID: pid},
+		tr:     env.opts.Trace,
 	}
+	t0 := w.tr.Now()
 	s0 := time.Now()
 	if err := script.ExecStmts(w.ctx, p.Setup); err != nil {
 		mat.Close()
 		return nil, fmt.Errorf("replay: worker %d setup: %w", pid, err)
 	}
 	w.report.SetupNs = time.Since(s0).Nanoseconds()
+	w.tr.Add(obs.Span{Name: "setup", Worker: pid, StartNs: t0, DurNs: w.report.SetupNs})
 	return w, nil
 }
 
@@ -512,6 +542,7 @@ func (w *worker) close() { w.mat.Close() }
 // are repositioned first, so initTo is correct from any current position
 // (the stealing path re-initializes mid-replay).
 func (w *worker) initTo(initFrom, start int) error {
+	t0 := w.tr.Now()
 	i0 := time.Now()
 	w.rt.SetMode(skipblock.ModeReplayInit)
 	positionBlocks(w.p, w.rt, initFrom)
@@ -522,7 +553,12 @@ func (w *worker) initTo(initFrom, start int) error {
 			return fmt.Errorf("replay: worker %d init iteration %d: %w", w.pid, e, err)
 		}
 	}
-	w.report.InitNs += time.Since(i0).Nanoseconds()
+	dur := time.Since(i0).Nanoseconds()
+	w.report.InitNs += dur
+	if w.tr != nil {
+		w.tr.Add(obs.Span{Name: "init", Worker: w.pid, StartNs: t0, DurNs: dur,
+			Attrs: map[string]int64{"from": int64(initFrom), "to": int64(start)}})
+	}
 	return nil
 }
 
@@ -544,7 +580,9 @@ func (w *worker) runTail() error {
 	return nil
 }
 
-// finish folds every SkipBlock's counters into the report and returns it.
+// finish folds every SkipBlock's counters into the report, emits the
+// worker's closing trace span (restore vs step time, restored volume), and
+// returns the report.
 func (w *worker) finish() *WorkerReport {
 	for _, id := range w.rt.Blocks() {
 		b, _ := w.rt.Block(id)
@@ -553,6 +591,19 @@ func (w *worker) finish() *WorkerReport {
 		w.report.Restored += st.Restored
 		w.report.RestoredBytes += st.RestoredBytes
 		w.report.Executed += st.Executed
+	}
+	if w.tr != nil {
+		w.tr.Add(obs.Span{Name: "worker", Worker: w.pid, StartNs: w.tr.Now(),
+			DurNs: w.report.SetupNs + w.report.InitNs + w.report.WorkNs,
+			Attrs: map[string]int64{
+				"setup_ns":       w.report.SetupNs,
+				"init_ns":        w.report.InitNs,
+				"work_ns":        w.report.WorkNs,
+				"restore_ns":     w.report.RestoreNs,
+				"restored":       int64(w.report.Restored),
+				"restored_bytes": w.report.RestoredBytes,
+				"executed":       int64(w.report.Executed),
+			}})
 	}
 	return w.report
 }
@@ -581,6 +632,7 @@ func runWorker(env *replayEnv, seg [2]int, pid int, last bool) (*WorkerReport, e
 	}
 
 	// Phase 3: the work segment, in replay-execution mode with log capture.
+	t0 := w.tr.Now()
 	w0 := time.Now()
 	w.rt.SetMode(skipblock.ModeReplayExec)
 	lg := runlog.New()
@@ -597,6 +649,10 @@ func runWorker(env *replayEnv, seg [2]int, pid int, last bool) (*WorkerReport, e
 		}
 	}
 	w.report.WorkNs = time.Since(w0).Nanoseconds()
+	if w.tr != nil {
+		w.tr.Add(obs.Span{Name: "work", Worker: pid, StartNs: t0, DurNs: w.report.WorkNs,
+			Attrs: map[string]int64{"start": int64(seg[0]), "end": int64(seg[1])}})
+	}
 	w.report.Logs = lg.Lines()
 	return w.finish(), nil
 }
@@ -624,12 +680,14 @@ func runStealingWorker(env *replayEnv, x *sched.Executor, pid, n int) (*WorkerRe
 		w.report.Segment = [2]int{s, e}
 	}
 	for {
+		isStolen := false
 		if lease == nil {
 			var ok bool
 			if lease, ok = x.Steal(); !ok {
 				break
 			}
 			w.report.Stolen++
+			isStolen = true
 		}
 		start := lease.Start()
 
@@ -653,6 +711,7 @@ func runStealingWorker(env *replayEnv, x *sched.Executor, pid, n int) (*WorkerRe
 
 		// Work phase: claim iterations until the lease is exhausted (either
 		// finished or stolen down to the worker's position).
+		t0 := w.tr.Now()
 		w0 := time.Now()
 		w.rt.SetMode(skipblock.ModeReplayExec)
 		span := logSpan{start: start}
@@ -675,7 +734,16 @@ func runStealingWorker(env *replayEnv, x *sched.Executor, pid, n int) (*WorkerRe
 				return nil, nil, err
 			}
 		}
-		w.report.WorkNs += time.Since(w0).Nanoseconds()
+		leaseNs := time.Since(w0).Nanoseconds()
+		w.report.WorkNs += leaseNs
+		if w.tr != nil {
+			stolen := int64(0)
+			if isStolen {
+				stolen = 1
+			}
+			w.tr.Add(obs.Span{Name: "work", Worker: pid, StartNs: t0, DurNs: leaseNs,
+				Attrs: map[string]int64{"start": int64(start), "end": int64(end), "stolen": stolen}})
+		}
 		spans = append(spans, span)
 		w.report.Logs = append(w.report.Logs, span.lines...)
 		lease = nil

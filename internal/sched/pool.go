@@ -5,6 +5,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"flor.dev/flor/internal/obs"
 )
 
 // SlotSource grants execution slots to replay workers. A single replay
@@ -45,6 +47,11 @@ type Pool struct {
 	acquires int64
 	waits    int64
 	waitNs   int64
+
+	mAcquires    *obs.Counter
+	mWaits       *obs.Counter
+	mWaitSeconds *obs.Histogram
+	mInUse       *obs.Gauge
 }
 
 // waiter is one blocked Acquire.
@@ -90,7 +97,14 @@ func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	return &Pool{slots: n, free: n}
+	return &Pool{
+		slots:        n,
+		free:         n,
+		mAcquires:    obs.C(obs.MSchedSlotAcquires),
+		mWaits:       obs.C(obs.MSchedSlotWaits),
+		mWaitSeconds: obs.H(obs.MSchedSlotWaitSeconds),
+		mInUse:       obs.G(obs.MSchedSlotsInUse),
+	}
 }
 
 // Slots returns the pool's total slot budget.
@@ -101,12 +115,15 @@ func (p *Pool) Slots() int { return p.slots }
 func (p *Pool) Acquire(ctx context.Context, costNs int64) error {
 	p.mu.Lock()
 	p.acquires++
+	p.mAcquires.Inc()
 	if p.free > 0 && len(p.waiters) == 0 {
 		p.free--
+		p.mInUse.Set(int64(p.slots - p.free))
 		p.mu.Unlock()
 		return nil
 	}
 	p.waits++
+	p.mWaits.Inc()
 	p.seq++
 	w := &waiter{cost: costNs, seq: p.seq, granted: make(chan struct{})}
 	heap.Push(&p.waiters, w)
@@ -115,8 +132,10 @@ func (p *Pool) Acquire(ctx context.Context, costNs int64) error {
 	t0 := time.Now()
 	select {
 	case <-w.granted:
+		waited := time.Since(t0).Nanoseconds()
+		p.mWaitSeconds.ObserveNs(waited)
 		p.mu.Lock()
-		p.waitNs += time.Since(t0).Nanoseconds()
+		p.waitNs += waited
 		p.mu.Unlock()
 		return nil
 	case <-ctx.Done():
@@ -150,6 +169,7 @@ func (p *Pool) releaseLocked() {
 	}
 	if p.free < p.slots {
 		p.free++
+		p.mInUse.Set(int64(p.slots - p.free))
 	}
 }
 

@@ -1,5 +1,7 @@
 package sched
 
+import "flor.dev/flor/internal/obs"
+
 // SimResult describes one simulated work-stealing replay in virtual time.
 type SimResult struct {
 	// MakespanNs is the virtual time at which the last worker finishes.
@@ -18,6 +20,8 @@ type simLease struct {
 	start, end int
 	workStart  int64 // virtual time the owner began the work phase
 	owner      int
+	initNs     int64 // checkpoint catch-up charged before workStart
+	stolen     bool
 }
 
 // SimulateStealing runs the work-stealing policy of Executor in
@@ -31,6 +35,16 @@ type simLease struct {
 // Workers whose steal attempt finds no profitable remainder exit, matching
 // the real executor: remaining owners finish their own leases.
 func SimulateStealing(c *Costs, g int, init Init, anchors []int) *SimResult {
+	return SimulateStealingTraced(c, g, init, anchors, nil)
+}
+
+// SimulateStealingTraced is SimulateStealing with an optional span trace: a
+// virtual-time obs.Trace (obs.NewVirtualTrace) receives one "setup" span per
+// worker and one "init" + "work" span pair per lease, stamped with the same
+// virtual nanoseconds the makespan accounting uses. Two simulations of the
+// same inputs produce byte-identical NDJSON — the trace is a diffable record
+// of scheduling decisions, not a wall-clock profile. A nil tr traces nothing.
+func SimulateStealingTraced(c *Costs, g int, init Init, anchors []int, tr *obs.Trace) *SimResult {
 	n := c.N()
 	res := &SimResult{}
 	if g <= 0 {
@@ -40,6 +54,22 @@ func SimulateStealing(c *Costs, g int, init Init, anchors []int) *SimResult {
 	prefix := c.prefix()
 	work := func(s, e int) int64 { return prefix[e] - prefix[s] }
 
+	// retire emits a lease's spans once its extent is final: leases shrink
+	// when stolen from, so spans are recorded at retirement, not creation.
+	retire := func(l *simLease) {
+		if tr == nil {
+			return
+		}
+		stolen := int64(0)
+		if l.stolen {
+			stolen = 1
+		}
+		tr.Add(obs.Span{Name: "init", Worker: l.owner, StartNs: l.workStart - l.initNs, DurNs: l.initNs,
+			Attrs: map[string]int64{"start": int64(l.start), "stolen": stolen}})
+		tr.Add(obs.Span{Name: "work", Worker: l.owner, StartNs: l.workStart, DurNs: work(l.start, l.end),
+			Attrs: map[string]int64{"start": int64(l.start), "end": int64(l.end), "stolen": stolen}})
+	}
+
 	type worker struct {
 		busyUntil int64
 		lease     *simLease
@@ -48,9 +78,13 @@ func SimulateStealing(c *Costs, g int, init Init, anchors []int) *SimResult {
 	workers := make([]worker, g)
 	var active []*simLease
 	for w := range workers {
+		if tr != nil {
+			tr.Add(obs.Span{Name: "setup", Worker: w, StartNs: 0, DurNs: c.SetupNs})
+		}
 		if w < len(segs) {
 			l := &simLease{start: segs[w][0], end: segs[w][1], owner: w}
-			l.workStart = c.SetupNs + c.InitCostNs(l.start, init, anchors)
+			l.initNs = c.InitCostNs(l.start, init, anchors)
+			l.workStart = c.SetupNs + l.initNs
 			workers[w] = worker{busyUntil: l.workStart + work(l.start, l.end), lease: l}
 			active = append(active, l)
 		} else {
@@ -98,6 +132,7 @@ func SimulateStealing(c *Costs, g int, init Init, anchors []int) *SimResult {
 					break
 				}
 			}
+			retire(l)
 		}
 		// Steal attempt, mirroring Executor.Steal's profitability rule.
 		var best *simLease
@@ -118,8 +153,9 @@ func SimulateStealing(c *Costs, g int, init Init, anchors []int) *SimResult {
 			workers[ev].done = true
 			continue
 		}
-		stolen := &simLease{start: bestMid, end: best.end, owner: ev}
-		stolen.workStart = t + c.InitCostNs(bestMid, Weak, anchors)
+		stolen := &simLease{start: bestMid, end: best.end, owner: ev, stolen: true}
+		stolen.initNs = c.InitCostNs(bestMid, Weak, anchors)
+		stolen.workStart = t + stolen.initNs
 		best.end = bestMid
 		workers[best.owner].busyUntil = best.workStart + work(best.start, best.end)
 		workers[ev].lease = stolen
@@ -133,6 +169,9 @@ func SimulateStealing(c *Costs, g int, init Init, anchors []int) *SimResult {
 		res.WorkerNs[w] = workers[w].busyUntil
 		if workers[w].busyUntil > res.MakespanNs {
 			res.MakespanNs = workers[w].busyUntil
+		}
+		if tr != nil {
+			tr.Add(obs.Span{Name: "worker", Worker: w, StartNs: 0, DurNs: workers[w].busyUntil})
 		}
 	}
 	if n == 0 {

@@ -1,6 +1,10 @@
 package sched
 
-import "sync"
+import (
+	"sync"
+
+	"flor.dev/flor/internal/obs"
+)
 
 // Executor coordinates lease-based work stealing over main-loop iterations.
 // Each worker owns one Lease (a contiguous, shrinkable span of iterations)
@@ -25,6 +29,9 @@ type Executor struct {
 	// cost-model feedback loop (paper §5.3.2): early leases observe real
 	// restore times, later steal decisions are priced with them.
 	restoreScale func() float64
+
+	mStealAttempts *obs.Counter
+	mLeaseSplits   *obs.Counter
 }
 
 // Lease is one worker's contiguous span of iterations [Start, end). A steal
@@ -40,7 +47,11 @@ type Lease struct {
 // PartitionBalanced snapped to anchors). costs drives the heaviest-lease and
 // profitability decisions; Uniform(n) is the fallback when no timings exist.
 func NewExecutor(costs *Costs, segs [][2]int, anchors []int) *Executor {
-	x := &Executor{costs: costs, anchors: anchors, prefix: costs.prefix(), initial: len(segs)}
+	x := &Executor{
+		costs: costs, anchors: anchors, prefix: costs.prefix(), initial: len(segs),
+		mStealAttempts: obs.C(obs.MSchedStealAttempts),
+		mLeaseSplits:   obs.C(obs.MSchedLeaseSplits),
+	}
 	for _, s := range segs {
 		x.leases = append(x.leases, &Lease{x: x, start: s[0], next: s[0], end: s[1]})
 	}
@@ -95,6 +106,7 @@ func (x *Executor) workCost(s, e int) int64 {
 func (x *Executor) Steal() (*Lease, bool) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	x.mStealAttempts.Inc()
 	scale := 1.0
 	if x.restoreScale != nil {
 		if s := x.restoreScale(); s > 0 {
@@ -121,6 +133,7 @@ func (x *Executor) Steal() (*Lease, bool) {
 	best.end = bestMid
 	x.leases = append(x.leases, stolen)
 	x.steals++
+	x.mLeaseSplits.Inc()
 	return stolen, true
 }
 

@@ -4,9 +4,11 @@ import (
 	"container/list"
 	"sort"
 	"sync"
+	"time"
 
 	"flor.dev/flor/internal/backmat"
 	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/replay"
 )
 
@@ -20,9 +22,13 @@ import (
 // by hash, so a backbone decoded for one run's replay serves its whole
 // fine-tuning family.
 type cacheEntry struct {
-	runID string
-	rec   *replay.Recording
-	cache *backmat.PayloadCache
+	runID    string
+	poolRoot string // "" for private-pack runs
+	rec      *replay.Recording
+	cache    *backmat.PayloadCache
+
+	openedAt  time.Time // when this entry entered the LRU
+	lastTouch time.Time // last hit (guarded by storeCache.mu)
 }
 
 // storeCache is an LRU of open stores keyed by run ID, plus the per-pool
@@ -43,6 +49,9 @@ type storeCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	mEvictions *obs.Counter
+	mOpen      *obs.Gauge
 }
 
 func newStoreCache(capacity int, cacheBytes int64, onEvict func(string)) *storeCache {
@@ -53,6 +62,8 @@ func newStoreCache(capacity int, cacheBytes int64, onEvict func(string)) *storeC
 		lru:        list.New(),
 		onEvict:    onEvict,
 		poolCaches: map[string]*backmat.PayloadCache{},
+		mEvictions: obs.C(obs.MServeStoreEvictions),
+		mOpen:      obs.G(obs.MServeStoreOpen),
 	}
 }
 
@@ -65,6 +76,7 @@ func (c *storeCache) get(runID, dir string, shardRoots []string, poolRoot string
 		c.lru.MoveToFront(el)
 		c.hits++
 		ent := el.Value.(*cacheEntry)
+		ent.lastTouch = time.Now()
 		c.mu.Unlock()
 		return ent, true, nil
 	}
@@ -78,7 +90,11 @@ func (c *storeCache) get(runID, dir string, shardRoots []string, poolRoot string
 	if err != nil {
 		return nil, false, err
 	}
-	ent := &cacheEntry{runID: runID, rec: rec, cache: c.payloadCache(poolRoot)}
+	now := time.Now()
+	ent := &cacheEntry{
+		runID: runID, poolRoot: poolRoot, rec: rec,
+		cache: c.payloadCache(poolRoot), openedAt: now, lastTouch: now,
+	}
 
 	c.mu.Lock()
 	var evicted []string
@@ -94,9 +110,11 @@ func (c *storeCache) get(runID, dir string, shardRoots []string, poolRoot string
 			c.lru.Remove(last)
 			delete(c.entries, old.runID)
 			c.evictions++
+			c.mEvictions.Inc()
 			evicted = append(evicted, old.runID)
 		}
 	}
+	c.mOpen.Set(int64(c.lru.Len()))
 	hook := c.onEvict
 	c.mu.Unlock()
 	if hook != nil {
@@ -136,6 +154,8 @@ func (c *storeCache) clear() {
 	c.lru = list.New()
 	c.poolCaches = map[string]*backmat.PayloadCache{}
 	c.evictions += int64(len(evicted))
+	c.mEvictions.Add(int64(len(evicted)))
+	c.mOpen.Set(0)
 	hook := c.onEvict
 	c.mu.Unlock()
 	if hook != nil {
@@ -154,6 +174,16 @@ func (c *storeCache) contains(runID string) bool {
 	return ok
 }
 
+// StoreResidency describes one resident store's LRU tenure.
+type StoreResidency struct {
+	RunID string `json:"run_id"`
+	// AgeSeconds is how long the store has been resident since it was
+	// opened into the LRU.
+	AgeSeconds float64 `json:"age_seconds"`
+	// IdleSeconds is how long since the last query touched it.
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
 // CacheStats is the open-store LRU accounting.
 type CacheStats struct {
 	Capacity  int   `json:"capacity"`
@@ -161,16 +191,55 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// Residency lists resident stores most-recently-used first, with their
+	// time in cache and idle time.
+	Residency []StoreResidency `json:"residency,omitempty"`
 }
 
 func (c *storeCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
+	now := time.Now()
+	st := CacheStats{
 		Capacity:  c.cap,
 		Open:      c.lru.Len(),
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		st.Residency = append(st.Residency, StoreResidency{
+			RunID:       ent.runID,
+			AgeSeconds:  now.Sub(ent.openedAt).Seconds(),
+			IdleSeconds: now.Sub(ent.lastTouch).Seconds(),
+		})
+	}
+	return st
+}
+
+// payloadCacheStats snapshots every live decoded-payload cache: shared pool
+// caches keyed by their pool root, private per-run caches keyed by run ID.
+// Each snapshot is internally consistent (taken under the cache's own lock).
+func (c *storeCache) payloadCacheStats() map[string]backmat.PayloadCacheStats {
+	c.mu.Lock()
+	pools := make(map[string]*backmat.PayloadCache, len(c.poolCaches))
+	for root, pc := range c.poolCaches {
+		pools[root] = pc
+	}
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		if ent.poolRoot == "" {
+			pools[ent.runID] = ent.cache
+		}
+	}
+	c.mu.Unlock()
+	if len(pools) == 0 {
+		return nil
+	}
+	out := make(map[string]backmat.PayloadCacheStats, len(pools))
+	for key, pc := range pools {
+		out[key] = pc.Stats()
+	}
+	return out
 }

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"flor.dev/flor/internal/obs"
 )
 
 // RegisterRequest is the body of POST /v1/runs: register a recorded run
@@ -31,17 +33,33 @@ type RegisterRequest struct {
 //	                              iteration, chunked transfer encoding)
 //	                              instead of buffering the whole replay
 //	POST /v1/runs/{id}/logs       sample query (SampleRequest body)
+//	GET  /v1/runs/{id}/trace/{trace_id}
+//	                              a completed replay's span trace as NDJSON
+//	                              (trace_id from the ReplayResponse; 404 once
+//	                              it ages out of the run's trace ring)
 //	GET  /v1/stats                pool, store-cache, per-run and chunk-pool
 //	                              stats
+//	GET  /metrics                 Prometheus text exposition of the metrics
+//	                              registry (empty comment when disabled)
 //
 // While the daemon drains (Shutdown), new queries and registrations get
 // 503.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+	// timed wraps a handler with a per-route latency histogram; the handle
+	// resolves once per route when the mux is built, not per request.
+	timed := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		hist := obs.H(obs.MServeRequestSeconds, obs.L("route", route))
+		return func(w http.ResponseWriter, r *http.Request) {
+			t0 := time.Now()
+			h(w, r)
+			hist.ObserveNs(time.Since(t0).Nanoseconds())
+		}
+	}
+	mux.HandleFunc("GET /v1/runs", timed("runs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Runs())
-	})
-	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/runs", timed("register", func(w http.ResponseWriter, r *http.Request) {
 		var req RegisterRequest
 		if !readJSON(w, r, &req) {
 			return
@@ -51,11 +69,15 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, s.Runs())
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/stats", timed("stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	}))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.MetricsRegistry().WritePrometheus(w)
 	})
-	mux.HandleFunc("POST /v1/runs/{id}/replay", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/runs/{id}/replay", timed("replay", func(w http.ResponseWriter, r *http.Request) {
 		var req ReplayRequest
 		if !readJSON(w, r, &req) {
 			return
@@ -66,7 +88,16 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
-	})
+	}))
+	mux.HandleFunc("GET /v1/runs/{id}/trace/{trace_id}", timed("trace", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := s.Trace(r.PathValue("id"), r.PathValue("trace_id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tr.WriteNDJSON(w)
+	}))
 	sample := func(w http.ResponseWriter, r *http.Request, req SampleRequest) {
 		res, err := s.Sample(r.Context(), r.PathValue("id"), req)
 		if err != nil {
@@ -75,14 +106,14 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	}
-	mux.HandleFunc("POST /v1/runs/{id}/logs", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/runs/{id}/logs", timed("logs", func(w http.ResponseWriter, r *http.Request) {
 		var req SampleRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
 		sample(w, r, req)
-	})
-	mux.HandleFunc("GET /v1/runs/{id}/logs", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/runs/{id}/logs", timed("logs", func(w http.ResponseWriter, r *http.Request) {
 		req := SampleRequest{Probe: r.URL.Query().Get("probe")}
 		iters, err := parseIters(r.URL.Query().Get("iters"))
 		if err != nil {
@@ -95,7 +126,7 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		sample(w, r, req)
-	})
+	}))
 	return mux
 }
 
@@ -214,7 +245,7 @@ func errBody(err error) map[string]string {
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrUnknownRun):
+	case errors.Is(err, ErrUnknownRun), errors.Is(err, ErrUnknownTrace):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrUnknownProbe), errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest

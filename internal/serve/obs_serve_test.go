@@ -1,0 +1,175 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"flor.dev/flor/internal/obs"
+	"flor.dev/flor/internal/serve"
+)
+
+// withRegistry enables the metrics registry for one test. It must run before
+// the daemon is constructed: handles resolve at construction time.
+func withRegistry(t *testing.T) {
+	t.Helper()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+}
+
+// TestMetricsEndpoint drives a replay and a sample through the HTTP API and
+// checks the /metrics scrape reflects them in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	withRegistry(t)
+	fx := startDaemon(t, serve.Options{})
+
+	if resp, body := fx.post(t, "/v1/runs/run-a/replay", serve.ReplayRequest{Probe: "wnorm"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := fx.get(t, "/v1/runs/run-a/logs?iters=2,5"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sample: %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := fx.get(t, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`flor_serve_queries_total{kind="replay",run="run-a"} 1`,
+		`flor_serve_queries_total{kind="sample",run="run-a"} 1`,
+		`flor_serve_inflight{run="run-a"} 0`,
+		"# TYPE flor_serve_queries_total counter",
+		"# TYPE flor_serve_query_seconds histogram",
+		`flor_serve_query_seconds_count{kind="replay"} 1`,
+		`flor_serve_request_seconds_count{route="replay"} 1`,
+		// The serving path exercises every instrumented family: replay
+		// workers ran, the store LRU opened a store, and the scheduler pool
+		// granted slots.
+		"flor_replay_replays_total 1",
+		"flor_serve_store_open 1",
+		"flor_sched_slot_acquires_total",
+		"flor_store_",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Every non-comment line is "name{labels} value" — exactly two fields.
+	for sc := bufio.NewScanner(bytes.NewReader(body)); sc.Scan(); {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if got := len(strings.Fields(line)); got != 2 {
+			t.Errorf("malformed scrape line %q: %d fields", line, got)
+		}
+	}
+}
+
+// TestMetricsEndpointDisabled pins the disabled-registry scrape body.
+func TestMetricsEndpointDisabled(t *testing.T) {
+	fx := startDaemon(t, serve.Options{})
+	resp, body := fx.get(t, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "disabled") {
+		t.Fatalf("disabled scrape = %q, want a disabled comment", body)
+	}
+}
+
+// TestReplayTraceEndpoint replays, follows the reported trace_id, and checks
+// the NDJSON span log; trace retention does not depend on the metrics
+// registry being enabled.
+func TestReplayTraceEndpoint(t *testing.T) {
+	fx := startDaemon(t, serve.Options{})
+
+	resp, body := fx.post(t, "/v1/runs/run-a/replay", serve.ReplayRequest{Probe: "wnorm", Workers: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: %d: %s", resp.StatusCode, body)
+	}
+	var rr serve.ReplayResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.TraceID == "" {
+		t.Fatal("replay response carries no trace_id")
+	}
+
+	resp, body = fx.get(t, "/v1/runs/run-a/trace/"+rr.TraceID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace content type = %q", ct)
+	}
+	names := map[string]int{}
+	for sc := bufio.NewScanner(bytes.NewReader(body)); sc.Scan(); {
+		var span obs.Span
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		if span.Worker < 0 || span.DurNs < 0 {
+			t.Fatalf("bad span %+v", span)
+		}
+		names[span.Name]++
+	}
+	for _, want := range []string{"setup", "work", "worker"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q spans (got %v)", want, names)
+		}
+	}
+	if names["worker"] != rr.Workers {
+		t.Errorf("trace has %d worker summary spans, response says %d workers", names["worker"], rr.Workers)
+	}
+
+	// Unknown trace IDs and unknown runs both 404.
+	if resp, _ := fx.get(t, "/v1/runs/run-a/trace/t999999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := fx.get(t, "/v1/runs/nope/trace/"+rr.TraceID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStatsPayloadCachesAndResidency checks the enriched /v1/stats payload:
+// decoded-payload cache accounting per store and LRU residency ages.
+func TestStatsPayloadCachesAndResidency(t *testing.T) {
+	fx := startDaemon(t, serve.Options{})
+
+	for i := 0; i < 2; i++ {
+		if resp, body := fx.post(t, "/v1/runs/run-a/replay", serve.ReplayRequest{}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("replay %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	st := fx.stats(t)
+
+	pc, ok := st.PayloadCaches["run-a"]
+	if !ok {
+		t.Fatalf("stats payload_caches missing run-a: %+v", st.PayloadCaches)
+	}
+	if pc.Hits+pc.Misses == 0 {
+		t.Errorf("payload cache saw no traffic: %+v", pc)
+	}
+	if len(st.StoreCache.Residency) == 0 {
+		t.Fatal("stats store_cache.residency empty after queries")
+	}
+	res := st.StoreCache.Residency[0]
+	if res.RunID != "run-a" {
+		t.Errorf("MRU resident = %q, want run-a", res.RunID)
+	}
+	if res.AgeSeconds < 0 || res.IdleSeconds < 0 || res.IdleSeconds > res.AgeSeconds+1 {
+		t.Errorf("implausible residency %+v", res)
+	}
+	// The consistent snapshot: nothing in flight once queries returned.
+	if got := st.Runs["run-a"].Inflight; got != 0 {
+		t.Errorf("inflight = %d after queries completed", got)
+	}
+}

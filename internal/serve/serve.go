@@ -53,9 +53,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"flor.dev/flor/internal/backmat"
 	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/replay"
 	"flor.dev/flor/internal/sched"
 	"flor.dev/flor/internal/script"
@@ -66,6 +69,9 @@ import (
 var (
 	// ErrUnknownRun is returned for an unregistered run ID (404).
 	ErrUnknownRun = errors.New("serve: unknown run")
+	// ErrUnknownTrace is returned for a replay trace ID the run's trace ring
+	// no longer holds (404).
+	ErrUnknownTrace = errors.New("serve: unknown trace")
 	// ErrUnknownProbe is returned for a probe name the run does not
 	// register (400).
 	ErrUnknownProbe = errors.New("serve: unknown probe")
@@ -178,6 +184,11 @@ type RunStats struct {
 	Queued        int   `json:"queued"`
 }
 
+// traceRingCap bounds the per-run replay-trace ring: each completed replay's
+// span trace is retrievable over HTTP until traceRingCap newer replays push
+// it out.
+const traceRingCap = 16
+
 // run is one registered recording's serving state.
 type run struct {
 	cfg    RunConfig
@@ -192,9 +203,53 @@ type run struct {
 	poolRoot string
 	sem      chan struct{} // in-flight bound
 
-	mu     sync.Mutex
-	queued int
-	stats  RunStats
+	mu       sync.Mutex
+	queued   int
+	inflight int // queries holding a sem slot; guarded by mu so Stats can't tear
+	stats    RunStats
+	traceSeq int
+	traces   []replayTrace // ring, newest last, at most traceRingCap
+
+	// Per-run metric handles, resolved once at registration (nil no-ops
+	// while the registry is disabled).
+	mReplays       *obs.Counter
+	mSamples       *obs.Counter
+	mRejected      *obs.Counter
+	mQueueTimeouts *obs.Counter
+	mErrors        *obs.Counter
+	mQueueDepth    *obs.Gauge
+	mInflight      *obs.Gauge
+}
+
+// replayTrace is one retained replay trace.
+type replayTrace struct {
+	id string
+	tr *obs.Trace
+}
+
+// keepTrace appends a completed replay's trace to the ring and returns its ID.
+func (r *run) keepTrace(tr *obs.Trace) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traceSeq++
+	id := fmt.Sprintf("t%06d", r.traceSeq)
+	r.traces = append(r.traces, replayTrace{id: id, tr: tr})
+	if len(r.traces) > traceRingCap {
+		r.traces = r.traces[len(r.traces)-traceRingCap:]
+	}
+	return id
+}
+
+// trace looks a retained trace up by ID.
+func (r *run) trace(id string) (*obs.Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.traces {
+		if t.id == id {
+			return t.tr, true
+		}
+	}
+	return nil, false
 }
 
 func (r *run) factory(probe string) (func() *script.Program, error) {
@@ -234,6 +289,18 @@ type Server struct {
 	pool   *sched.Pool
 	stores *storeCache
 
+	// reg is the metrics registry as of construction (nil when disabled);
+	// /metrics renders it. Per-run and per-route handles resolve from the
+	// same package-level default, so enabling obs after New leaves the
+	// server dark — flord enables before constructing anything.
+	reg *obs.Registry
+	// inflightN counts queries between beginQuery and done across all runs;
+	// drain logging reads it without touching per-run locks.
+	inflightN atomic.Int64
+
+	mQuerySeconds  map[string]*obs.Histogram // by kind: replay | sample
+	mDrainingGauge *obs.Gauge
+
 	mu       sync.Mutex
 	runs     map[string]*run
 	order    []string
@@ -249,6 +316,12 @@ func New(opts Options) *Server {
 		opts: opts,
 		pool: sched.NewPool(opts.Slots),
 		runs: map[string]*run{},
+		reg:  obs.Default(),
+		mQuerySeconds: map[string]*obs.Histogram{
+			"replay": obs.H(obs.MServeQuerySeconds, obs.L("kind", "replay")),
+			"sample": obs.H(obs.MServeQuerySeconds, obs.L("kind", "sample")),
+		},
+		mDrainingGauge: obs.G(obs.MServeDraining),
 	}
 	s.stores = newStoreCache(opts.StoreCacheSize, opts.PayloadCacheBytes, opts.OnEvict)
 	return s
@@ -318,7 +391,18 @@ func (s *Server) registerPinned(cfg RunConfig, shardRoots []string, poolRoot str
 	if _, dup := s.runs[cfg.ID]; dup {
 		return fmt.Errorf("%w: register: duplicate run ID %q", ErrBadRequest, cfg.ID)
 	}
-	s.runs[cfg.ID] = &run{cfg: cfg, layout: layout, shardRoots: shardRoots, poolRoot: poolRoot, sem: make(chan struct{}, s.opts.MaxInflightPerRun)}
+	id := obs.L("run", cfg.ID)
+	s.runs[cfg.ID] = &run{
+		cfg: cfg, layout: layout, shardRoots: shardRoots, poolRoot: poolRoot,
+		sem:            make(chan struct{}, s.opts.MaxInflightPerRun),
+		mReplays:       obs.C(obs.MServeQueries, id, obs.L("kind", "replay")),
+		mSamples:       obs.C(obs.MServeQueries, id, obs.L("kind", "sample")),
+		mRejected:      obs.C(obs.MServeRejected, id),
+		mQueueTimeouts: obs.C(obs.MServeQueueTimeouts, id),
+		mErrors:        obs.C(obs.MServeErrors, id),
+		mQueueDepth:    obs.G(obs.MServeQueueDepth, id),
+		mInflight:      obs.G(obs.MServeInflight, id),
+	}
 	s.order = append(s.order, cfg.ID)
 	return nil
 }
@@ -332,8 +416,16 @@ func (s *Server) beginQuery() (func(), error) {
 		return nil, ErrDraining
 	}
 	s.inflight.Add(1)
-	return func() { s.inflight.Done() }, nil
+	s.inflightN.Add(1)
+	return func() {
+		s.inflightN.Add(-1)
+		s.inflight.Done()
+	}, nil
 }
+
+// InflightQueries returns how many queries are currently between admission
+// gate and completion, daemon-wide — what a graceful drain waits for.
+func (s *Server) InflightQueries() int64 { return s.inflightN.Load() }
 
 // Shutdown drains the daemon: registrations and queries begun after this
 // call fail with ErrDraining (HTTP 503), the embedded listener (if
@@ -345,6 +437,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	hs := s.httpSrv
 	s.mu.Unlock()
+	s.mDrainingGauge.Set(1)
 	if hs != nil {
 		// Stop the listener first so no request can race past the drain
 		// check while we wait. http.Server.Shutdown itself waits for active
@@ -456,25 +549,45 @@ func (s *Server) run(id string) (*run, error) {
 // admit applies the run's admission control: a fast path into an in-flight
 // slot, else a bounded wait queue with a deadline. On success it returns a
 // release closure and the time spent queued.
+//
+// The in-flight count is mirrored into r.inflight under r.mu (rather than
+// read from len(r.sem)) so Stats can snapshot a run's counters and gauges
+// under one lock acquisition without tearing.
 func (s *Server) admit(ctx context.Context, r *run) (release func(), queueNs int64, err error) {
+	enter := func() func() {
+		r.mu.Lock()
+		r.inflight++
+		r.mu.Unlock()
+		r.mInflight.Add(1)
+		return func() {
+			r.mu.Lock()
+			r.inflight--
+			r.mu.Unlock()
+			r.mInflight.Add(-1)
+			<-r.sem
+		}
+	}
 	// Fast path: an in-flight slot is free right now.
 	select {
 	case r.sem <- struct{}{}:
-		return func() { <-r.sem }, 0, nil
+		return enter(), 0, nil
 	default:
 	}
 	r.mu.Lock()
 	if r.queued >= s.opts.MaxQueuePerRun {
 		r.stats.Rejected++
 		r.mu.Unlock()
+		r.mRejected.Inc()
 		return nil, 0, fmt.Errorf("%w: run %q (%d queued)", ErrBusy, r.cfg.ID, s.opts.MaxQueuePerRun)
 	}
 	r.queued++
 	r.mu.Unlock()
+	r.mQueueDepth.Add(1)
 	leaveQueue := func() {
 		r.mu.Lock()
 		r.queued--
 		r.mu.Unlock()
+		r.mQueueDepth.Add(-1)
 	}
 
 	t0 := time.Now()
@@ -487,12 +600,13 @@ func (s *Server) admit(ctx context.Context, r *run) (release func(), queueNs int
 		r.mu.Lock()
 		r.stats.QueueNs += queueNs
 		r.mu.Unlock()
-		return func() { <-r.sem }, queueNs, nil
+		return enter(), queueNs, nil
 	case <-timer.C:
 		leaveQueue()
 		r.mu.Lock()
 		r.stats.QueueTimeouts++
 		r.mu.Unlock()
+		r.mQueueTimeouts.Inc()
 		return nil, 0, fmt.Errorf("%w: run %q after %v", ErrQueueTimeout, r.cfg.ID, s.opts.QueueTimeout)
 	case <-ctx.Done():
 		leaveQueue()
@@ -513,6 +627,9 @@ func (s *Server) open(r *run) (*cacheEntry, bool, error) {
 		r.stats.StoreMisses++
 	}
 	r.mu.Unlock()
+	if err != nil {
+		r.mErrors.Inc()
+	}
 	return ent, hit, err
 }
 
@@ -543,6 +660,10 @@ type ReplayResponse struct {
 	WallNs    int64    `json:"wall_ns"`
 	QueueNs   int64    `json:"queue_ns"`
 	StoreHit  bool     `json:"store_hit"`
+	// TraceID names this replay's span trace in the run's trace ring,
+	// retrievable via GET /v1/runs/{id}/trace/{trace_id} until traceRingCap
+	// newer replays push it out.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Replay serves one replay query through admission control, the shared
@@ -587,6 +708,8 @@ func (s *Server) Replay(ctx context.Context, runID string, req ReplayRequest) (*
 	// its workers starve behind other queries' segments.
 	slotCtx, cancel := context.WithTimeout(ctx, s.opts.QueueTimeout)
 	defer cancel()
+	tr := obs.NewTrace()
+	t0 := time.Now()
 	res, err := replay.Replay(ent.rec, factory, replay.Options{
 		Workers:   workers,
 		Scheduler: schedPolicy,
@@ -594,22 +717,27 @@ func (s *Server) Replay(ctx context.Context, runID string, req ReplayRequest) (*
 		Slots:     s.pool,
 		Ctx:       slotCtx,
 		Cache:     ent.cache,
+		Trace:     tr,
 	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			r.mu.Lock()
 			r.stats.QueueTimeouts++
 			r.mu.Unlock()
+			r.mQueueTimeouts.Inc()
 			return nil, fmt.Errorf("%w: replay %q waited on worker slots beyond %v", ErrQueueTimeout, runID, s.opts.QueueTimeout)
 		}
 		r.mu.Lock()
 		r.stats.Errors++
 		r.mu.Unlock()
+		r.mErrors.Inc()
 		return nil, fmt.Errorf("serve: replay %q: %w", runID, err)
 	}
 	r.mu.Lock()
 	r.stats.Replays++
 	r.mu.Unlock()
+	r.mReplays.Inc()
+	s.mQuerySeconds["replay"].ObserveNs(time.Since(t0).Nanoseconds())
 	return &ReplayResponse{
 		RunID:     runID,
 		Probe:     req.Probe,
@@ -622,6 +750,7 @@ func (s *Server) Replay(ctx context.Context, runID string, req ReplayRequest) (*
 		WallNs:    res.WallNs,
 		QueueNs:   queueNs,
 		StoreHit:  hit,
+		TraceID:   r.keepTrace(tr),
 	}, nil
 }
 
@@ -699,6 +828,7 @@ func (s *Server) sample(ctx context.Context, runID string, req SampleRequest, em
 	if emit != nil {
 		rawEmit = func(it int, logs []string) error { return emit(SampleChunk{Iteration: it, Logs: logs}) }
 	}
+	t0 := time.Now()
 	res, err := replay.ReplaySampleStream(ent.rec, factory, req.Iterations, replay.SampleOptions{
 		Cache: ent.cache,
 		Slots: s.pool,
@@ -714,16 +844,20 @@ func (s *Server) sample(ctx context.Context, runID string, req SampleRequest, em
 			r.mu.Lock()
 			r.stats.QueueTimeouts++
 			r.mu.Unlock()
+			r.mQueueTimeouts.Inc()
 			return nil, fmt.Errorf("%w: sample %q waited on a worker slot beyond %v", ErrQueueTimeout, runID, s.opts.QueueTimeout)
 		}
 		r.mu.Lock()
 		r.stats.Errors++
 		r.mu.Unlock()
+		r.mErrors.Inc()
 		return nil, fmt.Errorf("serve: sample %q: %w", runID, err)
 	}
 	r.mu.Lock()
 	r.stats.Samples++
 	r.mu.Unlock()
+	r.mSamples.Inc()
+	s.mQuerySeconds["sample"].ObserveNs(time.Since(t0).Nanoseconds())
 	return &SampleResponse{
 		RunID:      runID,
 		Probe:      req.Probe,
@@ -800,6 +934,9 @@ type Stats struct {
 	Pool       sched.PoolStats     `json:"pool"`
 	StoreCache CacheStats          `json:"store_cache"`
 	Runs       map[string]RunStats `json:"runs"`
+	// PayloadCaches snapshots every live decoded-payload cache: shared pool
+	// caches keyed by pool root, private per-run caches keyed by run ID.
+	PayloadCaches map[string]backmat.PayloadCacheStats `json:"payload_caches,omitempty"`
 	// ChunkPools groups registered runs by shared chunk pool, keyed by the
 	// resolved pool root; absent when no registered run is pooled.
 	ChunkPools map[string]ChunkPoolStats `json:"chunk_pools,omitempty"`
@@ -811,9 +948,10 @@ type Stats struct {
 // accounting.
 func (s *Server) Stats() Stats {
 	out := Stats{
-		Pool:       s.pool.Stats(),
-		StoreCache: s.stores.stats(),
-		Runs:       map[string]RunStats{},
+		Pool:          s.pool.Stats(),
+		StoreCache:    s.stores.stats(),
+		PayloadCaches: s.stores.payloadCacheStats(),
+		Runs:          map[string]RunStats{},
 	}
 	s.mu.Lock()
 	runs := make([]*run, 0, len(s.runs))
@@ -823,11 +961,15 @@ func (s *Server) Stats() Stats {
 	out.Draining = s.draining
 	s.mu.Unlock()
 	for _, r := range runs {
+		// One lock acquisition snapshots the whole RunStats plus the queued
+		// and in-flight gauges together, so counters can't tear mid-request
+		// (the old code read len(r.sem) outside any lock, which could
+		// disagree with the counters copied moments earlier).
 		r.mu.Lock()
 		st := r.stats
 		st.Queued = r.queued
+		st.Inflight = r.inflight
 		r.mu.Unlock()
-		st.Inflight = len(r.sem)
 		out.Runs[r.cfg.ID] = st
 	}
 	// Project groups: every pooled run under its pool root, with live pool
@@ -860,6 +1002,26 @@ func (s *Server) Stats() Stats {
 	}
 	return out
 }
+
+// Trace returns a retained replay trace by run and trace ID (the trace_id a
+// ReplayResponse reported). Traces age out of the per-run ring after
+// traceRingCap newer replays.
+func (s *Server) Trace(runID, traceID string) (*obs.Trace, error) {
+	r, err := s.run(runID)
+	if err != nil {
+		return nil, err
+	}
+	tr, ok := r.trace(traceID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q for run %q", ErrUnknownTrace, traceID, runID)
+	}
+	return tr, nil
+}
+
+// MetricsRegistry returns the registry the server resolved its handles from
+// at construction (nil when metrics were disabled then); the HTTP layer
+// renders it at GET /metrics.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.reg }
 
 func parseScheduler(name string) (replay.Scheduler, error) {
 	switch name {

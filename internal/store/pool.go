@@ -52,6 +52,7 @@ import (
 
 	"flor.dev/flor/internal/ckptfmt"
 	"flor.dev/flor/internal/codec"
+	"flor.dev/flor/internal/obs"
 )
 
 // Shared-pool control-plane file names inside a pool root.
@@ -1393,9 +1394,14 @@ func GCPool(root string, o GCOptions) (GCResult, error) {
 				return nil, fmt.Errorf("store: pool gc: %s: %w", runDir, err)
 			}
 		}
+		obs.C(obs.MStoreGCMarkedChunks).Add(int64(len(live)))
 		return live, nil
 	}
-	return p.gc(mark, o, p.persistIndex)
+	res, err := p.gc(mark, o, p.persistIndex)
+	if err == nil {
+		recordGCMetrics(res)
+	}
+	return res, err
 }
 
 // collectLiveChunks accumulates every chunk hash referenced by the run

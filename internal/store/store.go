@@ -127,6 +127,7 @@ import (
 
 	"flor.dev/flor/internal/ckptfmt"
 	"flor.dev/flor/internal/codec"
+	"flor.dev/flor/internal/obs"
 )
 
 // Format identifies a segment encoding.
@@ -1334,6 +1335,7 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 	// pack bloat, since locations publish only with the durable commit and
 	// the first committed record wins at replay.
 	newIdx := p.filterFresh(hashes)
+	obs.C(obs.MStoreChunkDedupHits).Add(int64(len(flat) - len(newIdx)))
 	newChunks := make([][]byte, len(newIdx))
 	for i, idx := range newIdx {
 		newChunks[i] = flat[idx]
@@ -1351,10 +1353,13 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 	// Fan the fresh frames out across their hash shards (concurrently); for
 	// shared pools this also durably appends the chunk records to the pool
 	// INDEX and publishes them to sibling runs.
+	a0 := time.Now()
 	locs, err := p.appendFrames(frames)
 	if err != nil {
 		return nil, err
 	}
+	obs.H(obs.MStoreShardAppendSeconds).ObserveNs(time.Since(a0).Nanoseconds())
+	obs.C(obs.MStoreChunksWritten).Add(int64(len(frames)))
 
 	// Commit under the store lock: chunk records (private pools only — a
 	// shared pool's records live in its INDEX), then the meta record — the
@@ -1376,6 +1381,7 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 		}
 	}
 	s.dedup.ChunkRefs += int64(len(flat))
+	obs.C(obs.MStoreChunkBytesWritten).Add(stored)
 	writeNs := time.Since(w0).Nanoseconds()
 	m := &Meta{
 		Key: key, Seq: seq, Size: logical,
@@ -1735,6 +1741,7 @@ func (s *Store) Spool() (int64, error) {
 	}
 	s.spoolMu.Lock()
 	defer s.spoolMu.Unlock()
+	p0 := time.Now()
 	var total int64
 	for _, m := range s.Metas() {
 		gzPath := s.segmentPath(m.Seq) + ".gz"
@@ -1787,6 +1794,9 @@ func (s *Store) Spool() (int64, error) {
 		}
 		total += n
 	}
+	obs.C(obs.MStoreSpoolPasses).Inc()
+	obs.H(obs.MStoreSpoolSeconds).ObserveNs(time.Since(p0).Nanoseconds())
+	obs.G(obs.MStoreSpoolArtifactBytes).Set(total)
 	return total, nil
 }
 
@@ -1898,6 +1908,7 @@ func (s *Store) GCWith(o GCOptions) (GCResult, error) {
 		if err := collectLiveChunks(s.dir, liveChunks); err != nil {
 			return nil, fmt.Errorf("store: gc: %w", err)
 		}
+		obs.C(obs.MStoreGCMarkedChunks).Add(int64(len(liveChunks)))
 		return liveChunks, nil
 	}
 	cres, err := s.pool.gc(mark, o, s.persistCompaction)
@@ -1917,7 +1928,17 @@ func (s *Store) GCWith(o GCOptions) (GCResult, error) {
 		s.dedup.StoredEncBytes = st.StoredEncBytes
 		s.mu.Unlock()
 	}
+	recordGCMetrics(res)
 	return res, nil
+}
+
+// recordGCMetrics folds one GC pass's accounting into the registry.
+func recordGCMetrics(res GCResult) {
+	obs.C(obs.MStoreGCPasses).Inc()
+	obs.C(obs.MStoreGCDeadChunks).Add(int64(res.DeadChunks))
+	obs.C(obs.MStoreGCRewrittenShards).Add(int64(res.CompactedShards))
+	obs.C(obs.MStoreGCTombstonedPacks).Add(int64(res.RetiredPacks))
+	obs.C(obs.MStoreGCDeletedPacks).Add(int64(res.DeletedPacks))
 }
 
 // sweepSegments deletes segment files that are no longer the latest
