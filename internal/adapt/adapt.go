@@ -53,6 +53,16 @@ type LoopStats struct {
 	EwmaComputNs float64 // running estimate of C_i
 	EwmaMaterNs  float64 // running estimate of M_i (0 until first observed)
 	LastComputNs int64
+	// C and CSamples are the loop's own restore/materialize scaling
+	// estimate. The factor is a property of the loop's payload shape — a
+	// loop restoring one huge dedup-friendly tensor and a nested loop
+	// restoring many small mutating buffers can sit on opposite sides of
+	// the global average — so pricing both with one global c skews the
+	// balanced partition whenever nested loops differ in per-iteration
+	// overhead. Zero samples means no loop-local observation yet; queries
+	// fall back to the tracker-wide estimate.
+	C        float64
+	CSamples int
 }
 
 // Tracker drives adaptive checkpointing decisions for all loops of a run.
@@ -195,6 +205,14 @@ func (t *Tracker) NoteMaterialized(meta *store.Meta) {
 // "Flor gradually refines the scaling factor after observing materialization
 // and restoration times from record-replay").
 func (t *Tracker) NoteRestore(restoreNs, materNs int64) {
+	t.NoteRestoreLoop("", restoreNs, materNs)
+}
+
+// NoteRestoreLoop is NoteRestore attributed to one loop: the observation
+// refines both the loop's own scaling estimate and the tracker-wide one
+// (which remains the fallback for loops not yet observed). An empty loopID
+// refines only the global estimate.
+func (t *Tracker) NoteRestoreLoop(loopID string, restoreNs, materNs int64) {
 	if restoreNs <= 0 || materNs <= 0 {
 		return
 	}
@@ -204,9 +222,47 @@ func (t *Tracker) NoteRestore(restoreNs, materNs int64) {
 	t.cSamples++
 	if t.cSamples == 1 {
 		t.c = obs
+	} else {
+		t.c = (1-ewmaAlpha)*t.c + ewmaAlpha*obs
+	}
+	if loopID == "" {
 		return
 	}
-	t.c = (1-ewmaAlpha)*t.c + ewmaAlpha*obs
+	ls := t.loop(loopID)
+	ls.CSamples++
+	if ls.CSamples == 1 {
+		ls.C = obs
+		return
+	}
+	ls.C = (1-ewmaAlpha)*ls.C + ewmaAlpha*obs
+}
+
+// CLoop returns the restore/materialize scaling estimate for one loop: its
+// own once observed, the tracker-wide estimate until then.
+func (t *Tracker) CLoop(loopID string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ls, ok := t.loops[loopID]; ok && ls.CSamples > 0 {
+		return ls.C
+	}
+	return t.c
+}
+
+// PredictRestoreNsLoop is PredictRestoreNs priced with the loop's own
+// scaling estimate when one exists. The replay scheduler partitions and
+// prices steal catch-up per loop, so nested loops with different
+// per-iteration restore overheads stop contaminating each other's costs.
+func (t *Tracker) PredictRestoreNsLoop(loopID string, materNs int64) int64 {
+	if materNs <= 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.c
+	if ls, ok := t.loops[loopID]; ok && ls.CSamples > 0 {
+		c = ls.C
+	}
+	return int64(c * float64(materNs))
 }
 
 // SeedC initializes the restore/materialize scaling estimate from a

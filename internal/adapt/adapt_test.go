@@ -210,3 +210,50 @@ func TestIndependentLoops(t *testing.T) {
 		t.Fatalf("expensive loop checkpointed %d/50 times", tr.Stats("dear").K)
 	}
 }
+
+// TestPerLoopCIsolation pins the per-loop scaling fix: observations from a
+// loop with an expensive restore path must not inflate (or deflate) the
+// restore predictions of a sibling loop, while unobserved loops still fall
+// back to the tracker-wide estimate.
+func TestPerLoopCIsolation(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	// Outer loop restores at 4x its materialization; inner at 0.5x.
+	for i := 0; i < 20; i++ {
+		tr.NoteRestoreLoop("outer", 4000, 1000)
+		tr.NoteRestoreLoop("inner", 500, 1000)
+	}
+	if c := tr.CLoop("outer"); c < 3.5 || c > 4.5 {
+		t.Fatalf("outer c = %g, want ~4", c)
+	}
+	if c := tr.CLoop("inner"); c < 0.4 || c > 0.6 {
+		t.Fatalf("inner c = %g, want ~0.5", c)
+	}
+	// Predictions price each loop with its own factor.
+	if got := tr.PredictRestoreNsLoop("outer", 1000); got < 3500 || got > 4500 {
+		t.Fatalf("outer prediction = %d, want ~4000", got)
+	}
+	if got := tr.PredictRestoreNsLoop("inner", 1000); got < 400 || got > 600 {
+		t.Fatalf("inner prediction = %d, want ~500", got)
+	}
+	// A loop never observed falls back to the global blend, which sits
+	// strictly between the two per-loop estimates.
+	g := tr.CLoop("unseen")
+	if g <= 0.5 || g >= 4 {
+		t.Fatalf("global fallback c = %g, want between 0.5 and 4", g)
+	}
+	if got, want := tr.PredictRestoreNsLoop("unseen", 1000), tr.PredictRestoreNs(1000); got != want {
+		t.Fatalf("unseen loop prediction %d != global prediction %d", got, want)
+	}
+}
+
+// TestNoteRestoreLoopFeedsGlobal pins that attributed observations still
+// refine the tracker-wide estimate NoteRestore callers read.
+func TestNoteRestoreLoopFeedsGlobal(t *testing.T) {
+	tr := New(DefaultEpsilon)
+	for i := 0; i < 10; i++ {
+		tr.NoteRestoreLoop("l", 2000, 1000)
+	}
+	if c := tr.C(); c < 1.9 || c > 2.1 {
+		t.Fatalf("global c = %g, want ~2", c)
+	}
+}

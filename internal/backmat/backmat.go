@@ -267,6 +267,12 @@ func (c *PayloadCache) put(h ckptfmt.Hash, p value.Payload, bytes int64) {
 // the cache already holds without decoding (their Data may be nil when the
 // store skipped loading them) and caching fresh decodes by content
 // identity. A nil cache degrades to DecodeSections.
+//
+// Ownership: the call takes secs[i].Data — a buffer the cache hit path no
+// longer needs (the cached payload references an earlier load's bytes) is
+// recycled into the shared restore arena, so callers must not retain Data
+// slices across the call. Decoded payloads may alias Data (lazy tensor
+// views), which is exactly why only the cache-HIT path may recycle.
 func DecodeSectionsCached(c *PayloadCache, secs []store.Section) ([]NamedPayload, error) {
 	if c == nil {
 		return DecodeSections(secs)
@@ -278,6 +284,10 @@ func DecodeSectionsCached(c *PayloadCache, secs []store.Section) ([]NamedPayload
 		if secs[i].Hash != zero {
 			if p, ok := c.get(secs[i].Hash); ok {
 				items[i] = NamedPayload{Name: secs[i].Name, Payload: p}
+				if secs[i].Data != nil {
+					ckptfmt.Shared.Put(secs[i].Data)
+					secs[i].Data = nil
+				}
 				return
 			}
 		}

@@ -49,8 +49,8 @@ func TestBundleRoundTrip(t *testing.T) {
 		if it.Name != fmt.Sprintf("var%d", i) {
 			t.Fatalf("item %d name %q", i, it.Name)
 		}
-		orig := items[i].Payload.(value.TensorPayload).T
-		dec := it.Payload.(value.TensorPayload).T
+		orig := items[i].Payload.(value.TensorPayload).Tensor()
+		dec := it.Payload.(value.TensorPayload).Tensor()
 		if !tensor.Equal(orig, dec) {
 			t.Fatalf("item %d tensor mismatch", i)
 		}
@@ -76,7 +76,7 @@ func TestSectionsRoundTripAndBundleEquivalence(t *testing.T) {
 		if it.Name != items[i].Name {
 			t.Fatalf("item %d name %q", i, it.Name)
 		}
-		if !tensor.Equal(it.Payload.(value.TensorPayload).T, items[i].Payload.(value.TensorPayload).T) {
+		if !tensor.Equal(it.Payload.(value.TensorPayload).Tensor(), items[i].Payload.(value.TensorPayload).Tensor()) {
 			t.Fatalf("item %d tensor mismatch", i)
 		}
 	}
@@ -145,7 +145,7 @@ func TestEveryStrategyCommitsIdenticalCheckpoints(t *testing.T) {
 			}
 			for i, it := range items {
 				live := vals[i].V.(*value.Tensor)
-				if !tensor.Equal(it.Payload.(value.TensorPayload).T, live.T) {
+				if !tensor.Equal(it.Payload.(value.TensorPayload).Tensor(), live.T) {
 					t.Fatalf("strategy %s: item %q state mismatch", strat, it.Name)
 				}
 			}
@@ -170,7 +170,7 @@ func TestSnapshotIsolatesFromPostMaterializeMutation(t *testing.T) {
 		t.Fatal(err)
 	}
 	items, _ := DecodeBundle(raw)
-	if got := items[0].Payload.(value.TensorPayload).T.At(0); got != 1 {
+	if got := items[0].Payload.(value.TensorPayload).Tensor().At(0); got != 1 {
 		t.Fatalf("checkpoint captured post-snapshot state: %g", got)
 	}
 }
@@ -277,7 +277,7 @@ func TestLatestCheckpointWinsAcrossStrategies(t *testing.T) {
 	}
 	raw, _ := st.Get(key)
 	items, _ := DecodeBundle(raw)
-	if got := items[0].Payload.(value.TensorPayload).T.At(0); got != 2 {
+	if got := items[0].Payload.(value.TensorPayload).Tensor().At(0); got != 2 {
 		t.Fatalf("latest checkpoint not served: %g", got)
 	}
 }

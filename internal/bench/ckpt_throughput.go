@@ -161,32 +161,44 @@ func (s *Session) runCkptFormat(sc ckptScenario, format int, epochs int) (CkptTh
 
 	// Restore with the same machinery replay uses: a content-addressed
 	// payload cache over parallel section decode. Format v1 has no content
-	// identity, so it always pays the full read+decode.
-	cache := backmat.NewPayloadCache(0)
+	// identity, so it always pays the full read+decode. The sweep runs
+	// five times — fresh cache each pass, so no pass rides the last one's
+	// decoded payloads — and the fastest pass counts: the timed region is
+	// tens of milliseconds, so one descheduling blip would otherwise
+	// dominate the v2/v1 ratio. Writeback of the bytes materialize just
+	// dirtied is drained first so the flusher can't fire mid-sweep.
+	drainWriteback()
 	var resNs int64
-	for e := 0; e < epochs; e++ {
-		key := store.Key{LoopID: "train", Exec: e}
-		t0 := time.Now()
-		var items []backmat.NamedPayload
-		secs, ok, err := st.GetSections(key, cache.Contains)
-		if err != nil {
-			return row, err
-		}
-		if ok {
-			items, err = backmat.DecodeSectionsCached(cache, secs)
-		} else {
-			raw, gerr := st.Get(key)
-			if gerr != nil {
-				return row, gerr
+	for pass := 0; pass < 5; pass++ {
+		cache := backmat.NewPayloadCache(0)
+		var passNs int64
+		for e := 0; e < epochs; e++ {
+			key := store.Key{LoopID: "train", Exec: e}
+			t0 := time.Now()
+			var items []backmat.NamedPayload
+			secs, ok, err := st.GetSections(key, cache.Contains)
+			if err != nil {
+				return row, err
 			}
-			items, err = backmat.DecodeBundle(raw)
+			if ok {
+				items, err = backmat.DecodeSectionsCached(cache, secs)
+			} else {
+				raw, gerr := st.Get(key)
+				if gerr != nil {
+					return row, gerr
+				}
+				items, err = backmat.DecodeBundle(raw)
+			}
+			if err != nil {
+				return row, err
+			}
+			passNs += time.Since(t0).Nanoseconds()
+			if len(items) != len(sc.vals) {
+				return row, fmt.Errorf("bench: ckpt-throughput: epoch %d decoded %d items, want %d", e, len(items), len(sc.vals))
+			}
 		}
-		if err != nil {
-			return row, err
-		}
-		resNs += time.Since(t0).Nanoseconds()
-		if len(items) != len(sc.vals) {
-			return row, fmt.Errorf("bench: ckpt-throughput: epoch %d decoded %d items, want %d", e, len(items), len(sc.vals))
+		if pass == 0 || passNs < resNs {
+			resNs = passNs
 		}
 	}
 
@@ -251,18 +263,25 @@ func (s *Session) runSpoolCadence(sc ckptScenario, fanout, epochs int) (CkptThro
 	if err != nil {
 		return row, err
 	}
-	cache := backmat.NewPayloadCache(0)
+	drainWriteback()
 	var resNs int64
-	for e := 0; e < epochs; e++ {
-		t0 := time.Now()
-		secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: e}, cache.Contains)
-		if err != nil || !ok {
-			return row, fmt.Errorf("bench: spool-cadence restore epoch %d: ok=%v err=%v", e, ok, err)
+	for pass := 0; pass < 5; pass++ {
+		cache := backmat.NewPayloadCache(0)
+		var passNs int64
+		for e := 0; e < epochs; e++ {
+			t0 := time.Now()
+			secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: e}, cache.Contains)
+			if err != nil || !ok {
+				return row, fmt.Errorf("bench: spool-cadence restore epoch %d: ok=%v err=%v", e, ok, err)
+			}
+			if _, err := backmat.DecodeSectionsCached(cache, secs); err != nil {
+				return row, err
+			}
+			passNs += time.Since(t0).Nanoseconds()
 		}
-		if _, err := backmat.DecodeSectionsCached(cache, secs); err != nil {
-			return row, err
+		if pass == 0 || passNs < resNs {
+			resNs = passNs
 		}
-		resNs += time.Since(t0).Nanoseconds()
 	}
 
 	mb := float64(logical) / (1 << 20)

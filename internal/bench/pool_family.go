@@ -120,6 +120,7 @@ func (s *Session) runFamily(fs *familyScenario, pool string, epochs int) (CkptTh
 	// (pool-wide content addressing); the private family pays one cache per
 	// run, decoding the backbone four times.
 	sharedCache := backmat.NewPayloadCache(0)
+	drainWriteback()
 	var resNs int64
 	for r := 0; r < familyRuns; r++ {
 		ro, err := store.OpenReadOnly(dirs[r])

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// drainWriteback is a no-op where sync(2) is unavailable; restore timings
+// may see background writeback noise.
+func drainWriteback() {}

@@ -1,0 +1,11 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// drainWriteback forces dirty page cache out to disk so the kernel flusher
+// doesn't fire mid-measurement: every cell writes tens of megabytes right
+// before its restore sweeps, and on a small box a background writeback burst
+// landing inside the timed window skews the cell it happens to hit.
+func drainWriteback() { syscall.Sync() }

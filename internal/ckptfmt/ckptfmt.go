@@ -10,9 +10,10 @@
 //   - A checkpoint payload is split into frames: one section per environment
 //     entry, with large tensor payloads chunked further (codec.SplitChunks).
 //   - Each frame is independently encodable and decodable. It carries its
-//     own style byte (StyleRaw or StyleDeflate, chosen by a size/entropy
-//     heuristic), its own CRC-32C over the encoded bytes, and a 128-bit
-//     FNV-1a content hash of the raw bytes.
+//     own style byte (StyleRaw or StyleDeflate chosen by a size/entropy
+//     heuristic, or the opt-in StyleLZ4 block style whose decode runs near
+//     memcpy speed), its own CRC-32C over the encoded bytes, and a 128-bit
+//     content hash of the raw bytes.
 //   - Because frames are independent, encode and decode fan out across a
 //     worker pool (ParallelDo); results are bit-identical regardless of how
 //     work is distributed over goroutines.
@@ -43,6 +44,15 @@ const (
 	StyleRaw byte = 0
 	// StyleDeflate stores chunk bytes DEFLATE-compressed (BestSpeed).
 	StyleDeflate byte = 1
+	// StyleLZ4 stores chunk bytes as a hand-rolled LZ4 block (lz4.go):
+	// match-copy decompression with no entropy stage, so decode runs near
+	// memcpy speed on the restore hot path. Stores that write LZ4 frames
+	// flag it in their FORMAT marker so older builds refuse cleanly.
+	StyleLZ4 byte = 2
+
+	// StyleAuto is not a wire style: passed to BuildStyle it selects the
+	// raw/deflate size-and-entropy heuristic (the default Build behaviour).
+	StyleAuto byte = 0xff
 )
 
 // Style-selection heuristic: chunks smaller than minDeflateSize never pay
@@ -145,11 +155,41 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // Build encodes one raw chunk into a frame, choosing the style by the
 // size/entropy heuristic and keeping the raw encoding whenever deflate fails
 // to actually shrink the chunk.
-func Build(raw []byte) Frame {
+func Build(raw []byte) Frame { return BuildStyle(raw, StyleAuto) }
+
+// BuildStyle encodes one raw chunk with an explicit style preference.
+// StyleAuto applies the raw/deflate heuristic; an explicit StyleDeflate or
+// StyleLZ4 skips the entropy gate but still falls back to StyleRaw whenever
+// the compressed encoding fails to shrink the chunk, so a style preference
+// can never make a frame larger than the verbatim one.
+func BuildStyle(raw []byte, style byte) Frame {
 	f := Frame{Style: StyleRaw, RawLen: len(raw), Hash: HashChunk(raw), Enc: raw}
-	if len(raw) < minDeflateSize || codec.SampleEntropy(raw) > maxDeflateEntropy {
+	switch style {
+	case StyleRaw:
 		return f
+	case StyleLZ4:
+		if len(raw) < lz4MFLimit+1 {
+			return f
+		}
+		enc := lz4Compress(raw, make([]byte, 0, lz4CompressBound(len(raw))))
+		if len(enc) < len(raw) {
+			f.Style = StyleLZ4
+			f.Enc = enc
+		}
+		return f
+	case StyleDeflate:
+		return buildDeflate(f, raw)
+	default: // StyleAuto
+		if len(raw) < minDeflateSize || codec.SampleEntropy(raw) > maxDeflateEntropy {
+			return f
+		}
+		return buildDeflate(f, raw)
 	}
+}
+
+// buildDeflate attempts the deflate encoding, keeping raw on any failure or
+// non-shrinking result.
+func buildDeflate(f Frame, raw []byte) Frame {
 	var buf bytes.Buffer
 	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
 	if err != nil {
@@ -170,10 +210,13 @@ func Build(raw []byte) Frame {
 
 // EncodeChunks builds a frame per raw chunk, in parallel across the worker
 // pool. Output order matches input order.
-func EncodeChunks(chunks [][]byte) []Frame {
+func EncodeChunks(chunks [][]byte) []Frame { return EncodeChunksStyle(chunks, StyleAuto) }
+
+// EncodeChunksStyle is EncodeChunks with an explicit style preference.
+func EncodeChunksStyle(chunks [][]byte, style byte) []Frame {
 	frames := make([]Frame, len(chunks))
 	ParallelDo(len(chunks), func(i int) {
-		frames[i] = Build(chunks[i])
+		frames[i] = BuildStyle(chunks[i], style)
 	})
 	return frames
 }
@@ -185,16 +228,23 @@ func EncodeChunks(chunks [][]byte) []Frame {
 // The CRC covers every preceding byte of the frame, so a flip anywhere —
 // header, hash, or body — is detected before decompression is attempted.
 
+// appendHeader serializes a frame header — style, rawLen, encLen, hash — onto
+// dst. The encoding is canonical (PutUvarint emits minimal varints), so a
+// header is fully determined by those four values.
+func appendHeader(dst []byte, style byte, rawLen, encLen int, h Hash) []byte {
+	dst = append(dst, style)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(rawLen))
+	dst = append(dst, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(encLen))
+	dst = append(dst, tmp[:n]...)
+	return append(dst, h[:]...)
+}
+
 // Append serializes the frame onto dst and returns the extended slice.
 func (f *Frame) Append(dst []byte) []byte {
 	start := len(dst)
-	dst = append(dst, f.Style)
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], uint64(f.RawLen))
-	dst = append(dst, tmp[:n]...)
-	n = binary.PutUvarint(tmp[:], uint64(len(f.Enc)))
-	dst = append(dst, tmp[:n]...)
-	dst = append(dst, f.Hash[:]...)
+	dst = appendHeader(dst, f.Style, f.RawLen, len(f.Enc), f.Hash)
 	dst = append(dst, f.Enc...)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(dst[start:], castagnoli))
@@ -206,39 +256,217 @@ func (f *Frame) Marshal() []byte {
 	return f.Append(make([]byte, 0, len(f.Enc)+32))
 }
 
-// Parse reads one frame from the front of b, verifying its CRC, and returns
-// the number of bytes consumed. The returned frame's Enc aliases b.
-func Parse(b []byte) (Frame, int, error) {
-	var f Frame
+// maxHeaderLen bounds a frame header: the style byte, two uvarints, and the
+// 16-byte content hash. A prefix this long is always enough to parse the
+// header of any well-formed frame.
+const maxHeaderLen = 1 + 2*binary.MaxVarintLen64 + 16
+
+// parseHeaderPrefix decodes the fixed leading fields of a frame — style,
+// rawLen, encLen, content hash — from a prefix of the frame bytes. The
+// prefix need not include the payload; the returned frame's Enc is nil.
+// hdrLen is the header's byte length (Enc begins there).
+func parseHeaderPrefix(b []byte) (f Frame, encLen, hdrLen int, err error) {
 	if len(b) < 1 {
-		return f, 0, fmt.Errorf("%w: empty frame", codec.ErrCorrupt)
+		return f, 0, 0, fmt.Errorf("%w: empty frame", codec.ErrCorrupt)
 	}
 	f.Style = b[0]
 	off := 1
 	rawLen, n := binary.Uvarint(b[off:])
 	if n <= 0 {
-		return f, 0, fmt.Errorf("%w: bad frame rawLen", codec.ErrCorrupt)
+		return f, 0, 0, fmt.Errorf("%w: bad frame rawLen", codec.ErrCorrupt)
 	}
 	off += n
-	encLen, n := binary.Uvarint(b[off:])
+	el, n := binary.Uvarint(b[off:])
 	if n <= 0 {
-		return f, 0, fmt.Errorf("%w: bad frame encLen", codec.ErrCorrupt)
+		return f, 0, 0, fmt.Errorf("%w: bad frame encLen", codec.ErrCorrupt)
 	}
 	off += n
-	if uint64(len(b)-off) < 16+encLen+4 {
-		return f, 0, fmt.Errorf("%w: truncated frame (need %d bytes, have %d)",
-			codec.ErrCorrupt, off+16+int(encLen)+4, len(b))
+	if len(b)-off < 16 {
+		return f, 0, 0, fmt.Errorf("%w: truncated frame header (need %d bytes, have %d)",
+			codec.ErrCorrupt, off+16, len(b))
 	}
 	copy(f.Hash[:], b[off:])
 	off += 16
 	f.RawLen = int(rawLen)
-	f.Enc = b[off : off+int(encLen)]
-	off += int(encLen)
-	want := binary.LittleEndian.Uint32(b[off:])
-	if got := crc32.Checksum(b[:off], castagnoli); got != want {
+	return f, int(el), off, nil
+}
+
+// parseHeader reads a frame's header from the front of b without verifying
+// the CRC: hdrEnd is the offset where Enc begins, encEnd where it ends (the
+// CRC trailer follows). The returned frame's Enc aliases b.
+func parseHeader(b []byte) (f Frame, hdrEnd, encEnd int, err error) {
+	f, encLen, hdrEnd, err := parseHeaderPrefix(b)
+	if err != nil {
+		return f, 0, 0, err
+	}
+	if len(b)-hdrEnd < encLen+4 {
+		return f, 0, 0, fmt.Errorf("%w: truncated frame (need %d bytes, have %d)",
+			codec.ErrCorrupt, hdrEnd+encLen+4, len(b))
+	}
+	f.Enc = b[hdrEnd : hdrEnd+encLen]
+	return f, hdrEnd, hdrEnd + encLen, nil
+}
+
+// Parse reads one frame from the front of b, verifying its CRC, and returns
+// the number of bytes consumed. The returned frame's Enc aliases b.
+func Parse(b []byte) (Frame, int, error) {
+	f, _, encEnd, err := parseHeader(b)
+	if err != nil {
+		return f, 0, err
+	}
+	want := binary.LittleEndian.Uint32(b[encEnd:])
+	if got := crc32.Checksum(b[:encEnd], castagnoli); got != want {
 		return f, 0, fmt.Errorf("%w: frame CRC mismatch (got %08x want %08x)", codec.ErrCorrupt, got, want)
 	}
-	return f, off + 4, nil
+	return f, encEnd + 4, nil
+}
+
+// ParseDecodeInto parses the frame at the front of b, decodes it into dst
+// (which must be exactly RawLen bytes), and verifies the frame CRC. For
+// raw-style frames the copy into dst runs first and the checksum then reads
+// the hot copy (plus the few header bytes), so the source — typically a
+// cold memory-mapped pack — is streamed exactly once instead of once for
+// the CRC and again for the copy. Other styles fall back to Parse +
+// DecodeIntoTrusted, whose decompression is already the second pass.
+//
+// Like DecodeIntoTrusted, the decoded bytes' content hash is not recomputed:
+// callers must match the returned frame's Hash against an independently
+// stored reference. On any error dst's contents are unspecified.
+func ParseDecodeInto(b, dst []byte) (Frame, error) {
+	f, hdrEnd, encEnd, err := parseHeader(b)
+	if err != nil {
+		return f, err
+	}
+	if f.Style != StyleRaw || len(f.Enc) != f.RawLen || len(dst) != f.RawLen {
+		ff, _, err := Parse(b)
+		if err != nil {
+			return ff, err
+		}
+		if _, err := ff.DecodeIntoTrusted(dst); err != nil {
+			return ff, err
+		}
+		return ff, nil
+	}
+	copy(dst, f.Enc)
+	want := binary.LittleEndian.Uint32(b[encEnd:])
+	got := crc32.Update(crc32.Update(0, castagnoli, b[:hdrEnd]), castagnoli, dst)
+	if got != want {
+		return f, fmt.Errorf("%w: frame CRC mismatch (got %08x want %08x)", codec.ErrCorrupt, got, want)
+	}
+	return f, nil
+}
+
+// DecodeFrameAt reads the frame record at [off, off+frameLen) of r, decodes
+// it into dst (which must be exactly the frame's raw length), verifies the
+// frame CRC, and returns the frame's stored content hash for the caller to
+// match against its independent reference (the trusted-path contract of
+// DecodeIntoTrusted: no content-hash recompute here).
+//
+// For raw-style frames the payload is read by one ranged read straight into
+// dst — no staging buffer, no mapping — plus two tiny reads for the header
+// and the CRC trailer; the checksum then runs over the hot copy. Other
+// styles stage the record in a recycled span and take the Parse +
+// DecodeIntoTrusted path. On any error dst's contents are unspecified.
+func DecodeFrameAt(r io.ReaderAt, off int64, frameLen int, dst []byte) (Hash, error) {
+	var hdr [maxHeaderLen]byte
+	probe := frameLen
+	if probe > len(hdr) {
+		probe = len(hdr)
+	}
+	if _, err := r.ReadAt(hdr[:probe], off); err != nil {
+		return Hash{}, fmt.Errorf("%w: frame header read: %v", codec.ErrCorrupt, err)
+	}
+	f, encLen, hdrLen, err := parseHeaderPrefix(hdr[:probe])
+	if err != nil {
+		return Hash{}, err
+	}
+	if hdrLen+encLen+4 != frameLen {
+		return Hash{}, fmt.Errorf("%w: frame record is %d bytes, header implies %d",
+			codec.ErrCorrupt, frameLen, hdrLen+encLen+4)
+	}
+	if len(dst) != f.RawLen {
+		return Hash{}, fmt.Errorf("ckptfmt: DecodeFrameAt buffer is %d bytes, frame holds %d", len(dst), f.RawLen)
+	}
+	if f.Style == StyleRaw && encLen == f.RawLen {
+		if _, err := r.ReadAt(dst, off+int64(hdrLen)); err != nil {
+			return Hash{}, fmt.Errorf("%w: frame payload read: %v", codec.ErrCorrupt, err)
+		}
+		var tail [4]byte
+		if _, err := r.ReadAt(tail[:], off+int64(hdrLen+encLen)); err != nil {
+			return Hash{}, fmt.Errorf("%w: frame CRC read: %v", codec.ErrCorrupt, err)
+		}
+		want := binary.LittleEndian.Uint32(tail[:])
+		got := crc32.Update(crc32.Update(0, castagnoli, hdr[:hdrLen]), castagnoli, dst)
+		if got != want {
+			return Hash{}, fmt.Errorf("%w: frame CRC mismatch (got %08x want %08x)", codec.ErrCorrupt, got, want)
+		}
+		return f.Hash, nil
+	}
+	span := Shared.Get(frameLen)
+	defer Shared.Put(span)
+	if _, err := r.ReadAt(span, off); err != nil {
+		return Hash{}, fmt.Errorf("%w: frame read: %v", codec.ErrCorrupt, err)
+	}
+	ff, _, err := Parse(span)
+	if err != nil {
+		return Hash{}, err
+	}
+	if _, err := ff.DecodeIntoTrusted(dst); err != nil {
+		return Hash{}, err
+	}
+	return ff.Hash, nil
+}
+
+// DecodeExpectedFrameAt is DecodeFrameAt for a caller that already knows,
+// from an independently stored directory ref, the raw length (len(dst)) and
+// content hash the frame should carry. A raw-style frame with those values
+// has a fully determined header (the encoding is canonical), so when the
+// synthesized header's length is consistent with frameLen the record is
+// decoded with just two ranged reads — payload straight into dst and the
+// 4-byte CRC trailer — and no header read or parse at all: the trailer was
+// computed over header + payload at write time, so it matches the checksum of
+// synthesized header + hot payload exactly when the payload carries the
+// expected content. (The on-disk header bytes themselves go unread and thus
+// unverified — nothing depends on them.) Any mismatch — a compressed frame of
+// coincidental size, payload corruption, or different content — falls back to
+// DecodeFrameAt for a precise verdict; callers must still match the returned
+// hash against their reference.
+func DecodeExpectedFrameAt(r io.ReaderAt, off int64, frameLen int, want Hash, dst []byte) (Hash, error) {
+	var buf [maxHeaderLen]byte
+	hdr := appendHeader(buf[:0], StyleRaw, len(dst), len(dst), want)
+	if len(hdr)+len(dst)+4 == frameLen {
+		if _, err := r.ReadAt(dst, off+int64(len(hdr))); err != nil {
+			return Hash{}, fmt.Errorf("%w: frame payload read: %v", codec.ErrCorrupt, err)
+		}
+		var tail [4]byte
+		if _, err := r.ReadAt(tail[:], off+int64(frameLen-4)); err != nil {
+			return Hash{}, fmt.Errorf("%w: frame CRC read: %v", codec.ErrCorrupt, err)
+		}
+		got := crc32.Update(crc32.Update(0, castagnoli, hdr), castagnoli, dst)
+		if got == binary.LittleEndian.Uint32(tail[:]) {
+			return want, nil
+		}
+	}
+	return DecodeFrameAt(r, off, frameLen, dst)
+}
+
+// DecodeGatheredRaw verifies a raw-style frame whose record was scatter-read
+// in pieces by vectored IO: hdr holds the on-disk header bytes, dst the
+// payload (already in its final buffer), tail the 4-byte CRC trailer.
+// ok=false reports that the bytes are not the plain raw frame of dst's
+// length the caller assumed when splitting the record — the caller must
+// re-read through a general path for a verdict; an error means the shape
+// matched but the checksum did not: the record is corrupt.
+func DecodeGatheredRaw(hdr, dst, tail []byte) (Hash, bool, error) {
+	f, encLen, hdrLen, err := parseHeaderPrefix(hdr)
+	if err != nil || f.Style != StyleRaw || encLen != len(dst) || f.RawLen != len(dst) || hdrLen != len(hdr) {
+		return Hash{}, false, nil
+	}
+	got := crc32.Update(crc32.Update(0, castagnoli, hdr), castagnoli, dst)
+	if want := binary.LittleEndian.Uint32(tail); got != want {
+		return Hash{}, false, fmt.Errorf("%w: frame CRC mismatch (got %08x want %08x)", codec.ErrCorrupt, got, want)
+	}
+	return f.Hash, true, nil
 }
 
 // Decode recovers the frame's raw chunk bytes, verifying length and content
@@ -247,10 +475,30 @@ func Parse(b []byte) (Frame, int, error) {
 func (f *Frame) Decode() ([]byte, error) { return f.DecodeInto(nil) }
 
 // DecodeInto decodes into dst, which must be exactly RawLen bytes (or nil
-// to let the frame choose: alias for raw style, fresh buffer for deflate).
-// Assembling a multi-chunk section decodes every frame straight into its
-// slice of one preallocated buffer, with no intermediate copies.
+// to let the frame choose: alias for raw style, fresh buffer for deflate and
+// lz4). Assembling a multi-chunk section decodes every frame straight into
+// its slice of one preallocated buffer, with no intermediate copies.
 func (f *Frame) DecodeInto(dst []byte) ([]byte, error) {
+	raw, err := f.decodeInto(dst)
+	if err != nil {
+		return nil, err
+	}
+	if HashChunk(raw) != f.Hash {
+		return nil, fmt.Errorf("%w: frame content hash mismatch", codec.ErrCorrupt)
+	}
+	return raw, nil
+}
+
+// DecodeIntoTrusted is DecodeInto without the content-hash recompute over
+// the decoded bytes. It is only for callers that have already (a) verified
+// the frame's CRC via Parse — which covers the header, the stored hash, and
+// every encoded byte — and (b) matched f.Hash against an independently
+// stored reference (the segment directory's chunk ref). On that path the
+// recompute adds no integrity, only a second full pass over the chunk; the
+// public Decode/DecodeInto contract keeps the recompute for everyone else.
+func (f *Frame) DecodeIntoTrusted(dst []byte) ([]byte, error) { return f.decodeInto(dst) }
+
+func (f *Frame) decodeInto(dst []byte) ([]byte, error) {
 	if dst != nil && len(dst) != f.RawLen {
 		return nil, fmt.Errorf("ckptfmt: DecodeInto buffer is %d bytes, frame holds %d", len(dst), f.RawLen)
 	}
@@ -271,13 +519,18 @@ func (f *Frame) DecodeInto(dst []byte) ([]byte, error) {
 		if dst != nil {
 			if _, err := io.ReadFull(zr, dst); err != nil {
 				zr.Close()
+				// io.EOF / io.ErrUnexpectedEOF here means the stream ended
+				// before RawLen bytes: a truncated frame, never a short read
+				// to return silently.
 				return nil, fmt.Errorf("%w: frame inflate: %v", codec.ErrCorrupt, err)
 			}
-			// The stream must end exactly at RawLen.
+			// The stream must end exactly at RawLen: drain one byte and
+			// require a clean EOF, so both trailing garbage and a stream
+			// truncated mid-block (ErrUnexpectedEOF) surface as corruption.
 			var one [1]byte
-			if n, _ := zr.Read(one[:]); n != 0 {
+			if n, err := zr.Read(one[:]); n != 0 || (err != nil && err != io.EOF) {
 				zr.Close()
-				return nil, fmt.Errorf("%w: frame inflates past %d bytes", codec.ErrCorrupt, f.RawLen)
+				return nil, fmt.Errorf("%w: frame inflate does not end at %d bytes (n=%d err=%v)", codec.ErrCorrupt, f.RawLen, n, err)
 			}
 			zr.Close()
 			raw = dst
@@ -292,11 +545,16 @@ func (f *Frame) DecodeInto(dst []byte) ([]byte, error) {
 				return nil, fmt.Errorf("%w: frame decoded to %d bytes, header says %d", codec.ErrCorrupt, len(raw), f.RawLen)
 			}
 		}
+	case StyleLZ4:
+		if dst == nil {
+			dst = make([]byte, f.RawLen)
+		}
+		if err := lz4Decompress(f.Enc, dst); err != nil {
+			return nil, err
+		}
+		raw = dst
 	default:
 		return nil, fmt.Errorf("%w: unknown frame style 0x%02x", codec.ErrCorrupt, f.Style)
-	}
-	if HashChunk(raw) != f.Hash {
-		return nil, fmt.Errorf("%w: frame content hash mismatch", codec.ErrCorrupt)
 	}
 	return raw, nil
 }

@@ -31,6 +31,18 @@ func fuzzSeeds() [][]byte {
 	for _, p := range payloads {
 		f := Build(p)
 		seeds = append(seeds, f.Marshal())
+		// Build never picks LZ4 on its own (the default heuristic keeps
+		// raw/deflate), so seed explicit LZ4 frames too — the fuzzer must
+		// exercise the match-copy decoder, not just the flate one.
+		if g := BuildStyle(p, StyleLZ4); g.Style == StyleLZ4 {
+			seeds = append(seeds, g.Marshal())
+		}
+	}
+	// A hand-built LZ4 frame with overlapping matches (RLE mode), which the
+	// heuristic fallback path would otherwise rarely hit.
+	rle := bytes.Repeat([]byte("ab"), 2048)
+	if g := BuildStyle(rle, StyleLZ4); g.Style == StyleLZ4 {
+		seeds = append(seeds, g.Marshal())
 	}
 	return seeds
 }

@@ -219,39 +219,68 @@ func (r *Reader) RawBytes() ([]byte, error) {
 
 // Tensor reads a shape-prefixed dense tensor.
 func (r *Reader) Tensor() (*tensor.Tensor, error) {
-	dims, err := r.Uvarint()
+	shape, raw, err := r.TensorView()
 	if err != nil {
 		return nil, err
 	}
-	if dims > 8 {
-		return nil, fmt.Errorf("%w: implausible tensor rank %d", ErrCorrupt, dims)
+	out := tensor.New(shape...)
+	PutFloats(out.Data(), raw)
+	return out, nil
+}
+
+// TensorView reads a shape-prefixed dense tensor without materializing it.
+// The returned raw block aliases the reader's buffer and holds the wire
+// encoding (8 little-endian IEEE-754 bytes per element); it stays valid only
+// as long as the underlying buffer does. PutFloats copies such a block onto a
+// float64 slice — together they form the zero-copy restore path, which
+// defers (or skips) building an intermediate tensor and instead copies
+// checkpoint bytes straight into the live destination.
+func (r *Reader) TensorView() (shape []int, raw []byte, err error) {
+	dims, err := r.Uvarint()
+	if err != nil {
+		return nil, nil, err
 	}
-	shape := make([]int, dims)
+	if dims > 8 {
+		return nil, nil, fmt.Errorf("%w: implausible tensor rank %d", ErrCorrupt, dims)
+	}
+	shape = make([]int, dims)
 	n := 1
 	for i := range shape {
 		d, err := r.Uvarint()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		shape[i] = int(d)
 		n *= int(d)
 	}
 	if r.Remaining() < 8*n {
-		return nil, fmt.Errorf("%w: truncated tensor payload at offset %d", ErrCorrupt, r.off)
+		return nil, nil, fmt.Errorf("%w: truncated tensor payload at offset %d", ErrCorrupt, r.off)
 	}
-	out := tensor.New(shape...)
-	od := out.Data()
-	if n > 0 {
-		if hostLittleEndian {
-			copy(unsafe.Slice((*byte)(unsafe.Pointer(&od[0])), 8*n), r.buf[r.off:r.off+8*n])
-		} else {
-			for i := 0; i < n; i++ {
-				od[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off+8*i:]))
-			}
-		}
-	}
+	raw = r.buf[r.off : r.off+8*n]
 	r.off += 8 * n
-	return out, nil
+	return shape, raw, nil
+}
+
+// PutFloats copies a wire-format float block (8 little-endian bytes per
+// element) onto dst, whose length must match the block's element count. On
+// little-endian hosts this is a single memcpy into dst's backing array; the
+// destination side of the unsafe conversion is always 8-byte aligned, so the
+// block itself may sit at any offset (a frame decoded mid-buffer, an mmap'd
+// pack page). Big-endian hosts take the per-element loop.
+func PutFloats(dst []float64, raw []byte) {
+	if len(raw) != 8*len(dst) {
+		panic(fmt.Sprintf("codec: PutFloats length mismatch: %d raw bytes onto %d floats", len(raw), len(dst)))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), raw)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
 }
 
 // IntSlice reads a length-prefixed int slice.
@@ -370,14 +399,25 @@ func Compress(b []byte) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// Decompress gunzips b.
+// Decompress gunzips b. Any malformed input — a bad header, a stream
+// truncated mid-deflate, or a missing/mismatched CRC trailer — surfaces
+// ErrCorrupt rather than a silently short payload: the read drains to the
+// stream's end so gzip's own digest check always runs before bytes are
+// returned.
 func Decompress(b []byte) ([]byte, error) {
 	zr, err := gzip.NewReader(bytes.NewReader(b))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: gzip header: %v", ErrCorrupt, err)
 	}
 	defer zr.Close()
-	return io.ReadAll(zr)
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		// io.ReadAll only stops early on a real error: truncation surfaces
+		// io.ErrUnexpectedEOF and a drained-but-wrong digest surfaces
+		// gzip.ErrChecksum. Either way the bytes cannot be trusted.
+		return nil, fmt.Errorf("%w: gzip stream: %v", ErrCorrupt, err)
+	}
+	return out, nil
 }
 
 // CompressedSize returns len(Compress(b)); used for the paper's Table 4

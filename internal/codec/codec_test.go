@@ -291,3 +291,54 @@ func TestQuickSplitChunksReassemble(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDecompressTruncatedIsCorrupt(t *testing.T) {
+	payload := bytes.Repeat([]byte("flor hindsight logging "), 512)
+	c, err := Compress(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point — inside the header, mid-deflate, inside the
+	// CRC/length trailer — must yield ErrCorrupt, never a short payload.
+	for cut := 0; cut < len(c); cut += 1 + len(c)/97 {
+		if _, err := Decompress(c[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated at %d/%d: err = %v, want ErrCorrupt", cut, len(c), err)
+		}
+	}
+	// A corrupted trailer (wrong digest over intact deflate data) too.
+	bad := append([]byte(nil), c...)
+	bad[len(bad)-5] ^= 0xff
+	if _, err := Decompress(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped CRC: err = %v, want ErrCorrupt", err)
+	}
+	if got, err := Decompress(c); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("intact stream failed: %v", err)
+	}
+}
+
+func TestTensorViewAliasesAndPutFloats(t *testing.T) {
+	orig := tensor.Randn(xrand.New(3), 1, 64, 3)
+	w := NewWriter()
+	w.Tensor(orig)
+	shape, raw, err := NewReader(w.Bytes()).TensorView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shape) != 2 || shape[0] != 64 || shape[1] != 3 {
+		t.Fatalf("shape = %v", shape)
+	}
+	if len(raw) != 8*orig.Len() {
+		t.Fatalf("raw block %d bytes, want %d", len(raw), 8*orig.Len())
+	}
+	dst := make([]float64, orig.Len())
+	PutFloats(dst, raw)
+	for i, v := range orig.Data() {
+		if dst[i] != v {
+			t.Fatalf("element %d: %g != %g", i, dst[i], v)
+		}
+	}
+	// The view must reject truncated payloads like Tensor does.
+	if _, _, err := NewReader(w.Bytes()[:w.Len()-4]).TensorView(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated view: err = %v", err)
+	}
+}

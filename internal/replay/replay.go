@@ -721,9 +721,15 @@ func runStealingWorker(env *replayEnv, x *sched.Executor, pid, n int) (*WorkerRe
 			if !ok {
 				break
 			}
+			it0 := time.Now()
 			if err := w.runIteration(e); err != nil {
 				return nil, nil, err
 			}
+			// Feed the measured iteration time back into the executor: steal
+			// profitability then weighs real per-iteration work (including
+			// the restore cost actually paid) against catch-up, instead of
+			// trusting the recording-derived estimate for the whole replay.
+			x.NoteIterDone(e, time.Since(it0).Nanoseconds())
 		}
 		_, end := lease.Bounds()
 		pos = end
@@ -885,7 +891,11 @@ func schedCosts(rec *Recording, p *script.Program, ids []string, mult map[string
 			m := mult[id]
 			for x := e * m; x < (e+1)*m; x++ {
 				if meta, ok := rec.Store.Lookup(store.Key{LoopID: id, Exec: x}); ok {
-					restore[e] += tracker.PredictRestoreNs(meta.MaterNs)
+					// Price each loop's restores with its own c estimate:
+					// nested loops can sit far apart in restore/materialize
+					// ratio, and the balanced partition skews when one
+					// global factor prices both.
+					restore[e] += tracker.PredictRestoreNsLoop(id, meta.MaterNs)
 				}
 			}
 		}

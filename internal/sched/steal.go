@@ -29,6 +29,13 @@ type Executor struct {
 	// cost-model feedback loop (paper §5.3.2): early leases observe real
 	// restore times, later steal decisions are priced with them.
 	restoreScale func() float64
+	// workScale is the measured-over-modeled work-cost ratio (EWMA), fed by
+	// NoteIterDone as workers finish iterations. It rescales the stolen-work
+	// side of steal profitability the same way restoreScale rescales the
+	// catch-up side, so both halves of the profit equation are priced with
+	// observed, not estimated, costs once real timings exist.
+	workScale   float64
+	workSamples int
 
 	mStealAttempts *obs.Counter
 	mLeaseSplits   *obs.Counter
@@ -83,6 +90,46 @@ func (x *Executor) SetRestoreScale(f func() float64) {
 	x.mu.Unlock()
 }
 
+// noteEwmaAlpha smooths the measured work-cost ratio; matches the tracker's
+// restore-factor smoothing so both feedback loops converge at the same pace.
+const noteEwmaAlpha = 0.3
+
+// NoteIterDone reports one iteration's measured wall time. The executor
+// accumulates the ratio of measured time to the cost model's per-iteration
+// estimate and prices future steals with it: a model that underestimated the
+// real per-iteration work (a restore-heavy replay whose frame tax the
+// estimate missed) would otherwise keep approving steals whose catch-up
+// outweighs the work actually left. Safe for concurrent use.
+func (x *Executor) NoteIterDone(iter int, measuredNs int64) {
+	if measuredNs <= 0 {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	modeled := x.workCost(iter, iter+1)
+	if modeled <= 0 {
+		return
+	}
+	r := float64(measuredNs) / float64(modeled)
+	x.workSamples++
+	if x.workSamples == 1 {
+		x.workScale = r
+		return
+	}
+	x.workScale = (1-noteEwmaAlpha)*x.workScale + noteEwmaAlpha*r
+}
+
+// WorkScale returns the current measured/modeled work-cost ratio (1.0 until
+// any iteration was reported).
+func (x *Executor) WorkScale() float64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.workSamples == 0 {
+		return 1.0
+	}
+	return x.workScale
+}
+
 // Steals returns how many leases were created by stealing.
 func (x *Executor) Steals() int {
 	x.mu.Lock()
@@ -113,6 +160,10 @@ func (x *Executor) Steal() (*Lease, bool) {
 			scale = s
 		}
 	}
+	wscale := 1.0
+	if x.workSamples > 0 && x.workScale > 0 {
+		wscale = x.workScale
+	}
 	var best *Lease
 	var bestMid int
 	var bestProfit int64
@@ -121,7 +172,7 @@ func (x *Executor) Steal() (*Lease, bool) {
 		if !ok || !hasAnchorAtOrBefore(x.anchors, mid-1) {
 			continue
 		}
-		profit := x.workCost(mid, l.end) - int64(scale*float64(x.costs.InitCostNs(mid, Weak, x.anchors)))
+		profit := int64(wscale*float64(x.workCost(mid, l.end))) - int64(scale*float64(x.costs.InitCostNs(mid, Weak, x.anchors)))
 		if best == nil || profit > bestProfit {
 			best, bestMid, bestProfit = l, mid, profit
 		}

@@ -155,3 +155,59 @@ func TestExecutorStealCounts(t *testing.T) {
 		t.Fatal("idle workers with one fat lease available should have stolen")
 	}
 }
+
+// TestNoteIterDoneRepricesSteals pins the work-time feedback loop: when
+// measured iterations come in far cheaper than the model claimed, a steal
+// whose modeled profit looked positive must stop being approved — the real
+// work left no longer covers the catch-up cost.
+func TestNoteIterDoneRepricesSteals(t *testing.T) {
+	n := 64
+	c := Uniform(n)
+	for i := range c.WorkNs {
+		c.WorkNs[i] = 1000 // modeled: plenty of work per iteration
+	}
+	// Weak catch-up costs something real but below the modeled remainder.
+	c.CatchupNs = make([]int64, n)
+	for i := range c.CatchupNs {
+		c.CatchupNs[i] = 4000
+	}
+
+	fresh := func() *Executor {
+		return NewExecutor(c, [][2]int{{0, n}}, nil) // all iterations anchored
+	}
+
+	// Baseline: with the model untouched, stealing half the lease is
+	// profitable (≈32k work vs 4k catch-up).
+	x := fresh()
+	if _, ok := x.Steal(); !ok {
+		t.Fatal("modeled costs should approve the steal")
+	}
+
+	// Feedback: measured iterations are 100x cheaper than modeled. After the
+	// EWMA converges, the same steal must be rejected (real remaining work
+	// ≈320ns < catch-up 4000ns).
+	x = fresh()
+	for i := 0; i < 50; i++ {
+		x.NoteIterDone(i%n, 10)
+	}
+	if ws := x.WorkScale(); ws > 0.05 {
+		t.Fatalf("work scale = %g, want ~0.01", ws)
+	}
+	if _, ok := x.Steal(); ok {
+		t.Fatal("measured costs should reject the steal")
+	}
+}
+
+// TestNoteIterDoneIgnoresJunk pins that unusable observations (non-positive
+// times, iterations with no modeled cost) leave the scale at its neutral 1.0.
+func TestNoteIterDoneIgnoresJunk(t *testing.T) {
+	c := Uniform(8)
+	x := NewExecutor(c, [][2]int{{0, 8}}, nil)
+	x.NoteIterDone(3, 0)
+	x.NoteIterDone(3, -5)
+	x.NoteIterDone(-1, 100)
+	x.NoteIterDone(99, 100)
+	if ws := x.WorkScale(); ws != 1.0 {
+		t.Fatalf("work scale = %g, want 1.0 with no valid samples", ws)
+	}
+}

@@ -141,6 +141,30 @@ func (c *storeCache) payloadCache(poolRoot string) *backmat.PayloadCache {
 	return pc
 }
 
+// drop removes runID's entry immediately, firing the eviction hook like LRU
+// eviction does. The stale-store refresh path uses it: a cached read-only
+// store that resolved chunk locations before a GC retired — and, past the
+// grace period, deleted — their pack generation can only recover by
+// reopening, so the server drops the entry and lets the next open resolve
+// the surviving generation. In-flight queries holding the old entry finish
+// on it like they do after an ordinary eviction.
+func (c *storeCache) drop(runID string) {
+	c.mu.Lock()
+	el, ok := c.entries[runID]
+	if ok {
+		c.lru.Remove(el)
+		delete(c.entries, runID)
+		c.evictions++
+		c.mEvictions.Inc()
+		c.mOpen.Set(int64(c.lru.Len()))
+	}
+	hook := c.onEvict
+	c.mu.Unlock()
+	if ok && hook != nil {
+		hook(runID)
+	}
+}
+
 // clear drops every entry (graceful shutdown: stop handing out stores),
 // firing the eviction hook for each like normal LRU eviction does —
 // embedders track open-store resources through it.

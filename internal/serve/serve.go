@@ -179,9 +179,13 @@ type RunStats struct {
 	QueueTimeouts int64 `json:"queue_timeouts"`
 	StoreHits     int64 `json:"store_hits"`
 	StoreMisses   int64 `json:"store_misses"`
-	QueueNs       int64 `json:"queue_ns"`
-	Inflight      int   `json:"inflight"`
-	Queued        int   `json:"queued"`
+	// StaleRefreshes counts queries that hit a cached store whose pack
+	// generations a GC had deleted (store.ErrStalePack) and recovered by
+	// reopening the store and retrying once.
+	StaleRefreshes int64 `json:"stale_refreshes"`
+	QueueNs        int64 `json:"queue_ns"`
+	Inflight       int   `json:"inflight"`
+	Queued         int   `json:"queued"`
 }
 
 // traceRingCap bounds the per-run replay-trace ring: each completed replay's
@@ -633,6 +637,24 @@ func (s *Server) open(r *run) (*cacheEntry, bool, error) {
 	return ent, hit, err
 }
 
+// refreshStale recovers a query that failed with store.ErrStalePack: the
+// cached read-only store resolved its chunk locations before a GC retired —
+// and, past the grace period (store.GCOptions.PackRetention), deleted —
+// their pack generation. The recording on disk is intact; only the cached
+// open is outdated. Drop the entry, reopen, and hand back the fresh entry
+// so the caller can retry the query exactly once.
+func (s *Server) refreshStale(r *run) (*cacheEntry, error) {
+	s.stores.drop(r.cfg.ID)
+	ent, _, err := s.open(r)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.stats.StaleRefreshes++
+	r.mu.Unlock()
+	return ent, nil
+}
+
 // ReplayRequest is a full replay query.
 type ReplayRequest struct {
 	// Probe selects a registered probe variant ("base" when empty).
@@ -710,15 +732,24 @@ func (s *Server) Replay(ctx context.Context, runID string, req ReplayRequest) (*
 	defer cancel()
 	tr := obs.NewTrace()
 	t0 := time.Now()
-	res, err := replay.Replay(ent.rec, factory, replay.Options{
-		Workers:   workers,
-		Scheduler: schedPolicy,
-		Init:      init,
-		Slots:     s.pool,
-		Ctx:       slotCtx,
-		Cache:     ent.cache,
-		Trace:     tr,
-	})
+	doReplay := func(ent *cacheEntry) (*replay.Result, error) {
+		return replay.Replay(ent.rec, factory, replay.Options{
+			Workers:   workers,
+			Scheduler: schedPolicy,
+			Init:      init,
+			Slots:     s.pool,
+			Ctx:       slotCtx,
+			Cache:     ent.cache,
+			Trace:     tr,
+		})
+	}
+	res, err := doReplay(ent)
+	if err != nil && errors.Is(err, store.ErrStalePack) {
+		if fresh, rerr := s.refreshStale(r); rerr == nil {
+			ent, hit = fresh, false
+			res, err = doReplay(ent)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			r.mu.Lock()
@@ -824,16 +855,31 @@ func (s *Server) sample(ctx context.Context, runID string, req SampleRequest, em
 	}
 	slotCtx, cancel := context.WithTimeout(ctx, s.opts.QueueTimeout)
 	defer cancel()
+	emitted := 0
 	var rawEmit func(int, []string) error
 	if emit != nil {
-		rawEmit = func(it int, logs []string) error { return emit(SampleChunk{Iteration: it, Logs: logs}) }
+		rawEmit = func(it int, logs []string) error {
+			emitted++
+			return emit(SampleChunk{Iteration: it, Logs: logs})
+		}
 	}
 	t0 := time.Now()
-	res, err := replay.ReplaySampleStream(ent.rec, factory, req.Iterations, replay.SampleOptions{
-		Cache: ent.cache,
-		Slots: s.pool,
-		Ctx:   slotCtx,
-	}, rawEmit)
+	doSample := func(ent *cacheEntry) (*replay.SampleResult, error) {
+		return replay.ReplaySampleStream(ent.rec, factory, req.Iterations, replay.SampleOptions{
+			Cache: ent.cache,
+			Slots: s.pool,
+			Ctx:   slotCtx,
+		}, rawEmit)
+	}
+	res, err := doSample(ent)
+	// The retry is only safe while nothing has streamed: chunks already
+	// delivered to the client must not be re-emitted by a second attempt.
+	if err != nil && errors.Is(err, store.ErrStalePack) && emitted == 0 {
+		if fresh, rerr := s.refreshStale(r); rerr == nil {
+			ent, hit = fresh, false
+			res, err = doSample(ent)
+		}
+	}
 	if err != nil {
 		// Out-of-range iterations are the client's mistake, not a serving
 		// failure: report 400 and keep them out of the error counters.

@@ -308,7 +308,7 @@ func (b *Block) restore(ctx *script.Ctx, key store.Key) error {
 	b.stats.RestoreNs += restoreNs
 	b.stats.RestoredBytes += restoredBytes
 	if meta, ok := b.rt.st.Lookup(key); ok {
-		b.rt.tracker.NoteRestore(restoreNs, meta.MaterNs)
+		b.rt.tracker.NoteRestoreLoop(b.Loop.ID, restoreNs, meta.MaterNs)
 	}
 	// Skipping the loop means nested SkipBlocks never saw their executions;
 	// keep their counters aligned.

@@ -57,6 +57,42 @@ type BackendReader interface {
 	io.Closer
 }
 
+// MappedBackend is an optional Backend capability: whole-object read-only
+// memory maps. The restore hot path prefers a mapping over ranged reads —
+// frame parsing then runs straight over the page cache with no per-restore
+// read syscalls or staging buffers. Backends whose objects are not local
+// files (S3-style ranged stores) simply do not implement the interface and
+// keep the streamed read path; implementations may also return an error for
+// objects they cannot map, which likewise falls back.
+type MappedBackend interface {
+	// OpenMapped memory-maps the named object read-only at its current
+	// length. The mapping stays valid after the object is appended to (it
+	// covers the old length) and, on POSIX systems, after the object is
+	// removed — callers remap when they need bytes past the mapped length.
+	OpenMapped(name string) (*Mapping, error)
+}
+
+// Mapping is a read-only memory-mapped view of one backend object. Close
+// invalidates Bytes; the caller owns making sure no reads are in flight.
+type Mapping struct {
+	data  []byte
+	unmap func([]byte) error
+}
+
+// Bytes returns the mapped view. The slice must not be mutated and must not
+// be referenced after Close.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Close unmaps the view. Safe to call twice.
+func (m *Mapping) Close() error {
+	if m.unmap == nil || m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return m.unmap(data)
+}
+
 // BackendWriter is a streaming write handle on one backend object: Close
 // commits the object atomically; Abort abandons the write, leaving any
 // previously committed object intact. A failed write must be Aborted, not

@@ -249,7 +249,7 @@ func TestReopenAfterCrashedCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Crash window (b): marker already carries the gc flag.
-	if err := writeFileAtomic(filepath.Join(dir, formatFile), formatMarker(1, false, true)); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, formatFile), formatMarker(1, false, true, false)); err != nil {
 		t.Fatal(err)
 	}
 

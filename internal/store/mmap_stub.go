@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "errors"
+
+// errNoMmap makes OpenMapped fail cleanly on platforms without syscall.Mmap;
+// the pool falls back to ranged reads on any mapping error.
+var errNoMmap = errors.New("store: memory-mapped pack reads unsupported on this platform")
+
+// OpenMapped implements MappedBackend on non-unix platforms by always
+// declining, which routes every read through the streamed path.
+func (b *DirBackend) OpenMapped(name string) (*Mapping, error) {
+	return nil, errNoMmap
+}

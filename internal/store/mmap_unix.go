@@ -1,0 +1,33 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenMapped implements MappedBackend: a read-only MAP_SHARED mapping of the
+// object's file at its current size. Open errors are returned unwrapped so
+// callers can distinguish a missing pack (errors.Is os.ErrNotExist — the
+// generation was retired) from an IO failure.
+func (b *DirBackend) OpenMapped(name string) (*Mapping, error) {
+	f, err := os.Open(b.path(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: stat %s: %w", name, err)
+	}
+	if st.Size() == 0 {
+		return &Mapping{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", name, err)
+	}
+	return &Mapping{data: data, unmap: syscall.Munmap}, nil
+}

@@ -38,6 +38,7 @@ package store
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -48,6 +49,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flor.dev/flor/internal/ckptfmt"
@@ -66,6 +68,15 @@ const (
 // DefaultPackRetention is how long a compacted-away pack generation stays
 // on disk for concurrent readers before a later GC pass deletes it.
 const DefaultPackRetention = 10 * time.Minute
+
+// ErrStalePack reports a read through an index that GC in another process
+// has outrun: either a pack generation whose grace period expired after the
+// reader resolved chunk locations, or a superseded checkpoint's segment file
+// removed by the (grace-free) segment sweep. The reader's in-memory index is
+// stale, not the data — re-opening the store resolves the current generation
+// and the successor checkpoints. Long-lived readers (the serving daemon's
+// store cache) catch this to refresh and retry.
+var ErrStalePack = errors.New("store: pack generation retired by gc")
 
 // chunkLoc locates one content-addressed frame inside its shard's pack
 // generation.
@@ -94,6 +105,67 @@ type poolShard struct {
 	// failed: packLen can no longer be trusted, and appending at an unknown
 	// offset would commit wrong-offset chunk records. Reads stay valid.
 	broken error
+
+	// mapped caches one refcounted read-only mapping of a pack object for
+	// the mmap read path; mappedObj names the object it covers. Replaced
+	// when a fetch needs bytes past the mapped length (the pack grew) or a
+	// different generation, and retired on compaction swap.
+	mapped    *packMap
+	mappedObj string
+}
+
+// packMap is a refcounted handle on one pack object's memory mapping.
+// Fetches acquire it for the span of a readSections call (decode reads the
+// frame bytes straight out of the mapping); the owning shard retires it when
+// the mapping is replaced or its generation compacted away, and whichever of
+// retire/release runs last unmaps. Refcounting is what makes unmap safe: a
+// munmap while a decode still reads the pages would fault the process, not
+// error.
+type packMap struct {
+	mu      sync.Mutex
+	m       *Mapping
+	refs    int
+	retired bool
+}
+
+func (pm *packMap) acquireLocked() { // caller holds the owning shard's mu
+	pm.mu.Lock()
+	pm.refs++
+	pm.mu.Unlock()
+}
+
+func (pm *packMap) release() {
+	pm.mu.Lock()
+	pm.refs--
+	last := pm.refs == 0 && pm.retired
+	pm.mu.Unlock()
+	if last {
+		pm.m.Close()
+	}
+}
+
+func (pm *packMap) retire() {
+	pm.mu.Lock()
+	pm.retired = true
+	idle := pm.refs == 0
+	pm.mu.Unlock()
+	if idle {
+		pm.m.Close()
+	}
+}
+
+// mmapPackReads gates the memory-mapped read path process-wide (1 = on).
+// The streamed ranged-read path is the fallback and the two must be
+// byte-identical — the migration matrix test runs both.
+var mmapPackReads atomic.Bool
+
+func init() { mmapPackReads.Store(true) }
+
+// SetMmapPackReads enables or disables memory-mapped pack reads, returning
+// the previous setting. Benchmarks and tests use it to compare the mmap and
+// streamed read paths; production leaves it on.
+func SetMmapPackReads(on bool) (prev bool) {
+	return mmapPackReads.Swap(on)
 }
 
 // packObjName maps (base name, generation) to the backend object name.
@@ -408,50 +480,302 @@ func (p *ChunkPool) resolve(jobs []chunkJob, byShard map[int][]int, seq int) err
 	return nil
 }
 
-// fetchShard reads the encoded frame bytes for the given jobs from one
-// shard's pack generation, coalescing into a single ranged read when the
-// frames occupy a mostly dense span. Jobs of one shard always share a
-// generation (locations were resolved atomically under the shard lock).
-func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int) error {
+// maxCoalesceGap bounds the dead bytes two neighbouring chunk reads may
+// carry between them and still be merged into one ranged read. Re-reading up
+// to 256 KiB of gap costs less than an extra read round-trip per chunk, yet
+// a sparse restore (a few live chunks scattered over a big pack) still
+// splits into separate reads instead of dragging the whole pack in.
+const maxCoalesceGap = 256 << 10
+
+// directReadMin is the frame-record size from which a chunk is fetched by a
+// private ranged read straight into its decode destination
+// (ckptfmt.DecodeFrameAt) instead of through the mapping or a staging span.
+// For a large raw frame that is the whole restore: one kernel copy into the
+// owned buffer, then a checksum over the hot copy — both the
+// mapping-then-copy route (cold TLB walk over the mapped pages) and the
+// span route (a second, staging copy) stream the bytes twice. Below the
+// threshold the three small reads stop amortizing and coalesced spans or
+// the mapping win.
+const directReadMin = 64 << 10
+
+// fetchShard points the given jobs' enc slices at the encoded frame bytes of
+// one shard's pack generation. Jobs of one shard always share a generation
+// (locations were resolved atomically under the shard lock).
+//
+// Two IO paths, byte-identical results:
+//
+//   - mmap (MappedBackend + SetMmapPackReads on): enc slices alias the pack
+//     mapping directly — zero copies, zero read syscalls on warm page cache.
+//   - streamed: offset-sorted jobs coalesce into bounded-gap spans, each one
+//     ranged read into an arena staging buffer (readv in spirit: one pass,
+//     few syscalls, no per-chunk allocations).
+//
+// Either way the enc slices alias memory that outlives this call only until
+// release is invoked; the caller must call release (non-nil on success) after
+// frame decode and must not let enc escape. A missing pack object surfaces
+// ErrStalePack: the generation was compacted away and deleted after its
+// grace period, so the caller's resolved locations are stale, not corrupt.
+func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int) (release func(), err error) {
 	sh := p.shardTab[si]
 	obj := packObjName(sh.name, jobs[idxs[0]].loc.Gen)
-	pf, err := p.backend.Open(obj)
-	if err != nil {
-		return fmt.Errorf("%w: shard %s: open pack: %v", codec.ErrCorrupt, obj, err)
-	}
-	defer pf.Close()
 
-	minOff, maxEnd, total := jobs[idxs[0]].loc.Off, int64(0), int64(0)
+	// Frames at least directReadMin long are handed the open pack handle
+	// instead of bytes: the decode phase reads each one's payload by a
+	// private ranged read straight into its destination buffer. Smaller
+	// frames go through the mapping or coalesced staging spans below.
+	var direct, rest []int
 	for _, ji := range idxs {
-		loc := jobs[ji].loc
-		if loc.Off < minOff {
-			minOff = loc.Off
+		if int(jobs[ji].loc.EncLen) >= directReadMin && jobs[ji].dst != nil {
+			direct = append(direct, ji)
+		} else {
+			rest = append(rest, ji)
 		}
-		if end := loc.Off + int64(loc.EncLen); end > maxEnd {
-			maxEnd = end
-		}
-		total += int64(loc.EncLen)
 	}
-	if maxEnd-minOff <= 2*total {
-		span := make([]byte, maxEnd-minOff)
-		if _, err := pf.ReadAt(span, minOff); err != nil {
-			return fmt.Errorf("%w: shard %s: read span [%d,%d): %v", codec.ErrCorrupt, obj, minOff, maxEnd, err)
+
+	var rels []func()
+	release = func() {
+		for _, r := range rels {
+			r()
 		}
-		for _, ji := range idxs {
-			loc := jobs[ji].loc
-			jobs[ji].enc = span[loc.Off-minOff : loc.Off-minOff+int64(loc.EncLen)]
+	}
+	var pf BackendReader
+	openPack := func() error {
+		pf, err = p.backend.Open(obj)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("%w: shard %s: %v", ErrStalePack, obj, err)
+			}
+			return fmt.Errorf("%w: shard %s: open pack: %v", codec.ErrCorrupt, obj, err)
 		}
+		rels = append(rels, func() { pf.Close() })
 		return nil
 	}
-	for _, ji := range idxs {
-		loc := jobs[ji].loc
-		buf := make([]byte, loc.EncLen)
-		if _, err := pf.ReadAt(buf, loc.Off); err != nil {
-			return fmt.Errorf("%w: shard %s: read at %d: %v", codec.ErrCorrupt, obj, loc.Off, err)
+	if len(direct) > 0 {
+		if err := openPack(); err != nil {
+			return nil, err
 		}
-		jobs[ji].enc = buf
+		for _, ji := range direct {
+			jobs[ji].src = pf
+		}
+		scatterRead(pf, jobs, direct)
+		if len(rest) == 0 {
+			return release, nil
+		}
 	}
-	return nil
+
+	sorted := append([]int(nil), rest...)
+	sort.Slice(sorted, func(a, b int) bool { return jobs[sorted[a]].loc.Off < jobs[sorted[b]].loc.Off })
+	last := jobs[sorted[len(sorted)-1]].loc
+	maxEnd := last.Off + int64(last.EncLen)
+
+	if mmapPackReads.Load() {
+		if mb, ok := p.backend.(MappedBackend); ok {
+			pm, merr := p.acquireMapping(mb, sh, obj, maxEnd)
+			if merr == nil {
+				data := pm.m.Bytes()
+				for _, ji := range rest {
+					loc := jobs[ji].loc
+					jobs[ji].enc = data[loc.Off : loc.Off+int64(loc.EncLen)]
+				}
+				rels = append(rels, pm.release)
+				return release, nil
+			}
+			if errors.Is(merr, os.ErrNotExist) {
+				release()
+				return nil, fmt.Errorf("%w: shard %s: %v", ErrStalePack, obj, merr)
+			}
+			// Any other mapping failure (platform stub, exotic filesystem)
+			// falls back to the streamed path below.
+		}
+	}
+
+	if pf == nil {
+		if err := openPack(); err != nil {
+			return nil, err
+		}
+	}
+
+	var spans [][]byte
+	rels = append(rels, func() {
+		for _, b := range spans {
+			ckptfmt.Shared.Put(b)
+		}
+	})
+	for k := 0; k < len(sorted); {
+		start := jobs[sorted[k]].loc.Off
+		end := start + int64(jobs[sorted[k]].loc.EncLen)
+		next := k + 1
+		for next < len(sorted) {
+			loc := jobs[sorted[next]].loc
+			if loc.Off-end > maxCoalesceGap {
+				break
+			}
+			if e := loc.Off + int64(loc.EncLen); e > end {
+				end = e
+			}
+			next++
+		}
+		span := ckptfmt.Shared.Get(int(end - start))
+		if _, err := pf.ReadAt(span, start); err != nil {
+			release()
+			return nil, fmt.Errorf("%w: shard %s: read span [%d,%d): %v", codec.ErrCorrupt, obj, start, end, err)
+		}
+		spans = append(spans, span)
+		for ; k < next; k++ {
+			loc := jobs[sorted[k]].loc
+			jobs[sorted[k]].enc = span[loc.Off-start : loc.Off-start+int64(loc.EncLen)]
+		}
+	}
+	return release, nil
+}
+
+// Scatter-read run bounds: a run of adjacent direct-read frames is read by
+// one vectored pread, so its length is capped by IOV_MAX (three vector
+// entries per frame) and the scratch it may burn on inter-frame gaps plus
+// frame overhead is bounded separately. Payload per run is also capped:
+// each run is checksummed right after its read, so a cache-sized batch
+// keeps the verify pass streaming bytes the kernel copy just made hot.
+const (
+	maxScatterFrames  = iovMax / 3
+	maxScatterScratch = 1 << 20
+	maxScatterPayload = 2 << 20
+)
+
+// scatterOverhead returns the header+trailer byte count job ji's record
+// carries around its payload if it is the plain raw frame its directory ref
+// implies, or -1 when the record cannot have that shape (it is compressed,
+// or not a section-buffer job) and must not be scatter-split.
+func scatterOverhead(j *chunkJob) int {
+	ov := int(j.loc.EncLen) - len(j.dst)
+	// A canonical raw header is 1 style byte, two equal uvarints (at least
+	// one byte each), and the 16-byte hash; plus the 4-byte trailer.
+	if ov < 1+1+1+16+4 || ov > 1+2*binary.MaxVarintLen64+16+4 {
+		return -1
+	}
+	return ov
+}
+
+// scatterRead batch-reads runs of adjacent direct-read frames with one
+// vectored pread per run: each payload lands straight in its destination
+// buffer while headers, trailers, and bounded inter-frame gaps land in a
+// recycled scratch span, collapsing the per-frame ranged reads into a
+// handful of syscalls. Each run is verified immediately after its read —
+// the checksum streams bytes the kernel copy just made cache-hot — and
+// verified jobs skip the decode phase's IO entirely. Purely best-effort:
+// jobs whose records cannot be split raw-frame-shaped, whose read fails, or
+// whose bytes turn out not to hold the assumed raw shape simply stay on
+// their per-frame path (src is already set), which re-reads precisely and
+// owns the error verdict.
+func scatterRead(pf BackendReader, jobs []chunkJob, direct []int) {
+	if !preadvSupported || len(direct) < 2 {
+		return
+	}
+	fder, ok := pf.(interface{ Fd() uintptr })
+	if !ok {
+		return
+	}
+	sorted := append([]int(nil), direct...)
+	sort.Slice(sorted, func(a, b int) bool { return jobs[sorted[a]].loc.Off < jobs[sorted[b]].loc.Off })
+	for k := 0; k < len(sorted); {
+		ov := scatterOverhead(&jobs[sorted[k]])
+		if ov < 0 {
+			k++
+			continue
+		}
+		run := []int{sorted[k]}
+		scratch := ov
+		payload := len(jobs[sorted[k]].dst)
+		pos := jobs[sorted[k]].loc.Off + int64(jobs[sorted[k]].loc.EncLen)
+		next := k + 1
+		for next < len(sorted) && len(run) < maxScatterFrames {
+			j := &jobs[sorted[next]]
+			gap := j.loc.Off - pos
+			nov := scatterOverhead(j)
+			if gap < 0 || gap > maxCoalesceGap || nov < 0 ||
+				scratch+int(gap)+nov > maxScatterScratch ||
+				payload+len(j.dst) > maxScatterPayload {
+				break
+			}
+			run = append(run, sorted[next])
+			scratch += int(gap) + nov
+			payload += len(j.dst)
+			pos = j.loc.Off + int64(j.loc.EncLen)
+			next++
+		}
+		if len(run) >= 2 {
+			scatterRun(fder.Fd(), jobs, run, scratch)
+		}
+		k = next
+	}
+}
+
+// scatterRun issues the vectored read for one run of frames and verifies
+// each frame in place while its bytes are hot, marking verified jobs done.
+// On any failure the affected jobs are left for the per-frame path.
+func scatterRun(fd uintptr, jobs []chunkJob, run []int, scratchLen int) {
+	scratch := ckptfmt.Shared.Get(scratchLen)
+	defer ckptfmt.Shared.Put(scratch)
+	iovs := make([][]byte, 0, 3*len(run))
+	hdrs := make([][]byte, len(run))
+	tails := make([][]byte, len(run))
+	sOff := 0
+	pos := jobs[run[0]].loc.Off
+	for k, ji := range run {
+		j := &jobs[ji]
+		gap := int(j.loc.Off - pos)
+		hdrLen := int(j.loc.EncLen) - len(j.dst) - 4
+		lead := scratch[sOff : sOff+gap+hdrLen]
+		sOff += gap + hdrLen
+		tail := scratch[sOff : sOff+4]
+		sOff += 4
+		iovs = append(iovs, lead, j.dst, tail)
+		hdrs[k] = lead[gap:]
+		tails[k] = tail
+		pos = j.loc.Off + int64(j.loc.EncLen)
+	}
+	if err := preadvFull(fd, iovs, jobs[run[0]].loc.Off); err != nil {
+		return
+	}
+	for k, ji := range run {
+		if h, ok, err := ckptfmt.DecodeGatheredRaw(hdrs[k], jobs[ji].dst, tails[k]); ok && err == nil {
+			jobs[ji].got = h
+			jobs[ji].pre = true
+		}
+	}
+}
+
+// acquireMapping returns the shard's cached mapping of obj when it covers
+// need bytes, or maps obj afresh (retiring any previous mapping). The
+// returned packMap carries one reference owned by the caller; release it
+// once all reads from the mapping are done.
+func (p *ChunkPool) acquireMapping(mb MappedBackend, sh *poolShard, obj string, need int64) (*packMap, error) {
+	sh.mu.Lock()
+	if pm := sh.mapped; pm != nil && sh.mappedObj == obj && int64(len(pm.m.Bytes())) >= need {
+		pm.acquireLocked()
+		sh.mu.Unlock()
+		return pm, nil
+	}
+	sh.mu.Unlock()
+
+	m, err := mb.OpenMapped(obj)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(m.Bytes())) < need {
+		// The object is shorter than a committed chunk record claims —
+		// surface through the streamed path's canonical error.
+		m.Close()
+		return nil, fmt.Errorf("store: mapping of %s covers %d bytes, need %d", obj, len(m.Bytes()), need)
+	}
+	pm := &packMap{m: m, refs: 1}
+	sh.mu.Lock()
+	old := sh.mapped
+	sh.mapped, sh.mappedObj = pm, obj
+	sh.mu.Unlock()
+	if old != nil {
+		old.retire()
+	}
+	return pm, nil
 }
 
 // shardName returns shard si's base pack name (error messages).
@@ -1328,7 +1652,12 @@ func (p *ChunkPool) gc(mark func() (map[ckptfmt.Hash]bool, error), o GCOptions, 
 		sh.chunks = sw.newMap
 		sh.packLen = sw.newLen
 		sh.spooledLen, sh.spooledGz = 0, 0
+		oldMap := sh.mapped
+		sh.mapped, sh.mappedObj = nil, ""
 		sh.mu.Unlock()
+		if oldMap != nil {
+			oldMap.retire() // unmaps once in-flight fetches release
+		}
 		sched[sw.oldObj] = now.Add(o.retention()).UnixNano()
 		res.CompactedShards++
 		res.RetiredPacks++

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package store
+
+import "errors"
+
+// preadvSupported gates the vectored scatter-read fast path in fetchShard;
+// without preadv(2) direct-read jobs use per-frame ranged reads instead.
+const preadvSupported = false
+
+func preadvFull(fd uintptr, iovs [][]byte, off int64) error {
+	return errors.New("preadv unsupported on this platform")
+}

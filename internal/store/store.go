@@ -257,7 +257,15 @@ type Store struct {
 	// gcMarked mirrors the FORMAT marker's "gc" flag: the manifest may name
 	// pack generations, so pre-GC builds must refuse the directory.
 	gcMarked bool
-	sawPRec  bool // manifest already holds the pool-reference record
+	// lz4Marked mirrors the marker's "lz4" flag: packs may hold LZ4-style
+	// frames, which pre-LZ4 builds cannot decode, so they must refuse.
+	// Latched (and the marker rewritten) the first time an LZ4 frame is
+	// about to be committed — see putV2.
+	lz4Marked bool
+	// frameStyle is the style preference handed to frame encoding
+	// (ckptfmt.StyleAuto unless Options.FrameStyle overrides it).
+	frameStyle byte
+	sawPRec    bool // manifest already holds the pool-reference record
 
 	mu      sync.Mutex
 	nextSeq int
@@ -349,6 +357,13 @@ type Options struct {
 	// ReadOnly opens the store for shared read-only use: nothing on disk is
 	// touched and every write operation fails with ErrReadOnly.
 	ReadOnly bool
+	// FrameStyle forces the compression style for newly written v2 frames:
+	// ckptfmt.StyleDeflate or ckptfmt.StyleLZ4 (each falling back to raw per
+	// chunk when compression does not shrink it). 0 keeps the default
+	// adaptive choice. The first committed LZ4 frame latches an "lz4" token
+	// onto the FORMAT marker so pre-LZ4 builds refuse the directory instead
+	// of misreading the frames.
+	FrameStyle byte
 }
 
 // Open opens (or creates) a store at dir, replaying the manifest to rebuild
@@ -399,7 +414,15 @@ func OpenWith(dir string, o Options) (*Store, error) {
 		(o.ShardFanout > 1 && o.ShardFanout&(o.ShardFanout-1) != 0) {
 		return nil, fmt.Errorf("store: shard fanout %d: want a power of two in [2, %d]", o.ShardFanout, maxShardFanout)
 	}
-	s := &Store{dir: dir, readOnly: o.ReadOnly, index: map[Key]*Meta{}}
+	switch o.FrameStyle {
+	case 0, ckptfmt.StyleDeflate, ckptfmt.StyleLZ4, ckptfmt.StyleAuto:
+	default:
+		return nil, fmt.Errorf("store: unknown frame style %d", o.FrameStyle)
+	}
+	s := &Store{dir: dir, readOnly: o.ReadOnly, index: map[Key]*Meta{}, frameStyle: ckptfmt.StyleAuto}
+	if o.FrameStyle != 0 {
+		s.frameStyle = o.FrameStyle
+	}
 	if err := s.resolveLayout(o); err != nil {
 		return nil, err
 	}
@@ -600,14 +623,16 @@ type markerInfo struct {
 	fanout int
 	pooled bool
 	gc     bool
+	lz4    bool
 }
 
 // parseFormatMarker decodes a FORMAT file. The grammar is
-// "2[ pool][ shards=N][ gc]" in that order: "2" (unsharded v2),
+// "2[ pool][ shards=N][ gc][ lz4]" in that order: "2" (unsharded v2),
 // "2 shards=N" (hash-prefix sharded at N, a power of two in [2, 256]),
 // "2 pool shards=N" (chunks live in a shared pool at fanout N ≥ 1), with a
 // trailing "gc" on stores whose chunk records name compacted pack
-// generations — a flag older builds cannot honor, so they refuse.
+// generations and "lz4" on stores holding LZ4-style frames — flags older
+// builds cannot honor, so they refuse.
 func parseFormatMarker(raw []byte) (markerInfo, error) {
 	marker := strings.TrimSpace(string(raw))
 	fields := strings.Fields(marker)
@@ -641,13 +666,17 @@ func parseFormatMarker(raw []byte) (markerInfo, error) {
 		m.gc = true
 		rest = rest[1:]
 	}
+	if len(rest) > 0 && rest[0] == "lz4" {
+		m.lz4 = true
+		rest = rest[1:]
+	}
 	if len(rest) > 0 {
 		return bad()
 	}
 	return m, nil
 }
 
-func formatMarker(fanout int, pooled, gc bool) []byte {
+func formatMarker(fanout int, pooled, gc, lz4 bool) []byte {
 	var b strings.Builder
 	b.WriteString("2")
 	if pooled {
@@ -657,6 +686,9 @@ func formatMarker(fanout int, pooled, gc bool) []byte {
 	}
 	if gc {
 		b.WriteString(" gc")
+	}
+	if lz4 {
+		b.WriteString(" lz4")
 	}
 	b.WriteString("\n")
 	return []byte(b.String())
@@ -673,6 +705,7 @@ func (s *Store) resolveLayout(o Options) error {
 	}
 	detected, detFanout, pooled := l.Format, l.ShardFanout, l.Pooled
 	s.gcMarked = m.gc
+	s.lz4Marked = m.lz4
 	if !hasMarker && detected == FormatV2 && o.ShardFanout > 1 {
 		detFanout = o.ShardFanout // fresh directory: honor the requested fanout
 	}
@@ -725,7 +758,7 @@ func (s *Store) writeMarker() error {
 	if s.format != FormatV2 || s.readOnly {
 		return nil
 	}
-	want := formatMarker(s.fanout, s.pooled, s.gcMarked)
+	want := formatMarker(s.fanout, s.pooled, s.gcMarked, s.lz4Marked)
 	if cur, err := os.ReadFile(s.formatPath()); err != nil || !bytes.Equal(cur, want) {
 		if err := writeFileAtomic(s.formatPath(), want); err != nil {
 			return fmt.Errorf("store: write format marker: %w", err)
@@ -1340,7 +1373,31 @@ func (s *Store) putV2(key Key, secs []Section, opaque bool, snapNs, serNs, compu
 	for i, idx := range newIdx {
 		newChunks[i] = flat[idx]
 	}
-	frames := ckptfmt.EncodeChunks(newChunks)
+	frames := ckptfmt.EncodeChunksStyle(newChunks, s.frameStyle)
+
+	// Latch the "lz4" FORMAT token before any LZ4 frame can become readable:
+	// the marker must hit disk ahead of the records that commit such frames,
+	// or a pre-LZ4 build could open the run and misread them. Holding s.mu
+	// across the write serializes the one-time latch against concurrent puts.
+	hasLZ4 := false
+	for i := range frames {
+		if frames[i].Style == ckptfmt.StyleLZ4 {
+			hasLZ4 = true
+			break
+		}
+	}
+	if hasLZ4 {
+		s.mu.Lock()
+		if !s.lz4Marked {
+			s.lz4Marked = true
+			if err := s.writeMarker(); err != nil {
+				s.lz4Marked = false
+				s.mu.Unlock()
+				return nil, err
+			}
+		}
+		s.mu.Unlock()
+	}
 
 	// Segment file: the CRC-framed directory. Written before the manifest
 	// record so a crash never commits a directory-less checkpoint — and
@@ -1445,6 +1502,9 @@ func (s *Store) Get(key Key) ([]byte, error) {
 	if m.Format != FormatV2 {
 		raw, err := os.ReadFile(s.segmentPath(m.Seq))
 		if err != nil {
+			if s.readOnly && errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("%w: segment %d for %s", ErrStalePack, m.Seq, key)
+			}
 			return nil, fmt.Errorf("store: read segment %d: %w", m.Seq, err)
 		}
 		payload, _, err := codec.Unframe(raw)
@@ -1516,6 +1576,14 @@ func (s *Store) segmentDir(key Key) (*Meta, *ckptfmt.Directory, error) {
 	}
 	raw, err := os.ReadFile(s.segmentPath(m.Seq))
 	if err != nil {
+		// A read-only open's index says this segment exists; a writer in
+		// another process superseding the key and sweeping the old segment
+		// (GC's segment sweep has no grace period) is the only way it can be
+		// gone. The index is stale, not corrupt — reopening resolves the
+		// successor checkpoint.
+		if s.readOnly && errors.Is(err, os.ErrNotExist) {
+			return nil, nil, fmt.Errorf("%w: segment %d for %s", ErrStalePack, m.Seq, key)
+		}
 		return nil, nil, fmt.Errorf("store: read segment %d: %w", m.Seq, err)
 	}
 	payload, _, err := codec.Unframe(raw)
@@ -1533,20 +1601,27 @@ func (s *Store) segmentDir(key Key) (*Meta, *ckptfmt.Directory, error) {
 type chunkJob struct {
 	sec   int
 	shard int
-	dst   []byte // decode destination (nil → alias raw frame, zero copy)
-	enc   []byte // encoded frame bytes, filled by the per-shard read phase
+	dst   []byte        // decode destination within the section's owned buffer
+	enc   []byte        // encoded frame bytes, filled by the per-shard read phase
+	src   BackendReader // direct-read source (large frames): decode reads the pack itself
+	got   ckptfmt.Hash  // scatter-read jobs: stored hash, CRC-verified during the fetch
+	pre   bool          // scatter-read jobs: payload already in dst and verified
 	loc   chunkLoc
 	ref   ckptfmt.ChunkRef
 }
 
 // readSections materializes sections of a v2 directory: chunk frames are
-// fetched with per-shard ranged reads — shards read concurrently, so
-// restores of independent sections never serialize on one file descriptor —
-// and decoded in parallel across the worker pool. Sections whose identity
-// the optional have callback claims are skipped (returned with nil Data).
-// Within a shard, reads of chunks that sit contiguously in the pack — the
-// common case, since a checkpoint's fresh chunks are appended together —
-// coalesce into a single ranged read.
+// fetched with per-shard reads — shards read concurrently, so restores of
+// independent sections never serialize on one file descriptor — and decoded
+// in parallel across the worker pool. Sections whose identity the optional
+// have callback claims are skipped (returned with nil Data). Per shard the
+// fetch is either a memory-mapped view of the pack or offset-sorted reads
+// coalesced into arena staging spans (see ChunkPool.fetchShard).
+//
+// Every loaded section owns a freshly allocated Data buffer: decode copies
+// out of the transient fetch memory (span buffers recycle through the arena,
+// mappings unmap once released), so Data — and any lazy payload view a
+// caller builds over it — stays valid indefinitely.
 //
 // The have callback is invoked without any store lock held, and each
 // shard's lock is taken only briefly to resolve chunk locations: concurrent
@@ -1573,27 +1648,21 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 	// pool's two-level dedup index, locking each involved shard exactly
 	// once.
 	p := s.pool
-	var jobs []chunkJob
+	nchunks := 0
+	for _, i := range load {
+		nchunks += len(dir.Sections[i].Chunks)
+	}
+	jobs := make([]chunkJob, 0, nchunks)
 	byShard := map[int][]int{} // shard -> indices into jobs
 	for _, i := range load {
 		ds := &dir.Sections[i]
-		// Multi-chunk sections decode straight into one preallocated buffer;
-		// single-chunk sections let the frame alias its pack bytes.
-		var buf []byte
-		if len(ds.Chunks) > 1 {
-			buf = make([]byte, secs[i].RawLen)
-			secs[i].Data = buf
-		} else {
-			secs[i].Data = []byte{}
-		}
+		buf := make([]byte, secs[i].RawLen)
+		secs[i].Data = buf
 		off := 0
 		for _, ref := range ds.Chunks {
 			si := p.shardOf(ref.Hash)
-			j := chunkJob{sec: i, shard: si, ref: ref}
-			if buf != nil {
-				j.dst = buf[off : off+ref.RawLen]
-				off += ref.RawLen
-			}
+			j := chunkJob{sec: i, shard: si, ref: ref, dst: buf[off : off+ref.RawLen]}
+			off += ref.RawLen
 			byShard[si] = append(byShard[si], len(jobs))
 			jobs = append(jobs, j)
 		}
@@ -1607,23 +1676,40 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 
 	// Phase 3: fetch each shard's frames, shards in parallel (inline when a
 	// single shard is involved — the unsharded layout and small restores).
+	// Each fetch returns a release callback that recycles its staging spans
+	// (or drops its mapping reference); the enc slices die with phase 4, so
+	// releases run only after every decode finished.
+	releases := make([]func(), 0, len(byShard))
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
 	if len(byShard) == 1 {
 		for si, idxs := range byShard {
-			if err := p.fetchShard(si, jobs, idxs); err != nil {
+			rel, err := p.fetchShard(si, jobs, idxs)
+			if err != nil {
 				return nil, err
 			}
+			releases = append(releases, rel)
 		}
 	} else {
 		shardErrs := make([]error, p.Fanout())
+		shardRels := make([]func(), p.Fanout())
 		var wg sync.WaitGroup
 		for si, idxs := range byShard {
 			wg.Add(1)
 			go func(si int, idxs []int) {
 				defer wg.Done()
-				shardErrs[si] = p.fetchShard(si, jobs, idxs)
+				shardRels[si], shardErrs[si] = p.fetchShard(si, jobs, idxs)
 			}(si, idxs)
 		}
 		wg.Wait()
+		for _, rel := range shardRels {
+			if rel != nil {
+				releases = append(releases, rel)
+			}
+		}
 		for _, err := range shardErrs {
 			if err != nil {
 				return nil, err
@@ -1632,33 +1718,49 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 	}
 
 	// Phase 4: parse and decode every frame in parallel across the pool.
-	out := make([][]byte, len(jobs))
+	// The CRC covers the whole frame and the directory pins the content
+	// hash, so the decode skips the redundant hash recompute — and for raw
+	// frames ParseDecodeInto fuses copy and CRC into one pass over the
+	// (cold, often memory-mapped) source, checksumming the hot copy instead:
+	// deterministic decoding of CRC-clean bytes into the checked hash's
+	// frame cannot diverge.
 	errs := make([]error, len(jobs))
 	ckptfmt.ParallelDo(len(jobs), func(i int) {
 		j := jobs[i]
-		frame, _, err := ckptfmt.Parse(j.enc)
-		if err != nil {
-			errs[i] = fmt.Errorf("store: shard %s frame at %d: %w", p.shardName(j.shard), j.loc.Off, err)
-			return
+		var hash ckptfmt.Hash
+		if j.pre {
+			// Scatter-read job: the vectored fetch already put the payload in
+			// dst and CRC-verified it against the on-disk header while the
+			// bytes were cache-hot; only the directory check remains.
+			hash = j.got
+		} else if j.src != nil {
+			// Direct-read job: the directory ref pins the expected raw length
+			// and hash, so the common case is one ranged read of the payload
+			// straight into the destination plus the 4-byte trailer — no
+			// header read. Still fully parallel: pread is concurrency-safe.
+			h, err := ckptfmt.DecodeExpectedFrameAt(j.src, j.loc.Off, int(j.loc.EncLen), j.ref.Hash, j.dst)
+			if err != nil {
+				errs[i] = fmt.Errorf("store: shard %s frame at %d: %w", p.shardName(j.shard), j.loc.Off, err)
+				return
+			}
+			hash = h
+		} else {
+			frame, err := ckptfmt.ParseDecodeInto(j.enc, j.dst)
+			if err != nil {
+				errs[i] = fmt.Errorf("store: shard %s frame at %d: %w", p.shardName(j.shard), j.loc.Off, err)
+				return
+			}
+			hash = frame.Hash
 		}
-		if frame.Hash != j.ref.Hash {
+		if hash != j.ref.Hash {
 			errs[i] = fmt.Errorf("%w: shard %s frame at %d holds %s, directory wants %s",
-				codec.ErrCorrupt, p.shardName(j.shard), j.loc.Off, frame.Hash, j.ref.Hash)
+				codec.ErrCorrupt, p.shardName(j.shard), j.loc.Off, hash, j.ref.Hash)
 			return
 		}
-		out[i], err = frame.DecodeInto(j.dst)
-		errs[i] = err
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
-		}
-	}
-	// Multi-chunk sections were decoded in place; single-chunk sections
-	// adopt their (possibly pack-aliasing) decode result.
-	for i, j := range jobs {
-		if j.dst == nil {
-			secs[j.sec].Data = out[i]
 		}
 	}
 	return secs, nil

@@ -137,17 +137,66 @@ func (p BoolPayload) Encode(w *codec.Writer) { w.Bool(bool(p)) }
 // SizeBytes implements Payload.
 func (BoolPayload) SizeBytes() int { return 1 }
 
-// TensorPayload carries a dense tensor.
-type TensorPayload struct{ T *tensor.Tensor }
+// TensorPayload carries a dense tensor, in one of two forms. Snapshot builds
+// the materialized form (T set). DecodePayload builds the lazy form: the wire
+// float block and shape, unmaterialized. A lazy payload restores by copying
+// checkpoint bytes straight into the live tensor's backing array — the
+// restore hot path never builds an intermediate tensor copy — and
+// materializes on demand for any other consumer via Tensor. The raw block
+// aliases the decoded section buffer, which is immutable once returned, so
+// lazy payloads are safe to hold indefinitely (e.g. in a PayloadCache).
+type TensorPayload struct {
+	T *tensor.Tensor
+
+	// Lazy form, set only when T is nil: raw holds 8 little-endian IEEE-754
+	// bytes per element, shape the dimensions.
+	raw   []byte
+	shape []int
+}
 
 // Kind implements Payload.
 func (TensorPayload) Kind() Kind { return KindTensor }
 
 // Encode implements Payload.
-func (p TensorPayload) Encode(w *codec.Writer) { w.Tensor(p.T) }
+func (p TensorPayload) Encode(w *codec.Writer) {
+	if p.T != nil {
+		w.Tensor(p.T)
+		return
+	}
+	// Re-emit the lazy form verbatim: shape prefix then the wire float block,
+	// byte-identical to encoding the materialized tensor.
+	w.Uvarint(uint64(len(p.shape)))
+	for _, d := range p.shape {
+		w.Uvarint(uint64(d))
+	}
+	w.RawAppend(p.raw)
+}
 
 // SizeBytes implements Payload.
-func (p TensorPayload) SizeBytes() int { return 8*p.T.Len() + 8 }
+func (p TensorPayload) SizeBytes() int {
+	if p.T != nil {
+		return 8*p.T.Len() + 8
+	}
+	return len(p.raw) + 8
+}
+
+// Tensor returns the payload's tensor, materializing a lazy view on demand.
+func (p TensorPayload) Tensor() *tensor.Tensor {
+	if p.T != nil {
+		return p.T
+	}
+	t := tensor.New(p.shape...)
+	codec.PutFloats(t.Data(), p.raw)
+	return t
+}
+
+// Shape returns the payload's dimensions without materializing it.
+func (p TensorPayload) Shape() []int {
+	if p.T != nil {
+		return p.T.Shape()
+	}
+	return p.shape
+}
 
 // StatePayload carries named tensors plus named scalars, sorted by name on
 // the wire for deterministic encoding. It serves models, optimizers and
@@ -216,11 +265,14 @@ func DecodePayload(r *codec.Reader, k Kind) (Payload, error) {
 		}
 		return BoolPayload(v), nil
 	case KindTensor:
-		t, err := r.Tensor()
+		// Decode lazily: keep the wire view so a subsequent Restore copies
+		// bytes straight onto the live tensor instead of paying for an
+		// intermediate materialized copy it would immediately discard.
+		shape, raw, err := r.TensorView()
 		if err != nil {
 			return nil, err
 		}
-		return TensorPayload{T: t}, nil
+		return TensorPayload{raw: raw, shape: shape}, nil
 	case KindState:
 		st := opt.NewState()
 		ns, err := r.Uvarint()
@@ -445,11 +497,32 @@ func (b *Tensor) Restore(p Payload) error {
 	if !ok {
 		return restoreMismatch(b, p)
 	}
+	if tp.T == nil {
+		// Lazy payload: copy the wire bytes straight into the live tensor's
+		// aligned backing array, skipping the intermediate tensor entirely.
+		if !shapeEqual(b.T.Shape(), tp.shape) {
+			return fmt.Errorf("value: tensor restore shape mismatch %v vs %v", b.T.Shape(), tp.shape)
+		}
+		codec.PutFloats(b.T.Data(), tp.raw)
+		return nil
+	}
 	if !tensor.SameShape(b.T, tp.T) {
 		return fmt.Errorf("value: tensor restore shape mismatch %v vs %v", b.T.Shape(), tp.T.Shape())
 	}
 	b.T.CopyFrom(tp.T)
 	return nil
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // SizeBytes implements Value.

@@ -294,3 +294,41 @@ func TestQuickRNGPayloadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLazyTensorPayloadEquivalence pins that the lazy wire-view form decoded
+// by DecodePayload behaves identically to the materialized form: same encoded
+// bytes, same restore result, same reported size, on-demand materialization.
+func TestLazyTensorPayloadEquivalence(t *testing.T) {
+	orig := tensor.Randn(xrand.New(9), 1, 5, 7)
+	eager := TensorPayload{T: orig.Clone()}
+	lazy := encodeDecode(t, eager).(TensorPayload)
+	if lazy.T != nil {
+		t.Fatal("decoded tensor payload materialized eagerly")
+	}
+	if got, want := lazy.SizeBytes(), eager.SizeBytes(); got != want {
+		t.Fatalf("lazy SizeBytes = %d, eager = %d", got, want)
+	}
+	// Re-encoding the lazy form is byte-identical to encoding the tensor.
+	we, wl := codec.NewWriter(), codec.NewWriter()
+	EncodePayload(we, eager)
+	EncodePayload(wl, lazy)
+	if string(we.Bytes()) != string(wl.Bytes()) {
+		t.Fatal("lazy re-encode diverges from materialized encode")
+	}
+	if !tensor.Equal(lazy.Tensor(), orig) {
+		t.Fatal("on-demand materialization diverges")
+	}
+	// Restore through the zero-copy path writes through to live storage.
+	live := &Tensor{T: tensor.New(5, 7)}
+	if err := live.Restore(lazy); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(live.T, orig) {
+		t.Fatal("lazy restore diverges")
+	}
+	// Shape mismatches are still rejected before any bytes move.
+	bad := &Tensor{T: tensor.New(7, 5)}
+	if err := bad.Restore(lazy); err == nil {
+		t.Fatal("shape-mismatched lazy restore succeeded")
+	}
+}

@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	flor "flor.dev/flor"
 	"flor.dev/flor/internal/core"
 	"flor.dev/flor/internal/store"
+	"flor.dev/flor/internal/tensor"
+	"flor.dev/flor/internal/xrand"
 )
 
 // TestMigrationMatrixByteIdenticalReplay is the layout-compatibility
@@ -102,6 +105,112 @@ func TestMigrationMatrixByteIdenticalReplay(t *testing.T) {
 	}
 }
 
+// compressibleFactory builds a program whose checkpoint payloads compress
+// well: a mostly-zero embedding table with a handful of entries touched per
+// step. Long zero runs give LZ4 real matches, so forced-LZ4 recordings
+// commit actual LZ4 frames instead of falling back to raw — which is what
+// the restore matrix needs to exercise the LZ4 decode path.
+func compressibleFactory(epochs, steps int) func() *flor.Program {
+	return func() *flor.Program {
+		train := &flor.Loop{ID: "train", IterVar: "step", Iters: steps, Body: []flor.Stmt{
+			flor.AssignMethod([]string{"emb"}, "rng", "touch", []string{"emb"}, func(e *flor.Env) error {
+				emb := e.MustGet("emb").(*flor.TensorVal).T
+				rng := e.MustGet("rng").(*flor.RNGVal).R
+				base := (e.Int("epoch")*steps + e.Int("step")) * 8
+				for i := 0; i < 8; i++ {
+					emb.Data()[(base+i)%emb.Len()] = rng.Float64()
+				}
+				return nil
+			}),
+		}}
+		return &flor.Program{
+			Name: "compressible",
+			Setup: []flor.Stmt{
+				flor.AssignFunc([]string{"emb"}, "zeros", nil, func(e *flor.Env) error {
+					e.Set("emb", &flor.TensorVal{T: tensor.New(4096)})
+					return nil
+				}),
+				flor.AssignFunc([]string{"rng"}, "RNG", nil, func(e *flor.Env) error {
+					e.Set("rng", &flor.RNGVal{R: xrand.New(23)})
+					return nil
+				}),
+			},
+			Main: &flor.Loop{ID: "main", IterVar: "epoch", Iters: epochs, Body: []flor.Stmt{
+				flor.LoopStmt(train),
+				flor.LogStmt("sum", func(e *flor.Env) (string, error) {
+					return fmt.Sprintf("%.17g", e.MustGet("emb").(*flor.TensorVal).T.Sum()), nil
+				}),
+			}},
+		}
+	}
+}
+
+// TestRestoreMatrixByteIdentical is the frame-style × IO-path × parallelism
+// matrix: the same program recorded under each frame style (adaptive,
+// forced deflate, forced LZ4) must replay byte-identical logs whether the
+// pack bytes arrive through memory-mapped views or streamed coalesced
+// reads, and at any worker count. It also pins the LZ4 marker latch: only
+// the store that committed LZ4 frames carries the "lz4" FORMAT token that
+// makes older builds refuse it.
+func TestRestoreMatrixByteIdentical(t *testing.T) {
+	factory := compressibleFactory(5, 2)
+	probed := func() *flor.Program {
+		p := factory()
+		train := p.Main.Body[0].Loop
+		train.Body = flor.AddLog(train.Body, 1, flor.LogStmt("hs", func(e *flor.Env) (string, error) {
+			return fmt.Sprintf("%.17g", e.MustGet("emb").(*flor.TensorVal).T.Norm()), nil
+		}))
+		return p
+	}
+
+	styles := []struct {
+		name    string
+		opts    []flor.Option
+		wantLZ4 bool
+	}{
+		{"auto", nil, false},
+		{"deflate", []flor.Option{flor.WithFrameStyle(flor.FrameStyleDeflate)}, false},
+		{"lz4", []flor.Option{flor.WithFrameStyle(flor.FrameStyleLZ4)}, true},
+	}
+
+	var ref []string
+	for _, sv := range styles {
+		dir := t.TempDir()
+		opts := append([]flor.Option{flor.DisableAdaptiveCheckpointing()}, sv.opts...)
+		if _, err := flor.Record(dir, factory, opts...); err != nil {
+			t.Fatalf("%s: record: %v", sv.name, err)
+		}
+		marker, err := os.ReadFile(filepath.Join(dir, "FORMAT"))
+		if err != nil {
+			t.Fatalf("%s: read marker: %v", sv.name, err)
+		}
+		if hasLZ4 := strings.Contains(string(marker), "lz4"); hasLZ4 != sv.wantLZ4 {
+			t.Fatalf("%s: marker %q lz4 token = %v, want %v", sv.name, marker, hasLZ4, sv.wantLZ4)
+		}
+		for _, mmapOn := range []bool{true, false} {
+			prev := store.SetMmapPackReads(mmapOn)
+			for _, workers := range []int{1, 3} {
+				res, err := flor.Replay(dir, probed, flor.Workers(workers), flor.Init(flor.WeakInit))
+				if err != nil {
+					store.SetMmapPackReads(prev)
+					t.Fatalf("%s mmap=%v workers=%d: replay: %v", sv.name, mmapOn, workers, err)
+				}
+				if len(res.Anomalies) != 0 {
+					store.SetMmapPackReads(prev)
+					t.Fatalf("%s mmap=%v workers=%d: anomalies %v", sv.name, mmapOn, workers, res.Anomalies)
+				}
+				if ref == nil {
+					ref = res.Logs
+				} else if err := sameLogs(ref, res.Logs); err != nil {
+					store.SetMmapPackReads(prev)
+					t.Fatalf("%s mmap=%v workers=%d: logs diverge: %v", sv.name, mmapOn, workers, err)
+				}
+			}
+			store.SetMmapPackReads(prev)
+		}
+	}
+}
+
 // TestUnknownFormatMarkersRefuseCleanly pins the forward-compatibility
 // contract across the layout family: a FORMAT marker this build does not
 // understand — a future layout or corruption — surfaces the typed
@@ -110,7 +219,7 @@ func TestMigrationMatrixByteIdenticalReplay(t *testing.T) {
 // markers below include shapes a future build might plausibly write.
 func TestUnknownFormatMarkersRefuseCleanly(t *testing.T) {
 	factory := counterFactory(3, 2)
-	for _, marker := range []string{"3", "2 shards=banana", "2 pool", "2 pool shards=16 v3", "2 gc shards=16"} {
+	for _, marker := range []string{"3", "2 shards=banana", "2 pool", "2 pool shards=16 v3", "2 gc shards=16", "2 lz4 gc", "2 lz4x"} {
 		dir := t.TempDir()
 		if _, err := flor.Record(dir, factory, flor.DisableAdaptiveCheckpointing()); err != nil {
 			t.Fatal(err)
