@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file merges Prometheus text-format (0.0.4) scrapes from several
+// daemons into one document. The merge is value-level and generic — it knows
+// nothing about individual metric names, so the obs catalog stays the single
+// authority on the namespace:
+//
+//   - series with identical name+labels sum (counters and gauges add across
+//     daemons; histogram _bucket/_sum/_count series add bucket-wise, which
+//     is exactly the correct histogram merge because every daemon renders
+//     the same bucket bounds),
+//   - OpenMetrics-style exemplars ("value # {trace_id=...} v") are stripped:
+//     a trace ID names a trace on one daemon and is meaningless on a merged
+//     view,
+//   - family order and per-family series order follow the first target that
+//     reported them; series only later targets know are appended within
+//     their family, so buckets stay contiguous and consecutive merged
+//     scrapes diff cleanly.
+
+// family is one metric family: HELP/TYPE metadata plus its series in
+// first-seen order.
+type family struct {
+	name  string
+	help  string
+	typ   string
+	order []string
+	vals  map[string]float64
+}
+
+// scrape accumulates one or more parsed scrapes, families in first-seen
+// order.
+type scrape struct {
+	order []string
+	fams  map[string]*family
+}
+
+func newScrape() *scrape {
+	return &scrape{fams: map[string]*family{}}
+}
+
+func (s *scrape) family(name string) *family {
+	f, ok := s.fams[name]
+	if !ok {
+		f = &family{name: name, vals: map[string]float64{}}
+		s.fams[name] = f
+		s.order = append(s.order, name)
+	}
+	return f
+}
+
+// familyFor resolves the family a series line belongs to: the series name
+// itself, or — for histogram component series — the name with its
+// _bucket/_sum/_count suffix stripped, when that family was declared by a
+// TYPE line.
+func (s *scrape) familyFor(seriesName string) *family {
+	if f, ok := s.fams[seriesName]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(seriesName, suffix)
+		if !ok {
+			continue
+		}
+		if f, ok := s.fams[base]; ok {
+			return f
+		}
+	}
+	return s.family(seriesName)
+}
+
+// parse folds one scrape into the merge.
+func (s *scrape) parse(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(line, " ", 4) // "#", kind, name, text
+			if len(parts) < 3 {
+				continue
+			}
+			f := s.family(parts[2])
+			text := ""
+			if len(parts) == 4 {
+				text = parts[3]
+			}
+			if parts[1] == "HELP" && f.help == "" {
+				f.help = text
+			}
+			if parts[1] == "TYPE" && f.typ == "" {
+				f.typ = text
+			}
+		case strings.HasPrefix(line, "#"):
+			continue
+		default:
+			// Series line: name{labels} value, optionally followed by an
+			// exemplar suffix (" # {...} v") on histogram buckets.
+			if i := strings.Index(line, " # "); i >= 0 {
+				line = strings.TrimSpace(line[:i])
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				return fmt.Errorf("malformed scrape line %q", line)
+			}
+			key, valStr := line[:sp], line[sp+1:]
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				return fmt.Errorf("malformed scrape value %q: %v", line, err)
+			}
+			name := key
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			f := s.familyFor(name)
+			if _, seen := f.vals[key]; !seen {
+				f.order = append(f.order, key)
+			}
+			f.vals[key] += v
+		}
+	}
+	return sc.Err()
+}
+
+// render writes the merged document in Prometheus text format.
+func (s *scrape) render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range s.order {
+		f := s.fams[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, f.help)
+		}
+		if f.typ != "" {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.typ)
+		}
+		for _, key := range f.order {
+			fmt.Fprintf(bw, "%s %s\n", key, strconv.FormatFloat(f.vals[key], 'g', -1, 64))
+		}
+	}
+	return bw.Flush()
+}

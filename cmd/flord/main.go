@@ -17,6 +17,7 @@
 //	flord -addr :7707 -drain-timeout 30s ...
 //	flord -demo -log-level debug        # structured key=value logs to stderr
 //	flord -demo -debug-addr :6060       # pprof profiling listener
+//	flord -demo -trace-dir traces -slow-query 250ms -trace-sample 10
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, queries begun after the signal get 503, in-flight replays
@@ -33,7 +34,15 @@
 //	GET  /v1/runs/{id}/logs?iters=3,7&probe=outer
 //	GET  /v1/runs/{id}/trace/{trace_id}
 //	GET  /v1/stats
+//	GET  /v1/debug/tasks        background-task traces (GC, spool passes)
+//	GET  /v1/debug/slow?limit=N slow-query log (404 without -trace-dir)
 //	GET  /metrics               Prometheus text format (unless -metrics=false)
+//
+// With -trace-dir query traces spill to a durable on-disk trace store that
+// survives restarts: head-sampled one-in--trace-sample, with queries slower
+// than -slow-query always kept and logged; -trace-max-bytes and
+// -trace-max-age bound the store. Several daemons are watched at once with
+// the florctl companion (florctl top / florctl scrape).
 //
 // With -debug-addr a second listener serves net/http/pprof at
 // /debug/pprof/ for CPU, heap and goroutine profiling of a live daemon.
@@ -76,6 +85,12 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	metrics := flag.Bool("metrics", true, "enable the metrics registry served at /metrics")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for the net/http/pprof profiling endpoints (disabled when empty)")
+	traceDir := flag.String("trace-dir", "", "directory for the durable trace store; empty keeps traces in memory only")
+	traceRing := flag.Int("trace-ring", 0, "per-run in-memory trace ring capacity (default 16)")
+	traceSample := flag.Int("trace-sample", 1, "keep one in N traces in the durable store (slow queries always kept)")
+	slowQuery := flag.Duration("slow-query", 0, "queries at or above this duration are logged and always traced (0 disables)")
+	traceMaxBytes := flag.Int64("trace-max-bytes", 64<<20, "durable trace store size bound before old segments prune")
+	traceMaxAge := flag.Duration("trace-max-age", 7*24*time.Hour, "durable trace store segment age bound")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
@@ -138,16 +153,25 @@ func main() {
 		}
 	}
 	srv := serve.New(serve.Options{
-		Addr:              *addr,
-		Slots:             *slots,
-		MaxInflightPerRun: *inflight,
-		MaxQueuePerRun:    *queue,
-		QueueTimeout:      *queueTimeout,
-		StoreCacheSize:    *storeCache,
-		DefaultWorkers:    *workers,
-		Library:           library,
-		RegisterRoot:      base,
+		Addr:               *addr,
+		Slots:              *slots,
+		MaxInflightPerRun:  *inflight,
+		MaxQueuePerRun:     *queue,
+		QueueTimeout:       *queueTimeout,
+		StoreCacheSize:     *storeCache,
+		DefaultWorkers:     *workers,
+		Library:            library,
+		RegisterRoot:       base,
+		TraceRing:          *traceRing,
+		TraceDir:           *traceDir,
+		TraceSampleN:       *traceSample,
+		SlowQueryThreshold: *slowQuery,
+		TraceStoreMaxBytes: *traceMaxBytes,
+		TraceStoreMaxAge:   *traceMaxAge,
 	})
+	if err := srv.TraceStoreErr(); err != nil {
+		fatal("trace store open failed", "dir", *traceDir, "err", err)
+	}
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

@@ -18,6 +18,8 @@ const (
 	MStoreSpoolPasses        = "flor_store_spool_passes_total"
 	MStoreSpoolSeconds       = "flor_store_spool_seconds"
 	MStoreSpoolArtifactBytes = "flor_store_spool_artifact_bytes"
+	MStoreFetchBytes         = "flor_store_fetch_bytes_total"
+	MStoreFetchFrames        = "flor_store_fetch_frames_total"
 	MStoreGCPasses           = "flor_store_gc_passes_total"
 	MStoreGCMarkedChunks     = "flor_store_gc_marked_chunks_total"
 	MStoreGCDeadChunks       = "flor_store_gc_dead_chunks_total"
@@ -63,6 +65,19 @@ const (
 	MServeStoreEvictions = "flor_serve_store_evictions_total"
 	MServeStoreOpen      = "flor_serve_store_open"
 	MServeDraining       = "flor_serve_draining"
+	MServeTracesDropped  = "flor_serve_traces_dropped_total"
+	MServeSlowQueries    = "flor_serve_slow_queries_total"
+)
+
+// Observability-infrastructure metric names (internal/obs itself: the
+// durable trace store and the background-task recorder).
+const (
+	MObsTraceStoreAppends    = "flor_obs_tracestore_appends_total"
+	MObsTraceStoreSampledOut = "flor_obs_tracestore_sampled_out_total"
+	MObsTraceStorePruned     = "flor_obs_tracestore_pruned_segments_total"
+	MObsTraceStoreBytes      = "flor_obs_tracestore_bytes"
+	MObsTaskRuns             = "flor_obs_task_runs_total"
+	MObsTaskSeconds          = "flor_obs_task_seconds"
 )
 
 // Kind is a metric's type in the Prometheus sense.
@@ -109,6 +124,8 @@ var Catalog = []Def{
 	{MStoreSpoolPasses, KindCounter, nil, "Spool passes (segment + dirty-shard pack compression)."},
 	{MStoreSpoolSeconds, KindHistogram, nil, "Spool pass latency."},
 	{MStoreSpoolArtifactBytes, KindGauge, nil, "Compressed size of the spool artifacts after the last pass."},
+	{MStoreFetchBytes, KindCounter, []string{"tier"}, "Encoded pack bytes served to restores, by fetch tier (mmap|scatter|ranged|cache; cache counts logical bytes skipped via payload-cache hits)."},
+	{MStoreFetchFrames, KindCounter, []string{"tier"}, "Chunk frames served to restores, by fetch tier (mmap|scatter|ranged|cache)."},
 	{MStoreGCPasses, KindCounter, nil, "Chunk-reclaiming GC passes."},
 	{MStoreGCMarkedChunks, KindCounter, nil, "Chunks marked live during GC mark phases."},
 	{MStoreGCDeadChunks, KindCounter, nil, "Superseded chunks compacted out of pack shards."},
@@ -145,6 +162,15 @@ var Catalog = []Def{
 	{MServeStoreEvictions, KindCounter, nil, "Open-store LRU evictions."},
 	{MServeStoreOpen, KindGauge, nil, "Stores currently resident in the open-store LRU."},
 	{MServeDraining, KindGauge, nil, "1 while a graceful drain is in progress, else 0."},
+	{MServeTracesDropped, KindCounter, []string{"run"}, "Query traces evicted from a run's in-memory trace ring by newer queries."},
+	{MServeSlowQueries, KindCounter, []string{"run"}, "Queries slower than the configured slow-query threshold."},
+	// obs infrastructure
+	{MObsTraceStoreAppends, KindCounter, nil, "Traces persisted to the durable trace store."},
+	{MObsTraceStoreSampledOut, KindCounter, nil, "Traces dropped by head sampling before reaching the trace store."},
+	{MObsTraceStorePruned, KindCounter, nil, "Trace-store segments pruned by size or age retention."},
+	{MObsTraceStoreBytes, KindGauge, nil, "Bytes currently held by the trace store's segments."},
+	{MObsTaskRuns, KindCounter, []string{"task"}, "Completed background tasks (GC passes, spool passes), by task name."},
+	{MObsTaskSeconds, KindHistogram, []string{"task"}, "Background-task latency, by task name."},
 }
 
 var catalogByName = func() map[string]Def {

@@ -108,6 +108,14 @@ var DurationBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// Exemplar is one sampled observation attached to a histogram bucket — the
+// trace ID of a real query that landed there, so an operator can jump from a
+// latency bucket straight to the span-level trace that explains it.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
 // Histogram is a fixed-bucket histogram of float64 observations (seconds, by
 // convention — use ObserveNs for durations). The nil histogram no-ops.
 type Histogram struct {
@@ -115,6 +123,9 @@ type Histogram struct {
 	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	// exemplars holds the most recent exemplar-carrying observation per
+	// bucket (last write wins; nil entries for buckets never exemplified).
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // Observe records one observation.
@@ -122,6 +133,11 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.bucketOf(v)
+}
+
+// bucketOf records one observation and returns the bucket index it fell in.
+func (h *Histogram) bucketOf(v float64) int {
 	// Buckets are few and sorted; linear probe beats binary search at this
 	// size and is branch-predictable for clustered latencies.
 	i := 0
@@ -134,9 +150,31 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		nw := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, nw) {
-			return
+			return i
 		}
 	}
+}
+
+// ObserveExemplar records one observation and attaches traceID as the
+// landing bucket's exemplar (rendered OpenMetrics-style in the scrape), so
+// each latency bucket names a recent trace that explains it. An empty
+// traceID degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.bucketOf(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// ObserveNsExemplar is ObserveExemplar for a duration in nanoseconds.
+func (h *Histogram) ObserveNsExemplar(ns int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.ObserveExemplar(float64(ns)/1e9, traceID)
 }
 
 // ObserveNs records a duration given in nanoseconds.
@@ -259,7 +297,11 @@ func (r *Registry) lookup(name string, kind Kind, labels []Label) *metric {
 		case KindGauge:
 			m.g = &Gauge{}
 		case KindHistogram:
-			m.h = &Histogram{bounds: DurationBuckets, counts: make([]atomic.Int64, len(DurationBuckets)+1)}
+			m.h = &Histogram{
+				bounds:    DurationBuckets,
+				counts:    make([]atomic.Int64, len(DurationBuckets)+1),
+				exemplars: make([]atomic.Pointer[Exemplar], len(DurationBuckets)+1),
+			}
 		}
 		f.metrics[key] = m
 		f.order = append(f.order, key)
@@ -330,10 +372,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				counts := m.h.BucketCounts()
 				for i, bound := range m.h.bounds {
 					cum += counts[i]
-					writeSample(&b, f.def.Name, "_bucket", key,
-						`le="`+formatFloat(bound)+`"`, strconv.FormatInt(cum, 10))
+					writeBucket(&b, f.def.Name, key,
+						`le="`+formatFloat(bound)+`"`, strconv.FormatInt(cum, 10), m.h.exemplar(i))
 				}
-				writeSample(&b, f.def.Name, "_bucket", key, `le="+Inf"`, strconv.FormatInt(m.h.Count(), 10))
+				writeBucket(&b, f.def.Name, key, `le="+Inf"`,
+					strconv.FormatInt(m.h.Count(), 10), m.h.exemplar(len(m.h.bounds)))
 				writeSample(&b, f.def.Name, "_sum", key, "", formatFloat(m.h.Sum()))
 				writeSample(&b, f.def.Name, "_count", key, "", strconv.FormatInt(m.h.Count(), 10))
 			}
@@ -341,6 +384,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// exemplar returns bucket i's exemplar, nil if none was ever attached.
+func (h *Histogram) exemplar(i int) *Exemplar {
+	if h == nil || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// writeBucket emits one cumulative `_bucket` line, appending the bucket's
+// exemplar as an OpenMetrics-style ` # {trace_id="..."} value` suffix when
+// one exists. Plain-text Prometheus parsers that stop at `#` still read the
+// sample correctly; OpenMetrics-aware ones pick up the trace link.
+func writeBucket(b *strings.Builder, name, labels, le, value string, ex *Exemplar) {
+	b.WriteString(name)
+	b.WriteString("_bucket{")
+	b.WriteString(labels)
+	if labels != "" {
+		b.WriteByte(',')
+	}
+	b.WriteString(le)
+	b.WriteString("} ")
+	b.WriteString(value)
+	if ex != nil {
+		b.WriteString(` # {trace_id="`)
+		b.WriteString(escapeLabelValue(ex.TraceID))
+		b.WriteString(`"} `)
+		b.WriteString(formatFloat(ex.Value))
+	}
+	b.WriteByte('\n')
 }
 
 // writeSample emits one `name_suffix{labels,extra} value` line.

@@ -204,15 +204,102 @@ func TestWritePrometheusFormat(t *testing.T) {
 	if strings.Index(out, "flor_store_chunks_written_total") > strings.Index(out, "flor_serve_queries_total") {
 		t.Error("families not in catalog order")
 	}
-	// Every non-comment line parses as "name{labels} value".
+	// Every non-comment line parses as "name{labels} value" once any
+	// OpenMetrics exemplar suffix (` # {...} value`) is stripped.
 	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
 		if strings.HasPrefix(line, "#") {
 			continue
+		}
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 2 {
 			t.Errorf("malformed sample line %q", line)
 		}
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(MServeQuerySeconds, L("kind", "replay"))
+	h.ObserveExemplar(0.0002, "t000001") // bucket le=0.00025
+	h.ObserveNsExemplar(300_000_000, "t000002")
+	h.ObserveExemplar(99, "t000003")        // +Inf bucket
+	h.ObserveExemplar(0.0002, "")           // empty ID: counted, no exemplar change
+	h.ObserveNsExemplar(250_000, "t000009") // same bucket as t000001: wins
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantLines := []string{
+		`flor_serve_query_seconds_bucket{kind="replay",le="0.00025"} 3 # {trace_id="t000009"} 0.00025`,
+		`flor_serve_query_seconds_bucket{kind="replay",le="0.5"} 4 # {trace_id="t000002"} 0.3`,
+		`flor_serve_query_seconds_bucket{kind="replay",le="+Inf"} 5 # {trace_id="t000003"} 99`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("scrape missing exemplar line %q\n---\n%s", want, out)
+		}
+	}
+	// Buckets without exemplars stay plain.
+	if !strings.Contains(out, `flor_serve_query_seconds_bucket{kind="replay",le="0.0001"} 0`+"\n") {
+		t.Errorf("un-exemplified bucket line changed\n---\n%s", out)
+	}
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "t1") // must no-op
+	nilH.ObserveNsExemplar(1, "t1")
+}
+
+func TestBackgroundTasks(t *testing.T) {
+	resetTasksForTest()
+	defer resetTasksForTest()
+
+	a := BeginTask("gc")
+	a.Trace().Add(Span{Name: "mark", StartNs: 0, DurNs: 5})
+	recs := Tasks()
+	if len(recs) != 1 || recs[0].Name != "gc" || recs[0].Done {
+		t.Fatalf("active task not reported: %+v", recs)
+	}
+	a.Trace().Add(Span{Name: "sweep", StartNs: 5, DurNs: 7})
+	a.End()
+	a.End() // idempotent
+
+	b := BeginTask("spool")
+	b.End()
+
+	recs = Tasks()
+	if len(recs) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(recs))
+	}
+	// Completed, newest first.
+	if recs[0].Name != "spool" || recs[1].Name != "gc" {
+		t.Fatalf("order = %s, %s; want spool, gc", recs[0].Name, recs[1].Name)
+	}
+	if !recs[0].Done || !recs[1].Done {
+		t.Fatal("completed tasks must report Done")
+	}
+	if len(recs[1].Spans) != 2 || recs[1].Spans[0].Name != "mark" {
+		t.Fatalf("gc spans = %+v, want mark+sweep", recs[1].Spans)
+	}
+	if recs[1].DurNs <= 0 {
+		t.Fatal("completed task must have positive duration")
+	}
+
+	// The ring is bounded.
+	for i := 0; i < taskHistory+10; i++ {
+		BeginTask("filler").End()
+	}
+	if got := len(Tasks()); got != taskHistory {
+		t.Fatalf("ring length = %d, want %d", got, taskHistory)
+	}
+
+	var nilTask *ActiveTask
+	nilTask.End()
+	if nilTask.Trace() != nil {
+		t.Fatal("nil task must hand out nil trace")
 	}
 }
 

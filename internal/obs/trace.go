@@ -45,6 +45,14 @@ func NewTrace() *Trace { return &Trace{t0: time.Now()} }
 // callers supply StartNs/DurNs in virtual nanoseconds.
 func NewVirtualTrace() *Trace { return &Trace{virtual: true} }
 
+// NewTraceFromSpans rehydrates a trace from previously recorded spans — the
+// read path for traces reloaded from the durable trace store. The result is
+// a virtual-time trace (Now returns 0): its clock anchor is long gone, and
+// the spans already carry their offsets.
+func NewTraceFromSpans(spans []Span) *Trace {
+	return &Trace{virtual: true, spans: append([]Span(nil), spans...)}
+}
+
 // Virtual reports whether the trace is a virtual-time trace.
 func (t *Trace) Virtual() bool { return t != nil && t.virtual }
 

@@ -181,6 +181,9 @@ type WorkerReport struct {
 	Restored      int
 	RestoredBytes int64 // logical checkpoint bytes loaded by this worker
 	Executed      int
+	// Fetch attributes the worker's restored bytes to store fetch tiers
+	// (mmap/scatter/ranged/cache). Zero unless the replay was traced.
+	Fetch store.FetchSnapshot
 }
 
 // Result is the outcome of a replay.
@@ -371,12 +374,21 @@ func (env *replayEnv) slotCost(seg [2]int) int64 {
 }
 
 // acquireSlot blocks until the shared slot source grants a slot (no-op
-// without one). Callers must releaseSlot on success.
-func (env *replayEnv) acquireSlot(seg [2]int) error {
+// without one). Callers must releaseSlot on success. Traced replays record
+// the wait as a "slot_wait" span, so queue time is visible per worker.
+func (env *replayEnv) acquireSlot(seg [2]int, pid int) error {
 	if env.opts.Slots == nil {
 		return nil
 	}
-	return env.opts.Slots.Acquire(env.ctx, env.slotCost(seg))
+	tr := env.opts.Trace
+	t0 := tr.Now()
+	w0 := time.Now()
+	err := env.opts.Slots.Acquire(env.ctx, env.slotCost(seg))
+	if tr != nil && err == nil {
+		tr.Add(obs.Span{Name: "slot_wait", Worker: pid, StartNs: t0,
+			DurNs: time.Since(w0).Nanoseconds()})
+	}
+	return err
 }
 
 func (env *replayEnv) releaseSlot() {
@@ -399,7 +411,7 @@ func replayStatic(env *replayEnv, segs [][2]int, res *Result) ([]logSpan, error)
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
-			if err := env.acquireSlot(segs[pid]); err != nil {
+			if err := env.acquireSlot(segs[pid], pid); err != nil {
 				errs[pid] = err
 				return
 			}
@@ -463,7 +475,7 @@ func replayStealing(env *replayEnv, n int, res *Result) ([]logSpan, error) {
 			if pid < len(segs) {
 				seg = segs[pid]
 			}
-			if err := env.acquireSlot(seg); err != nil {
+			if err := env.acquireSlot(seg, pid); err != nil {
 				errs[pid] = err
 				return
 			}
@@ -516,6 +528,7 @@ func newWorker(env *replayEnv, pid int) (*worker, error) {
 	mat := backmat.New(env.rec.Store, backmat.Fork)
 	rt := skipblock.NewRuntime(p, env.tracker, mat, env.rec.Store)
 	rt.SetCache(env.opts.Cache)
+	rt.SetTrace(env.opts.Trace, pid)
 	rt.SetProbes(env.diff.Probes)
 	w := &worker{
 		p: p, rt: rt, mat: mat, pid: pid,
@@ -592,6 +605,7 @@ func (w *worker) finish() *WorkerReport {
 		w.report.RestoredBytes += st.RestoredBytes
 		w.report.Executed += st.Executed
 	}
+	w.report.Fetch = w.rt.FetchSnapshot()
 	if w.tr != nil {
 		w.tr.Add(obs.Span{Name: "worker", Worker: w.pid, StartNs: w.tr.Now(),
 			DurNs: w.report.SetupNs + w.report.InitNs + w.report.WorkNs,
@@ -603,6 +617,10 @@ func (w *worker) finish() *WorkerReport {
 				"restored":       int64(w.report.Restored),
 				"restored_bytes": w.report.RestoredBytes,
 				"executed":       int64(w.report.Executed),
+				"mmap_bytes":     w.report.Fetch.MmapBytes,
+				"scatter_bytes":  w.report.Fetch.ScatterBytes,
+				"ranged_bytes":   w.report.Fetch.RangedBytes,
+				"cache_bytes":    w.report.Fetch.CacheBytes,
 			}})
 	}
 	return w.report

@@ -9,10 +9,12 @@ import (
 
 	"flor.dev/flor/internal/adapt"
 	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/runlog"
 	"flor.dev/flor/internal/sched"
 	"flor.dev/flor/internal/script"
 	"flor.dev/flor/internal/skipblock"
+	"flor.dev/flor/internal/store"
 )
 
 // SampleOptions configures a sampling replay for shared (daemon) use; the
@@ -26,6 +28,10 @@ type SampleOptions struct {
 	Slots sched.SlotSource
 	// Ctx bounds the slot wait; nil means context.Background().
 	Ctx context.Context
+	// Trace, when non-nil, collects spans — slot wait, setup, one span per
+	// sampled iteration, and tier-attributed restore spans — exactly like a
+	// full replay's trace. Nil disables tracing at zero cost.
+	Trace *obs.Trace
 }
 
 // ErrSampleRange reports a requested sample iteration outside the recorded
@@ -39,6 +45,12 @@ type SampleResult struct {
 	Logs       []string
 	Probes     map[string]bool
 	WallNs     int64
+	// Restore accounting. Fetch attributes restored bytes to store fetch
+	// tiers and is zero unless the sample was traced (SampleOptions.Trace).
+	Restored      int
+	RestoredBytes int64
+	RestoreNs     int64
+	Fetch         store.FetchSnapshot
 }
 
 // ReplaySample replays only the given main-loop iterations (paper §8,
@@ -98,6 +110,7 @@ func ReplaySampleStream(rec *Recording, factory func() *script.Program, iteratio
 	// mean recorded iteration per sampled point — is deliberately coarse:
 	// it only needs to be small next to a full replay's segments so the
 	// pool's cheapest-first queue lets point queries through.
+	tr := sopts.Trace
 	if sopts.Slots != nil {
 		ctx := sopts.Ctx
 		if ctx == nil {
@@ -111,10 +124,14 @@ func ReplaySampleStream(rec *Recording, factory func() *script.Program, iteratio
 			}
 			iterMean = sum / int64(len(rec.Timings.IterNs))
 		}
+		st0 := tr.Now()
+		sw0 := time.Now()
 		if err := sopts.Slots.Acquire(ctx, int64(len(sample))*iterMean); err != nil {
 			return nil, err
 		}
 		defer sopts.Slots.Release()
+		tr.Add(obs.Span{Name: "slot_wait", Worker: 0, StartNs: st0,
+			DurNs: time.Since(sw0).Nanoseconds()})
 	}
 
 	tracker := adapt.New(adapt.DefaultEpsilon)
@@ -125,13 +142,17 @@ func ReplaySampleStream(rec *Recording, factory func() *script.Program, iteratio
 	defer mat.Close()
 	rt := skipblock.NewRuntime(p, tracker, mat, rec.Store)
 	rt.SetCache(sopts.Cache)
+	rt.SetTrace(tr, 0)
 	rt.SetProbes(diff.Probes)
 
 	ctx := &script.Ctx{Env: script.NewEnv(), LoopHook: rt.Hook}
 	t0 := time.Now()
+	setup0 := tr.Now()
 	if err := script.ExecStmts(ctx, p.Setup); err != nil {
 		return nil, fmt.Errorf("replay: sample setup: %w", err)
 	}
+	tr.Add(obs.Span{Name: "setup", Worker: 0, StartNs: setup0,
+		DurNs: time.Since(t0).Nanoseconds()})
 
 	lg := runlog.New()
 	cursor := -1 // last initialized iteration
@@ -162,9 +183,14 @@ func ReplaySampleStream(rec *Recording, factory func() *script.Program, iteratio
 		mark := lg.Len()
 		ctx.Log = lg.Append
 		ctx.Env.SetInt(p.Main.IterVar, it)
+		it0 := tr.Now()
+		iw0 := time.Now()
 		if err := script.ExecStmts(ctx, p.Main.Body); err != nil {
 			return nil, fmt.Errorf("replay: sample iteration %d: %w", it, err)
 		}
+		tr.Add(obs.Span{Name: "work", Worker: 0, StartNs: it0,
+			DurNs: time.Since(iw0).Nanoseconds(),
+			Attrs: map[string]int64{"start": int64(it), "end": int64(it + 1)}})
 		cursor = it
 		if emit != nil {
 			if err := emit(it, lg.Tail(mark)); err != nil {
@@ -172,10 +198,19 @@ func ReplaySampleStream(rec *Recording, factory func() *script.Program, iteratio
 			}
 		}
 	}
-	return &SampleResult{
+	res := &SampleResult{
 		Iterations: sample,
 		Logs:       lg.Lines(),
 		Probes:     diff.Probes,
 		WallNs:     time.Since(t0).Nanoseconds(),
-	}, nil
+		Fetch:      rt.FetchSnapshot(),
+	}
+	for _, id := range rt.Blocks() {
+		b, _ := rt.Block(id)
+		st := b.Stats()
+		res.Restored += st.Restored
+		res.RestoredBytes += st.RestoredBytes
+		res.RestoreNs += st.RestoreNs
+	}
+	return res, nil
 }

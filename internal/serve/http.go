@@ -34,13 +34,23 @@ type RegisterRequest struct {
 //	                              instead of buffering the whole replay
 //	POST /v1/runs/{id}/logs       sample query (SampleRequest body)
 //	GET  /v1/runs/{id}/trace/{trace_id}
-//	                              a completed replay's span trace as NDJSON
-//	                              (trace_id from the ReplayResponse; 404 once
-//	                              it ages out of the run's trace ring)
+//	                              a completed query's span trace as NDJSON
+//	                              (trace_id from the replay or sample
+//	                              response; served from the run's trace ring,
+//	                              then from the durable trace store when one
+//	                              is configured — 404 only once both miss)
 //	GET  /v1/stats                pool, store-cache, per-run and chunk-pool
-//	                              stats
+//	                              stats (incl. per-query cost attribution and
+//	                              oldest in-flight query age)
+//	GET  /v1/debug/tasks          background-task traces (GC phases, spool
+//	                              passes): active tasks first, then recent
+//	                              completions
+//	GET  /v1/debug/slow?limit=N   slow-query log entries, newest first (404
+//	                              unless a trace store is configured)
 //	GET  /metrics                 Prometheus text exposition of the metrics
-//	                              registry (empty comment when disabled)
+//	                              registry (empty comment when disabled);
+//	                              latency histogram buckets carry trace-ID
+//	                              exemplars
 //
 // While the daemon drains (Shutdown), new queries and registrations get
 // 503.
@@ -72,6 +82,25 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /v1/stats", timed("stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	}))
+	mux.HandleFunc("GET /v1/debug/tasks", timed("tasks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, obs.Tasks())
+	}))
+	mux.HandleFunc("GET /v1/debug/slow", timed("slow", func(w http.ResponseWriter, r *http.Request) {
+		if s.traces == nil {
+			writeJSON(w, http.StatusNotFound, errBody(fmt.Errorf("serve: no trace store configured (set Options.TraceDir / -trace-dir)")))
+			return
+		}
+		limit := 100
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				writeJSON(w, http.StatusBadRequest, errBody(fmt.Errorf("serve: bad limit %q", v)))
+				return
+			}
+			limit = n
+		}
+		writeJSON(w, http.StatusOK, s.SlowQueries(limit))
 	}))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

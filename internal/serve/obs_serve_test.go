@@ -56,16 +56,29 @@ func TestMetricsEndpoint(t *testing.T) {
 		"flor_serve_store_open 1",
 		"flor_sched_slot_acquires_total",
 		"flor_store_",
+		// Store-tier fetch attribution: the replay restored checkpoints, so
+		// some tier served bytes.
+		"flor_store_fetch_bytes_total{tier=",
+		// Query-latency buckets carry trace-ID exemplars pointing back at a
+		// retrievable trace.
+		`# {trace_id="t`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("scrape missing %q", want)
 		}
 	}
-	// Every non-comment line is "name{labels} value" — exactly two fields.
+	// Every non-comment line is "name{labels} value", optionally followed by
+	// an OpenMetrics-style exemplar suffix on histogram bucket lines.
 	for sc := bufio.NewScanner(bytes.NewReader(body)); sc.Scan(); {
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if i := strings.Index(line, " # "); i >= 0 {
+			if !strings.Contains(line, "_bucket") {
+				t.Errorf("exemplar on a non-bucket line %q", line)
+			}
+			line = line[:i]
 		}
 		if got := len(strings.Fields(line)); got != 2 {
 			t.Errorf("malformed scrape line %q: %d fields", line, got)

@@ -59,6 +59,7 @@ import (
 	"flor.dev/flor/internal/backmat"
 	"flor.dev/flor/internal/core"
 	"flor.dev/flor/internal/obs"
+	"flor.dev/flor/internal/obs/tracestore"
 	"flor.dev/flor/internal/replay"
 	"flor.dev/flor/internal/sched"
 	"flor.dev/flor/internal/script"
@@ -142,6 +143,29 @@ type Options struct {
 	// could make the daemon open and probe arbitrary server-side paths.
 	// The Go-API Register is not confined — the embedder owns those paths.
 	RegisterRoot string
+	// TraceRing bounds each run's in-memory trace ring: a completed query's
+	// span trace stays retrievable until TraceRing newer queries push it out
+	// (default 16). Evictions count into flor_serve_traces_dropped_total.
+	TraceRing int
+	// TraceDir, when set, persists query traces to a durable trace store
+	// under this directory (internal/obs/tracestore): traces survive daemon
+	// restarts and outlive the ring, subject to the retention knobs below.
+	TraceDir string
+	// TraceSampleN head-samples persisted traces: 1 in N is kept (<= 1 keeps
+	// all). Slow queries always persist regardless. Ring retention is not
+	// sampled.
+	TraceSampleN int
+	// SlowQueryThreshold flags queries whose wall time meets or exceeds it:
+	// they bypass trace sampling, land in the trace store's slow-query log
+	// with full span detail, and count into flor_serve_slow_queries_total.
+	// Zero disables slow-query capture.
+	SlowQueryThreshold time.Duration
+	// TraceStoreMaxBytes bounds the trace store's on-disk footprint
+	// (default 16 MiB; oldest segments are pruned whole).
+	TraceStoreMaxBytes int64
+	// TraceStoreMaxAge prunes trace segments whose newest entry is older
+	// than this (0 = no age pruning).
+	TraceStoreMaxAge time.Duration
 }
 
 func (o *Options) fill() {
@@ -168,6 +192,28 @@ func (o *Options) fill() {
 	if o.DefaultWorkers <= 0 {
 		o.DefaultWorkers = 2
 	}
+	if o.TraceRing <= 0 {
+		o.TraceRing = defaultTraceRing
+	}
+}
+
+// QueryCost summarizes the resources one query consumed: logical checkpoint
+// bytes restored, time spent restoring them, and the fetch-tier attribution
+// of every byte the store served (mmap / scatter-preadv / ranged reads vs
+// the cross-query payload cache). Returned per query in replay and sample
+// responses and accumulated per run in /v1/stats.
+type QueryCost struct {
+	RestoredBytes int64               `json:"restored_bytes"`
+	RestoreNs     int64               `json:"restore_ns"`
+	Fetch         store.FetchSnapshot `json:"fetch"`
+}
+
+func (c QueryCost) add(o QueryCost) QueryCost {
+	return QueryCost{
+		RestoredBytes: c.RestoredBytes + o.RestoredBytes,
+		RestoreNs:     c.RestoreNs + o.RestoreNs,
+		Fetch:         c.Fetch.Add(o.Fetch),
+	}
 }
 
 // RunStats is one run's query accounting.
@@ -183,15 +229,23 @@ type RunStats struct {
 	// generations a GC had deleted (store.ErrStalePack) and recovered by
 	// reopening the store and retrying once.
 	StaleRefreshes int64 `json:"stale_refreshes"`
-	QueueNs        int64 `json:"queue_ns"`
-	Inflight       int   `json:"inflight"`
-	Queued         int   `json:"queued"`
+	// SlowQueries counts queries at or above Options.SlowQueryThreshold.
+	SlowQueries int64 `json:"slow_queries"`
+	// Cost accumulates the run's completed queries' resource summaries:
+	// restored bytes, restore time, and per-tier fetch attribution.
+	Cost     QueryCost `json:"cost"`
+	QueueNs  int64     `json:"queue_ns"`
+	Inflight int       `json:"inflight"`
+	Queued   int       `json:"queued"`
+	// OldestQueryAgeSeconds is how long the longest-running in-flight query
+	// has been executing at snapshot time (0 when the run is idle).
+	OldestQueryAgeSeconds float64 `json:"oldest_query_age_seconds,omitempty"`
 }
 
-// traceRingCap bounds the per-run replay-trace ring: each completed replay's
-// span trace is retrievable over HTTP until traceRingCap newer replays push
-// it out.
-const traceRingCap = 16
+// defaultTraceRing is the default per-run trace-ring capacity: each
+// completed query's span trace is retrievable over HTTP until that many
+// newer queries push it out (Options.TraceRing overrides).
+const defaultTraceRing = 16
 
 // run is one registered recording's serving state.
 type run struct {
@@ -207,12 +261,18 @@ type run struct {
 	poolRoot string
 	sem      chan struct{} // in-flight bound
 
+	ringCap int // trace-ring capacity (Options.TraceRing)
+
 	mu       sync.Mutex
 	queued   int
 	inflight int // queries holding a sem slot; guarded by mu so Stats can't tear
-	stats    RunStats
-	traceSeq int
-	traces   []replayTrace // ring, newest last, at most traceRingCap
+	// inflightAt tracks each in-flight query's start time by an opaque
+	// token, so Stats can report the longest-running query's age.
+	inflightAt  map[int]time.Time
+	inflightTok int
+	stats       RunStats
+	traceSeq    int
+	traces      []replayTrace // ring, newest last, at most ringCap
 
 	// Per-run metric handles, resolved once at registration (nil no-ops
 	// while the registry is disabled).
@@ -221,6 +281,8 @@ type run struct {
 	mRejected      *obs.Counter
 	mQueueTimeouts *obs.Counter
 	mErrors        *obs.Counter
+	mTracesDropped *obs.Counter
+	mSlowQueries   *obs.Counter
 	mQueueDepth    *obs.Gauge
 	mInflight      *obs.Gauge
 }
@@ -231,15 +293,41 @@ type replayTrace struct {
 	tr *obs.Trace
 }
 
-// keepTrace appends a completed replay's trace to the ring and returns its ID.
-func (r *run) keepTrace(tr *obs.Trace) string {
+// keepTrace retains a completed query's trace: it assigns the next trace ID,
+// appends the trace to the run's ring (counting evictions), flags slow
+// queries, and — when a durable trace store is configured — persists the
+// full span detail so the trace survives ring eviction and daemon restarts.
+func (s *Server) keepTrace(r *run, kind string, tr *obs.Trace, start time.Time, durNs int64, slow bool) string {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.traceSeq++
 	id := fmt.Sprintf("t%06d", r.traceSeq)
 	r.traces = append(r.traces, replayTrace{id: id, tr: tr})
-	if len(r.traces) > traceRingCap {
-		r.traces = r.traces[len(r.traces)-traceRingCap:]
+	dropped := len(r.traces) - r.ringCap
+	if dropped > 0 {
+		r.traces = r.traces[dropped:]
+	}
+	if slow {
+		r.stats.SlowQueries++
+	}
+	r.mu.Unlock()
+	if dropped > 0 {
+		r.mTracesDropped.Add(int64(dropped))
+	}
+	if slow {
+		r.mSlowQueries.Inc()
+	}
+	if s.traces != nil {
+		// Best-effort durability: a full disk must not fail the query whose
+		// result is already computed; the ring still serves the trace.
+		_, _ = s.traces.Append(tracestore.Entry{
+			TraceID:     id,
+			Run:         r.cfg.ID,
+			Kind:        kind,
+			StartUnixNs: start.UnixNano(),
+			DurNs:       durNs,
+			Slow:        slow,
+			Spans:       tr.Spans(),
+		})
 	}
 	return id
 }
@@ -292,6 +380,10 @@ type Server struct {
 	opts   Options
 	pool   *sched.Pool
 	stores *storeCache
+	// traces is the durable trace store (nil unless Options.TraceDir is
+	// set); traceErr records a failed open so the operator can surface it.
+	traces   *tracestore.Store
+	traceErr error
 
 	// reg is the metrics registry as of construction (nil when disabled);
 	// /metrics renders it. Per-run and per-route handles resolve from the
@@ -328,7 +420,36 @@ func New(opts Options) *Server {
 		mDrainingGauge: obs.G(obs.MServeDraining),
 	}
 	s.stores = newStoreCache(opts.StoreCacheSize, opts.PayloadCacheBytes, opts.OnEvict)
+	if opts.TraceDir != "" {
+		ts, err := tracestore.Open(tracestore.Options{
+			Dir:           opts.TraceDir,
+			MaxTotalBytes: opts.TraceStoreMaxBytes,
+			MaxAge:        opts.TraceStoreMaxAge,
+			SampleN:       opts.TraceSampleN,
+		})
+		if err != nil {
+			// Degrade to ring-only tracing rather than fail construction;
+			// TraceStoreErr and /v1/stats surface the misconfiguration.
+			s.traceErr = err
+		} else {
+			s.traces = ts
+		}
+	}
 	return s
+}
+
+// TraceStoreErr reports a failed durable-trace-store open (nil when the
+// store opened, or none was configured). The daemon still serves — with
+// ring-only tracing — but operators should treat this as a config error.
+func (s *Server) TraceStoreErr() error { return s.traceErr }
+
+// SlowQueries returns up to limit entries from the durable slow-query log,
+// newest first (nil without a trace store).
+func (s *Server) SlowQueries(limit int) []tracestore.Entry {
+	if s.traces == nil {
+		return nil
+	}
+	return s.traces.Slow(limit)
 }
 
 // Pool exposes the shared worker pool (stats, embedding).
@@ -396,17 +517,28 @@ func (s *Server) registerPinned(cfg RunConfig, shardRoots []string, poolRoot str
 		return fmt.Errorf("%w: register: duplicate run ID %q", ErrBadRequest, cfg.ID)
 	}
 	id := obs.L("run", cfg.ID)
-	s.runs[cfg.ID] = &run{
+	rn := &run{
 		cfg: cfg, layout: layout, shardRoots: shardRoots, poolRoot: poolRoot,
 		sem:            make(chan struct{}, s.opts.MaxInflightPerRun),
+		ringCap:        s.opts.TraceRing,
+		inflightAt:     map[int]time.Time{},
 		mReplays:       obs.C(obs.MServeQueries, id, obs.L("kind", "replay")),
 		mSamples:       obs.C(obs.MServeQueries, id, obs.L("kind", "sample")),
 		mRejected:      obs.C(obs.MServeRejected, id),
 		mQueueTimeouts: obs.C(obs.MServeQueueTimeouts, id),
 		mErrors:        obs.C(obs.MServeErrors, id),
+		mTracesDropped: obs.C(obs.MServeTracesDropped, id),
+		mSlowQueries:   obs.C(obs.MServeSlowQueries, id),
 		mQueueDepth:    obs.G(obs.MServeQueueDepth, id),
 		mInflight:      obs.G(obs.MServeInflight, id),
 	}
+	if s.traces != nil {
+		// Seed the trace-ID sequence past anything already persisted for
+		// this run, so IDs stay unique across daemon restarts and a new
+		// query can never shadow a durable older trace.
+		rn.traceSeq = s.traces.LastSeq(cfg.ID)
+	}
+	s.runs[cfg.ID] = rn
 	s.order = append(s.order, cfg.ID)
 	return nil
 }
@@ -462,6 +594,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Release the hot stores only after the drain (or deadline): in-flight
 	// queries keep their entries alive regardless, but new opens are over.
 	s.stores.clear()
+	// Seal the durable trace store after the drain so completed queries'
+	// traces land; a query still running past the deadline loses only its
+	// trace persistence (Append on a closed store errors, best-effort).
+	if s.traces != nil {
+		_ = s.traces.Close()
+	}
 	return err
 }
 
@@ -561,11 +699,15 @@ func (s *Server) admit(ctx context.Context, r *run) (release func(), queueNs int
 	enter := func() func() {
 		r.mu.Lock()
 		r.inflight++
+		r.inflightTok++
+		tok := r.inflightTok
+		r.inflightAt[tok] = time.Now()
 		r.mu.Unlock()
 		r.mInflight.Add(1)
 		return func() {
 			r.mu.Lock()
 			r.inflight--
+			delete(r.inflightAt, tok)
 			r.mu.Unlock()
 			r.mInflight.Add(-1)
 			<-r.sem
@@ -682,9 +824,13 @@ type ReplayResponse struct {
 	WallNs    int64    `json:"wall_ns"`
 	QueueNs   int64    `json:"queue_ns"`
 	StoreHit  bool     `json:"store_hit"`
-	// TraceID names this replay's span trace in the run's trace ring,
-	// retrievable via GET /v1/runs/{id}/trace/{trace_id} until traceRingCap
-	// newer replays push it out.
+	// Cost attributes the replay's restored bytes to store fetch tiers and
+	// totals its restore work.
+	Cost QueryCost `json:"cost"`
+	// TraceID names this replay's span trace, retrievable via
+	// GET /v1/runs/{id}/trace/{trace_id}: from the run's trace ring until
+	// Options.TraceRing newer queries push it out, and from the durable
+	// trace store (when configured) after that — across daemon restarts.
 	TraceID string `json:"trace_id,omitempty"`
 }
 
@@ -764,11 +910,22 @@ func (s *Server) Replay(ctx context.Context, runID string, req ReplayRequest) (*
 		r.mErrors.Inc()
 		return nil, fmt.Errorf("serve: replay %q: %w", runID, err)
 	}
+	durNs := time.Since(t0).Nanoseconds()
+	var cost QueryCost
+	for _, wr := range res.Workers {
+		cost.RestoredBytes += wr.RestoredBytes
+		cost.RestoreNs += wr.RestoreNs
+		cost.Fetch = cost.Fetch.Add(wr.Fetch)
+	}
+	slow := s.opts.SlowQueryThreshold > 0 && durNs >= s.opts.SlowQueryThreshold.Nanoseconds()
 	r.mu.Lock()
 	r.stats.Replays++
+	r.stats.Cost = r.stats.Cost.add(cost)
 	r.mu.Unlock()
 	r.mReplays.Inc()
-	s.mQuerySeconds["replay"].ObserveNs(time.Since(t0).Nanoseconds())
+	traceID := s.keepTrace(r, "replay", tr, t0, durNs, slow)
+	// The exemplar ties the latency bucket back to a retrievable trace.
+	s.mQuerySeconds["replay"].ObserveNsExemplar(durNs, traceID)
 	return &ReplayResponse{
 		RunID:     runID,
 		Probe:     req.Probe,
@@ -781,7 +938,8 @@ func (s *Server) Replay(ctx context.Context, runID string, req ReplayRequest) (*
 		WallNs:    res.WallNs,
 		QueueNs:   queueNs,
 		StoreHit:  hit,
-		TraceID:   r.keepTrace(tr),
+		Cost:      cost,
+		TraceID:   traceID,
 	}, nil
 }
 
@@ -800,6 +958,11 @@ type SampleResponse struct {
 	WallNs     int64    `json:"wall_ns"`
 	QueueNs    int64    `json:"queue_ns"`
 	StoreHit   bool     `json:"store_hit"`
+	// Cost attributes the sample's restored bytes to store fetch tiers.
+	Cost QueryCost `json:"cost"`
+	// TraceID names this sample's span trace, retrievable like a replay's
+	// via GET /v1/runs/{id}/trace/{trace_id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Sample serves one sampling query; its single slot is priced cheaply, so
@@ -863,12 +1026,14 @@ func (s *Server) sample(ctx context.Context, runID string, req SampleRequest, em
 			return emit(SampleChunk{Iteration: it, Logs: logs})
 		}
 	}
+	tr := obs.NewTrace()
 	t0 := time.Now()
 	doSample := func(ent *cacheEntry) (*replay.SampleResult, error) {
 		return replay.ReplaySampleStream(ent.rec, factory, req.Iterations, replay.SampleOptions{
 			Cache: ent.cache,
 			Slots: s.pool,
 			Ctx:   slotCtx,
+			Trace: tr,
 		}, rawEmit)
 	}
 	res, err := doSample(ent)
@@ -899,11 +1064,16 @@ func (s *Server) sample(ctx context.Context, runID string, req SampleRequest, em
 		r.mErrors.Inc()
 		return nil, fmt.Errorf("serve: sample %q: %w", runID, err)
 	}
+	durNs := time.Since(t0).Nanoseconds()
+	cost := QueryCost{RestoredBytes: res.RestoredBytes, RestoreNs: res.RestoreNs, Fetch: res.Fetch}
+	slow := s.opts.SlowQueryThreshold > 0 && durNs >= s.opts.SlowQueryThreshold.Nanoseconds()
 	r.mu.Lock()
 	r.stats.Samples++
+	r.stats.Cost = r.stats.Cost.add(cost)
 	r.mu.Unlock()
 	r.mSamples.Inc()
-	s.mQuerySeconds["sample"].ObserveNs(time.Since(t0).Nanoseconds())
+	traceID := s.keepTrace(r, "sample", tr, t0, durNs, slow)
+	s.mQuerySeconds["sample"].ObserveNsExemplar(durNs, traceID)
 	return &SampleResponse{
 		RunID:      runID,
 		Probe:      req.Probe,
@@ -912,6 +1082,8 @@ func (s *Server) sample(ctx context.Context, runID string, req SampleRequest, em
 		WallNs:     res.WallNs,
 		QueueNs:    queueNs,
 		StoreHit:   hit,
+		Cost:       cost,
+		TraceID:    traceID,
 	}, nil
 }
 
@@ -988,6 +1160,18 @@ type Stats struct {
 	ChunkPools map[string]ChunkPoolStats `json:"chunk_pools,omitempty"`
 	// Draining reports a shutdown in progress (new queries get 503).
 	Draining bool `json:"draining,omitempty"`
+	// TraceStore reports the durable trace store when one was configured.
+	TraceStore *TraceStoreInfo `json:"trace_store,omitempty"`
+}
+
+// TraceStoreInfo describes the durable trace store in /v1/stats.
+type TraceStoreInfo struct {
+	Dir string `json:"dir"`
+	// Bytes is the store's current on-disk segment footprint.
+	Bytes int64 `json:"bytes"`
+	// Error reports a failed open: the daemon is serving with ring-only
+	// tracing and the operator should fix the configured directory.
+	Error string `json:"error,omitempty"`
 }
 
 // Stats returns a snapshot of pool, store-cache, per-run, and per-chunk-pool
@@ -1015,7 +1199,16 @@ func (s *Server) Stats() Stats {
 		st := r.stats
 		st.Queued = r.queued
 		st.Inflight = r.inflight
+		var oldest time.Time
+		for _, begun := range r.inflightAt {
+			if oldest.IsZero() || begun.Before(oldest) {
+				oldest = begun
+			}
+		}
 		r.mu.Unlock()
+		if !oldest.IsZero() {
+			st.OldestQueryAgeSeconds = time.Since(oldest).Seconds()
+		}
 		out.Runs[r.cfg.ID] = st
 	}
 	// Project groups: every pooled run under its pool root, with live pool
@@ -1046,22 +1239,32 @@ func (s *Server) Stats() Stats {
 		}
 		out.ChunkPools[root] = ps
 	}
+	if s.traces != nil {
+		out.TraceStore = &TraceStoreInfo{Dir: s.opts.TraceDir, Bytes: s.traces.Bytes()}
+	} else if s.traceErr != nil {
+		out.TraceStore = &TraceStoreInfo{Dir: s.opts.TraceDir, Error: s.traceErr.Error()}
+	}
 	return out
 }
 
-// Trace returns a retained replay trace by run and trace ID (the trace_id a
-// ReplayResponse reported). Traces age out of the per-run ring after
-// traceRingCap newer replays.
+// Trace returns a retained query trace by run and trace ID (the trace_id a
+// replay or sample response reported). The in-memory ring answers first;
+// when a durable trace store is configured, traces that aged out of the ring
+// — or predate a daemon restart — are rehydrated from it.
 func (s *Server) Trace(runID, traceID string) (*obs.Trace, error) {
 	r, err := s.run(runID)
 	if err != nil {
 		return nil, err
 	}
-	tr, ok := r.trace(traceID)
-	if !ok {
-		return nil, fmt.Errorf("%w: %q for run %q", ErrUnknownTrace, traceID, runID)
+	if tr, ok := r.trace(traceID); ok {
+		return tr, nil
 	}
-	return tr, nil
+	if s.traces != nil {
+		if e, ok := s.traces.Get(runID, traceID); ok {
+			return obs.NewTraceFromSpans(e.Spans), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q for run %q", ErrUnknownTrace, traceID, runID)
 }
 
 // MetricsRegistry returns the registry the server resolved its handles from

@@ -23,6 +23,7 @@ import (
 	"flor.dev/flor/internal/adapt"
 	"flor.dev/flor/internal/analyze"
 	"flor.dev/flor/internal/backmat"
+	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/script"
 	"flor.dev/flor/internal/store"
 )
@@ -96,6 +97,13 @@ type Runtime struct {
 	// largely identical state every epoch, so repeated content (frozen
 	// layers, datasets) decodes once per run instead of once per restore.
 	cache *backmat.PayloadCache
+	// tr/worker/fetch: optional query-trace plumbing. When a trace is set,
+	// every restore emits a "restore" span attributing its bytes to the
+	// store fetch tier that served them; fetch accumulates the worker's
+	// per-tier totals for the query-cost summary.
+	tr     *obs.Trace
+	worker int
+	fetch  *store.FetchStats
 }
 
 // NewRuntime instruments a program's nested loops: every loop (other than
@@ -142,6 +150,21 @@ func (r *Runtime) SetCache(c *backmat.PayloadCache) {
 		r.cache = c
 	}
 }
+
+// SetTrace attaches a query trace to the runtime: subsequent restores emit
+// tier-attributed "restore" spans under the given worker id, and per-tier
+// fetch totals accumulate for FetchSnapshot. A nil trace disables both (the
+// default — record-mode runtimes stay unobserved).
+func (r *Runtime) SetTrace(tr *obs.Trace, worker int) {
+	r.tr, r.worker = tr, worker
+	if tr != nil && r.fetch == nil {
+		r.fetch = &store.FetchStats{}
+	}
+}
+
+// FetchSnapshot returns the runtime's accumulated per-tier fetch totals
+// (zero when no trace was attached).
+func (r *Runtime) FetchSnapshot() store.FetchSnapshot { return r.fetch.Snapshot() }
 
 // Mode returns the current mode.
 func (r *Runtime) Mode() Mode { return r.mode }
@@ -271,9 +294,11 @@ func (b *Block) execute(ctx *script.Ctx) error {
 // opaque checkpoints fall back to the monolithic decode.
 func (b *Block) restore(ctx *script.Ctx, key store.Key) error {
 	t0 := time.Now()
+	spanStart := b.rt.tr.Now()
+	fetchBefore := b.rt.fetch.Snapshot()
 	var items []backmat.NamedPayload
 	var restoredBytes int64
-	secs, ok, err := b.rt.st.GetSections(key, b.rt.cache.Contains)
+	secs, ok, err := b.rt.st.GetSectionsObserved(key, b.rt.cache.Contains, b.rt.fetch)
 	if err != nil {
 		return fmt.Errorf("skipblock: %s: %w", key, err)
 	}
@@ -307,6 +332,18 @@ func (b *Block) restore(ctx *script.Ctx, key store.Key) error {
 	b.stats.Restored++
 	b.stats.RestoreNs += restoreNs
 	b.stats.RestoredBytes += restoredBytes
+	if b.rt.tr != nil {
+		d := b.rt.fetch.Snapshot().Sub(fetchBefore)
+		b.rt.tr.Add(obs.Span{Name: "restore", Worker: b.rt.worker, StartNs: spanStart, DurNs: restoreNs,
+			Attrs: map[string]int64{
+				"exec":           int64(key.Exec),
+				"restored_bytes": restoredBytes,
+				"mmap_bytes":     d.MmapBytes, "mmap_frames": d.MmapFrames,
+				"scatter_bytes": d.ScatterBytes, "scatter_frames": d.ScatterFrames,
+				"ranged_bytes": d.RangedBytes, "ranged_frames": d.RangedFrames,
+				"cache_bytes": d.CacheBytes, "cache_frames": d.CacheFrames,
+			}})
+	}
 	if meta, ok := b.rt.st.Lookup(key); ok {
 		b.rt.tracker.NoteRestoreLoop(b.Loop.ID, restoreNs, meta.MaterNs)
 	}

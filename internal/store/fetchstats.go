@@ -1,0 +1,93 @@
+package store
+
+import "sync/atomic"
+
+// Fetch tiers, in the order the fetch path prefers them. Every chunk frame a
+// restore touches is served by exactly one tier, so per-tier byte counts sum
+// to the restore's encoded volume — the invariant the tier-attribution spans
+// and the flor_store_fetch_* metrics rely on.
+const (
+	tierMmap    = iota // frame aliased out of the pack's memory mapping
+	tierScatter        // vectored preadv straight into the destination buffer
+	tierRanged         // private ranged read (large frames, coalesced spans)
+	tierCache          // payload-cache hit: chunks never read at all
+	numTiers
+)
+
+// tierNames are the metric label values, indexed by tier.
+var tierNames = [numTiers]string{"mmap", "scatter", "ranged", "cache"}
+
+// FetchStats accumulates per-tier fetch accounting for one observer — a
+// query trace, a worker — across concurrent shard fetches. A nil *FetchStats
+// no-ops, so the fetch path threads an optional observer without branching
+// at call sites. Bytes are encoded pack bytes except for the cache tier,
+// which counts the logical bytes a payload-cache hit avoided reading.
+type FetchStats struct {
+	bytes  [numTiers]atomic.Int64
+	frames [numTiers]atomic.Int64
+}
+
+// note records frames frames totalling b bytes served by tier.
+func (f *FetchStats) note(tier int, b, frames int64) {
+	if f == nil {
+		return
+	}
+	f.bytes[tier].Add(b)
+	f.frames[tier].Add(frames)
+}
+
+// Snapshot returns the current per-tier totals (zero for nil).
+func (f *FetchStats) Snapshot() FetchSnapshot {
+	var s FetchSnapshot
+	if f == nil {
+		return s
+	}
+	s.MmapBytes, s.MmapFrames = f.bytes[tierMmap].Load(), f.frames[tierMmap].Load()
+	s.ScatterBytes, s.ScatterFrames = f.bytes[tierScatter].Load(), f.frames[tierScatter].Load()
+	s.RangedBytes, s.RangedFrames = f.bytes[tierRanged].Load(), f.frames[tierRanged].Load()
+	s.CacheBytes, s.CacheFrames = f.bytes[tierCache].Load(), f.frames[tierCache].Load()
+	return s
+}
+
+// FetchSnapshot is a point-in-time, plain-int copy of FetchStats — the form
+// that travels in spans, worker reports, and query-cost summaries.
+type FetchSnapshot struct {
+	MmapBytes     int64 `json:"mmap_bytes"`
+	MmapFrames    int64 `json:"mmap_frames"`
+	ScatterBytes  int64 `json:"scatter_bytes"`
+	ScatterFrames int64 `json:"scatter_frames"`
+	RangedBytes   int64 `json:"ranged_bytes"`
+	RangedFrames  int64 `json:"ranged_frames"`
+	CacheBytes    int64 `json:"cache_bytes"`
+	CacheFrames   int64 `json:"cache_frames"`
+}
+
+// Sub returns the delta s - prev (both from the same FetchStats).
+func (s FetchSnapshot) Sub(prev FetchSnapshot) FetchSnapshot {
+	return FetchSnapshot{
+		MmapBytes: s.MmapBytes - prev.MmapBytes, MmapFrames: s.MmapFrames - prev.MmapFrames,
+		ScatterBytes: s.ScatterBytes - prev.ScatterBytes, ScatterFrames: s.ScatterFrames - prev.ScatterFrames,
+		RangedBytes: s.RangedBytes - prev.RangedBytes, RangedFrames: s.RangedFrames - prev.RangedFrames,
+		CacheBytes: s.CacheBytes - prev.CacheBytes, CacheFrames: s.CacheFrames - prev.CacheFrames,
+	}
+}
+
+// Add returns the element-wise sum s + o.
+func (s FetchSnapshot) Add(o FetchSnapshot) FetchSnapshot {
+	return FetchSnapshot{
+		MmapBytes: s.MmapBytes + o.MmapBytes, MmapFrames: s.MmapFrames + o.MmapFrames,
+		ScatterBytes: s.ScatterBytes + o.ScatterBytes, ScatterFrames: s.ScatterFrames + o.ScatterFrames,
+		RangedBytes: s.RangedBytes + o.RangedBytes, RangedFrames: s.RangedFrames + o.RangedFrames,
+		CacheBytes: s.CacheBytes + o.CacheBytes, CacheFrames: s.CacheFrames + o.CacheFrames,
+	}
+}
+
+// TotalBytes returns the snapshot's byte total across all tiers.
+func (s FetchSnapshot) TotalBytes() int64 {
+	return s.MmapBytes + s.ScatterBytes + s.RangedBytes + s.CacheBytes
+}
+
+// TotalFrames returns the snapshot's frame total across all tiers.
+func (s FetchSnapshot) TotalFrames() int64 {
+	return s.MmapFrames + s.ScatterFrames + s.RangedFrames + s.CacheFrames
+}

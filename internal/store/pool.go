@@ -219,6 +219,12 @@ type ChunkPool struct {
 	indexLen int64     // validated INDEX prefix length (shared pools)
 
 	shardTab []*poolShard // two-level dedup index: shardTab[shardOf(h)].chunks[h]
+
+	// Per-tier fetch counters, resolved once at construction (nil and
+	// branch-free when the registry is disabled — the fetch hot path must
+	// not allocate when nobody is watching).
+	mFetchBytes  [numTiers]*obs.Counter
+	mFetchFrames [numTiers]*obs.Counter
 }
 
 // newPrivatePool builds the single-tenant pool over a run's own backend;
@@ -233,6 +239,7 @@ func newPrivatePool(backend Backend, fanout int, readOnly bool) *ChunkPool {
 // shards is built once at pool construction and never resized; the slice
 // itself is immutable (individual shards have their own locks).
 func (p *ChunkPool) initShards() {
+	p.initFetchMetrics()
 	if p.fanout <= 1 {
 		p.fanout = 1
 		p.shardTab = []*poolShard{{name: packFile, chunks: map[ckptfmt.Hash]chunkLoc{}}}
@@ -242,6 +249,24 @@ func (p *ChunkPool) initShards() {
 	for i := range p.shardTab {
 		p.shardTab[i] = &poolShard{name: fmt.Sprintf("%s-%02x", packFile, i), chunks: map[ckptfmt.Hash]chunkLoc{}}
 	}
+}
+
+// initFetchMetrics resolves the per-tier fetch counters; called from every
+// pool constructor right after initShards.
+func (p *ChunkPool) initFetchMetrics() {
+	for t, name := range tierNames {
+		p.mFetchBytes[t] = obs.C(obs.MStoreFetchBytes, obs.L("tier", name))
+		p.mFetchFrames[t] = obs.C(obs.MStoreFetchFrames, obs.L("tier", name))
+	}
+}
+
+// countFetch attributes frames frames totalling b encoded bytes to a fetch
+// tier: always into the pool-wide metrics (no-op handles when disabled),
+// and into the per-query observer when one is threaded through.
+func (p *ChunkPool) countFetch(tier int, b, frames int64, fs *FetchStats) {
+	p.mFetchBytes[tier].Add(b)
+	p.mFetchFrames[tier].Add(frames)
+	fs.note(tier, b, frames)
 }
 
 // Fanout returns the pool's shard count.
@@ -515,7 +540,7 @@ const directReadMin = 64 << 10
 // frame decode and must not let enc escape. A missing pack object surfaces
 // ErrStalePack: the generation was compacted away and deleted after its
 // grace period, so the caller's resolved locations are stale, not corrupt.
-func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int) (release func(), err error) {
+func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int, fs *FetchStats) (release func(), err error) {
 	sh := p.shardTab[si]
 	obj := packObjName(sh.name, jobs[idxs[0]].loc.Gen)
 
@@ -558,6 +583,25 @@ func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int) (release fun
 			jobs[ji].src = pf
 		}
 		scatterRead(pf, jobs, direct)
+		// Attribution: jobs the vectored read verified in place were served
+		// by the scatter tier; the rest fall back to per-frame ranged reads
+		// in the decode phase.
+		var scB, scN, raB, raN int64
+		for _, ji := range direct {
+			if jobs[ji].pre {
+				scB += int64(jobs[ji].loc.EncLen)
+				scN++
+			} else {
+				raB += int64(jobs[ji].loc.EncLen)
+				raN++
+			}
+		}
+		if scN > 0 {
+			p.countFetch(tierScatter, scB, scN, fs)
+		}
+		if raN > 0 {
+			p.countFetch(tierRanged, raB, raN, fs)
+		}
 		if len(rest) == 0 {
 			return release, nil
 		}
@@ -573,10 +617,13 @@ func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int) (release fun
 			pm, merr := p.acquireMapping(mb, sh, obj, maxEnd)
 			if merr == nil {
 				data := pm.m.Bytes()
+				var b int64
 				for _, ji := range rest {
 					loc := jobs[ji].loc
 					jobs[ji].enc = data[loc.Off : loc.Off+int64(loc.EncLen)]
+					b += int64(loc.EncLen)
 				}
+				p.countFetch(tierMmap, b, int64(len(rest)), fs)
 				rels = append(rels, pm.release)
 				return release, nil
 			}
@@ -626,6 +673,11 @@ func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int) (release fun
 			jobs[sorted[k]].enc = span[loc.Off-start : loc.Off-start+int64(loc.EncLen)]
 		}
 	}
+	var b int64
+	for _, ji := range rest {
+		b += int64(jobs[ji].loc.EncLen)
+	}
+	p.countFetch(tierRanged, b, int64(len(rest)), fs)
 	return release, nil
 }
 
@@ -793,6 +845,9 @@ func (p *ChunkPool) spool() (int64, error) {
 	}
 	p.spoolMu.Lock()
 	defer p.spoolMu.Unlock()
+	task := obs.BeginTask("spool")
+	defer task.End()
+	ttr := task.Trace()
 	sizes := make([]int64, len(p.shardTab))
 	errs := make([]error, len(p.shardTab))
 	var wg sync.WaitGroup
@@ -800,7 +855,10 @@ func (p *ChunkPool) spool() (int64, error) {
 		wg.Add(1)
 		go func(i int, sh *poolShard) {
 			defer wg.Done()
+			t0 := ttr.Now()
 			sizes[i], errs[i] = p.spoolShard(sh)
+			ttr.Add(obs.Span{Name: "shard", Worker: i, StartNs: t0, DurNs: ttr.Now() - t0,
+				Attrs: map[string]int64{"gz_bytes": sizes[i]}})
 		}(i, sh)
 	}
 	wg.Wait()
@@ -1450,6 +1508,18 @@ func (p *ChunkPool) gc(mark func() (map[ckptfmt.Hash]bool, error), o GCOptions, 
 	p.spoolMu.Lock()
 	defer p.spoolMu.Unlock()
 
+	// The pass runs outside any query, so it records itself as a background
+	// task: each phase becomes a span, served at /v1/debug/tasks.
+	task := obs.BeginTask("gc")
+	defer task.End()
+	ttr := task.Trace()
+	phaseStart := ttr.Now()
+	phase := func(name string, attrs map[string]int64) {
+		now := ttr.Now()
+		ttr.Add(obs.Span{Name: name, StartNs: phaseStart, DurNs: now - phaseStart, Attrs: attrs})
+		phaseStart = now
+	}
+
 	// Mark inside the fence: a put's filter→segment→commit span holds the
 	// read side, so marking before the lock could miss a checkpoint that
 	// deduplicated against a chunk this pass is about to drop.
@@ -1458,6 +1528,7 @@ func (p *ChunkPool) gc(mark func() (map[ckptfmt.Hash]bool, error), o GCOptions, 
 		return res, err
 	}
 	live := func(h ckptfmt.Hash) bool { return liveSet[h] }
+	phase("mark", map[string]int64{"live_chunks": int64(len(liveSet))})
 
 	now := time.Now()
 	sched := p.readPackGC()
@@ -1506,6 +1577,7 @@ func (p *ChunkPool) gc(mark func() (map[ckptfmt.Hash]bool, error), o GCOptions, 
 			}
 		}
 	}
+	phase("tombstone", map[string]int64{"deleted_packs": int64(res.DeletedPacks), "retired_packs": int64(res.RetiredPacks)})
 
 	// Phase 2: sweep each shard's index against the live set.
 	type plan struct {
@@ -1528,6 +1600,7 @@ func (p *ChunkPool) gc(mark func() (map[ckptfmt.Hash]bool, error), o GCOptions, 
 			plans = append(plans, pl)
 		}
 	}
+	phase("sweep", map[string]int64{"dirty_shards": int64(len(plans))})
 	if len(plans) == 0 || o.SkipChunks {
 		if err := p.writePackGC(sched); err != nil {
 			return res, err
@@ -1606,6 +1679,7 @@ func (p *ChunkPool) gc(mark func() (map[ckptfmt.Hash]bool, error), o GCOptions, 
 		swaps = append(swaps, &swap{sh: sh, newGen: newGen, newLen: newLen, newMap: newMap,
 			oldObj: oldObj, removed: len(pl.dead), bytes: pl.deadBytes})
 	}
+	phase("rewrite", map[string]int64{"rewritten_shards": int64(len(swaps))})
 
 	// Phase 4: commit — atomically rewrite the chunk records. Until this
 	// succeeds, disk and memory both still describe the old generations.
@@ -1643,6 +1717,7 @@ func (p *ChunkPool) gc(mark func() (map[ckptfmt.Hash]bool, error), o GCOptions, 
 	if err := persist(recs); err != nil {
 		return res, err
 	}
+	phase("persist", map[string]int64{"records": int64(len(recs))})
 
 	// Phase 5: swap in-memory state and retire the replaced objects.
 	for _, sw := range swaps {
@@ -1681,6 +1756,7 @@ func (p *ChunkPool) gc(mark func() (map[ckptfmt.Hash]bool, error), o GCOptions, 
 	if err := p.writePackGC(sched); err != nil {
 		return res, err
 	}
+	phase("swap", map[string]int64{"dead_chunks": int64(res.DeadChunks), "reclaimed_bytes": res.ReclaimedBytes})
 	return res, nil
 }
 

@@ -1513,7 +1513,7 @@ func (s *Store) Get(key Key) ([]byte, error) {
 		}
 		return payload, nil
 	}
-	secs, err := s.readSections(m, dir, nil)
+	secs, err := s.readSections(m, dir, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -1548,6 +1548,14 @@ func (s *Store) Get(key Key) ([]byte, error) {
 // repeated content (frozen layers restored epoch after epoch) drops to a
 // directory read.
 func (s *Store) GetSections(key Key, have func(ckptfmt.Hash) bool) (secs []Section, ok bool, err error) {
+	return s.GetSectionsObserved(key, have, nil)
+}
+
+// GetSectionsObserved is GetSections with per-tier fetch attribution: when fs
+// is non-nil, every chunk frame the read touches (and every frame a
+// payload-cache hit skips) is accounted to its fetch tier in fs. A nil fs is
+// exactly GetSections — the hot path pays no observation cost.
+func (s *Store) GetSectionsObserved(key Key, have func(ckptfmt.Hash) bool, fs *FetchStats) (secs []Section, ok bool, err error) {
 	m, dir, err := s.segmentDir(key)
 	if err != nil {
 		return nil, false, err
@@ -1555,7 +1563,7 @@ func (s *Store) GetSections(key Key, have func(ckptfmt.Hash) bool) (secs []Secti
 	if m.Format != FormatV2 || dir.Opaque {
 		return nil, false, nil
 	}
-	secs, err = s.readSections(m, dir, have)
+	secs, err = s.readSections(m, dir, have, fs)
 	if err != nil {
 		return nil, false, err
 	}
@@ -1627,10 +1635,12 @@ type chunkJob struct {
 // shard's lock is taken only briefly to resolve chunk locations: concurrent
 // readers from many server goroutines must not serialize on each other's
 // cache probes.
-func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.Hash) bool) ([]Section, error) {
+func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.Hash) bool, fs *FetchStats) ([]Section, error) {
 	secs := make([]Section, len(dir.Sections))
 	// Phase 1, lock-free: compute each section's content identity and ask
-	// the caller which sections it already holds.
+	// the caller which sections it already holds. A section the caller holds
+	// is a payload-cache hit: its chunks are never read, and the attribution
+	// records the logical bytes that skip saved.
 	var load []int
 	for i := range dir.Sections {
 		ds := &dir.Sections[i]
@@ -1640,6 +1650,7 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 		}
 		secs[i] = Section{Name: ds.Name, Hash: ckptfmt.HashOfHashes(hs), RawLen: ds.RawLen()}
 		if have != nil && have(secs[i].Hash) {
+			s.pool.countFetch(tierCache, int64(secs[i].RawLen), int64(len(ds.Chunks)), fs)
 			continue
 		}
 		load = append(load, i)
@@ -1687,7 +1698,7 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 	}()
 	if len(byShard) == 1 {
 		for si, idxs := range byShard {
-			rel, err := p.fetchShard(si, jobs, idxs)
+			rel, err := p.fetchShard(si, jobs, idxs, fs)
 			if err != nil {
 				return nil, err
 			}
@@ -1701,7 +1712,7 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 			wg.Add(1)
 			go func(si int, idxs []int) {
 				defer wg.Done()
-				shardRels[si], shardErrs[si] = p.fetchShard(si, jobs, idxs)
+				shardRels[si], shardErrs[si] = p.fetchShard(si, jobs, idxs, fs)
 			}(si, idxs)
 		}
 		wg.Wait()
