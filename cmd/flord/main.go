@@ -18,6 +18,14 @@
 //	flord -demo -log-level debug        # structured key=value logs to stderr
 //	flord -demo -debug-addr :6060       # pprof profiling listener
 //	flord -demo -trace-dir traces -slow-query 250ms -trace-sample 10
+//	flord -demo -remote /mnt/pool -cache-dir cache -cache-max-bytes 268435456
+//
+// With -remote the daemon is stateless with respect to pack bytes: recorded
+// runs are uploaded to the shared object pool (under a writer lease, so two
+// daemons cannot race an upload or compaction of the same prefix) and served
+// back through ranged GETs and a local read-through chunk-cache tier
+// (-cache-dir, -cache-max-bytes). -remote is incompatible with -pool:
+// pool-attached stores refuse backend overrides.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, queries begun after the signal get 503, in-flight replays
@@ -52,6 +60,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -65,6 +74,7 @@ import (
 	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/script"
 	"flor.dev/flor/internal/serve"
+	"flor.dev/flor/internal/store/remote"
 	"flor.dev/flor/internal/workloads"
 )
 
@@ -81,6 +91,9 @@ func main() {
 	storeCache := flag.Int("store-cache", 8, "open-store LRU capacity")
 	workers := flag.Int("workers", 2, "default replay parallelism per query")
 	pool := flag.Bool("pool", false, "record the workloads into one shared chunk pool (<dir>/POOL): sibling runs dedup chunks and share decoded payloads")
+	remoteRoot := flag.String("remote", "", "shared remote object-pool root: recorded runs upload there and serve through ranged GETs + the chunk-cache tier (incompatible with -pool)")
+	cacheDir := flag.String("cache-dir", "", "chunk-cache tier block directory for -remote (empty: in-memory blocks; cleared on startup)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 256<<20, "chunk-cache tier size budget for -remote (negative: no cache tier, every read goes remote)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	metrics := flag.Bool("metrics", true, "enable the metrics registry served at /metrics")
@@ -152,6 +165,18 @@ func main() {
 			"inner": workloads.WithInnerProbe(factory),
 		}
 	}
+	if *remoteRoot != "" && *pool {
+		fatal("-remote is incompatible with -pool: pool-attached stores refuse backend overrides")
+	}
+	var remotePool remote.ObjectStore
+	if *remoteRoot != "" {
+		fs, err := remote.NewFSStore(*remoteRoot)
+		if err != nil {
+			fatal("remote pool", "root", *remoteRoot, "err", err)
+		}
+		remotePool = remote.Retry(fs, remote.Policy{})
+	}
+
 	srv := serve.New(serve.Options{
 		Addr:               *addr,
 		Slots:              *slots,
@@ -168,6 +193,9 @@ func main() {
 		SlowQueryThreshold: *slowQuery,
 		TraceStoreMaxBytes: *traceMaxBytes,
 		TraceStoreMaxAge:   *traceMaxAge,
+		Remote:             *remoteRoot,
+		CacheDir:           *cacheDir,
+		CacheMaxBytes:      *cacheMaxBytes,
 	})
 	if err := srv.TraceStoreErr(); err != nil {
 		fatal("trace store open failed", "dir", *traceDir, "err", err)
@@ -194,14 +222,36 @@ func main() {
 		} else {
 			logger.Info("reusing recording", "name", name, "dir", runDir)
 		}
-		if err := srv.Register(serve.RunConfig{
-			ID:        name,
-			Dir:       runDir,
-			Factories: library[name],
-		}); err != nil {
+		cfg := serve.RunConfig{ID: name, Dir: runDir, Factories: library[name]}
+		if remotePool != nil {
+			// Upload under the run's writer lease so a second daemon pointed
+			// at the same pool cannot race this upload (or a later
+			// compaction) of the prefix. Uploads are idempotent: objects the
+			// pool already holds at the right size are skipped.
+			host, _ := os.Hostname()
+			lease, err := remote.AcquireLease(remotePool, remote.LeaseKey(name), remote.LeaseConfig{
+				Owner: fmt.Sprintf("%s:%d", host, os.Getpid()),
+			})
+			if err != nil {
+				fatal("writer lease", "run", name, "err", err)
+			}
+			n, err := remote.UploadRun(remotePool, runDir, name)
+			if rerr := lease.Release(); rerr != nil {
+				logger.Warn("lease release failed", "run", name, "err", rerr)
+			}
+			if err != nil {
+				fatal("upload failed", "run", name, "err", err)
+			}
+			logger.Info("uploaded run", "run", name, "objects", n)
+			// Serve the remote copy: the control plane re-fetches into a
+			// scratch dir and pack reads go through the cache tier.
+			cfg.Dir = filepath.Join(base, ".remote-ctl", name)
+			cfg.Remote = true
+		}
+		if err := srv.Register(cfg); err != nil {
 			fatal("register failed", "name", name, "err", err)
 		}
-		logger.Info("serving run", "run", name, "probes", "base,outer,inner")
+		logger.Info("serving run", "run", name, "probes", "base,outer,inner", "remote", cfg.Remote)
 	}
 
 	if *debugAddr != "" {

@@ -8,6 +8,8 @@ import (
 	"flor.dev/flor/internal/backmat"
 	"flor.dev/flor/internal/nn"
 	"flor.dev/flor/internal/store"
+	"flor.dev/flor/internal/store/cachetier"
+	"flor.dev/flor/internal/store/remote"
 	"flor.dev/flor/internal/tensor"
 	"flor.dev/flor/internal/value"
 	"flor.dev/flor/internal/workloads"
@@ -21,8 +23,8 @@ import (
 // an every-epoch background spool kept compressed, per second of spool
 // work.
 type CkptThroughputRow struct {
-	Scenario    string  `json:"scenario"` // "frozen", "mutating", "spool-cadence" or "finetune-family"
-	Format      string  `json:"format"`   // "v1-blob", "v2-frames", "v2-pack", "v2-sharded16", "v2-private" or "v2-pooled"
+	Scenario    string  `json:"scenario"` // "frozen", "mutating", "spool-cadence", "finetune-family" or "remote-restore"
+	Format      string  `json:"format"`   // "v1-blob", "v2-frames", "v2-pack", "v2-sharded16", "v2-private", "v2-pooled", "remote-cold" or "remote-warm"
 	LogicalMB   float64 `json:"logical_mb"`
 	MatMBps     float64 `json:"materialize_mbps"`
 	ResMBps     float64 `json:"restore_mbps"`
@@ -54,6 +56,12 @@ type CkptThroughputReport struct {
 	ShardedSpoolSpeedup   float64 `json:"sharded_spool_speedup"`
 	ShardedMatSpeedup     float64 `json:"sharded_materialize_speedup"`
 	ShardedRestoreSpeedup float64 `json:"sharded_restore_speedup"`
+	// RemoteWarmRestoreSpeedup is the remote-restore scenario's warm-over-
+	// cold restore-throughput ratio: the same run restored through the
+	// object backend with an empty chunk-cache tier versus a populated one.
+	// Warm restores skip the remote ranged GETs the cache tier absorbed, so
+	// the ratio is the cache tier's whole value proposition in one number.
+	RemoteWarmRestoreSpeedup float64 `json:"remote_warm_restore_speedup"`
 	// FamilyStorageReduction is the finetune-family scenario's stored-bytes
 	// ratio: per-run private packs over one shared chunk pool, across a
 	// 4-run family re-checkpointing a frozen backbone (acceptance bar ≥ 3x
@@ -293,6 +301,93 @@ func (s *Session) runSpoolCadence(sc ckptScenario, fanout, epochs int) (CkptThro
 	return row, nil
 }
 
+// runRemoteRestore uploads a frozen-scenario run to a local filesystem
+// object store and restores it twice through the remote object backend: once
+// against an empty chunk-cache tier (every pack byte a ranged GET) and once
+// against the tier the cold pass populated. The two rows land in the report
+// as "remote-cold" / "remote-warm", and their restore ratio is the cache
+// tier's headline number. The payload cache is fresh per pass, so the
+// comparison isolates the chunk-cache tier, not decoded-payload reuse.
+func (s *Session) runRemoteRestore(sc ckptScenario, epochs int) (cold, warm CkptThroughputRow, err error) {
+	cold = CkptThroughputRow{Scenario: "remote-restore", Format: "remote-cold", Checkpoints: epochs}
+	warm = CkptThroughputRow{Scenario: "remote-restore", Format: "remote-warm", Checkpoints: epochs}
+	dir := s.tempDir("ckpt-remote-run")
+	st, err := store.OpenWith(dir, store.Options{ShardFanout: store.DefaultShardFanout})
+	if err != nil {
+		return cold, warm, err
+	}
+	for e := 0; e < epochs; e++ {
+		sc.mutate(e)
+		secs := backmat.EncodeSections(snapshotAll(sc.vals))
+		if _, err := st.PutSections(store.Key{LoopID: "train", Exec: e}, secs, 0, 0, 0); err != nil {
+			return cold, warm, err
+		}
+	}
+	var logical int64
+	for _, m := range st.Metas() {
+		logical += m.Size
+	}
+
+	obj, err := remote.NewFSStore(s.tempDir("ckpt-remote-obj"))
+	if err != nil {
+		return cold, warm, err
+	}
+	if _, err := remote.UploadRun(obj, dir, "bench"); err != nil {
+		return cold, warm, err
+	}
+	ctl := s.tempDir("ckpt-remote-ctl")
+	if _, err := remote.FetchControlPlane(obj, "bench", ctl); err != nil {
+		return cold, warm, err
+	}
+	tier, err := cachetier.New("", 1<<30)
+	if err != nil {
+		return cold, warm, err
+	}
+	backend := remote.NewObjectBackend(remote.Retry(obj, remote.Policy{}), remote.PacksPrefix("bench"), tier)
+	ro, err := store.OpenWith(ctl, store.Options{ReadOnly: true, Backend: backend})
+	if err != nil {
+		return cold, warm, err
+	}
+
+	drainWriteback()
+	sweep := func() (int64, error) {
+		cache := backmat.NewPayloadCache(0)
+		var ns int64
+		for e := 0; e < epochs; e++ {
+			t0 := time.Now()
+			secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: e}, cache.Contains)
+			if err != nil || !ok {
+				return 0, fmt.Errorf("bench: remote-restore epoch %d: ok=%v err=%v", e, ok, err)
+			}
+			if _, err := backmat.DecodeSectionsCached(cache, secs); err != nil {
+				return 0, err
+			}
+			ns += time.Since(t0).Nanoseconds()
+		}
+		return ns, nil
+	}
+	coldNs, err := sweep() // empty tier: every pack byte is a ranged GET
+	if err != nil {
+		return cold, warm, err
+	}
+	var warmNs int64 // tier populated by the cold pass; best of five
+	for pass := 0; pass < 5; pass++ {
+		ns, err := sweep()
+		if err != nil {
+			return cold, warm, err
+		}
+		if pass == 0 || ns < warmNs {
+			warmNs = ns
+		}
+	}
+
+	mb := float64(logical) / (1 << 20)
+	cold.LogicalMB, warm.LogicalMB = mb, mb
+	cold.ResMBps = mb / (float64(coldNs) / 1e9)
+	warm.ResMBps = mb / (float64(warmNs) / 1e9)
+	return cold, warm, nil
+}
+
 // CkptThroughput measures checkpoint materialize/restore throughput for both
 // segment formats over both scenarios, plus the spool-cadence comparison of
 // the single-pack and sharded v2 layouts, and prints the comparison plus a
@@ -320,6 +415,16 @@ func (s *Session) CkptThroughput(epochs int) (*CkptThroughputReport, error) {
 		}
 		rep.Rows = append(rep.Rows, row)
 		byKey[row.Scenario+"/"+row.Format] = row
+	}
+	// Remote restore: the frozen run served from an object store, cold vs
+	// warm chunk-cache tier.
+	coldRow, warmRow, err := s.runRemoteRestore(frozenSc, epochs)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, coldRow, warmRow)
+	if coldRow.ResMBps > 0 {
+		rep.RemoteWarmRestoreSpeedup = warmRow.ResMBps / coldRow.ResMBps
 	}
 	// Fine-tuning family: per-run private packs vs one shared chunk pool.
 	privRow, poolRow, reduction, restoreSpeedup, err := s.FinetuneFamily(epochs)
@@ -373,6 +478,7 @@ func (s *Session) CkptThroughput(epochs int) (*CkptThroughputReport, error) {
 		rep.ShardedSpoolSpeedup, rep.ShardedMatSpeedup, rep.ShardedRestoreSpeedup)
 	s.printf("finetune family (%d runs), pooled vs private packs: %0.2fx storage reduction / %0.2fx shared-restore\n",
 		familyRuns, rep.FamilyStorageReduction, rep.FamilySharedRestoreSpeedup)
+	s.printf("remote restore, warm vs cold chunk-cache tier: %0.2fx\n", rep.RemoteWarmRestoreSpeedup)
 
 	js, err := json.Marshal(rep)
 	if err != nil {

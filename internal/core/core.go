@@ -232,6 +232,19 @@ func LoadRecordingSharedPinned(dir string, shardDirs []string, pool string) (*re
 	return loadRecording(dir, st)
 }
 
+// LoadRecordingWith opens a run directory with explicit store options — the
+// remote-backed serving path: the caller fetches the run's control plane
+// into dir (remote.FetchControlPlane) and passes Options{ReadOnly: true,
+// Backend: <ObjectBackend>} so every pack read routes through the remote
+// object store and its cache tier.
+func LoadRecordingWith(dir string, opts store.Options) (*replay.Recording, error) {
+	st, err := store.OpenWith(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return loadRecording(dir, st)
+}
+
 func loadRecording(dir string, st *store.Store) (*replay.Recording, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, programFile))
 	if err != nil {

@@ -28,6 +28,15 @@ const (
 	MStoreGCDeletedPacks     = "flor_store_gc_deleted_packs_total"
 )
 
+// Remote chunk-cache tier metric names (internal/store/cachetier).
+const (
+	MCacheTierHitBytes  = "flor_cachetier_hit_bytes_total"
+	MCacheTierMissBytes = "flor_cachetier_miss_bytes_total"
+	MCacheTierEvictions = "flor_cachetier_evictions_total"
+	MCacheTierBytes     = "flor_cachetier_bytes"
+	MCacheTierEntries   = "flor_cachetier_entries"
+)
+
 // Scheduler metric names (internal/sched).
 const (
 	MSchedSlotAcquires    = "flor_sched_slot_acquires_total"
@@ -124,14 +133,20 @@ var Catalog = []Def{
 	{MStoreSpoolPasses, KindCounter, nil, "Spool passes (segment + dirty-shard pack compression)."},
 	{MStoreSpoolSeconds, KindHistogram, nil, "Spool pass latency."},
 	{MStoreSpoolArtifactBytes, KindGauge, nil, "Compressed size of the spool artifacts after the last pass."},
-	{MStoreFetchBytes, KindCounter, []string{"tier"}, "Encoded pack bytes served to restores, by fetch tier (mmap|scatter|ranged|cache; cache counts logical bytes skipped via payload-cache hits)."},
-	{MStoreFetchFrames, KindCounter, []string{"tier"}, "Chunk frames served to restores, by fetch tier (mmap|scatter|ranged|cache)."},
+	{MStoreFetchBytes, KindCounter, []string{"tier"}, "Encoded pack bytes served to restores, by fetch tier (mmap|scatter|ranged|cache|remote|cache-tier; cache counts logical bytes skipped via payload-cache hits)."},
+	{MStoreFetchFrames, KindCounter, []string{"tier"}, "Chunk frames served to restores, by fetch tier (mmap|scatter|ranged|cache|remote|cache-tier)."},
 	{MStoreGCPasses, KindCounter, nil, "Chunk-reclaiming GC passes."},
 	{MStoreGCMarkedChunks, KindCounter, nil, "Chunks marked live during GC mark phases."},
 	{MStoreGCDeadChunks, KindCounter, nil, "Superseded chunks compacted out of pack shards."},
 	{MStoreGCRewrittenShards, KindCounter, nil, "Shards rewritten to a new pack generation by compaction."},
 	{MStoreGCTombstonedPacks, KindCounter, nil, "Replaced pack generations scheduled as grace-period tombstones."},
 	{MStoreGCDeletedPacks, KindCounter, nil, "Tombstoned pack generations deleted after their grace period."},
+	// cache tier (remote-backed stores)
+	{MCacheTierHitBytes, KindCounter, nil, "Requested bytes the remote chunk-cache tier served locally."},
+	{MCacheTierMissBytes, KindCounter, nil, "Requested bytes the remote chunk-cache tier fetched from the object store."},
+	{MCacheTierEvictions, KindCounter, nil, "Blocks evicted from the remote chunk-cache tier to stay within budget."},
+	{MCacheTierBytes, KindGauge, nil, "Block bytes currently resident in the remote chunk-cache tier."},
+	{MCacheTierEntries, KindGauge, nil, "Blocks currently resident in the remote chunk-cache tier."},
 	// sched
 	{MSchedSlotAcquires, KindCounter, nil, "Slot acquisitions from the shared worker pool."},
 	{MSchedSlotWaits, KindCounter, nil, "Slot acquisitions that had to queue."},

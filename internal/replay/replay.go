@@ -610,17 +610,19 @@ func (w *worker) finish() *WorkerReport {
 		w.tr.Add(obs.Span{Name: "worker", Worker: w.pid, StartNs: w.tr.Now(),
 			DurNs: w.report.SetupNs + w.report.InitNs + w.report.WorkNs,
 			Attrs: map[string]int64{
-				"setup_ns":       w.report.SetupNs,
-				"init_ns":        w.report.InitNs,
-				"work_ns":        w.report.WorkNs,
-				"restore_ns":     w.report.RestoreNs,
-				"restored":       int64(w.report.Restored),
-				"restored_bytes": w.report.RestoredBytes,
-				"executed":       int64(w.report.Executed),
-				"mmap_bytes":     w.report.Fetch.MmapBytes,
-				"scatter_bytes":  w.report.Fetch.ScatterBytes,
-				"ranged_bytes":   w.report.Fetch.RangedBytes,
-				"cache_bytes":    w.report.Fetch.CacheBytes,
+				"setup_ns":         w.report.SetupNs,
+				"init_ns":          w.report.InitNs,
+				"work_ns":          w.report.WorkNs,
+				"restore_ns":       w.report.RestoreNs,
+				"restored":         int64(w.report.Restored),
+				"restored_bytes":   w.report.RestoredBytes,
+				"executed":         int64(w.report.Executed),
+				"mmap_bytes":       w.report.Fetch.MmapBytes,
+				"scatter_bytes":    w.report.Fetch.ScatterBytes,
+				"ranged_bytes":     w.report.Fetch.RangedBytes,
+				"cache_bytes":      w.report.Fetch.CacheBytes,
+				"remote_bytes":     w.report.Fetch.RemoteBytes,
+				"cache_tier_bytes": w.report.Fetch.CacheTierBytes,
 			}})
 	}
 	return w.report

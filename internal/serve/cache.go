@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"flor.dev/flor/internal/backmat"
-	"flor.dev/flor/internal/core"
 	"flor.dev/flor/internal/obs"
 	"flor.dev/flor/internal/replay"
 )
@@ -67,10 +66,11 @@ func newStoreCache(capacity int, cacheBytes int64, onEvict func(string)) *storeC
 	}
 }
 
-// get returns the entry for runID, opening the store (read-only, shard and
-// pool roots pinned to what registration validated) on a miss and evicting
-// the least recently used entry beyond capacity.
-func (c *storeCache) get(runID, dir string, shardRoots []string, poolRoot string) (*cacheEntry, bool, error) {
+// get returns the entry for runID, opening the store via load on a miss
+// (the caller chooses the open path: pinned local roots, or the remote
+// object backend) and evicting the least recently used entry beyond
+// capacity. poolRoot selects the shared payload cache ("" = private).
+func (c *storeCache) get(runID, poolRoot string, load func() (*replay.Recording, error)) (*cacheEntry, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[runID]; ok {
 		c.lru.MoveToFront(el)
@@ -86,7 +86,7 @@ func (c *storeCache) get(runID, dir string, shardRoots []string, poolRoot string
 	// Load outside the lock: opening a cold store replays its manifest,
 	// which must not block hits on other runs. A racing duplicate load of
 	// the same run is benign (last one wins the cache slot).
-	rec, err := core.LoadRecordingSharedPinned(dir, shardRoots, poolRoot)
+	rec, err := load()
 	if err != nil {
 		return nil, false, err
 	}

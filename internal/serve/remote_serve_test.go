@@ -1,0 +1,92 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"flor.dev/flor/internal/script"
+	"flor.dev/flor/internal/serve"
+	"flor.dev/flor/internal/store/remote"
+)
+
+// TestServeRemoteRunStateless pins the daemon's stateless open path: a run
+// whose packs live only in the remote object pool is registered with just
+// its ID, queried with logs byte-identical to a local replay, and the
+// chunk-cache tier shows up in /v1/stats — warm on the second query.
+func TestServeRemoteRunStateless(t *testing.T) {
+	base := t.TempDir()
+	src := filepath.Join(base, "src")
+	factory := recordRun(t, src, 8, 3, 17)
+	want := directReplay(t, src, factory)
+
+	// Upload the run, then throw the local copy's role away: the daemon
+	// gets a remote root and an empty scratch dir, nothing else.
+	pool := filepath.Join(base, "pool")
+	obj, err := remote.NewFSStore(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.UploadRun(obj, src, "run-r"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := serve.New(serve.Options{
+		Remote:        pool,
+		CacheDir:      filepath.Join(base, "cache"),
+		CacheMaxBytes: 64 << 20,
+	})
+	if err := srv.Register(serve.RunConfig{
+		ID:     "run-r",
+		Dir:    filepath.Join(base, "ctl", "run-r"),
+		Remote: true,
+		Factories: map[string]func() *script.Program{
+			"base":  factory,
+			"wnorm": withProbe(factory),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A remote registration of an unknown run is a client error, not a 500.
+	if err := srv.Register(serve.RunConfig{
+		ID: "ghost", Dir: filepath.Join(base, "ctl", "ghost"), Remote: true,
+		Factories: map[string]func() *script.Program{"base": factory},
+	}); err == nil {
+		t.Fatal("registering an absent remote run succeeded")
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fx := &daemonFixture{srv: srv, ts: ts}
+
+	for pass, label := range []string{"cold", "warm"} {
+		resp, body := fx.post(t, "/v1/runs/run-r/replay", serve.ReplayRequest{Probe: "wnorm", Workers: 2})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s replay: status %d: %s", label, resp.StatusCode, body)
+		}
+		var rr serve.ReplayResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if len(rr.Logs) != len(want) {
+			t.Fatalf("%s replay: %d log lines, want %d", label, len(rr.Logs), len(want))
+		}
+		for i := range want {
+			if rr.Logs[i] != want[i] {
+				t.Fatalf("%s replay log %d = %q, want %q", label, i, rr.Logs[i], want[i])
+			}
+		}
+		st := fx.stats(t)
+		if st.CacheTier == nil {
+			t.Fatalf("%s: stats carry no cache_tier block", label)
+		}
+		if pass == 0 && st.CacheTier.MissBytes == 0 {
+			t.Fatal("cold replay fetched nothing through the cache tier")
+		}
+		if pass == 1 && st.CacheTier.HitBytes == 0 {
+			t.Fatal("warm replay hit nothing in the cache tier")
+		}
+	}
+}

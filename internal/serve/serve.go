@@ -64,6 +64,8 @@ import (
 	"flor.dev/flor/internal/sched"
 	"flor.dev/flor/internal/script"
 	"flor.dev/flor/internal/store"
+	"flor.dev/flor/internal/store/cachetier"
+	"flor.dev/flor/internal/store/remote"
 )
 
 // Typed query failures; the HTTP layer maps them to status codes.
@@ -102,6 +104,12 @@ type RunConfig struct {
 	// registered by the embedding program — HTTP clients select them by
 	// name.
 	Factories map[string]func() *script.Program
+	// Remote serves the run from the daemon's shared remote object pool
+	// (Options.Remote): registration fetches the run's control plane from
+	// <pool>/<ID>/ctl/ into Dir (created if needed), and every pack read
+	// routes through the remote backend and the chunk-cache tier. Dir is
+	// then the run's local control-plane scratch, not a recorded run.
+	Remote bool
 }
 
 // Options configures a Server. Zero values select the documented defaults.
@@ -166,6 +174,16 @@ type Options struct {
 	// TraceStoreMaxAge prunes trace segments whose newest entry is older
 	// than this (0 = no age pruning).
 	TraceStoreMaxAge time.Duration
+	// Remote points the daemon at a shared remote object pool — for the
+	// bundled filesystem store, the pool's root directory. Empty disables
+	// remote serving; RunConfig.Remote registrations then fail.
+	Remote string
+	// CacheDir is where the remote chunk-cache tier keeps its blocks;
+	// empty keeps blocks in memory. The directory is cleared on startup.
+	CacheDir string
+	// CacheMaxBytes bounds the chunk-cache tier (default 256 MiB;
+	// negative disables the cache tier, every read goes remote).
+	CacheMaxBytes int64
 }
 
 func (o *Options) fill() {
@@ -194,6 +212,9 @@ func (o *Options) fill() {
 	}
 	if o.TraceRing <= 0 {
 		o.TraceRing = defaultTraceRing
+	}
+	if o.CacheMaxBytes == 0 {
+		o.CacheMaxBytes = 256 << 20
 	}
 }
 
@@ -385,6 +406,14 @@ type Server struct {
 	traces   *tracestore.Store
 	traceErr error
 
+	// remote is the shared object pool (nil unless Options.Remote is set),
+	// already wrapped with the retry policy; chunkCache is the local
+	// read-through cache tier in front of it (nil when disabled);
+	// remoteErr records a failed setup, surfaced on remote registration.
+	remote     remote.ObjectStore
+	chunkCache *cachetier.Cache
+	remoteErr  error
+
 	// reg is the metrics registry as of construction (nil when disabled);
 	// /metrics renders it. Per-run and per-route handles resolve from the
 	// same package-level default, so enabling obs after New leaves the
@@ -435,6 +464,22 @@ func New(opts Options) *Server {
 			s.traces = ts
 		}
 	}
+	if opts.Remote != "" {
+		fs, err := remote.NewFSStore(opts.Remote)
+		if err != nil {
+			s.remoteErr = err
+		} else {
+			s.remote = remote.Retry(fs, remote.Policy{})
+			if opts.CacheMaxBytes > 0 {
+				cache, err := cachetier.New(opts.CacheDir, opts.CacheMaxBytes)
+				if err != nil {
+					s.remote, s.remoteErr = nil, err
+				} else {
+					s.chunkCache = cache
+				}
+			}
+		}
+	}
 	return s
 }
 
@@ -462,6 +507,15 @@ func (s *Server) Pool() *sched.Pool { return s.pool }
 // grouped by their chunk pool's root, which is validated and pinned here.
 // The store itself is still opened lazily on the first query.
 func (s *Server) Register(cfg RunConfig) error {
+	if cfg.Remote {
+		if err := s.fetchRemoteRun(cfg); err != nil {
+			return err
+		}
+		// The fetched control plane has no SHARDS file (pack reads route
+		// through the object backend) and must not be pooled (pooled stores
+		// refuse backend overrides), so both pins are empty by construction.
+		return s.registerPinned(cfg, nil, "")
+	}
 	shardRoots, err := store.ShardRoots(cfg.Dir)
 	if err != nil {
 		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
@@ -471,6 +525,33 @@ func (s *Server) Register(cfg RunConfig) error {
 		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
 	}
 	return s.registerPinned(cfg, shardRoots, poolRoot)
+}
+
+// fetchRemoteRun materializes a remote run's control plane into cfg.Dir so
+// the normal registration validation (layout detection, IsRecording) runs
+// against real files; pack bytes stay remote.
+func (s *Server) fetchRemoteRun(cfg RunConfig) error {
+	if s.remote == nil {
+		if s.remoteErr != nil {
+			return fmt.Errorf("serve: register %q: remote pool: %w", cfg.ID, s.remoteErr)
+		}
+		return fmt.Errorf("%w: register %q: no remote pool configured", ErrBadRequest, cfg.ID)
+	}
+	if cfg.ID == "" || cfg.Dir == "" {
+		return fmt.Errorf("%w: register remote run: ID and Dir are required", ErrBadRequest)
+	}
+	if _, err := remote.FetchControlPlane(s.remote, cfg.ID, cfg.Dir); err != nil {
+		if errors.Is(err, remote.ErrNotFound) {
+			return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
+		}
+		return fmt.Errorf("serve: register %q: %w", cfg.ID, err)
+	}
+	if poolRoot, _, err := store.PoolRef(cfg.Dir); err != nil {
+		return fmt.Errorf("%w: register %q: %v", ErrBadRequest, cfg.ID, err)
+	} else if poolRoot != "" {
+		return fmt.Errorf("%w: register %q: pooled runs cannot be served remotely", ErrBadRequest, cfg.ID)
+	}
+	return nil
 }
 
 // registerPinned is Register with the shard and pool roots already read
@@ -761,9 +842,18 @@ func (s *Server) admit(ctx context.Context, r *run) (release func(), queueNs int
 }
 
 // open resolves the run's shared store entry through the LRU, folding the
-// hit/miss into the run's stats.
+// hit/miss into the run's stats. Local runs open pinned to the roots
+// registration validated; remote runs open through the object backend and
+// the shared chunk-cache tier.
 func (s *Server) open(r *run) (*cacheEntry, bool, error) {
-	ent, hit, err := s.stores.get(r.cfg.ID, r.cfg.Dir, r.shardRoots, r.poolRoot)
+	load := func() (*replay.Recording, error) {
+		if r.cfg.Remote {
+			backend := remote.NewObjectBackend(s.remote, remote.PacksPrefix(r.cfg.ID), s.chunkCache)
+			return core.LoadRecordingWith(r.cfg.Dir, store.Options{ReadOnly: true, Backend: backend})
+		}
+		return core.LoadRecordingSharedPinned(r.cfg.Dir, r.shardRoots, r.poolRoot)
+	}
+	ent, hit, err := s.stores.get(r.cfg.ID, r.poolRoot, load)
 	r.mu.Lock()
 	if err != nil {
 		r.stats.Errors++
@@ -1162,6 +1252,9 @@ type Stats struct {
 	Draining bool `json:"draining,omitempty"`
 	// TraceStore reports the durable trace store when one was configured.
 	TraceStore *TraceStoreInfo `json:"trace_store,omitempty"`
+	// CacheTier reports the remote chunk-cache tier when a remote pool is
+	// configured with caching enabled.
+	CacheTier *cachetier.Stats `json:"cache_tier,omitempty"`
 }
 
 // TraceStoreInfo describes the durable trace store in /v1/stats.
@@ -1182,6 +1275,10 @@ func (s *Server) Stats() Stats {
 		StoreCache:    s.stores.stats(),
 		PayloadCaches: s.stores.payloadCacheStats(),
 		Runs:          map[string]RunStats{},
+	}
+	if s.chunkCache != nil {
+		ct := s.chunkCache.Stats()
+		out.CacheTier = &ct
 	}
 	s.mu.Lock()
 	runs := make([]*run, 0, len(s.runs))

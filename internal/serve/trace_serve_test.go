@@ -35,6 +35,10 @@ func sumTierAttrs(spans []obs.Span) (store.FetchSnapshot, int) {
 		fs.RangedFrames += sp.Attrs["ranged_frames"]
 		fs.CacheBytes += sp.Attrs["cache_bytes"]
 		fs.CacheFrames += sp.Attrs["cache_frames"]
+		fs.RemoteBytes += sp.Attrs["remote_bytes"]
+		fs.RemoteFrames += sp.Attrs["remote_frames"]
+		fs.CacheTierBytes += sp.Attrs["cache_tier_bytes"]
+		fs.CacheTierFrames += sp.Attrs["cache_tier_frames"]
 	}
 	return fs, restores
 }
@@ -92,7 +96,8 @@ func TestReplayCostTierAttribution(t *testing.T) {
 	for _, sp := range spans {
 		if sp.Name == "worker" {
 			workerBytes += sp.Attrs["mmap_bytes"] + sp.Attrs["scatter_bytes"] +
-				sp.Attrs["ranged_bytes"] + sp.Attrs["cache_bytes"]
+				sp.Attrs["ranged_bytes"] + sp.Attrs["cache_bytes"] +
+				sp.Attrs["remote_bytes"] + sp.Attrs["cache_tier_bytes"]
 		}
 	}
 	if workerBytes != rr.Cost.Fetch.TotalBytes() {

@@ -342,6 +342,8 @@ func (b *Block) restore(ctx *script.Ctx, key store.Key) error {
 				"scatter_bytes": d.ScatterBytes, "scatter_frames": d.ScatterFrames,
 				"ranged_bytes": d.RangedBytes, "ranged_frames": d.RangedFrames,
 				"cache_bytes": d.CacheBytes, "cache_frames": d.CacheFrames,
+				"remote_bytes": d.RemoteBytes, "remote_frames": d.RemoteFrames,
+				"cache_tier_bytes": d.CacheTierBytes, "cache_tier_frames": d.CacheTierFrames,
 			}})
 	}
 	if meta, ok := b.rt.st.Lookup(key); ok {

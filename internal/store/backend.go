@@ -93,6 +93,27 @@ func (m *Mapping) Close() error {
 	return m.unmap(data)
 }
 
+// TieredBackend is an optional Backend capability implemented by backends
+// whose reads travel a network (S3-style object stores), possibly through a
+// local read-through cache tier. The restore path switches to a
+// remote-shaped fetch strategy for such backends: no memory maps, no
+// vectored preads against a file descriptor — instead offset-sorted jobs
+// coalesce into spans and the spans are fetched as parallel ranged GETs per
+// shard, with bytes attributed to the "remote" and "cache-tier" fetch tiers.
+type TieredBackend interface {
+	// RemoteReads reports whether reads are served by a remote object store
+	// (true switches the restore path to the remote fetch strategy).
+	RemoteReads() bool
+}
+
+// TieredReader is an optional BackendReader capability: ReadAtTier is ReadAt
+// plus per-read tier attribution, reporting how many of the returned bytes
+// were served by a local cache tier versus fetched from the remote store.
+// Readers without the capability have their whole read attributed remote.
+type TieredReader interface {
+	ReadAtTier(p []byte, off int64) (n int, cached, fetched int64, err error)
+}
+
 // BackendWriter is a streaming write handle on one backend object: Close
 // commits the object atomically; Abort abandons the write, leaving any
 // previously committed object intact. A failed write must be Aborted, not

@@ -7,15 +7,17 @@ import "sync/atomic"
 // to the restore's encoded volume — the invariant the tier-attribution spans
 // and the flor_store_fetch_* metrics rely on.
 const (
-	tierMmap    = iota // frame aliased out of the pack's memory mapping
-	tierScatter        // vectored preadv straight into the destination buffer
-	tierRanged         // private ranged read (large frames, coalesced spans)
-	tierCache          // payload-cache hit: chunks never read at all
+	tierMmap      = iota // frame aliased out of the pack's memory mapping
+	tierScatter          // vectored preadv straight into the destination buffer
+	tierRanged           // private ranged read (large frames, coalesced spans)
+	tierCache            // payload-cache hit: chunks never read at all
+	tierRemote           // ranged GET against a remote object store
+	tierCacheTier        // local chunk-cache hit in front of a remote store
 	numTiers
 )
 
 // tierNames are the metric label values, indexed by tier.
-var tierNames = [numTiers]string{"mmap", "scatter", "ranged", "cache"}
+var tierNames = [numTiers]string{"mmap", "scatter", "ranged", "cache", "remote", "cache-tier"}
 
 // FetchStats accumulates per-tier fetch accounting for one observer — a
 // query trace, a worker — across concurrent shard fetches. A nil *FetchStats
@@ -46,6 +48,8 @@ func (f *FetchStats) Snapshot() FetchSnapshot {
 	s.ScatterBytes, s.ScatterFrames = f.bytes[tierScatter].Load(), f.frames[tierScatter].Load()
 	s.RangedBytes, s.RangedFrames = f.bytes[tierRanged].Load(), f.frames[tierRanged].Load()
 	s.CacheBytes, s.CacheFrames = f.bytes[tierCache].Load(), f.frames[tierCache].Load()
+	s.RemoteBytes, s.RemoteFrames = f.bytes[tierRemote].Load(), f.frames[tierRemote].Load()
+	s.CacheTierBytes, s.CacheTierFrames = f.bytes[tierCacheTier].Load(), f.frames[tierCacheTier].Load()
 	return s
 }
 
@@ -60,6 +64,13 @@ type FetchSnapshot struct {
 	RangedFrames  int64 `json:"ranged_frames"`
 	CacheBytes    int64 `json:"cache_bytes"`
 	CacheFrames   int64 `json:"cache_frames"`
+	// Remote and cache-tier attribution applies to remote-backed stores only:
+	// remote counts encoded bytes that had to travel a ranged GET, cache-tier
+	// counts encoded bytes a local chunk-cache hit kept off the network.
+	RemoteBytes     int64 `json:"remote_bytes"`
+	RemoteFrames    int64 `json:"remote_frames"`
+	CacheTierBytes  int64 `json:"cache_tier_bytes"`
+	CacheTierFrames int64 `json:"cache_tier_frames"`
 }
 
 // Sub returns the delta s - prev (both from the same FetchStats).
@@ -69,6 +80,8 @@ func (s FetchSnapshot) Sub(prev FetchSnapshot) FetchSnapshot {
 		ScatterBytes: s.ScatterBytes - prev.ScatterBytes, ScatterFrames: s.ScatterFrames - prev.ScatterFrames,
 		RangedBytes: s.RangedBytes - prev.RangedBytes, RangedFrames: s.RangedFrames - prev.RangedFrames,
 		CacheBytes: s.CacheBytes - prev.CacheBytes, CacheFrames: s.CacheFrames - prev.CacheFrames,
+		RemoteBytes: s.RemoteBytes - prev.RemoteBytes, RemoteFrames: s.RemoteFrames - prev.RemoteFrames,
+		CacheTierBytes: s.CacheTierBytes - prev.CacheTierBytes, CacheTierFrames: s.CacheTierFrames - prev.CacheTierFrames,
 	}
 }
 
@@ -79,15 +92,19 @@ func (s FetchSnapshot) Add(o FetchSnapshot) FetchSnapshot {
 		ScatterBytes: s.ScatterBytes + o.ScatterBytes, ScatterFrames: s.ScatterFrames + o.ScatterFrames,
 		RangedBytes: s.RangedBytes + o.RangedBytes, RangedFrames: s.RangedFrames + o.RangedFrames,
 		CacheBytes: s.CacheBytes + o.CacheBytes, CacheFrames: s.CacheFrames + o.CacheFrames,
+		RemoteBytes: s.RemoteBytes + o.RemoteBytes, RemoteFrames: s.RemoteFrames + o.RemoteFrames,
+		CacheTierBytes: s.CacheTierBytes + o.CacheTierBytes, CacheTierFrames: s.CacheTierFrames + o.CacheTierFrames,
 	}
 }
 
 // TotalBytes returns the snapshot's byte total across all tiers.
 func (s FetchSnapshot) TotalBytes() int64 {
-	return s.MmapBytes + s.ScatterBytes + s.RangedBytes + s.CacheBytes
+	return s.MmapBytes + s.ScatterBytes + s.RangedBytes + s.CacheBytes +
+		s.RemoteBytes + s.CacheTierBytes
 }
 
 // TotalFrames returns the snapshot's frame total across all tiers.
 func (s FetchSnapshot) TotalFrames() int64 {
-	return s.MmapFrames + s.ScatterFrames + s.RangedFrames + s.CacheFrames
+	return s.MmapFrames + s.ScatterFrames + s.RangedFrames + s.CacheFrames +
+		s.RemoteFrames + s.CacheTierFrames
 }

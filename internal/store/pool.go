@@ -544,6 +544,13 @@ func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int, fs *FetchSta
 	sh := p.shardTab[si]
 	obj := packObjName(sh.name, jobs[idxs[0]].loc.Gen)
 
+	// Remote-backed pools skip the local-IO strategies (no file descriptor
+	// to preadv, no pages to map) and fetch coalesced spans as parallel
+	// ranged GETs instead.
+	if tb, ok := p.backend.(TieredBackend); ok && tb.RemoteReads() {
+		return p.fetchShardRemote(obj, jobs, idxs, fs)
+	}
+
 	// Frames at least directReadMin long are handed the open pack handle
 	// instead of bytes: the decode phase reads each one's payload by a
 	// private ranged read straight into its destination buffer. Smaller
@@ -678,6 +685,140 @@ func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int, fs *FetchSta
 		b += int64(jobs[ji].loc.EncLen)
 	}
 	p.countFetch(tierRanged, b, int64(len(rest)), fs)
+	return release, nil
+}
+
+// remoteSpanParallelism bounds the concurrent ranged GETs one shard fetch
+// issues against a remote backend. Remote latency, not syscall count, is the
+// cost model: a handful of in-flight range reads per shard hides round-trips
+// without flooding the store (restores already parallelize across shards).
+const remoteSpanParallelism = 8
+
+// fetchShardRemote is fetchShard's strategy for TieredBackend pools: jobs
+// are offset-sorted and coalesced into bounded-gap spans exactly like the
+// streamed path, but the spans are read with up to remoteSpanParallelism
+// concurrent ranged GETs, and each span's encoded frame bytes are attributed
+// to the "cache-tier" and "remote" fetch tiers in proportion to how much of
+// the span the backend served from its local cache versus the remote store.
+// A missing pack object surfaces ErrStalePack; any other read failure
+// propagates with its cause wrapped (%w), so typed remote errors — retry
+// budgets exhausted, injected test faults — stay visible to errors.Is.
+func (p *ChunkPool) fetchShardRemote(obj string, jobs []chunkJob, idxs []int, fs *FetchStats) (release func(), err error) {
+	pf, err := p.backend.Open(obj)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: shard %s: %v", ErrStalePack, obj, err)
+		}
+		return nil, fmt.Errorf("store: shard %s: open remote pack: %w", obj, err)
+	}
+
+	sorted := append([]int(nil), idxs...)
+	sort.Slice(sorted, func(a, b int) bool { return jobs[sorted[a]].loc.Off < jobs[sorted[b]].loc.Off })
+
+	type span struct {
+		start, end int64
+		members    []int // job indices, offset order
+	}
+	var spans []*span
+	for k := 0; k < len(sorted); {
+		sp := &span{start: jobs[sorted[k]].loc.Off}
+		sp.end = sp.start + int64(jobs[sorted[k]].loc.EncLen)
+		sp.members = append(sp.members, sorted[k])
+		k++
+		for k < len(sorted) {
+			loc := jobs[sorted[k]].loc
+			if loc.Off-sp.end > maxCoalesceGap {
+				break
+			}
+			if e := loc.Off + int64(loc.EncLen); e > sp.end {
+				sp.end = e
+			}
+			sp.members = append(sp.members, sorted[k])
+			k++
+		}
+		spans = append(spans, sp)
+	}
+
+	var mu sync.Mutex // guards bufs and firstErr across span workers
+	var bufs [][]byte
+	release = func() {
+		mu.Lock()
+		for _, b := range bufs {
+			ckptfmt.Shared.Put(b)
+		}
+		bufs = nil
+		mu.Unlock()
+		pf.Close()
+	}
+
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, remoteSpanParallelism)
+	for _, sp := range spans {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(sp *span) {
+			defer func() { <-sem; wg.Done() }()
+			buf := ckptfmt.Shared.Get(int(sp.end - sp.start))
+			var cached, fetched int64
+			var n int
+			var rerr error
+			if tr, ok := pf.(TieredReader); ok {
+				n, cached, fetched, rerr = tr.ReadAtTier(buf, sp.start)
+			} else {
+				n, rerr = pf.ReadAt(buf, sp.start)
+				fetched = int64(n)
+			}
+			if rerr == nil && n < len(buf) {
+				rerr = io.ErrUnexpectedEOF
+			}
+			if rerr != nil {
+				ckptfmt.Shared.Put(buf)
+				mu.Lock()
+				if firstErr == nil {
+					if errors.Is(rerr, os.ErrNotExist) {
+						firstErr = fmt.Errorf("%w: shard %s: %v", ErrStalePack, obj, rerr)
+					} else {
+						firstErr = fmt.Errorf("store: shard %s: remote read span [%d,%d): %w", obj, sp.start, sp.end, rerr)
+					}
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			bufs = append(bufs, buf)
+			mu.Unlock()
+			var encB int64
+			for _, ji := range sp.members {
+				loc := jobs[ji].loc
+				jobs[ji].enc = buf[loc.Off-sp.start : loc.Off-sp.start+int64(loc.EncLen)]
+				encB += int64(loc.EncLen)
+			}
+			// Attribute the span's encoded frame bytes (not the raw span
+			// bytes, which include coalescing gaps) across the two tiers in
+			// proportion to where the backend got the span from, so per-tier
+			// byte sums still reproduce the restore's encoded volume.
+			frames := int64(len(sp.members))
+			switch {
+			case fetched == 0:
+				p.countFetch(tierCacheTier, encB, frames, fs)
+			case cached == 0:
+				p.countFetch(tierRemote, encB, frames, fs)
+			default:
+				cb := encB * cached / (cached + fetched)
+				cf := frames * cached / (cached + fetched)
+				if cb > 0 || cf > 0 {
+					p.countFetch(tierCacheTier, cb, cf, fs)
+				}
+				p.countFetch(tierRemote, encB-cb, frames-cf, fs)
+			}
+		}(sp)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		release()
+		return nil, firstErr
+	}
 	return release, nil
 }
 

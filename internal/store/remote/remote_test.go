@@ -1,0 +1,447 @@
+package remote_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"flor.dev/flor/internal/store"
+	"flor.dev/flor/internal/store/cachetier"
+	"flor.dev/flor/internal/store/remote"
+)
+
+// stores returns the bundled ObjectStore implementations under test.
+func stores(t *testing.T) map[string]remote.ObjectStore {
+	t.Helper()
+	fs, err := remote.NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]remote.ObjectStore{"fs": fs, "mem": remote.NewMemStore()}
+}
+
+// TestRemoteObjectStoreConformance pins the object-API contract both bundled
+// implementations must share: typed absence, exact ranged reads, atomic
+// replacement, sorted listing, idempotent deletes.
+func TestRemoteObjectStoreConformance(t *testing.T) {
+	for name, st := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			// Absence is ErrNotFound, which must also read as os.ErrNotExist
+			// (the store's stale-pack probe).
+			if _, err := st.Get("a/missing"); !errors.Is(err, remote.ErrNotFound) || !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("get missing: %v, want ErrNotFound wrapping os.ErrNotExist", err)
+			}
+			if _, err := st.Size("a/missing"); !errors.Is(err, remote.ErrNotFound) {
+				t.Fatalf("size missing: %v, want ErrNotFound", err)
+			}
+
+			data := []byte("0123456789abcdef")
+			if err := st.Put("a/obj", data); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := st.Size("a/obj"); err != nil || n != int64(len(data)) {
+				t.Fatalf("size = %d, %v", n, err)
+			}
+			if got, err := st.Get("a/obj"); err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("get = %q, %v", got, err)
+			}
+			if got, err := st.GetRange("a/obj", 4, 6); err != nil || string(got) != "456789" {
+				t.Fatalf("range = %q, %v", got, err)
+			}
+			if _, err := st.GetRange("a/obj", 10, 10); err == nil {
+				t.Fatal("range beyond end should error")
+			}
+
+			// Put replaces wholesale.
+			if err := st.Put("a/obj", []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := st.Get("a/obj"); string(got) != "new" {
+				t.Fatalf("after replace: %q", got)
+			}
+
+			// List is prefix-filtered and sorted.
+			for _, k := range []string{"a/z", "a/b/c", "b/other"} {
+				if err := st.Put(k, []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			keys, err := st.List("a/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"a/b/c", "a/obj", "a/z"}
+			if fmt.Sprint(keys) != fmt.Sprint(want) {
+				t.Fatalf("list = %v, want %v", keys, want)
+			}
+
+			// Delete is idempotent.
+			if err := st.Delete("a/obj"); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Delete("a/obj"); err != nil {
+				t.Fatalf("second delete: %v", err)
+			}
+			if _, err := st.Get("a/obj"); !errors.Is(err, remote.ErrNotFound) {
+				t.Fatalf("get after delete: %v", err)
+			}
+		})
+	}
+}
+
+// flakyStore fails each operation a fixed number of times before succeeding.
+type flakyStore struct {
+	remote.ObjectStore
+	mu       sync.Mutex
+	failures int
+	calls    int
+}
+
+func (f *flakyStore) trip() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.failures > 0 {
+		f.failures--
+		return errors.New("transient")
+	}
+	return nil
+}
+
+func (f *flakyStore) Get(key string) ([]byte, error) {
+	if err := f.trip(); err != nil {
+		return nil, err
+	}
+	return f.ObjectStore.Get(key)
+}
+
+func (f *flakyStore) GetRange(key string, off, n int64) ([]byte, error) {
+	if err := f.trip(); err != nil {
+		return nil, err
+	}
+	return f.ObjectStore.GetRange(key, off, n)
+}
+
+func (f *flakyStore) Put(key string, data []byte) error {
+	if err := f.trip(); err != nil {
+		return err
+	}
+	return f.ObjectStore.Put(key, data)
+}
+
+// TestRemoteRetryRecoversTransientFaults pins the wrapper's contract: bounded
+// retries absorb transient errors, absence short-circuits, exhaustion and
+// timeouts surface as typed errors.
+func TestRemoteRetryRecoversTransientFaults(t *testing.T) {
+	mem := remote.NewMemStore()
+	if err := mem.Put("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	fast := remote.Policy{Attempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond, Timeout: time.Second}
+
+	t.Run("recovers", func(t *testing.T) {
+		fl := &flakyStore{ObjectStore: mem, failures: 3}
+		r := remote.Retry(fl, fast)
+		got, err := r.Get("k")
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("get = %q, %v", got, err)
+		}
+	})
+
+	t.Run("exhausts-typed", func(t *testing.T) {
+		fl := &flakyStore{ObjectStore: mem, failures: 1 << 30}
+		r := remote.Retry(fl, fast)
+		_, err := r.Get("k")
+		if !errors.Is(err, remote.ErrExhausted) {
+			t.Fatalf("err = %v, want ErrExhausted", err)
+		}
+	})
+
+	t.Run("notfound-not-retried", func(t *testing.T) {
+		fl := &flakyStore{ObjectStore: mem}
+		r := remote.Retry(fl, fast)
+		if _, err := r.Get("absent"); !errors.Is(err, remote.ErrNotFound) {
+			t.Fatalf("err = %v, want ErrNotFound", err)
+		}
+		if fl.calls != 1 {
+			t.Fatalf("absence was retried: %d calls", fl.calls)
+		}
+	})
+
+	t.Run("short-range-retried", func(t *testing.T) {
+		r := remote.Retry(&shortOnceStore{ObjectStore: mem}, fast)
+		got, err := r.GetRange("k", 0, 7)
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("range = %q, %v", got, err)
+		}
+	})
+
+	t.Run("timeout-typed-then-recovers", func(t *testing.T) {
+		slow := &slowOnceStore{ObjectStore: mem, delay: 200 * time.Millisecond}
+		r := remote.Retry(slow, remote.Policy{Attempts: 2, BaseDelay: time.Microsecond, Timeout: 20 * time.Millisecond})
+		got, err := r.Get("k")
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("get after timeout = %q, %v", got, err)
+		}
+		one := &slowOnceStore{ObjectStore: mem, delay: 200 * time.Millisecond, always: true}
+		r = remote.Retry(one, remote.Policy{Attempts: 2, BaseDelay: time.Microsecond, Timeout: 20 * time.Millisecond})
+		_, err = r.Get("k")
+		if !errors.Is(err, remote.ErrExhausted) || !errors.Is(err, remote.ErrTimeout) {
+			t.Fatalf("err = %v, want ErrExhausted wrapping ErrTimeout", err)
+		}
+	})
+}
+
+// shortOnceStore truncates the first ranged read.
+type shortOnceStore struct {
+	remote.ObjectStore
+	mu   sync.Mutex
+	done bool
+}
+
+func (s *shortOnceStore) GetRange(key string, off, n int64) ([]byte, error) {
+	data, err := s.ObjectStore.GetRange(key, off, n)
+	s.mu.Lock()
+	first := !s.done
+	s.done = true
+	s.mu.Unlock()
+	if err == nil && first && len(data) > 1 {
+		return data[:len(data)-1], nil
+	}
+	return data, err
+}
+
+// slowOnceStore delays the first (or every) Get past the caller's timeout.
+type slowOnceStore struct {
+	remote.ObjectStore
+	delay  time.Duration
+	always bool
+	mu     sync.Mutex
+	done   bool
+}
+
+func (s *slowOnceStore) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	first := !s.done
+	s.done = true
+	s.mu.Unlock()
+	if first || s.always {
+		time.Sleep(s.delay)
+	}
+	return s.ObjectStore.Get(key)
+}
+
+// TestRemoteLeaseExclusion pins the writer-lease protocol: held leases
+// exclude, expiry allows takeover, renewal extends, release frees.
+func TestRemoteLeaseExclusion(t *testing.T) {
+	mem := remote.NewMemStore()
+	key := remote.LeaseKey("runs/imgn")
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+
+	a, err := remote.AcquireLease(mem, key, remote.LeaseConfig{Owner: "daemon-a", TTL: time.Minute, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.AcquireLease(mem, key, remote.LeaseConfig{Owner: "daemon-b", TTL: time.Minute, Now: clock}); !errors.Is(err, remote.ErrLeaseHeld) {
+		t.Fatalf("second acquire: %v, want ErrLeaseHeld", err)
+	}
+
+	// Renewal pushes expiry out; a renewed lease still excludes after the
+	// original TTL would have lapsed.
+	now = now.Add(50 * time.Second)
+	if err := a.Renew(); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	now = now.Add(30 * time.Second) // 80s after acquire, 30s after renew
+	if _, err := remote.AcquireLease(mem, key, remote.LeaseConfig{Owner: "daemon-b", TTL: time.Minute, Now: clock}); !errors.Is(err, remote.ErrLeaseHeld) {
+		t.Fatalf("acquire after renew: %v, want ErrLeaseHeld", err)
+	}
+
+	// A crashed holder's lease is taken over once the TTL passes.
+	now = now.Add(2 * time.Minute)
+	b, err := remote.AcquireLease(mem, key, remote.LeaseConfig{Owner: "daemon-b", TTL: time.Minute, Now: clock})
+	if err != nil {
+		t.Fatalf("takeover after expiry: %v", err)
+	}
+	// The dispossessed holder cannot renew, and its release leaves the new
+	// holder's record intact.
+	if err := a.Renew(); !errors.Is(err, remote.ErrLeaseHeld) {
+		t.Fatalf("stale renew: %v, want ErrLeaseHeld", err)
+	}
+	if err := a.Release(); err != nil {
+		t.Fatalf("stale release: %v", err)
+	}
+	if err := b.Renew(); err != nil {
+		t.Fatalf("new holder renew after stale release: %v", err)
+	}
+
+	// Release frees the lease for the next writer.
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.AcquireLease(mem, key, remote.LeaseConfig{Owner: "daemon-c", TTL: time.Minute, Now: clock}); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+// TestRemoteBackendStoreRoundTrip runs a checkpoint store end to end over the
+// object backend: writes land as remote objects, reads come back
+// byte-identical through ranged GETs, and the fetch accounting attributes
+// every byte to the remote/cache-tier pair.
+func TestRemoteBackendStoreRoundTrip(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		t.Run(name, func(t *testing.T) {
+			mem := remote.NewMemStore()
+			var cache *cachetier.Cache
+			if cached {
+				var err error
+				if cache, err = cachetier.NewWithBlockSize("", 8<<20, 4<<10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			backend := remote.NewObjectBackend(mem, "packs", cache)
+			dir := t.TempDir()
+			s, err := store.OpenWith(dir, store.Options{Backend: backend, ShardFanout: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[int][]byte{}
+			for i := 0; i < 6; i++ {
+				data := testRemotePayload(96<<10, uint64(i))
+				want[i] = data
+				key := store.Key{LoopID: "train", Exec: i}
+				if _, err := s.PutSections(key, []store.Section{{Name: "w", Data: data}}, 0, 0, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Pack objects actually live remotely.
+			if keys, _ := mem.List("packs/"); len(keys) == 0 {
+				t.Fatal("no pack objects in the object store")
+			}
+
+			// A fresh read-only open restores byte-identically, attributing
+			// every encoded byte to the remote-shaped tiers.
+			ro, err := store.OpenWith(dir, store.Options{ReadOnly: true, Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fs store.FetchStats
+			for i, data := range want {
+				secs, ok, err := ro.GetSectionsObserved(store.Key{LoopID: "train", Exec: i}, nil, &fs)
+				if err != nil || !ok {
+					t.Fatalf("exec %d: ok=%v err=%v", i, ok, err)
+				}
+				if !bytes.Equal(secs[0].Data, data) {
+					t.Fatalf("exec %d: payload mismatch", i)
+				}
+			}
+			snap := fs.Snapshot()
+			if snap.MmapBytes+snap.ScatterBytes+snap.RangedBytes != 0 {
+				t.Fatalf("remote store used local fetch tiers: %+v", snap)
+			}
+			if snap.RemoteBytes+snap.CacheTierBytes == 0 {
+				t.Fatalf("no remote-tier attribution: %+v", snap)
+			}
+			if cached {
+				// Everything the first pass fetched is resident; a second
+				// pass must be nearly all cache-tier.
+				var warm store.FetchStats
+				for i, data := range want {
+					secs, ok, err := ro.GetSectionsObserved(store.Key{LoopID: "train", Exec: i}, nil, &warm)
+					if err != nil || !ok || !bytes.Equal(secs[0].Data, data) {
+						t.Fatalf("warm exec %d: ok=%v err=%v", i, ok, err)
+					}
+				}
+				ws := warm.Snapshot()
+				total := ws.RemoteBytes + ws.CacheTierBytes
+				if total == 0 || ws.CacheTierBytes*10 < total*9 {
+					t.Fatalf("warm pass served %d of %d bytes from the cache tier, want >= 90%%", ws.CacheTierBytes, total)
+				}
+			} else if snap.CacheTierBytes != 0 {
+				t.Fatalf("uncached backend attributed cache-tier bytes: %+v", snap)
+			}
+		})
+	}
+}
+
+// TestRemoteUploadRestoreCycle uploads a locally recorded store and serves it
+// back statelessly: control plane fetched to a fresh directory, packs read
+// through the object backend, all checkpoints byte-identical. Uploads are
+// idempotent.
+func TestRemoteUploadRestoreCycle(t *testing.T) {
+	// Record locally (plain DirBackend layout, sharded).
+	src := t.TempDir()
+	s, err := store.OpenWith(src, store.Options{ShardFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]byte{}
+	for i := 0; i < 5; i++ {
+		data := testRemotePayload(64<<10, uint64(100+i))
+		want[i] = data
+		if _, err := s.PutSections(store.Key{LoopID: "train", Exec: i}, []store.Section{{Name: "w", Data: data}}, 0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mem := remote.NewMemStore()
+	n, err := remote.UploadRun(mem, src, "runs/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing uploaded")
+	}
+	// Idempotent: a second pass moves nothing.
+	if n2, err := remote.UploadRun(mem, src, "runs/r1"); err != nil || n2 != 0 {
+		t.Fatalf("re-upload moved %d objects, err=%v; want 0, nil", n2, err)
+	}
+
+	// Stateless restore on a "different machine": fresh control-plane dir,
+	// packs via ranged GETs through a cache tier.
+	ctl := t.TempDir() + "/ctl"
+	if _, err := remote.FetchControlPlane(mem, "runs/r1", ctl); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := cachetier.NewWithBlockSize("", 8<<20, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := remote.NewObjectBackend(mem, remote.PacksPrefix("runs/r1"), cache)
+	ro, err := store.OpenWith(ctl, store.Options{ReadOnly: true, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range want {
+		secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: i}, nil)
+		if err != nil || !ok || !bytes.Equal(secs[0].Data, data) {
+			t.Fatalf("remote restore exec %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if cache.Stats().MissBytes == 0 {
+		t.Fatal("restore never touched the cache tier")
+	}
+}
+
+// testRemotePayload builds a deterministic mixed payload: compressible runs
+// with a seeded stride of unique bytes, so packs have realistic frame mixes.
+func testRemotePayload(n int, seed uint64) []byte {
+	p := make([]byte, n)
+	x := seed*2862933555777941757 + 3037000493
+	for i := range p {
+		if i%7 == 0 {
+			x = x*2862933555777941757 + 3037000493
+			p[i] = byte(x >> 56)
+		}
+	}
+	return p
+}

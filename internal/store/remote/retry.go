@@ -1,0 +1,163 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed failure modes of the retrying wrapper. Callers branch on these with
+// errors.Is: ErrExhausted means every attempt failed (the last attempt's
+// error is wrapped too), ErrTimeout marks an individual attempt that
+// overran its deadline.
+var (
+	ErrExhausted = errors.New("remote: retries exhausted")
+	ErrTimeout   = errors.New("remote: attempt timed out")
+)
+
+// Policy bounds the retrying wrapper. Zero fields take defaults.
+type Policy struct {
+	// Attempts is the total number of tries per call (default 4).
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt up to MaxDelay (defaults 5ms / 250ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Timeout is the per-attempt deadline (default 30s). An attempt that
+	// overruns it is abandoned — its goroutine finishes in the background
+	// and its result is discarded — and the call retries.
+	Timeout time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 30 * time.Second
+	}
+	return p
+}
+
+// Retry wraps inner so every call gets bounded attempts, per-attempt
+// timeouts, and exponential backoff. ErrNotFound is returned immediately
+// (absence is an answer, not a fault); any other error — including a
+// per-attempt timeout — is treated as transient and retried. When the
+// attempt budget runs out the final error wraps both ErrExhausted and the
+// last underlying error, so typed checks on either still work.
+func Retry(inner ObjectStore, p Policy) ObjectStore {
+	return &retrying{inner: inner, p: p.withDefaults()}
+}
+
+type retrying struct {
+	inner ObjectStore
+	p     Policy
+}
+
+// do runs f with the policy's attempt budget. f must be self-contained: on
+// timeout the attempt's goroutine is abandoned, so each attempt owns its
+// result values and hands them back only through the returned channel.
+func (r *retrying) do(op, key string, f func() (any, error)) (any, error) {
+	var last error
+	delay := r.p.BaseDelay
+	for a := 0; a < r.p.Attempts; a++ {
+		if a > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > r.p.MaxDelay {
+				delay = r.p.MaxDelay
+			}
+		}
+		v, err := r.attempt(f)
+		if err == nil {
+			return v, nil
+		}
+		if errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("%w: %s %s after %d attempts: %w", ErrExhausted, op, key, r.p.Attempts, last)
+}
+
+func (r *retrying) attempt(f func() (any, error)) (any, error) {
+	type result struct {
+		v   any
+		err error
+	}
+	done := make(chan result, 1) // buffered: an abandoned attempt never blocks
+	go func() {
+		v, err := f()
+		done <- result{v, err}
+	}()
+	t := time.NewTimer(r.p.Timeout)
+	defer t.Stop()
+	select {
+	case res := <-done:
+		return res.v, res.err
+	case <-t.C:
+		return nil, fmt.Errorf("%w after %v", ErrTimeout, r.p.Timeout)
+	}
+}
+
+// Size implements ObjectStore.
+func (r *retrying) Size(key string) (int64, error) {
+	v, err := r.do("size", key, func() (any, error) { return r.inner.Size(key) })
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// Get implements ObjectStore.
+func (r *retrying) Get(key string) ([]byte, error) {
+	v, err := r.do("get", key, func() (any, error) { return r.inner.Get(key) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// GetRange implements ObjectStore. A short response is treated as transient
+// (a torn read) and retried, so callers always see exactly n bytes or an
+// error.
+func (r *retrying) GetRange(key string, off, n int64) ([]byte, error) {
+	v, err := r.do("get-range", key, func() (any, error) {
+		data, err := r.inner.GetRange(key, off, n)
+		if err == nil && int64(len(data)) != n {
+			return nil, fmt.Errorf("remote: short range read of %s: %d of %d bytes", key, len(data), n)
+		}
+		return data, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// Put implements ObjectStore.
+func (r *retrying) Put(key string, data []byte) error {
+	_, err := r.do("put", key, func() (any, error) { return nil, r.inner.Put(key, data) })
+	return err
+}
+
+// List implements ObjectStore.
+func (r *retrying) List(prefix string) ([]string, error) {
+	v, err := r.do("list", prefix, func() (any, error) { return r.inner.List(prefix) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]string), nil
+}
+
+// Delete implements ObjectStore.
+func (r *retrying) Delete(key string) error {
+	_, err := r.do("delete", key, func() (any, error) { return nil, r.inner.Delete(key) })
+	return err
+}

@@ -10,7 +10,11 @@ import (
 
 	flor "flor.dev/flor"
 	"flor.dev/flor/internal/core"
+	"flor.dev/flor/internal/obs"
+	"flor.dev/flor/internal/replay"
 	"flor.dev/flor/internal/store"
+	"flor.dev/flor/internal/store/cachetier"
+	"flor.dev/flor/internal/store/remote"
 	"flor.dev/flor/internal/tensor"
 	"flor.dev/flor/internal/xrand"
 )
@@ -241,6 +245,79 @@ func TestUnknownFormatMarkersRefuseCleanly(t *testing.T) {
 		if res, err := flor.Replay(dir, factory); err != nil || len(res.Anomalies) != 0 {
 			t.Fatalf("marker %q: replay after restore: %v anomalies=%v", marker, err, res)
 		}
+	}
+}
+
+// TestMigrationRemoteTwinByteIdentical is the local run's remote twin: the
+// same recording uploaded to an object store and replayed statelessly —
+// control plane fetched to a fresh directory, pack bytes arriving as ranged
+// GETs through the chunk-cache tier — must produce byte-identical logs to
+// the local replay. The cold pass (empty cache) and warm pass (populated
+// cache) must agree with each other too, and the fetch-tier accounting must
+// show the warm pass serving at least 90% of its pack bytes from the cache
+// tier.
+func TestMigrationRemoteTwinByteIdentical(t *testing.T) {
+	factory := compressibleFactory(5, 2)
+	dir := t.TempDir()
+	if _, err := flor.Record(dir, factory, flor.DisableAdaptiveCheckpointing(), flor.Shards(8)); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	local, err := flor.Replay(dir, factory, flor.Workers(2))
+	if err != nil {
+		t.Fatalf("local replay: %v", err)
+	}
+	if len(local.Anomalies) != 0 {
+		t.Fatalf("local anomalies %v", local.Anomalies)
+	}
+
+	// Upload, then restore on a "different machine": only the control plane
+	// is fetched locally; every pack byte travels a ranged GET.
+	mem := remote.NewMemStore()
+	if n, err := remote.UploadRun(mem, dir, "runs/twin"); err != nil || n == 0 {
+		t.Fatalf("upload: n=%d err=%v", n, err)
+	}
+	ctl := filepath.Join(t.TempDir(), "ctl")
+	if _, err := remote.FetchControlPlane(mem, "runs/twin", ctl); err != nil {
+		t.Fatalf("fetch control plane: %v", err)
+	}
+	cache, err := cachetier.NewWithBlockSize("", 32<<20, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func() (*replay.Recording, error) {
+		backend := remote.NewObjectBackend(mem, remote.PacksPrefix("runs/twin"), cache)
+		return core.LoadRecordingWith(ctl, store.Options{ReadOnly: true, Backend: backend})
+	}
+	run := func(label string) store.FetchSnapshot {
+		rec, err := open()
+		if err != nil {
+			t.Fatalf("%s: open remote recording: %v", label, err)
+		}
+		res, err := replay.Replay(rec, factory, replay.Options{Workers: 2, Trace: obs.NewTrace()})
+		if err != nil {
+			t.Fatalf("%s: remote replay: %v", label, err)
+		}
+		if len(res.Anomalies) != 0 {
+			t.Fatalf("%s: anomalies %v", label, res.Anomalies)
+		}
+		if err := sameLogs(local.Logs, res.Logs); err != nil {
+			t.Fatalf("%s: remote logs diverge from local: %v", label, err)
+		}
+		var fetch store.FetchSnapshot
+		for _, w := range res.Workers {
+			fetch = fetch.Add(w.Fetch)
+		}
+		return fetch
+	}
+
+	cold := run("cold")
+	if cold.RemoteBytes == 0 {
+		t.Fatalf("cold replay fetched nothing remotely: %+v", cold)
+	}
+	warm := run("warm")
+	total := warm.RemoteBytes + warm.CacheTierBytes
+	if total == 0 || warm.CacheTierBytes*10 < total*9 {
+		t.Fatalf("warm replay served %d of %d pack bytes from the cache tier, want >= 90%%", warm.CacheTierBytes, total)
 	}
 }
 
