@@ -140,10 +140,14 @@ func TestTopFleetTable(t *testing.T) {
 				OldestQueryAgeSeconds: 2.5,
 				Cost: serve.QueryCost{
 					RestoredBytes: 3 << 20,
-					Fetch:         store.FetchSnapshot{ScatterBytes: 1 << 20, CacheBytes: 1 << 20},
+					Fetch: store.FetchSnapshot{
+						ScatterBytes: 1 << 20, CacheBytes: 1 << 20,
+						SingleflightBytes: 512 << 10,
+					},
 				},
 			},
 		},
+		Prefetch: &store.PrefetchSnapshot{IssuedBytes: 4 << 20, UsedBytes: 3 << 20},
 	}
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/v1/stats" {
@@ -163,7 +167,9 @@ func TestTopFleetTable(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("top rendered %d lines, want header + 1 row:\n%s", len(lines), text)
 	}
-	for _, want := range []string{"alpha", "2.5s", "3.0MiB", "50%", "RESTORED", "OLDEST"} {
+	// Cache share: 1MiB of the 2.5MiB tier-attributed total (scatter + cache
+	// + singleflight) = 40%. Prefetch hit share: 3MiB used of 4MiB issued.
+	for _, want := range []string{"alpha", "2.5s", "3.0MiB", "40%", "512.0KiB", "75%", "RESTORED", "OLDEST", "SFLIGHT", "PF%"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("top output missing %q:\n%s", want, text)
 		}

@@ -20,6 +20,10 @@ const (
 	MStoreSpoolArtifactBytes = "flor_store_spool_artifact_bytes"
 	MStoreFetchBytes         = "flor_store_fetch_bytes_total"
 	MStoreFetchFrames        = "flor_store_fetch_frames_total"
+	MStorePrefetchIssued     = "flor_store_prefetch_issued_bytes_total"
+	MStorePrefetchUsed       = "flor_store_prefetch_used_bytes_total"
+	MStorePrefetchWasted     = "flor_store_prefetch_wasted_bytes_total"
+	MStorePrefetchCancelled  = "flor_store_prefetch_cancelled_bytes_total"
 	MStoreGCPasses           = "flor_store_gc_passes_total"
 	MStoreGCMarkedChunks     = "flor_store_gc_marked_chunks_total"
 	MStoreGCDeadChunks       = "flor_store_gc_dead_chunks_total"
@@ -30,11 +34,12 @@ const (
 
 // Remote chunk-cache tier metric names (internal/store/cachetier).
 const (
-	MCacheTierHitBytes  = "flor_cachetier_hit_bytes_total"
-	MCacheTierMissBytes = "flor_cachetier_miss_bytes_total"
-	MCacheTierEvictions = "flor_cachetier_evictions_total"
-	MCacheTierBytes     = "flor_cachetier_bytes"
-	MCacheTierEntries   = "flor_cachetier_entries"
+	MCacheTierHitBytes          = "flor_cachetier_hit_bytes_total"
+	MCacheTierMissBytes         = "flor_cachetier_miss_bytes_total"
+	MCacheTierSingleflightBytes = "flor_cachetier_singleflight_bytes_total"
+	MCacheTierEvictions         = "flor_cachetier_evictions_total"
+	MCacheTierBytes             = "flor_cachetier_bytes"
+	MCacheTierEntries           = "flor_cachetier_entries"
 )
 
 // Scheduler metric names (internal/sched).
@@ -133,8 +138,12 @@ var Catalog = []Def{
 	{MStoreSpoolPasses, KindCounter, nil, "Spool passes (segment + dirty-shard pack compression)."},
 	{MStoreSpoolSeconds, KindHistogram, nil, "Spool pass latency."},
 	{MStoreSpoolArtifactBytes, KindGauge, nil, "Compressed size of the spool artifacts after the last pass."},
-	{MStoreFetchBytes, KindCounter, []string{"tier"}, "Encoded pack bytes served to restores, by fetch tier (mmap|scatter|ranged|cache|remote|cache-tier; cache counts logical bytes skipped via payload-cache hits)."},
-	{MStoreFetchFrames, KindCounter, []string{"tier"}, "Chunk frames served to restores, by fetch tier (mmap|scatter|ranged|cache|remote|cache-tier)."},
+	{MStoreFetchBytes, KindCounter, []string{"tier"}, "Encoded pack bytes served to restores, by fetch tier (mmap|scatter|ranged|cache|remote|cache-tier|singleflight; cache counts logical bytes skipped via payload-cache hits)."},
+	{MStoreFetchFrames, KindCounter, []string{"tier"}, "Chunk frames served to restores, by fetch tier (mmap|scatter|ranged|cache|remote|cache-tier|singleflight)."},
+	{MStorePrefetchIssued, KindCounter, nil, "Encoded pack bytes the speculative prefetcher pulled toward the cache tier ahead of the decode front."},
+	{MStorePrefetchUsed, KindCounter, nil, "Prefetched bytes a restore later consumed (the speculation paid off)."},
+	{MStorePrefetchWasted, KindCounter, nil, "Prefetched bytes never consumed by a restore before the prefetcher shut down."},
+	{MStorePrefetchCancelled, KindCounter, nil, "Prefetch-hint bytes dropped before fetching because a lease steal or shutdown invalidated the plan."},
 	{MStoreGCPasses, KindCounter, nil, "Chunk-reclaiming GC passes."},
 	{MStoreGCMarkedChunks, KindCounter, nil, "Chunks marked live during GC mark phases."},
 	{MStoreGCDeadChunks, KindCounter, nil, "Superseded chunks compacted out of pack shards."},
@@ -144,6 +153,7 @@ var Catalog = []Def{
 	// cache tier (remote-backed stores)
 	{MCacheTierHitBytes, KindCounter, nil, "Requested bytes the remote chunk-cache tier served locally."},
 	{MCacheTierMissBytes, KindCounter, nil, "Requested bytes the remote chunk-cache tier fetched from the object store."},
+	{MCacheTierSingleflightBytes, KindCounter, nil, "Requested bytes served by waiting on another reader's in-flight fetch of the same block (deduped GETs)."},
 	{MCacheTierEvictions, KindCounter, nil, "Blocks evicted from the remote chunk-cache tier to stay within budget."},
 	{MCacheTierBytes, KindGauge, nil, "Block bytes currently resident in the remote chunk-cache tier."},
 	{MCacheTierEntries, KindGauge, nil, "Blocks currently resident in the remote chunk-cache tier."},

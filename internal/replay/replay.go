@@ -99,6 +99,14 @@ type Options struct {
 	// work, and a closing per-worker summary carrying restore-vs-step time).
 	// Nil disables tracing at zero cost.
 	Trace *obs.Trace
+	// Prefetch, when positive, enables plan-driven speculative readahead on
+	// remote-backed stores: each worker hints the checkpoint keys of up to
+	// Prefetch main-loop iterations ahead of its restore front, background
+	// warm workers pull their chunk spans into the cache tier while the
+	// worker initializes and executes, and lease steals cancel speculation
+	// the victim no longer owns. Zero disables prefetching; stores whose
+	// reads are local ignore it (warming a local store buys nothing).
+	Prefetch int
 }
 
 // Recording is the artifact a record run leaves behind: the checkpoint
@@ -182,7 +190,8 @@ type WorkerReport struct {
 	RestoredBytes int64 // logical checkpoint bytes loaded by this worker
 	Executed      int
 	// Fetch attributes the worker's restored bytes to store fetch tiers
-	// (mmap/scatter/ranged/cache). Zero unless the replay was traced.
+	// (mmap/scatter/ranged/cache/remote/cache-tier/singleflight). Zero
+	// unless the replay was traced.
 	Fetch store.FetchSnapshot
 }
 
@@ -300,6 +309,14 @@ func Replay(rec *Recording, factory func() *script.Program, opts Options) (*Resu
 	if env.ctx == nil {
 		env.ctx = context.Background()
 	}
+	if opts.Prefetch > 0 {
+		// NewPrefetcher returns nil for local stores, and a nil prefetcher
+		// no-ops everywhere, so the local path stays exactly as before.
+		st := rec.schedStateFor(probeProgram)
+		env.ids, env.mult = st.ids, st.mult
+		env.prefetch = rec.Store.NewPrefetcher(0, opts.Trace)
+		defer env.prefetch.Close()
+	}
 
 	res := &Result{Probes: diff.Probes, NewLabels: diff.NewLabels, Scheduler: opts.Scheduler}
 	t0 := time.Now()
@@ -360,6 +377,76 @@ type replayEnv struct {
 	anchors []int
 	opts    Options
 	ctx     context.Context
+	// Plan-driven readahead state (nil/empty unless opts.Prefetch > 0 and
+	// the recording's store reads remotely): the instrumented loop set and
+	// multiplicities translate iteration plans into checkpoint keys for the
+	// shared prefetcher.
+	prefetch *store.Prefetcher
+	ids      []string
+	mult     map[string]int
+}
+
+// iterKeys returns the checkpoint keys the instrumented loops materialize
+// during main-loop iteration e — the unit of prefetch planning.
+func (env *replayEnv) iterKeys(e int) []store.Key {
+	var keys []store.Key
+	for _, id := range env.ids {
+		m := env.mult[id]
+		for x := e * m; x < (e+1)*m; x++ {
+			keys = append(keys, store.Key{LoopID: id, Exec: x})
+		}
+	}
+	return keys
+}
+
+// claimIter tells the prefetcher the restore front reached iteration e.
+func (env *replayEnv) claimIter(e int) {
+	if env.prefetch == nil {
+		return
+	}
+	for _, k := range env.iterKeys(e) {
+		env.prefetch.Claim(k)
+	}
+}
+
+// hintIters enqueues the given iterations' checkpoint keys for warming.
+// Re-hinting already-planned keys is free, so callers push their whole
+// current horizon every time it moves.
+func (env *replayEnv) hintIters(iters []int) {
+	if env.prefetch == nil || len(iters) == 0 {
+		return
+	}
+	var keys []store.Key
+	for _, e := range iters {
+		keys = append(keys, env.iterKeys(e)...)
+	}
+	env.prefetch.Hint(keys...)
+}
+
+// hintIterRange hints [start, end) — the static scheduler's fixed-window
+// equivalent of a stealing lease's horizon.
+func (env *replayEnv) hintIterRange(start, end int) {
+	if env.prefetch == nil || start >= end {
+		return
+	}
+	iters := make([]int, 0, end-start)
+	for e := start; e < end; e++ {
+		iters = append(iters, e)
+	}
+	env.hintIters(iters)
+}
+
+// cancelIters drops speculation for iterations the plan no longer owns
+// (the stolen span of a lease).
+func (env *replayEnv) cancelIters(start, end int) {
+	if env.prefetch == nil {
+		return
+	}
+	var keys []store.Key
+	for e := start; e < end; e++ {
+		keys = append(keys, env.iterKeys(e)...)
+	}
+	env.prefetch.Cancel(keys...)
 }
 
 // slotCost estimates one worker's total modeled cost (setup + init + work)
@@ -462,6 +549,14 @@ func replayStealing(env *replayEnv, n int, res *Result) ([]logSpan, error) {
 		}
 		return scale
 	})
+	if env.prefetch != nil {
+		// A successful steal invalidates the victim's speculation for the
+		// stolen span; the thief re-hints what it still wants when it plans
+		// its own horizon (Hint revives a cancelled-but-queued key).
+		x.SetOnSteal(func(victimEnd, stolenStart, stolenEnd int) {
+			env.cancelIters(stolenStart, stolenEnd)
+		})
+	}
 
 	res.Workers = make([]WorkerReport, g)
 	workerSpans := make([][]logSpan, g)
@@ -610,19 +705,20 @@ func (w *worker) finish() *WorkerReport {
 		w.tr.Add(obs.Span{Name: "worker", Worker: w.pid, StartNs: w.tr.Now(),
 			DurNs: w.report.SetupNs + w.report.InitNs + w.report.WorkNs,
 			Attrs: map[string]int64{
-				"setup_ns":         w.report.SetupNs,
-				"init_ns":          w.report.InitNs,
-				"work_ns":          w.report.WorkNs,
-				"restore_ns":       w.report.RestoreNs,
-				"restored":         int64(w.report.Restored),
-				"restored_bytes":   w.report.RestoredBytes,
-				"executed":         int64(w.report.Executed),
-				"mmap_bytes":       w.report.Fetch.MmapBytes,
-				"scatter_bytes":    w.report.Fetch.ScatterBytes,
-				"ranged_bytes":     w.report.Fetch.RangedBytes,
-				"cache_bytes":      w.report.Fetch.CacheBytes,
-				"remote_bytes":     w.report.Fetch.RemoteBytes,
-				"cache_tier_bytes": w.report.Fetch.CacheTierBytes,
+				"setup_ns":           w.report.SetupNs,
+				"init_ns":            w.report.InitNs,
+				"work_ns":            w.report.WorkNs,
+				"restore_ns":         w.report.RestoreNs,
+				"restored":           int64(w.report.Restored),
+				"restored_bytes":     w.report.RestoredBytes,
+				"executed":           int64(w.report.Executed),
+				"mmap_bytes":         w.report.Fetch.MmapBytes,
+				"scatter_bytes":      w.report.Fetch.ScatterBytes,
+				"ranged_bytes":       w.report.Fetch.RangedBytes,
+				"cache_bytes":        w.report.Fetch.CacheBytes,
+				"remote_bytes":       w.report.Fetch.RemoteBytes,
+				"cache_tier_bytes":   w.report.Fetch.CacheTierBytes,
+				"singleflight_bytes": w.report.Fetch.SingleflightBytes,
 			}})
 	}
 	return w.report
@@ -645,6 +741,13 @@ func runWorker(env *replayEnv, seg [2]int, pid int, last bool) (*WorkerReport, e
 		initFrom = sched.AnchorBefore(env.anchors, seg[0]-1)
 	}
 	w.report.InitFrom = initFrom
+	// Warm the segment's opening window while initialization replays toward
+	// it; static segments never shrink, so no cancellation path is needed.
+	hintEnd := seg[0] + env.opts.Prefetch
+	if hintEnd > seg[1] {
+		hintEnd = seg[1]
+	}
+	env.hintIterRange(seg[0], hintEnd)
 	if seg[0] > 0 {
 		if err := w.initTo(initFrom, seg[0]); err != nil {
 			return nil, err
@@ -658,6 +761,12 @@ func runWorker(env *replayEnv, seg [2]int, pid int, last bool) (*WorkerReport, e
 	lg := runlog.New()
 	w.ctx.Log = lg.Append
 	for e := seg[0]; e < seg[1]; e++ {
+		env.claimIter(e)
+		if next := e + 1 + env.opts.Prefetch; next <= seg[1] {
+			env.hintIterRange(e+1, next)
+		} else {
+			env.hintIterRange(e+1, seg[1])
+		}
 		if err := w.runIteration(e); err != nil {
 			return nil, err
 		}
@@ -710,6 +819,10 @@ func runStealingWorker(env *replayEnv, x *sched.Executor, pid, n int) (*WorkerRe
 			isStolen = true
 		}
 		start := lease.Start()
+		// Warm the lease's opening horizon while initialization replays
+		// toward it — the window where speculative fetch overlaps catch-up
+		// compute for free.
+		env.hintIters(lease.Horizon(env.opts.Prefetch))
 
 		// Initialization to the lease start. A lease adjacent to the
 		// worker's current position needs none; otherwise stolen leases
@@ -741,6 +854,10 @@ func runStealingWorker(env *replayEnv, x *sched.Executor, pid, n int) (*WorkerRe
 			if !ok {
 				break
 			}
+			// The restore front reached e: settle its hints as used, slide
+			// the speculation window to the lease's new horizon.
+			env.claimIter(e)
+			env.hintIters(lease.Horizon(env.opts.Prefetch))
 			it0 := time.Now()
 			if err := w.runIteration(e); err != nil {
 				return nil, nil, err

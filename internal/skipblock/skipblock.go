@@ -344,6 +344,7 @@ func (b *Block) restore(ctx *script.Ctx, key store.Key) error {
 				"cache_bytes": d.CacheBytes, "cache_frames": d.CacheFrames,
 				"remote_bytes": d.RemoteBytes, "remote_frames": d.RemoteFrames,
 				"cache_tier_bytes": d.CacheTierBytes, "cache_tier_frames": d.CacheTierFrames,
+				"singleflight_bytes": d.SingleflightBytes, "singleflight_frames": d.SingleflightFrames,
 			}})
 	}
 	if meta, ok := b.rt.st.Lookup(key); ok {

@@ -108,10 +108,23 @@ type TieredBackend interface {
 
 // TieredReader is an optional BackendReader capability: ReadAtTier is ReadAt
 // plus per-read tier attribution, reporting how many of the returned bytes
-// were served by a local cache tier versus fetched from the remote store.
-// Readers without the capability have their whole read attributed remote.
+// were served by a local cache tier, fetched from the remote store by this
+// read, or shared from another reader's concurrent in-flight fetch of the
+// same blocks (the singleflight tier). Readers without the capability have
+// their whole read attributed remote.
 type TieredReader interface {
-	ReadAtTier(p []byte, off int64) (n int, cached, fetched int64, err error)
+	ReadAtTier(p []byte, off int64) (n int, cached, fetched, shared int64, err error)
+}
+
+// WarmReader is an optional BackendReader capability for speculative
+// readahead: WarmAt makes the blocks covering [off, off+n) resident in the
+// reader's cache tier without materializing them into a caller buffer — the
+// whole point of warming is that nobody reads the bytes yet, so the copy a
+// ReadAt would pay is pure waste. It returns how many bytes it fetched
+// remotely (already-resident blocks cost nothing). The prefetcher falls back
+// to plain ReadAt into a scratch buffer when the capability is absent.
+type WarmReader interface {
+	WarmAt(off, n int64) (fetched int64, err error)
 }
 
 // BackendWriter is a streaming write handle on one backend object: Close

@@ -47,41 +47,56 @@ type entry struct {
 	prev, next *entry
 }
 
+// flight is one in-progress remote fetch of a block. Concurrent readers of
+// the same versioned key join the flight instead of issuing their own GET:
+// the leader fetches, everyone waits on done, and the waiters' bytes are
+// attributed to the singleflight tier.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
 // Cache is a size-bounded read-through block cache. Safe for concurrent use.
 type Cache struct {
 	dir       string // "" = memory-backed blocks
 	maxBytes  int64
 	blockSize int64
 
-	mu      sync.Mutex
-	entries map[blockKey]*entry
-	head    *entry // most recently used
-	tail    *entry // least recently used
-	bytes   int64
-	seq     int64 // disk-mode block file names
-	stats   Stats
+	mu        sync.Mutex
+	entries   map[blockKey]*entry
+	flights   map[blockKey]*flight // in-progress fetches, one leader per key
+	admitting map[blockKey]bool    // keys reserved by an in-progress admit
+	head      *entry               // most recently used
+	tail      *entry               // least recently used
+	bytes     int64
+	seq       int64 // disk-mode block file names
+	stats     Stats
 
-	mHitBytes  *obs.Counter
-	mMissBytes *obs.Counter
-	mEvictions *obs.Counter
-	mBytes     *obs.Gauge
-	mEntries   *obs.Gauge
+	mHitBytes          *obs.Counter
+	mMissBytes         *obs.Counter
+	mSingleflightBytes *obs.Counter
+	mEvictions         *obs.Counter
+	mBytes             *obs.Gauge
+	mEntries           *obs.Gauge
 }
 
 // Stats is a point-in-time snapshot of the cache's accounting. Hit and miss
 // byte counts attribute the byte ranges callers asked for (so they sum to
 // the bytes served), not whole blocks.
 type Stats struct {
-	Hits      int64 `json:"hits"`       // block lookups served locally
-	Misses    int64 `json:"misses"`     // block lookups that went remote
-	HitBytes  int64 `json:"hit_bytes"`  // requested bytes served locally
-	MissBytes int64 `json:"miss_bytes"` // requested bytes fetched remotely
-	Admitted  int64 `json:"admitted"`   // blocks admitted to the cache
-	Rejected  int64 `json:"rejected"`   // blocks denied admission (too large)
-	Evictions int64 `json:"evictions"`  // blocks evicted to make room
-	Bytes     int64 `json:"bytes"`      // resident block bytes
-	Entries   int64 `json:"entries"`    // resident blocks
-	MaxBytes  int64 `json:"max_bytes"`  // admission budget
+	Hits              int64 `json:"hits"`               // block lookups served locally
+	Misses            int64 `json:"misses"`             // block lookups that went remote
+	Singleflights     int64 `json:"singleflights"`      // block lookups that joined another reader's fetch
+	HitBytes          int64 `json:"hit_bytes"`          // requested bytes served locally
+	MissBytes         int64 `json:"miss_bytes"`         // requested bytes fetched remotely
+	SingleflightBytes int64 `json:"singleflight_bytes"` // requested bytes served by a shared in-flight fetch
+	Admitted          int64 `json:"admitted"`           // blocks admitted to the cache
+	Rejected          int64 `json:"rejected"`           // blocks denied admission (too large)
+	Evictions         int64 `json:"evictions"`          // blocks evicted to make room
+	Bytes             int64 `json:"bytes"`              // resident block bytes
+	Entries           int64 `json:"entries"`            // resident blocks
+	MaxBytes          int64 `json:"max_bytes"`          // admission budget
 }
 
 // New returns a cache bounded to maxBytes. With a non-empty dir, blocks are
@@ -110,15 +125,18 @@ func NewWithBlockSize(dir string, maxBytes, blockSize int64) (*Cache, error) {
 		}
 	}
 	return &Cache{
-		dir:        dir,
-		maxBytes:   maxBytes,
-		blockSize:  blockSize,
-		entries:    map[blockKey]*entry{},
-		mHitBytes:  obs.C(obs.MCacheTierHitBytes),
-		mMissBytes: obs.C(obs.MCacheTierMissBytes),
-		mEvictions: obs.C(obs.MCacheTierEvictions),
-		mBytes:     obs.G(obs.MCacheTierBytes),
-		mEntries:   obs.G(obs.MCacheTierEntries),
+		dir:                dir,
+		maxBytes:           maxBytes,
+		blockSize:          blockSize,
+		entries:            map[blockKey]*entry{},
+		flights:            map[blockKey]*flight{},
+		admitting:          map[blockKey]bool{},
+		mHitBytes:          obs.C(obs.MCacheTierHitBytes),
+		mMissBytes:         obs.C(obs.MCacheTierMissBytes),
+		mSingleflightBytes: obs.C(obs.MCacheTierSingleflightBytes),
+		mEvictions:         obs.C(obs.MCacheTierEvictions),
+		mBytes:             obs.G(obs.MCacheTierBytes),
+		mEntries:           obs.G(obs.MCacheTierEntries),
 	}, nil
 }
 
@@ -132,13 +150,17 @@ func (c *Cache) BlockSize() int64 { return c.blockSize }
 // committed length is size (the version key; off+len(p) must not exceed it).
 // Blocks already resident are copied out of the cache; missing blocks are
 // fetched with fetch(blockOff, blockLen) — which must return exactly
-// blockLen bytes of the object at blockOff — served to the caller, and
-// admitted to the cache when they fit the budget. It returns how many of the
-// requested bytes came from the cache versus the fetch (cached+fetched ==
-// len(p) on success).
-func (c *Cache) ReadThrough(obj string, size, off int64, p []byte, fetch func(off, n int64) ([]byte, error)) (cached, fetched int64, err error) {
+// blockLen bytes of the object at blockOff, in a freshly allocated slice the
+// cache may retain (every remote GET materializes a new buffer, so admission
+// adopts it instead of paying a second copy of every fetched byte) — served
+// to the caller, and admitted to the cache when they fit the budget. Concurrent readers of the
+// same missing block are deduped: one leader runs fetch, the rest wait on
+// its result. It returns how many of the requested bytes came from the
+// cache, from this caller's own fetches, and from fetches shared with
+// another in-flight reader (cached+fetched+shared == len(p) on success).
+func (c *Cache) ReadThrough(obj string, size, off int64, p []byte, fetch func(off, n int64) ([]byte, error)) (cached, fetched, shared int64, err error) {
 	if off < 0 || off+int64(len(p)) > size {
-		return 0, 0, fmt.Errorf("cachetier: read [%d,%d) of %s beyond object length %d", off, off+int64(len(p)), obj, size)
+		return 0, 0, 0, fmt.Errorf("cachetier: read [%d,%d) of %s beyond object length %d", off, off+int64(len(p)), obj, size)
 	}
 	for len(p) > 0 {
 		idx := off / c.blockSize
@@ -155,23 +177,110 @@ func (c *Cache) ReadThrough(obj string, size, off int64, p []byte, fetch func(of
 			c.note(&c.stats.Hits, &c.stats.HitBytes, n)
 			c.mHitBytes.Add(n)
 		} else {
-			block, ferr := fetch(bOff, bLen)
+			block, joined, ferr := c.fetchBlock(key, bOff, bLen, fetch)
 			if ferr != nil {
-				return cached, fetched, ferr
-			}
-			if int64(len(block)) != bLen {
-				return cached, fetched, fmt.Errorf("cachetier: fetch of %s [%d,%d) returned %d bytes", obj, bOff, bOff+bLen, len(block))
+				return cached, fetched, shared, ferr
 			}
 			copy(p[:n], block[within:within+n])
-			fetched += n
-			c.note(&c.stats.Misses, &c.stats.MissBytes, n)
-			c.mMissBytes.Add(n)
-			c.admit(key, block)
+			if joined {
+				shared += n
+				c.note(&c.stats.Singleflights, &c.stats.SingleflightBytes, n)
+				c.mSingleflightBytes.Add(n)
+			} else {
+				fetched += n
+				c.note(&c.stats.Misses, &c.stats.MissBytes, n)
+				c.mMissBytes.Add(n)
+			}
 		}
 		p = p[n:]
 		off += n
 	}
-	return cached, fetched, nil
+	return cached, fetched, shared, nil
+}
+
+// Warm makes every block covering [off, off+n) of obj resident without
+// copying anything to a caller buffer: resident blocks are left untouched
+// (not even their LRU position moves — speculation must not displace blocks
+// real reads are keeping alive), missing blocks are fetched and admitted
+// exactly as a read-through miss would, including joining another reader's
+// in-flight fetch. It returns the bytes fetched remotely on this call;
+// already-resident and flight-joined blocks cost nothing. Fetched bytes
+// count in the miss/singleflight accounting like any other tier fill.
+func (c *Cache) Warm(obj string, size, off, n int64, fetch func(off, n int64) ([]byte, error)) (fetched int64, err error) {
+	if off < 0 || off+n > size {
+		return 0, fmt.Errorf("cachetier: warm [%d,%d) of %s beyond object length %d", off, off+n, obj, size)
+	}
+	for idx := off / c.blockSize; idx*c.blockSize < off+n; idx++ {
+		bOff := idx * c.blockSize
+		bLen := min64(c.blockSize, size-bOff)
+		key := blockKey{obj: obj, ver: size, idx: idx}
+		c.mu.Lock()
+		_, resident := c.entries[key]
+		c.mu.Unlock()
+		if resident {
+			continue
+		}
+		_, joined, ferr := c.fetchBlock(key, bOff, bLen, fetch)
+		if ferr != nil {
+			return fetched, ferr
+		}
+		if joined {
+			c.note(&c.stats.Singleflights, &c.stats.SingleflightBytes, bLen)
+			c.mSingleflightBytes.Add(bLen)
+		} else {
+			fetched += bLen
+			c.note(&c.stats.Misses, &c.stats.MissBytes, bLen)
+			c.mMissBytes.Add(bLen)
+		}
+	}
+	return fetched, nil
+}
+
+// fetchBlock resolves a cache miss for one block. The first reader of a
+// missing key becomes the flight leader: it runs fetch, publishes the result
+// to every waiter, and admits the block. Later readers join the flight and
+// report joined=true. A waiter whose leader failed falls back to its own
+// fetch rather than inheriting the error — the leader may have hit a
+// transient fault the retry layer already burned its attempts on.
+func (c *Cache) fetchBlock(key blockKey, bOff, bLen int64, fetch func(off, n int64) ([]byte, error)) (block []byte, joined bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err == nil {
+			return f.data, true, nil
+		}
+	} else {
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+		block, err = c.runFetch(key, bOff, bLen, fetch)
+		f.data, f.err = block, err
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+		return block, false, err
+	}
+	// Leader failed; fetch independently (no flight: racing fallbacks are
+	// rare and re-registering here could strand waiters behind another
+	// failure chain).
+	block, err = c.runFetch(key, bOff, bLen, fetch)
+	return block, false, err
+}
+
+// runFetch performs the remote fetch for one block, validates its length,
+// and admits it on success.
+func (c *Cache) runFetch(key blockKey, bOff, bLen int64, fetch func(off, n int64) ([]byte, error)) ([]byte, error) {
+	block, err := fetch(bOff, bLen)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(block)) != bLen {
+		return nil, fmt.Errorf("cachetier: fetch of %s [%d,%d) returned %d bytes", key.obj, bOff, bOff+bLen, len(block))
+	}
+	c.admit(key, block)
+	return block, nil
 }
 
 // lookup returns the block's bytes on a hit, touching its LRU position. In
@@ -201,31 +310,27 @@ func (c *Cache) lookup(key blockKey) ([]byte, bool) {
 // admit inserts a fetched block, evicting least-recently-used blocks until
 // it fits. Blocks larger than the whole budget are rejected (read-through
 // still served them); a zero-or-negative budget rejects everything.
+//
+// Admission is idempotent per versioned key: the key and its budget are
+// reserved under the lock before the (out-of-lock) disk write, so a racing
+// admit of the same block — a prefetch warm and a read-through miss landing
+// together — bails out before writing anything and the budget never counts
+// the block twice, even transiently.
 func (c *Cache) admit(key blockKey, block []byte) {
 	n := int64(len(block))
+	// Memory mode adopts the fetched slice outright: fetch's contract is a
+	// freshly allocated buffer, and blocks are immutable once admitted, so
+	// copying here would only double the fetch path's per-byte CPU cost.
+	c.mu.Lock()
 	if n > c.maxBytes {
-		c.mu.Lock()
 		c.stats.Rejected++
 		c.mu.Unlock()
 		return
 	}
-	var path string
-	if c.dir != "" {
-		c.mu.Lock()
-		c.seq++
-		path = filepath.Join(c.dir, fmt.Sprintf("b-%d", c.seq))
+	if _, dup := c.entries[key]; dup || c.admitting[key] {
+		// Already resident, or a concurrent admit holds the reservation;
+		// either way this copy would only double-count the block.
 		c.mu.Unlock()
-		if err := os.WriteFile(path, block, 0o644); err != nil {
-			return // cache full disk etc.: stay a pass-through
-		}
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.entries[key]; dup {
-		// A concurrent fetch admitted the same block first; keep the winner.
-		if path != "" {
-			os.Remove(path)
-		}
 		return
 	}
 	for c.bytes+n > c.maxBytes && c.tail != nil {
@@ -233,18 +338,38 @@ func (c *Cache) admit(key blockKey, block []byte) {
 	}
 	if c.bytes+n > c.maxBytes {
 		c.stats.Rejected++
-		if path != "" {
-			os.Remove(path)
-		}
+		c.mu.Unlock()
+		return
+	}
+	c.bytes += n
+	if c.dir == "" {
+		e := &entry{key: key, size: n, data: block}
+		c.entries[key] = e
+		c.pushFront(e)
+		c.stats.Admitted++
+		c.mBytes.Set(c.bytes)
+		c.mEntries.Set(int64(len(c.entries)))
+		c.mu.Unlock()
+		return
+	}
+	c.admitting[key] = true
+	c.seq++
+	path := filepath.Join(c.dir, fmt.Sprintf("b-%d", c.seq))
+	c.mu.Unlock()
+
+	werr := os.WriteFile(path, block, 0o644)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.admitting, key)
+	if werr != nil {
+		// Cache disk full etc.: release the reservation, stay a pass-through.
+		c.bytes -= n
+		c.mBytes.Set(c.bytes)
 		return
 	}
 	e := &entry{key: key, size: n, path: path}
-	if c.dir == "" {
-		e.data = append([]byte(nil), block...)
-	}
 	c.entries[key] = e
 	c.pushFront(e)
-	c.bytes += n
 	c.stats.Admitted++
 	c.mBytes.Set(c.bytes)
 	c.mEntries.Set(int64(len(c.entries)))

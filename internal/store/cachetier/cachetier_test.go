@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"flor.dev/flor/internal/store/cachetier"
 )
@@ -64,13 +67,13 @@ func TestCacheTierPropertyQuick(t *testing.T) {
 					off := int64(rv>>1) % size
 					n := 1 + int64(rv>>3)%(size-off)
 					p := make([]byte, n)
-					cached, fetched, err := c.ReadThrough(fmt.Sprintf("obj-%d", oi), size, off, p, fetchers[oi])
+					cached, fetched, shared, err := c.ReadThrough(fmt.Sprintf("obj-%d", oi), size, off, p, fetchers[oi])
 					if err != nil {
 						t.Logf("read %d: %v", r, err)
 						return false
 					}
-					if cached+fetched != n {
-						t.Logf("read %d: cached %d + fetched %d != n %d", r, cached, fetched, n)
+					if cached+fetched+shared != n {
+						t.Logf("read %d: cached %d + fetched %d + shared %d != n %d", r, cached, fetched, shared, n)
 						return false
 					}
 					if !bytes.Equal(p, objs[oi][off:off+n]) {
@@ -100,13 +103,13 @@ func TestCacheTierHitServesRemoteBytes(t *testing.T) {
 	}
 	data, fetch, fetches := source(40<<10, 7)
 	p := make([]byte, 40<<10)
-	cached, fetched, err := c.ReadThrough("o", int64(len(data)), 0, p, fetch)
+	cached, fetched, _, err := c.ReadThrough("o", int64(len(data)), 0, p, fetch)
 	if err != nil || cached != 0 || fetched != int64(len(p)) {
 		t.Fatalf("cold: cached=%d fetched=%d err=%v", cached, fetched, err)
 	}
 	before := *fetches
 	q := make([]byte, 40<<10)
-	cached, fetched, err = c.ReadThrough("o", int64(len(data)), 0, q, fetch)
+	cached, fetched, _, err = c.ReadThrough("o", int64(len(data)), 0, q, fetch)
 	if err != nil || fetched != 0 || cached != int64(len(q)) {
 		t.Fatalf("warm: cached=%d fetched=%d err=%v", cached, fetched, err)
 	}
@@ -139,7 +142,7 @@ func TestCacheTierAdmissionEviction(t *testing.T) {
 	}
 	data, fetch, _ := source(4<<10, 1)
 	p := make([]byte, len(data))
-	if _, _, err := big.ReadThrough("o", int64(len(data)), 0, p, fetch); err != nil {
+	if _, _, _, err := big.ReadThrough("o", int64(len(data)), 0, p, fetch); err != nil {
 		t.Fatal(err)
 	}
 	if st := big.Stats(); st.Rejected == 0 || st.Bytes != 0 {
@@ -150,7 +153,7 @@ func TestCacheTierAdmissionEviction(t *testing.T) {
 	data, fetch, _ = source(3*block, 2)
 	for i := int64(0); i < 3; i++ {
 		p := make([]byte, block)
-		if _, _, err := c.ReadThrough("o", int64(len(data)), i*block, p, fetch); err != nil {
+		if _, _, _, err := c.ReadThrough("o", int64(len(data)), i*block, p, fetch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -179,13 +182,13 @@ func TestCacheTierVersioning(t *testing.T) {
 	}
 	v1, fetch1, _ := source(8<<10, 3)
 	p := make([]byte, len(v1))
-	if _, _, err := c.ReadThrough("o", int64(len(v1)), 0, p, fetch1); err != nil {
+	if _, _, _, err := c.ReadThrough("o", int64(len(v1)), 0, p, fetch1); err != nil {
 		t.Fatal(err)
 	}
 	// Same name, one byte longer, different content.
 	v2, fetch2, _ := source(8<<10+1, 4)
 	q := make([]byte, len(v2))
-	cached, _, err := c.ReadThrough("o", int64(len(v2)), 0, q, fetch2)
+	cached, _, _, err := c.ReadThrough("o", int64(len(v2)), 0, q, fetch2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,5 +197,143 @@ func TestCacheTierVersioning(t *testing.T) {
 	}
 	if !bytes.Equal(q, v2) {
 		t.Fatal("new version returned wrong bytes")
+	}
+}
+
+// TestCacheTierSingleflightSharedFetch pins the cross-reader dedup: when
+// several readers miss on the same block while one fetch is in flight, only
+// the leader touches the remote; everyone else either joins the flight
+// (shared bytes) or hits the freshly admitted block.
+func TestCacheTierSingleflightSharedFetch(t *testing.T) {
+	const size = 8 << 10
+	data, _, _ := source(size, 7)
+	c, err := cachetier.NewWithBlockSize("", 1<<20, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fetches atomic.Int32
+	leaderIn := make(chan struct{})
+	gate := make(chan struct{})
+	fetch := func(off, n int64) ([]byte, error) {
+		if fetches.Add(1) == 1 {
+			close(leaderIn)
+			<-gate // hold the flight open so followers can join it
+		}
+		return data[off : off+n], nil
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	var cachedB, fetchedB, sharedB atomic.Int64
+	start := func() {
+		defer wg.Done()
+		p := make([]byte, size)
+		cached, fetched, shared, err := c.ReadThrough("o", size, 0, p, fetch)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(p, data) {
+			t.Error("reader got wrong bytes")
+		}
+		cachedB.Add(cached)
+		fetchedB.Add(fetched)
+		sharedB.Add(shared)
+	}
+	wg.Add(1)
+	go start()
+	<-leaderIn
+	wg.Add(readers - 1)
+	for i := 0; i < readers-1; i++ {
+		go start()
+	}
+	// Give the followers a moment to reach the flight, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("%d remote fetches for one block under %d readers, want 1", n, readers)
+	}
+	if sharedB.Load() == 0 {
+		t.Fatal("no reader joined the in-flight fetch")
+	}
+	if got := cachedB.Load() + fetchedB.Load() + sharedB.Load(); got != readers*size {
+		t.Fatalf("attributed %d bytes across tiers, want %d", got, readers*size)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Singleflights == 0 || st.SingleflightBytes != sharedB.Load() {
+		t.Fatalf("stats after shared fetch: %+v", st)
+	}
+}
+
+// TestCacheTierSingleflightLeaderFailure pins two behaviors at once: a
+// follower whose leader's fetch failed falls back to its own fetch rather
+// than caching the error, and the concurrent fallback admissions that
+// result never double-count the block in the budget (idempotent admit,
+// exercised on the disk path where the write happens outside the lock).
+func TestCacheTierSingleflightLeaderFailure(t *testing.T) {
+	const size = 4 << 10
+	data, _, _ := source(size, 9)
+	c, err := cachetier.NewWithBlockSize(t.TempDir(), 1<<20, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fetches atomic.Int32
+	leaderIn := make(chan struct{})
+	gate := make(chan struct{})
+	fetch := func(off, n int64) ([]byte, error) {
+		if fetches.Add(1) == 1 {
+			close(leaderIn)
+			<-gate
+			return nil, errors.New("injected leader failure")
+		}
+		return data[off : off+n], nil
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		p := make([]byte, size)
+		_, _, _, err := c.ReadThrough("o", size, 0, p, fetch)
+		leaderErr <- err
+	}()
+	<-leaderIn
+
+	const followers = 6
+	var wg sync.WaitGroup
+	wg.Add(followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			defer wg.Done()
+			p := make([]byte, size)
+			if _, _, _, err := c.ReadThrough("o", size, 0, p, fetch); err != nil {
+				t.Errorf("follower: %v", err)
+			} else if !bytes.Equal(p, data) {
+				t.Error("follower got wrong bytes")
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if err := <-leaderErr; err == nil {
+		t.Fatal("leader's failed fetch reported no error")
+	}
+
+	st := c.Stats()
+	if st.Bytes != size {
+		t.Fatalf("resident %d bytes after concurrent admissions of one %d-byte block", st.Bytes, size)
+	}
+	if st.Admitted != 1 {
+		t.Fatalf("block admitted %d times, want 1 (idempotent admit): %+v", st.Admitted, st)
+	}
+	// The block is genuinely resident: a fresh read is a pure hit.
+	before := fetches.Load()
+	p := make([]byte, size)
+	cached, _, _, err := c.ReadThrough("o", size, 0, p, fetch)
+	if err != nil || cached != size || fetches.Load() != before {
+		t.Fatalf("post-fallback read not served from cache: cached=%d err=%v", cached, err)
 	}
 }

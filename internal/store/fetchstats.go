@@ -7,17 +7,18 @@ import "sync/atomic"
 // to the restore's encoded volume — the invariant the tier-attribution spans
 // and the flor_store_fetch_* metrics rely on.
 const (
-	tierMmap      = iota // frame aliased out of the pack's memory mapping
-	tierScatter          // vectored preadv straight into the destination buffer
-	tierRanged           // private ranged read (large frames, coalesced spans)
-	tierCache            // payload-cache hit: chunks never read at all
-	tierRemote           // ranged GET against a remote object store
-	tierCacheTier        // local chunk-cache hit in front of a remote store
+	tierMmap         = iota // frame aliased out of the pack's memory mapping
+	tierScatter             // vectored preadv straight into the destination buffer
+	tierRanged              // private ranged read (large frames, coalesced spans)
+	tierCache               // payload-cache hit: chunks never read at all
+	tierRemote              // ranged GET against a remote object store
+	tierCacheTier           // local chunk-cache hit in front of a remote store
+	tierSingleflight        // bytes shared from another query's in-flight GET
 	numTiers
 )
 
 // tierNames are the metric label values, indexed by tier.
-var tierNames = [numTiers]string{"mmap", "scatter", "ranged", "cache", "remote", "cache-tier"}
+var tierNames = [numTiers]string{"mmap", "scatter", "ranged", "cache", "remote", "cache-tier", "singleflight"}
 
 // FetchStats accumulates per-tier fetch accounting for one observer — a
 // query trace, a worker — across concurrent shard fetches. A nil *FetchStats
@@ -50,6 +51,7 @@ func (f *FetchStats) Snapshot() FetchSnapshot {
 	s.CacheBytes, s.CacheFrames = f.bytes[tierCache].Load(), f.frames[tierCache].Load()
 	s.RemoteBytes, s.RemoteFrames = f.bytes[tierRemote].Load(), f.frames[tierRemote].Load()
 	s.CacheTierBytes, s.CacheTierFrames = f.bytes[tierCacheTier].Load(), f.frames[tierCacheTier].Load()
+	s.SingleflightBytes, s.SingleflightFrames = f.bytes[tierSingleflight].Load(), f.frames[tierSingleflight].Load()
 	return s
 }
 
@@ -64,13 +66,18 @@ type FetchSnapshot struct {
 	RangedFrames  int64 `json:"ranged_frames"`
 	CacheBytes    int64 `json:"cache_bytes"`
 	CacheFrames   int64 `json:"cache_frames"`
-	// Remote and cache-tier attribution applies to remote-backed stores only:
-	// remote counts encoded bytes that had to travel a ranged GET, cache-tier
-	// counts encoded bytes a local chunk-cache hit kept off the network.
-	RemoteBytes     int64 `json:"remote_bytes"`
-	RemoteFrames    int64 `json:"remote_frames"`
-	CacheTierBytes  int64 `json:"cache_tier_bytes"`
-	CacheTierFrames int64 `json:"cache_tier_frames"`
+	// Remote, cache-tier, and singleflight attribution applies to
+	// remote-backed stores only: remote counts encoded bytes that had to
+	// travel a ranged GET this reader initiated, cache-tier counts encoded
+	// bytes a local chunk-cache hit kept off the network, and singleflight
+	// counts encoded bytes satisfied by waiting on another reader's
+	// concurrent GET for the same block (one fetch fed several waiters).
+	RemoteBytes        int64 `json:"remote_bytes"`
+	RemoteFrames       int64 `json:"remote_frames"`
+	CacheTierBytes     int64 `json:"cache_tier_bytes"`
+	CacheTierFrames    int64 `json:"cache_tier_frames"`
+	SingleflightBytes  int64 `json:"singleflight_bytes"`
+	SingleflightFrames int64 `json:"singleflight_frames"`
 }
 
 // Sub returns the delta s - prev (both from the same FetchStats).
@@ -82,6 +89,7 @@ func (s FetchSnapshot) Sub(prev FetchSnapshot) FetchSnapshot {
 		CacheBytes: s.CacheBytes - prev.CacheBytes, CacheFrames: s.CacheFrames - prev.CacheFrames,
 		RemoteBytes: s.RemoteBytes - prev.RemoteBytes, RemoteFrames: s.RemoteFrames - prev.RemoteFrames,
 		CacheTierBytes: s.CacheTierBytes - prev.CacheTierBytes, CacheTierFrames: s.CacheTierFrames - prev.CacheTierFrames,
+		SingleflightBytes: s.SingleflightBytes - prev.SingleflightBytes, SingleflightFrames: s.SingleflightFrames - prev.SingleflightFrames,
 	}
 }
 
@@ -94,17 +102,18 @@ func (s FetchSnapshot) Add(o FetchSnapshot) FetchSnapshot {
 		CacheBytes: s.CacheBytes + o.CacheBytes, CacheFrames: s.CacheFrames + o.CacheFrames,
 		RemoteBytes: s.RemoteBytes + o.RemoteBytes, RemoteFrames: s.RemoteFrames + o.RemoteFrames,
 		CacheTierBytes: s.CacheTierBytes + o.CacheTierBytes, CacheTierFrames: s.CacheTierFrames + o.CacheTierFrames,
+		SingleflightBytes: s.SingleflightBytes + o.SingleflightBytes, SingleflightFrames: s.SingleflightFrames + o.SingleflightFrames,
 	}
 }
 
 // TotalBytes returns the snapshot's byte total across all tiers.
 func (s FetchSnapshot) TotalBytes() int64 {
 	return s.MmapBytes + s.ScatterBytes + s.RangedBytes + s.CacheBytes +
-		s.RemoteBytes + s.CacheTierBytes
+		s.RemoteBytes + s.CacheTierBytes + s.SingleflightBytes
 }
 
 // TotalFrames returns the snapshot's frame total across all tiers.
 func (s FetchSnapshot) TotalFrames() int64 {
 	return s.MmapFrames + s.ScatterFrames + s.RangedFrames + s.CacheFrames +
-		s.RemoteFrames + s.CacheTierFrames
+		s.RemoteFrames + s.CacheTierFrames + s.SingleflightFrames
 }

@@ -168,6 +168,23 @@ func SetMmapPackReads(on bool) (prev bool) {
 	return mmapPackReads.Swap(on)
 }
 
+// pipelinedRemoteFetch gates the streaming remote restore path process-wide
+// (1 = on): each coalesced span's frames decode as soon as its ranged GET
+// lands instead of waiting for every span of the shard. The barriered path
+// is the fallback and the two must be byte-identical — the remote-twin
+// migration test and the cold-restore benchmark run both.
+var pipelinedRemoteFetch atomic.Bool
+
+func init() { pipelinedRemoteFetch.Store(true) }
+
+// SetPipelinedRemoteFetch enables or disables the pipelined remote fetch
+// path (decode overlapped with in-flight ranged GETs), returning the
+// previous setting. Benchmarks use it to measure the pipeline against the
+// span barrier; production leaves it on.
+func SetPipelinedRemoteFetch(on bool) (prev bool) {
+	return pipelinedRemoteFetch.Swap(on)
+}
+
 // packObjName maps (base name, generation) to the backend object name.
 func packObjName(name string, gen int) string {
 	if gen == 0 {
@@ -540,7 +557,7 @@ const directReadMin = 64 << 10
 // frame decode and must not let enc escape. A missing pack object surfaces
 // ErrStalePack: the generation was compacted away and deleted after its
 // grace period, so the caller's resolved locations are stale, not corrupt.
-func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int, fs *FetchStats) (release func(), err error) {
+func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int, fs *FetchStats, bdgt *byteBudget) (release func(), err error) {
 	sh := p.shardTab[si]
 	obj := packObjName(sh.name, jobs[idxs[0]].loc.Gen)
 
@@ -548,7 +565,7 @@ func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int, fs *FetchSta
 	// to preadv, no pages to map) and fetch coalesced spans as parallel
 	// ranged GETs instead.
 	if tb, ok := p.backend.(TieredBackend); ok && tb.RemoteReads() {
-		return p.fetchShardRemote(obj, jobs, idxs, fs)
+		return p.fetchShardRemote(obj, jobs, idxs, fs, bdgt)
 	}
 
 	// Frames at least directReadMin long are handed the open pack handle
@@ -694,16 +711,92 @@ func (p *ChunkPool) fetchShard(si int, jobs []chunkJob, idxs []int, fs *FetchSta
 // without flooding the store (restores already parallelize across shards).
 const remoteSpanParallelism = 8
 
+// restoreInflightBudget bounds the staged span bytes one restore may hold in
+// flight across all of its shards on the remote path. The budget is what
+// keeps the pipelined producer/consumer honest: GET producers stall instead
+// of piling staged spans faster than decode drains them, so a wide restore's
+// peak memory stays bounded no matter how many shards race.
+const restoreInflightBudget = 64 << 20
+
+// byteBudget is a counting semaphore over bytes. A nil budget is unlimited.
+type byteBudget struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int64
+	free int64
+}
+
+func newByteBudget(n int64) *byteBudget {
+	b := &byteBudget{cap: n, free: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// acquire blocks until n bytes are free and claims them, returning the
+// claimed amount (n is clamped to the budget's capacity so one span larger
+// than the whole budget cannot deadlock). Pass the return value to release.
+func (b *byteBudget) acquire(n int64) int64 {
+	if b == nil {
+		return 0
+	}
+	if n > b.cap {
+		n = b.cap
+	}
+	b.mu.Lock()
+	for b.free < n {
+		b.cond.Wait()
+	}
+	b.free -= n
+	b.mu.Unlock()
+	return n
+}
+
+// release returns bytes claimed by acquire.
+func (b *byteBudget) release(n int64) {
+	if b == nil || n == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.free += n
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// decodeJob decodes one fetched frame into its destination buffer and
+// verifies it holds the content the directory asked for.
+func (p *ChunkPool) decodeJob(j *chunkJob) error {
+	frame, err := ckptfmt.ParseDecodeInto(j.enc, j.dst)
+	if err != nil {
+		return fmt.Errorf("store: shard %s frame at %d: %w", p.shardName(j.shard), j.loc.Off, err)
+	}
+	if frame.Hash != j.ref.Hash {
+		return fmt.Errorf("%w: shard %s frame at %d holds %s, directory wants %s",
+			codec.ErrCorrupt, p.shardName(j.shard), j.loc.Off, frame.Hash, j.ref.Hash)
+	}
+	return nil
+}
+
 // fetchShardRemote is fetchShard's strategy for TieredBackend pools: jobs
 // are offset-sorted and coalesced into bounded-gap spans exactly like the
 // streamed path, but the spans are read with up to remoteSpanParallelism
 // concurrent ranged GETs, and each span's encoded frame bytes are attributed
-// to the "cache-tier" and "remote" fetch tiers in proportion to how much of
-// the span the backend served from its local cache versus the remote store.
+// to the "cache-tier", "singleflight", and "remote" fetch tiers in
+// proportion to how much of the span the backend served from its local
+// cache, from another reader's shared in-flight fetch, or from the remote
+// store.
+//
+// With pipelined fetch on (the default), each span's frames decode inline as
+// soon as its GET lands — overlapping decode with the remaining in-flight
+// GETs — the staging buffer returns to the arena immediately, and the jobs
+// come back marked done so the caller's decode phase skips them. bdgt (one
+// per restore, shared across its shards) bounds the staged bytes in flight.
+// With pipelining off, every span barriers before decode, reproducing the
+// pre-pipeline path for benchmarks.
+//
 // A missing pack object surfaces ErrStalePack; any other read failure
 // propagates with its cause wrapped (%w), so typed remote errors — retry
 // budgets exhausted, injected test faults — stay visible to errors.Is.
-func (p *ChunkPool) fetchShardRemote(obj string, jobs []chunkJob, idxs []int, fs *FetchStats) (release func(), err error) {
+func (p *ChunkPool) fetchShardRemote(obj string, jobs []chunkJob, idxs []int, fs *FetchStats, bdgt *byteBudget) (release func(), err error) {
 	pf, err := p.backend.Open(obj)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -739,6 +832,8 @@ func (p *ChunkPool) fetchShardRemote(obj string, jobs []chunkJob, idxs []int, fs
 		spans = append(spans, sp)
 	}
 
+	pipelined := pipelinedRemoteFetch.Load()
+
 	var mu sync.Mutex // guards bufs and firstErr across span workers
 	var bufs [][]byte
 	release = func() {
@@ -750,8 +845,14 @@ func (p *ChunkPool) fetchShardRemote(obj string, jobs []chunkJob, idxs []int, fs
 		mu.Unlock()
 		pf.Close()
 	}
-
 	var firstErr error
+	setErr := func(e error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, remoteSpanParallelism)
 	for _, sp := range spans {
@@ -759,12 +860,20 @@ func (p *ChunkPool) fetchShardRemote(obj string, jobs []chunkJob, idxs []int, fs
 		sem <- struct{}{}
 		go func(sp *span) {
 			defer func() { <-sem; wg.Done() }()
+			var granted int64
+			if pipelined {
+				granted = bdgt.acquire(sp.end - sp.start)
+			}
 			buf := ckptfmt.Shared.Get(int(sp.end - sp.start))
-			var cached, fetched int64
+			putBack := func() {
+				ckptfmt.Shared.Put(buf)
+				bdgt.release(granted)
+			}
+			var cached, fetched, shared int64
 			var n int
 			var rerr error
 			if tr, ok := pf.(TieredReader); ok {
-				n, cached, fetched, rerr = tr.ReadAtTier(buf, sp.start)
+				n, cached, fetched, shared, rerr = tr.ReadAtTier(buf, sp.start)
 			} else {
 				n, rerr = pf.ReadAt(buf, sp.start)
 				fetched = int64(n)
@@ -773,21 +882,14 @@ func (p *ChunkPool) fetchShardRemote(obj string, jobs []chunkJob, idxs []int, fs
 				rerr = io.ErrUnexpectedEOF
 			}
 			if rerr != nil {
-				ckptfmt.Shared.Put(buf)
-				mu.Lock()
-				if firstErr == nil {
-					if errors.Is(rerr, os.ErrNotExist) {
-						firstErr = fmt.Errorf("%w: shard %s: %v", ErrStalePack, obj, rerr)
-					} else {
-						firstErr = fmt.Errorf("store: shard %s: remote read span [%d,%d): %w", obj, sp.start, sp.end, rerr)
-					}
+				putBack()
+				if errors.Is(rerr, os.ErrNotExist) {
+					setErr(fmt.Errorf("%w: shard %s: %v", ErrStalePack, obj, rerr))
+				} else {
+					setErr(fmt.Errorf("store: shard %s: remote read span [%d,%d): %w", obj, sp.start, sp.end, rerr))
 				}
-				mu.Unlock()
 				return
 			}
-			mu.Lock()
-			bufs = append(bufs, buf)
-			mu.Unlock()
 			var encB int64
 			for _, ji := range sp.members {
 				loc := jobs[ji].loc
@@ -795,23 +897,42 @@ func (p *ChunkPool) fetchShardRemote(obj string, jobs []chunkJob, idxs []int, fs
 				encB += int64(loc.EncLen)
 			}
 			// Attribute the span's encoded frame bytes (not the raw span
-			// bytes, which include coalescing gaps) across the two tiers in
+			// bytes, which include coalescing gaps) across the tiers in
 			// proportion to where the backend got the span from, so per-tier
 			// byte sums still reproduce the restore's encoded volume.
 			frames := int64(len(sp.members))
-			switch {
-			case fetched == 0:
+			total := cached + fetched + shared
+			if total <= 0 {
 				p.countFetch(tierCacheTier, encB, frames, fs)
-			case cached == 0:
-				p.countFetch(tierRemote, encB, frames, fs)
-			default:
-				cb := encB * cached / (cached + fetched)
-				cf := frames * cached / (cached + fetched)
+			} else {
+				cb, cf := encB*cached/total, frames*cached/total
+				sb, sf := encB*shared/total, frames*shared/total
 				if cb > 0 || cf > 0 {
 					p.countFetch(tierCacheTier, cb, cf, fs)
 				}
-				p.countFetch(tierRemote, encB-cb, frames-cf, fs)
+				if sb > 0 || sf > 0 {
+					p.countFetch(tierSingleflight, sb, sf, fs)
+				}
+				p.countFetch(tierRemote, encB-cb-sb, frames-cf-sf, fs)
 			}
+			if !pipelined {
+				mu.Lock()
+				bufs = append(bufs, buf)
+				mu.Unlock()
+				return
+			}
+			// Pipelined: decode this span's frames now, while other spans'
+			// GETs are still in flight, then recycle the staging buffer
+			// immediately instead of pinning it until the whole shard lands.
+			for _, ji := range sp.members {
+				if derr := p.decodeJob(&jobs[ji]); derr != nil {
+					setErr(derr)
+					break
+				}
+				jobs[ji].enc = nil
+				jobs[ji].done = true
+			}
+			putBack()
 		}(sp)
 	}
 	wg.Wait()

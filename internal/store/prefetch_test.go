@@ -1,0 +1,268 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"flor.dev/flor/internal/store"
+	"flor.dev/flor/internal/store/cachetier"
+	"flor.dev/flor/internal/store/faultbackend"
+	"flor.dev/flor/internal/store/remote"
+)
+
+// prefetchPayload is a deterministic payload for prefetch battery runs.
+func prefetchPayload(n int, seed uint64) []byte {
+	p := make([]byte, n)
+	x := seed*6364136223846793005 + 1442695040888963407
+	for i := range p {
+		if i%5 == 0 {
+			x = x*6364136223846793005 + 1442695040888963407
+			p[i] = byte(x >> 56)
+		}
+	}
+	return p
+}
+
+// prefetchFixture writes nKeys checkpoints through a clean remote backend
+// and returns the run directory, the backing object store, and the expected
+// section bytes per exec.
+func prefetchFixture(t *testing.T, nKeys, size int, seed uint64) (string, *remote.MemStore, map[int][]byte) {
+	t.Helper()
+	mem := remote.NewMemStore()
+	backend := remote.NewObjectBackend(mem, "packs", nil)
+	dir := t.TempDir()
+	s, err := store.OpenWith(dir, store.Options{Backend: backend, ShardFanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]byte{}
+	for i := 0; i < nKeys; i++ {
+		data := prefetchPayload(size, seed*100+uint64(i))
+		want[i] = data
+		key := store.Key{LoopID: "train", Exec: i}
+		if _, err := s.PutSections(key, []store.Section{{Name: "w", Data: data}}, 0, 0, 0); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	return dir, mem, want
+}
+
+// TestPrefetchWarmClaimAccounting pins the happy path: hinted keys are
+// warmed into the cache tier (Drain is the completion point), the warmed
+// blocks serve the real restore as cache hits, and Claim settles every
+// issued byte as used — nothing wasted when the plan ran to completion.
+func TestPrefetchWarmClaimAccounting(t *testing.T) {
+	const nKeys = 6
+	dir, mem, want := prefetchFixture(t, nKeys, 48<<10, 1)
+	cache, err := cachetier.NewWithBlockSize("", 4<<20, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := remote.NewObjectBackend(mem, "packs", cache)
+	ro, err := store.OpenWith(dir, store.Options{ReadOnly: true, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := store.PrefetchTotals()
+	pf := ro.NewPrefetcher(0, nil)
+	if pf == nil {
+		t.Fatal("NewPrefetcher returned nil for a remote-backed store")
+	}
+	keys := make([]store.Key, 0, nKeys)
+	for i := 0; i < nKeys; i++ {
+		keys = append(keys, store.Key{LoopID: "train", Exec: i})
+	}
+	pf.Hint(keys...)
+	pf.Drain()
+
+	issued := store.PrefetchTotals().IssuedBytes - base.IssuedBytes
+	if issued == 0 {
+		t.Fatal("drained warm issued no bytes")
+	}
+	warm := cache.Stats()
+	if warm.Admitted == 0 {
+		t.Fatalf("warm admitted nothing to the cache tier: %+v", warm)
+	}
+
+	// The restore front arrives: warmed blocks serve as cache hits and the
+	// sections come back byte-identical.
+	for i, data := range want {
+		secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: i}, nil)
+		if err != nil || !ok {
+			t.Fatalf("restore %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(secs[0].Data, data) {
+			t.Fatalf("restore %d: bytes differ after warming", i)
+		}
+	}
+	if hot := cache.Stats(); hot.Hits <= warm.Hits {
+		t.Fatalf("warmed blocks served no restore hits: warm=%+v hot=%+v", warm, hot)
+	}
+
+	for _, k := range keys {
+		pf.Claim(k)
+	}
+	pf.Close()
+	got := store.PrefetchTotals()
+	if used := got.UsedBytes - base.UsedBytes; used != issued {
+		t.Fatalf("claimed every hint but used=%d of issued=%d", used, issued)
+	}
+	if wasted := got.WastedBytes - base.WastedBytes; wasted != 0 {
+		t.Fatalf("fully claimed plan still wasted %d bytes", wasted)
+	}
+}
+
+// TestPrefetchLocalStoreNoop pins the zero-cost local contract: a store
+// whose reads never leave the machine gets a nil prefetcher, and every
+// method on nil is a safe no-op — replay wiring never branches on backend.
+func TestPrefetchLocalStoreNoop(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.OpenWith(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := s.NewPrefetcher(4, nil)
+	if pf != nil {
+		t.Fatal("local store got a live prefetcher")
+	}
+	pf.Hint(store.Key{LoopID: "train", Exec: 0})
+	pf.Claim(store.Key{LoopID: "train", Exec: 0})
+	pf.Cancel(store.Key{LoopID: "train", Exec: 0})
+	pf.Drain()
+	pf.Close()
+}
+
+// TestPrefetchCancelAccounting pins the steal path: hints the plan no
+// longer owns are dropped, their plan bytes count as cancelled, and a
+// cancelled plan never wedges Drain. Every backend read carries latency so
+// the queue is still backed up when the cancellation lands.
+func TestPrefetchCancelAccounting(t *testing.T) {
+	const nKeys = 6
+	dir, mem, want := prefetchFixture(t, nKeys, 48<<10, 2)
+	fb := faultbackend.WrapObject(mem, faultbackend.Config{Seed: 3, LatencyNth: 1, Latency: 20 * time.Millisecond})
+	cache, err := cachetier.NewWithBlockSize("", 4<<20, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := remote.NewObjectBackend(fb, "packs", cache)
+	ro, err := store.OpenWith(dir, store.Options{ReadOnly: true, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := store.PrefetchTotals()
+	pf := ro.NewPrefetcher(2, nil)
+	if pf == nil {
+		t.Fatal("NewPrefetcher returned nil for a remote-backed store")
+	}
+	keys := make([]store.Key, 0, nKeys)
+	for i := 0; i < nKeys; i++ {
+		keys = append(keys, store.Key{LoopID: "train", Exec: i})
+	}
+	pf.Hint(keys...)
+	// Two workers are at most two keys deep when this lands; the rest of the
+	// queue is cancelled before any worker reaches it.
+	pf.Cancel(keys...)
+	pf.Drain()
+	pf.Close()
+
+	got := store.PrefetchTotals()
+	if cancelled := got.CancelledBytes - base.CancelledBytes; cancelled == 0 {
+		t.Fatalf("cancelled a queued plan but no bytes counted cancelled: %+v", got)
+	}
+	// The thief still restores the iterations correctly.
+	for i, data := range want {
+		secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: i}, nil)
+		if err != nil || !ok || !bytes.Equal(secs[0].Data, data) {
+			t.Fatalf("restore %d after cancel: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+// TestPrefetchFaultBattery runs the prefetcher concurrently with restores
+// over a fault-injecting object store, per fault class and seed. Warm
+// failures must stay invisible — every restore byte-identical — and Close
+// must reap every warm worker (no goroutine leaks), race-detector clean.
+func TestPrefetchFaultBattery(t *testing.T) {
+	classes := []struct {
+		name string
+		cfg  faultbackend.Config
+	}{
+		{"read-errors", faultbackend.Config{ReadErrNth: 3}},
+		{"short-reads", faultbackend.Config{ShortReadNth: 2}},
+		{"latency", faultbackend.Config{LatencyNth: 4, Latency: 2 * time.Millisecond}},
+		{"everything", faultbackend.Config{ReadErrNth: 5, ShortReadNth: 7, LatencyNth: 6, Latency: time.Millisecond}},
+	}
+	policy := remote.Policy{Attempts: 6, BaseDelay: 100 * time.Microsecond, MaxDelay: 2 * time.Millisecond, Timeout: 5 * time.Second}
+	for _, cl := range classes {
+		for _, seed := range []int64{1, 2} {
+			t.Run(fmt.Sprintf("%s/seed%d", cl.name, seed), func(t *testing.T) {
+				const nKeys = 5
+				dir, mem, want := prefetchFixture(t, nKeys, 48<<10, uint64(seed)*7)
+				cfg := cl.cfg
+				cfg.Seed = seed
+				fb := faultbackend.WrapObject(mem, cfg)
+				cache, err := cachetier.NewWithBlockSize("", 4<<20, 8<<10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				backend := remote.NewObjectBackend(remote.Retry(fb, policy), "packs", cache)
+				ro, err := store.OpenWith(dir, store.Options{ReadOnly: true, Backend: backend})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				before := runtime.NumGoroutine()
+				pf := ro.NewPrefetcher(3, nil)
+				if pf == nil {
+					t.Fatal("NewPrefetcher returned nil for a remote-backed store")
+				}
+				keys := make([]store.Key, 0, nKeys)
+				for i := 0; i < nKeys; i++ {
+					keys = append(keys, store.Key{LoopID: "train", Exec: i})
+				}
+				pf.Hint(keys...)
+
+				// Restores race the warm front, exactly like a replay whose
+				// readahead runs hotter than its decode.
+				var wg sync.WaitGroup
+				for i, data := range want {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						secs, ok, err := ro.GetSections(store.Key{LoopID: "train", Exec: i}, nil)
+						if err != nil || !ok {
+							t.Errorf("restore %d through faults: ok=%v err=%v", i, ok, err)
+							return
+						}
+						if !bytes.Equal(secs[0].Data, data) {
+							t.Errorf("restore %d: bytes differ with warm racing restore", i)
+						}
+						pf.Claim(store.Key{LoopID: "train", Exec: i})
+					}()
+				}
+				wg.Wait()
+				pf.Drain()
+				pf.Close()
+
+				if fb.Injected() == 0 {
+					t.Fatal("battery ran but no faults fired")
+				}
+				// Close reaps every warm worker; allow the runtime a moment
+				// to retire exited goroutines before declaring a leak.
+				deadline := time.Now().Add(2 * time.Second)
+				for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+					time.Sleep(10 * time.Millisecond)
+				}
+				if n := runtime.NumGoroutine(); n > before {
+					t.Fatalf("%d goroutines outlived Close (started with %d)", n-before, before)
+				}
+			})
+		}
+	}
+}

@@ -38,6 +38,7 @@ var (
 	_ store.Backend       = (*ObjectBackend)(nil)
 	_ store.TieredBackend = (*ObjectBackend)(nil)
 	_ store.TieredReader  = (*objReader)(nil)
+	_ store.WarmReader    = (*objReader)(nil)
 )
 
 // NewObjectBackend returns a backend whose objects live under prefix in st
@@ -112,18 +113,19 @@ type objReader struct {
 
 // ReadAt implements io.ReaderAt.
 func (r *objReader) ReadAt(p []byte, off int64) (int, error) {
-	n, _, _, err := r.ReadAtTier(p, off)
+	n, _, _, _, err := r.ReadAtTier(p, off)
 	return n, err
 }
 
 // ReadAtTier implements store.TieredReader: ReadAt plus how many of the
-// returned bytes were cache-tier hits versus remote fetches.
-func (r *objReader) ReadAtTier(p []byte, off int64) (n int, cached, fetched int64, err error) {
+// returned bytes were cache-tier hits, remote fetches this read initiated,
+// or bytes shared from another reader's in-flight fetch (singleflight).
+func (r *objReader) ReadAtTier(p []byte, off int64) (n int, cached, fetched, shared int64, err error) {
 	if off < 0 || off >= r.size {
 		if off == r.size {
-			return 0, 0, 0, io.EOF
+			return 0, 0, 0, 0, io.EOF
 		}
-		return 0, 0, 0, fmt.Errorf("remote: read %s at %d: out of range [0,%d)", r.key, off, r.size)
+		return 0, 0, 0, 0, fmt.Errorf("remote: read %s at %d: out of range [0,%d)", r.key, off, r.size)
 	}
 	want := p
 	var short bool
@@ -132,24 +134,43 @@ func (r *objReader) ReadAtTier(p []byte, off int64) (n int, cached, fetched int6
 		short = true
 	}
 	if r.b.cache != nil {
-		cached, fetched, err = r.b.cache.ReadThrough(r.key, r.size, off, want, func(bOff, bLen int64) ([]byte, error) {
+		cached, fetched, shared, err = r.b.cache.ReadThrough(r.key, r.size, off, want, func(bOff, bLen int64) ([]byte, error) {
 			return r.b.store.GetRange(r.key, bOff, bLen)
 		})
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, 0, err
 		}
 	} else {
 		data, gerr := r.b.store.GetRange(r.key, off, int64(len(want)))
 		if gerr != nil {
-			return 0, 0, 0, gerr
+			return 0, 0, 0, 0, gerr
 		}
 		copy(want, data)
 		fetched = int64(len(want))
 	}
 	if short {
-		return len(want), cached, fetched, io.EOF
+		return len(want), cached, fetched, shared, io.EOF
 	}
-	return len(want), cached, fetched, nil
+	return len(want), cached, fetched, shared, nil
+}
+
+// WarmAt implements store.WarmReader: it drives the blocks covering
+// [off, off+n) into the cache tier without a destination buffer. Without a
+// cache tier there is nothing to warm into, so it is a no-op — fetching
+// bytes only to drop them would charge the remote for nothing.
+func (r *objReader) WarmAt(off, n int64) (int64, error) {
+	if r.b.cache == nil {
+		return 0, nil
+	}
+	if off < 0 || off >= r.size {
+		return 0, fmt.Errorf("remote: warm %s at %d: out of range [0,%d)", r.key, off, r.size)
+	}
+	if off+n > r.size {
+		n = r.size - off
+	}
+	return r.b.cache.Warm(r.key, r.size, off, n, func(bOff, bLen int64) ([]byte, error) {
+		return r.b.store.GetRange(r.key, bOff, bLen)
+	})
 }
 
 // Close implements io.Closer.

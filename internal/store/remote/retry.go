@@ -3,6 +3,7 @@ package remote
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 )
 
@@ -20,7 +21,10 @@ type Policy struct {
 	// Attempts is the total number of tries per call (default 4).
 	Attempts int
 	// BaseDelay is the backoff before the second attempt; it doubles per
-	// attempt up to MaxDelay (defaults 5ms / 250ms).
+	// attempt up to MaxDelay (defaults 5ms / 250ms). Each sleep is jittered
+	// to [delay/2, delay): parallel ranged GETs that fail together — one
+	// flaky endpoint serving a whole restore's spans — must not wake
+	// together and hammer it in lockstep on every retry round.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
 	// Timeout is the per-attempt deadline (default 30s). An attempt that
@@ -68,7 +72,10 @@ func (r *retrying) do(op, key string, f func() (any, error)) (any, error) {
 	delay := r.p.BaseDelay
 	for a := 0; a < r.p.Attempts; a++ {
 		if a > 0 {
-			time.Sleep(delay)
+			// Equal jitter: half the backoff is deterministic floor, half is
+			// random spread, so retry herds de-synchronize while the mean
+			// backoff keeps its exponential shape.
+			time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)))
 			delay *= 2
 			if delay > r.p.MaxDelay {
 				delay = r.p.MaxDelay

@@ -1614,6 +1614,7 @@ type chunkJob struct {
 	src   BackendReader // direct-read source (large frames): decode reads the pack itself
 	got   ckptfmt.Hash  // scatter-read jobs: stored hash, CRC-verified during the fetch
 	pre   bool          // scatter-read jobs: payload already in dst and verified
+	done  bool          // pipelined remote jobs: decoded and verified during the fetch
 	loc   chunkLoc
 	ref   ckptfmt.ChunkRef
 }
@@ -1689,7 +1690,11 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 	// single shard is involved — the unsharded layout and small restores).
 	// Each fetch returns a release callback that recycles its staging spans
 	// (or drops its mapping reference); the enc slices die with phase 4, so
-	// releases run only after every decode finished.
+	// releases run only after every decode finished. Remote fetches share
+	// one per-restore in-flight byte budget across all shards, and on the
+	// pipelined path may hand jobs back already decoded (done set) — phase 4
+	// skips those.
+	bdgt := newByteBudget(restoreInflightBudget)
 	releases := make([]func(), 0, len(byShard))
 	defer func() {
 		for _, r := range releases {
@@ -1698,7 +1703,7 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 	}()
 	if len(byShard) == 1 {
 		for si, idxs := range byShard {
-			rel, err := p.fetchShard(si, jobs, idxs, fs)
+			rel, err := p.fetchShard(si, jobs, idxs, fs, bdgt)
 			if err != nil {
 				return nil, err
 			}
@@ -1712,7 +1717,7 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 			wg.Add(1)
 			go func(si int, idxs []int) {
 				defer wg.Done()
-				shardRels[si], shardErrs[si] = p.fetchShard(si, jobs, idxs, fs)
+				shardRels[si], shardErrs[si] = p.fetchShard(si, jobs, idxs, fs, bdgt)
 			}(si, idxs)
 		}
 		wg.Wait()
@@ -1738,6 +1743,11 @@ func (s *Store) readSections(m *Meta, dir *ckptfmt.Directory, have func(ckptfmt.
 	errs := make([]error, len(jobs))
 	ckptfmt.ParallelDo(len(jobs), func(i int) {
 		j := jobs[i]
+		if j.done {
+			// Pipelined remote job: decoded and hash-verified inline while
+			// its span's GET neighbors were still in flight.
+			return
+		}
 		var hash ckptfmt.Hash
 		if j.pre {
 			// Scatter-read job: the vectored fetch already put the payload in
